@@ -1,0 +1,87 @@
+"""Ablation — execution-framework parallelism (§3.2.2).
+
+The paper "capitalizes on the parallelization capabilities of Apache
+Spark" (128 vcores).  This benchmark measures our engine's analogue: the
+same aggregation job across partition counts and scheduler backends,
+reporting throughput.  Expected honest shapes on CPython: the serial and
+thread backends are GIL-bound and roughly flat; the fork-based process
+backend gains on CPU-bound stages; partitioning itself costs little.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import write_report
+from repro.engine import Engine, EngineConfig
+from repro.hexgrid import latlng_to_cell
+
+
+def _job(engine, reports):
+    return (
+        engine.parallelize(reports)
+        .map(lambda r: (latlng_to_cell(r.lat, r.lon, 6), r.sog))
+        .combine_by_key(
+            create=lambda v: (1, v),
+            merge_value=lambda acc, v: (acc[0] + 1, acc[1] + v),
+            merge_combiners=lambda a, b: (a[0] + b[0], a[1] + b[1]),
+        )
+        .count()
+    )
+
+
+def test_ablation_engine_scaling(benchmark, bench_world):
+    reports = bench_world.positions[:40_000]
+    configurations = [
+        ("serial", 1), ("serial", 8),
+        ("threads", 4), ("threads", 8),
+        ("processes", 4), ("processes", 8),
+    ]
+
+    rows = []
+    reference = None
+    for scheduler, partitions in configurations:
+        with Engine(
+            EngineConfig(num_partitions=partitions, scheduler=scheduler,
+                         max_workers=4)
+        ) as engine:
+            start = time.perf_counter()
+            count = _job(engine, reports)
+            seconds = time.perf_counter() - start
+        if reference is None:
+            reference = count
+        assert count == reference  # every backend computes the same answer
+        rows.append((scheduler, partitions, seconds,
+                     len(reports) / seconds))
+
+    benchmark.pedantic(
+        lambda: _job(Engine(EngineConfig(num_partitions=8)), reports),
+        rounds=1, iterations=1,
+    )
+
+    lines = [
+        f"Engine scaling ablation: cell aggregation of {len(reports):,} "
+        "reports (identical results asserted across all backends)",
+        f"{'Scheduler':<12} {'Partitions':>10} {'Seconds':>9} "
+        f"{'Records/s':>11}",
+    ]
+    for scheduler, partitions, seconds, throughput in rows:
+        lines.append(
+            f"{scheduler:<12} {partitions:>10} {seconds:>9.2f} "
+            f"{throughput:>11,.0f}"
+        )
+    serial8 = next(s for sch, p, s, _ in rows if sch == "serial" and p == 8)
+    process8 = next(s for sch, p, s, _ in rows if sch == "processes" and p == 8)
+    lines.append("")
+    lines.append(
+        f"Shape notes: CPython's GIL keeps threads ≈ serial; the fork-based "
+        f"process backend changes the picture ({serial8:.2f}s serial vs "
+        f"{process8:.2f}s processes at 8 partitions). The paper's Spark "
+        "cluster exploits exactly this map-side parallelism at 128 vcores."
+    )
+    write_report("ablation_engine_scaling", lines)
+
+    # Determinism across backends is the hard requirement; speedups are
+    # hardware-dependent, so only sanity-bound them.
+    for _scheduler, _partitions, seconds, _throughput in rows:
+        assert seconds < 120.0

@@ -1,0 +1,110 @@
+"""Ablation — approximate vs exact statistics.
+
+The methodology's compactness rests on replacing exact aggregates with
+mergeable sketches (Table 3 calls the percentiles "approximate").  This
+benchmark quantifies the trade on a realistic feature stream: accuracy
+loss vs memory saved for HyperLogLog (distinct counts), t-digest and
+Greenwald–Khanna (percentiles) and Space-Saving (top-N), each against its
+exact counterpart.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+from collections import Counter
+
+import numpy as np
+
+from benchmarks.conftest import write_report
+from repro.inventory.codec import encode
+from repro.sketches import GKQuantiles, HyperLogLog, SpaceSaving, TDigest
+
+
+def _size_bytes(sketch) -> int:
+    return len(encode(sketch.to_dict()))
+
+
+def test_ablation_sketch_accuracy_vs_exact(benchmark):
+    rng = random.Random(2024)
+    n = 150_000
+    # A cell-like stream: lognormal speeds, zipfian destinations, vessel ids.
+    speeds = [rng.lognormvariate(2.3, 0.45) for _ in range(n)]
+    vessels = [rng.randrange(25_000) for _ in range(n)]
+    destinations = [
+        f"P{int(rng.paretovariate(1.15)) % 400:03d}" for _ in range(n)
+    ]
+
+    def build_all():
+        hll = HyperLogLog(10)
+        digest = TDigest(100.0)
+        gk = GKQuantiles(0.01)
+        topn = SpaceSaving(32)
+        for speed, vessel, destination in zip(speeds, vessels, destinations):
+            hll.update(vessel)
+            digest.update(speed)
+            gk.update(speed)
+            topn.update(destination)
+        return hll, digest, gk, topn
+
+    hll, digest, gk, topn = benchmark.pedantic(build_all, rounds=1,
+                                               iterations=1)
+
+    exact_distinct = len(set(vessels))
+    hll_err = abs(hll.cardinality() - exact_distinct) / exact_distinct
+    exact_sizes = {
+        "set(vessels)": len(pickle.dumps(set(vessels))),
+        "sorted(speeds)": len(pickle.dumps(speeds)),
+        "Counter(dest)": len(pickle.dumps(Counter(destinations))),
+    }
+
+    quantile_rows = []
+    for q in (0.1, 0.5, 0.9):
+        exact = float(np.quantile(speeds, q))
+        td_err = abs(digest.quantile(q) - exact) / exact
+        gk_err = abs(gk.quantile(q) - exact) / exact
+        quantile_rows.append((q, exact, td_err, gk_err))
+
+    exact_top = [v for v, _ in Counter(destinations).most_common(5)]
+    sketch_top = [item.value for item in topn.top(5)]
+    top_overlap = len(set(exact_top) & set(sketch_top)) / 5.0
+
+    lines = [
+        "Sketch ablation: accuracy and size vs exact aggregation "
+        f"(stream of {n:,} records)",
+        "",
+        f"{'Statistic':<26} {'Exact':>12} {'Sketch':>12} {'RelErr':>8} "
+        f"{'SketchB':>9} {'ExactB':>10}",
+        f"{'distinct vessels (HLL p=10)':<26} {exact_distinct:>12,} "
+        f"{hll.cardinality():>12,} {hll_err:>7.2%} {_size_bytes(hll):>9,} "
+        f"{exact_sizes['set(vessels)']:>10,}",
+    ]
+    for q, exact, td_err, gk_err in quantile_rows:
+        lines.append(
+            f"{'speed p%d (t-digest)' % int(q*100):<26} {exact:>12.2f} "
+            f"{digest.quantile(q):>12.2f} {td_err:>7.2%} "
+            f"{_size_bytes(digest):>9,} {exact_sizes['sorted(speeds)']:>10,}"
+        )
+        lines.append(
+            f"{'speed p%d (GK eps=.01)' % int(q*100):<26} {exact:>12.2f} "
+            f"{gk.quantile(q):>12.2f} {gk_err:>7.2%} {_size_bytes(gk):>9,}"
+        )
+    lines.append(
+        f"{'top-5 destinations (SS)':<26} {'—':>12} {'—':>12} "
+        f"{1-top_overlap:>7.2%} {_size_bytes(topn):>9,} "
+        f"{exact_sizes['Counter(dest)']:>10,}"
+    )
+    lines.append("")
+    compression = exact_sizes["sorted(speeds)"] / _size_bytes(digest)
+    lines.append(
+        f"Shape checks: every sketch within a few percent of exact at "
+        f"{compression:,.0f}x+ less state — the compactness Table 3 buys."
+    )
+    write_report("ablation_sketches", lines)
+
+    assert hll_err < 0.08
+    assert all(td_err < 0.03 for _, _, td_err, _ in quantile_rows)
+    assert all(gk_err < 0.05 for *_ignore, gk_err in quantile_rows)
+    assert top_overlap >= 0.8
+    assert _size_bytes(hll) < exact_sizes["set(vessels)"] / 25
+    assert _size_bytes(digest) < exact_sizes["sorted(speeds)"] / 100

@@ -1,0 +1,75 @@
+"""Figure 5 — global average actual-time-to-destination per cell.
+
+Paper: a global res-6 map coloured by mean ATA; cells near major
+destination ports show short remaining times, mid-ocean cells long ones.
+
+Reproduced: the same raster as a PPM plus the structural check that makes
+the figure meaningful: along a voyage, mean ATA decreases as the vessel
+approaches its destination — i.e. per-cell ATA is lower near ports than in
+open water.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from benchmarks.conftest import RESULTS_DIR, write_report
+from repro.apps import raster_from_inventory, write_ppm
+from repro.geo import haversine_m
+from repro.geo.polygon import BoundingBox
+from repro.hexgrid import cell_to_latlng
+from repro.inventory.keys import GroupingSet
+from repro.world.ports import PORTS
+
+WORLD = BoundingBox(-65.0, 72.0, -180.0, 180.0)
+
+
+def _distance_to_nearest_port_km(lat: float, lon: float) -> float:
+    return min(
+        haversine_m(lat, lon, port.lat, port.lon) for port in PORTS
+    ) / 1000.0
+
+
+def test_fig5_global_ata(benchmark, bench_inventory):
+    raster = benchmark.pedantic(
+        lambda: raster_from_inventory(
+            bench_inventory,
+            lambda s: (s.mean_ata_s() or 0.0) / 3600.0,
+            WORLD, width=360, height=170,
+        ),
+        rounds=1, iterations=1,
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_ppm(raster, RESULTS_DIR / "fig5_ata_hours.ppm", "ata")
+
+    near_port_ata = []
+    open_water_ata = []
+    for key, summary in bench_inventory.items():
+        if key.grouping_set is not GroupingSet.CELL:
+            continue
+        ata = summary.mean_ata_s()
+        if ata is None:
+            continue
+        lat, lon = cell_to_latlng(key.cell)
+        distance = _distance_to_nearest_port_km(lat, lon)
+        if distance < 100.0:
+            near_port_ata.append(ata / 3600.0)
+        elif distance > 700.0:
+            open_water_ata.append(ata / 3600.0)
+
+    near = statistics.median(near_port_ata)
+    far = statistics.median(open_water_ata)
+    lines = [
+        "Figure 5: global mean actual-time-to-arrival per cell",
+        f"raster: fig5_ata_hours.ppm ({raster.coverage():.2%} coverage)",
+        f"median ATA within 100 km of a port: {near:8.1f} h "
+        f"(n={len(near_port_ata)})",
+        f"median ATA >700 km from any port:   {far:8.1f} h "
+        f"(n={len(open_water_ata)})",
+        "",
+        "Shape check: remaining time shrinks toward ports "
+        f"({near:.1f} h < {far:.1f} h).",
+    ]
+    write_report("fig5_ata_map", lines)
+
+    assert near < far

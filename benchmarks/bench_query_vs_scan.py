@@ -1,0 +1,88 @@
+"""§4 claim — "99.7 % (res 6) / 98.4 % (res 7) fewer hits than a full
+table scan".
+
+Paper: computing Table 3's statistics for one location online requires a
+full scan of the archive; the inventory answers from one cell summary.
+
+Reproduced: measure *records touched* and wall time for
+  (a) the baseline — recompute the busiest cell's statistics by scanning
+      every archived report, and
+  (b) the inventory — a point lookup in the persisted SSTable.
+Expected shape: hits reduced by ≳99 %, latency by orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import write_report
+from repro.hexgrid import latlng_to_cell
+from repro.inventory import GroupKey, open_inventory, write_inventory
+from repro.inventory.keys import GroupingSet
+from repro.sketches import MomentsSketch
+
+
+def _busiest_key(inventory):
+    return max(
+        (
+            (key, summary)
+            for key, summary in inventory.items()
+            if key.grouping_set is GroupingSet.CELL
+        ),
+        key=lambda pair: pair[1].records,
+    )[0]
+
+
+def _full_scan_statistics(positions, cell, resolution):
+    """The online baseline: scan the archive, keep reports in the cell."""
+    speed = MomentsSketch()
+    touched = 0
+    for report in positions:
+        touched += 1
+        if latlng_to_cell(report.lat, report.lon, resolution) == cell:
+            speed.update(report.sog)
+    return speed, touched
+
+
+def test_query_vs_full_scan(benchmark, tmp_path_factory, bench_world,
+                            bench_inventory):
+    key = _busiest_key(bench_inventory)
+    path = tmp_path_factory.mktemp("inv") / "inventory.sst"
+    write_inventory(bench_inventory, path)
+    reader = open_inventory(path)
+
+    # Baseline: one full scan, timed once (it is the slow path by design).
+    start = time.perf_counter()
+    _scan_stats, scan_hits = _full_scan_statistics(
+        bench_world.positions, key.cell, bench_inventory.resolution
+    )
+    scan_seconds = time.perf_counter() - start
+
+    summary = benchmark(lambda: reader.get(key))
+    assert summary is not None
+
+    lookup_hits_estimate = max(
+        1, reader.last_read_bytes // 600
+    )  # entries touched in the one block read
+    reduction = 1.0 - lookup_hits_estimate / scan_hits
+
+    start = time.perf_counter()
+    for _ in range(100):
+        reader.get(key)
+    lookup_seconds = (time.perf_counter() - start) / 100
+
+    lines = [
+        "Query-vs-scan (paper claim: inventory needs 99.7% fewer hits at res 6)",
+        f"{'Path':<26} {'RecordsTouched':>15} {'Latency':>12}",
+        f"{'full archive scan':<26} {scan_hits:>15,} {scan_seconds:>10.3f}s",
+        f"{'inventory point lookup':<26} {lookup_hits_estimate:>15,} "
+        f"{lookup_seconds*1e3:>10.3f}ms",
+        "",
+        f"Hit reduction: {reduction:.2%} (paper: 99.73%); "
+        f"speedup: {scan_seconds / lookup_seconds:,.0f}x",
+    ]
+    write_report("query_vs_scan", lines)
+    reader.close()
+
+    assert reduction > 0.99
+    assert lookup_seconds < scan_seconds / 100

@@ -1,0 +1,59 @@
+"""Table 1 — Data used for the methodology.
+
+Paper:  commercial fleet positional reports  2.7 B rows / 60 GB
+        vessel static information            60 k rows / few MB
+        port information                     20 k rows / few MB
+
+Reproduced shape: three inputs of the same kinds with the same ordering of
+magnitudes (positions ≫ static ≫ ports), at laptop scale.  The benchmark
+times full archive generation.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from benchmarks.conftest import BENCH_CONFIG, write_report
+from repro import generate_dataset, WorldConfig
+
+
+def _approx_size_mb(objects) -> float:
+    return len(pickle.dumps(objects, protocol=pickle.HIGHEST_PROTOCOL)) / 1e6
+
+
+def test_table1_dataset_description(benchmark, bench_world):
+    small = WorldConfig(
+        seed=BENCH_CONFIG.seed, n_vessels=8, days=4.0, report_interval_s=900.0
+    )
+    benchmark.pedantic(lambda: generate_dataset(small), rounds=3, iterations=1)
+
+    positions_mb = _approx_size_mb(bench_world.positions[:20_000]) * (
+        len(bench_world.positions) / 20_000
+    )
+    static_mb = _approx_size_mb(bench_world.fleet)
+    ports_mb = _approx_size_mb(bench_world.ports)
+
+    rows = [
+        ("Commercial fleet positional reports",
+         len(bench_world.positions), f"{positions_mb:8.1f} MB"),
+        ("Vessel static information",
+         len(bench_world.fleet), f"{static_mb:8.3f} MB"),
+        ("Port information",
+         len(bench_world.ports), f"{ports_mb:8.3f} MB"),
+    ]
+    lines = [
+        "Table 1: Data used for methodology (paper: 2.7B/60k/20k rows)",
+        f"{'Description':<40} {'Rows':>10}  {'Size':>12}",
+    ]
+    for description, count, size in rows:
+        lines.append(f"{description:<40} {count:>10,}  {size:>12}")
+    lines.append("")
+    lines.append(
+        "Shape check: positions >> static >= ports — "
+        f"{len(bench_world.positions):,} >> {len(bench_world.fleet)} >= "
+        f"{len(bench_world.ports)}"
+    )
+    write_report("table1_dataset", lines)
+
+    assert len(bench_world.positions) > 100 * len(bench_world.fleet)
+    assert positions_mb > 100 * static_mb

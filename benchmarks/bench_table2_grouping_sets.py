@@ -1,0 +1,92 @@
+"""Table 2 — The grouping set (GS).
+
+Paper: three group identifiers are computed — (H3-index),
+(H3-index, vessel-type), (H3-index, origin, destination, vessel-type).
+
+Reproduced: one pipeline pass populates all three grouping sets; the
+benchmark times the aggregation stage in isolation and reports the group
+counts per set.  Expected shape: |CELL| ≤ |CELL_TYPE| ≤ |CELL_OD_TYPE|
+group counts (each breakdown refines the previous) while each set's record
+total stays the same.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_report
+from repro.inventory.keys import GroupingSet
+from repro.inventory.summary import SummaryConfig
+from repro.pipeline.features import fan_out, make_create, make_update, merge_summaries
+
+
+def _aggregate(records):
+    config = SummaryConfig()
+    create = make_create(config)
+    update = make_update(config)
+    groups: dict = {}
+    for record in records:
+        for key, value in fan_out(record):
+            if key in groups:
+                groups[key] = update(groups[key], value)
+            else:
+                groups[key] = create(value)
+    return groups
+
+
+def test_table2_grouping_sets(benchmark, bench_world, bench_inventory):
+    # Re-derive a slice of cell records to time the aggregation itself.
+    from repro.pipeline.geofence import PortIndex
+    from repro.pipeline import cleaning
+    from repro.pipeline.projection import project_trip
+    from repro.pipeline.trips import annotate_trips
+
+    static = bench_world.static_by_mmsi()
+    index = PortIndex(bench_world.ports)
+    by_vessel: dict = {}
+    for report in bench_world.positions[:60_000]:
+        by_vessel.setdefault(report.mmsi, []).append(report)
+    cell_records = []
+    for mmsi, track in by_vessel.items():
+        track = cleaning.feasibility_filter(cleaning.sort_and_dedupe(track))
+        enriched = cleaning.enrich_track(mmsi, track, static)
+        if not enriched:
+            continue
+        trips = annotate_trips(enriched, index)
+        current: list = []
+        for record in trips:
+            if current and record.trip_id != current[-1].trip_id:
+                cell_records.extend(project_trip(current, 6))
+                current = []
+            current.append(record)
+        cell_records.extend(project_trip(current, 6))
+
+    groups = benchmark.pedantic(
+        lambda: _aggregate(cell_records), rounds=3, iterations=1
+    )
+
+    lines = [
+        "Table 2: Grouping set (GS) — groups per group identifier",
+        f"{'Group identifier':<50} {'Groups':>8} {'Records':>9}",
+    ]
+    full_counts = {}
+    for grouping_set, label in [
+        (GroupingSet.CELL, "(H3-index)"),
+        (GroupingSet.CELL_TYPE, "(H3-index, vessel-type)"),
+        (GroupingSet.CELL_OD_TYPE,
+         "(H3-index, origin, destination, vessel-type)"),
+    ]:
+        count = bench_inventory.group_count(grouping_set)
+        records = sum(
+            summary.records for key, summary in bench_inventory.items()
+            if key.grouping_set is grouping_set
+        )
+        full_counts[grouping_set] = (count, records)
+        lines.append(f"{label:<50} {count:>8,} {records:>9,}")
+    write_report("table2_grouping_sets", lines)
+
+    cell_count, cell_records_total = full_counts[GroupingSet.CELL]
+    type_count, type_records = full_counts[GroupingSet.CELL_TYPE]
+    od_count, _ = full_counts[GroupingSet.CELL_OD_TYPE]
+    assert cell_count <= type_count <= od_count
+    # Refining by type re-buckets the same records.
+    assert type_records == cell_records_total
+    assert len(groups) > 0

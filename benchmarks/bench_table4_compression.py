@@ -1,0 +1,119 @@
+"""Table 4 — Coverage and compression.
+
+Paper (2.7 B records, a full year, 60 k vessels):
+    res 6:  7.30 M cells   compression 99.73 %   utilization 51.69 %
+    res 7: 42.47 M cells   compression 98.44 %   utilization 42.96 %
+
+Compression = 1 − cells/records, so it is a *density* statement: the paper
+averages ~370 records per res-6 cell.  A laptop-scale world cannot reach
+that absolute density, so this benchmark reproduces the two shapes that
+make Table 4 meaningful:
+
+  1. at any fixed dataset, the coarser resolution compresses more and the
+     finer one uses a smaller fraction of available cells ("gaps appear");
+  2. compression grows monotonically with data volume — the trajectory
+     that reaches 99.7 % at the paper's 2.7 B-record scale.
+
+The dedicated workload is reporting-dense (180 s cadence) so per-cell
+revisit counts are meaningful at 10⁵ records.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro import PipelineConfig, WorldConfig, build_inventory, generate_dataset
+from repro.hexgrid import cells_count, grid_disk
+
+
+@pytest.fixture(scope="module")
+def dense_world():
+    return generate_dataset(
+        WorldConfig(seed=44, n_vessels=22, days=24.0, report_interval_s=120.0)
+    )
+
+
+def _corridor_utilization(cells: set[int]) -> float:
+    corridor: set[int] = set()
+    for cell in cells:
+        corridor.update(grid_disk(cell, 1))
+    return len(cells) / len(corridor) if corridor else 0.0
+
+
+def test_table4_compression_and_coverage(benchmark, dense_world):
+    results = {}
+    for resolution in (6, 7):
+        results[resolution] = build_inventory(
+            dense_world.positions, dense_world.fleet, dense_world.ports,
+            PipelineConfig(resolution=resolution),
+        )
+
+    rows = []
+    for resolution in (6, 7):
+        result = results[resolution]
+        records = result.funnel["with_trip_semantics"]
+        cells = result.inventory.cells()
+        compression = 1.0 - len(cells) / records
+        global_util = len(cells) / cells_count(resolution)
+        corridor_util = _corridor_utilization(cells)
+        rows.append(
+            (resolution, len(cells), records, compression, global_util,
+             corridor_util)
+        )
+
+    def query_metrics():
+        cells = results[6].inventory.cells()
+        return len(cells), _corridor_utilization(cells)
+
+    benchmark(query_metrics)
+
+    # Scale sweep: compression grows with data volume (prefixes of the
+    # archive at 25/50/100 %).
+    sweep = []
+    positions = dense_world.positions
+    for share in (0.25, 0.5, 1.0):
+        subset = positions[: int(len(positions) * share)]
+        result = build_inventory(
+            subset, dense_world.fleet, dense_world.ports,
+            PipelineConfig(resolution=6),
+        )
+        records = result.funnel["with_trip_semantics"]
+        cells = result.funnel["inventory_cells"]
+        if records:
+            sweep.append((share, records, cells, 1.0 - cells / records))
+
+    lines = [
+        "Table 4: Coverage and compression "
+        "(paper: res6 99.73%/51.69%, res7 98.44%/42.96%)",
+        f"{'Res':>4} {'#Cells':>9} {'Records':>9} {'Compression':>12} "
+        f"{'GlobalUtil':>11} {'CorridorUtil':>13}",
+    ]
+    for resolution, n_cells, records, compression, glob, corr in rows:
+        lines.append(
+            f"{resolution:>4} {n_cells:>9,} {records:>9,} {compression:>11.2%} "
+            f"{glob:>10.4%} {corr:>12.2%}"
+        )
+    lines.append("")
+    lines.append("Compression vs data volume (res 6) — the paper's 99.7% is "
+                 "this curve's limit at 2.7B records:")
+    lines.append(f"{'Share':>7} {'Records':>9} {'Cells':>8} {'Compression':>12}")
+    for share, records, cells, compression in sweep:
+        lines.append(
+            f"{share:>6.0%} {records:>9,} {cells:>8,} {compression:>11.2%}"
+        )
+    res6, res7 = rows
+    lines.append("")
+    lines.append(
+        f"Shape checks: compression res6 {res6[3]:.2%} > res7 {res7[3]:.2%}; "
+        f"utilization drops with resolution (corridor {res6[5]:.1%} > "
+        f"{res7[5]:.1%}); compression monotone in volume."
+    )
+    write_report("table4_compression", lines)
+
+    assert res6[3] > res7[3] > 0.0           # coarser compresses more
+    assert res6[3] > 0.80                    # high compression at res 6
+    assert res6[1] < res7[1]                 # finer resolution → more cells
+    assert res6[5] > res7[5]                 # utilization drops with res
+    compressions = [compression for *_rest, compression in sweep]
+    assert compressions == sorted(compressions)  # grows with volume

@@ -1,0 +1,100 @@
+"""§4.1.3 use case — route forecasting over the transition graph.
+
+Paper: build the per-(origin, destination, type) cell graph from the
+transitions feature, run A*, forecast the route.
+
+Reproduced experiment: for routes with inventory history, forecast from
+the origin to the destination and compare the predicted cell sequence with
+the cells an actual vessel visited (precision against the route key's
+observed cell set, plus continuity of the forecast).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from benchmarks.conftest import write_report
+from repro.apps import RouteForecaster, TransitionGraph
+from repro.hexgrid import cell_to_latlng, grid_distance
+from repro.inventory.keys import GroupingSet
+from repro.world.routing import SeaRouter
+
+
+def _route_keys(inventory, minimum_cells=30):
+    routes = {}
+    for key, _summary in inventory.items():
+        if key.grouping_set is GroupingSet.CELL_OD_TYPE:
+            route = (key.origin, key.destination, key.vessel_type)
+            routes[route] = routes.get(route, 0) + 1
+    return [route for route, count in routes.items() if count >= minimum_cells]
+
+
+def test_usecase_route_forecast(benchmark, bench_inventory):
+    routes = _route_keys(bench_inventory)
+    assert routes, "no transition-rich routes in the benchmark inventory"
+    router = SeaRouter()
+    forecaster = RouteForecaster(bench_inventory)
+
+    def forecast_all():
+        outcomes = []
+        for origin, destination, vessel_type in routes[:12]:
+            observed = set(
+                bench_inventory.route_cells(origin, destination, vessel_type)
+            )
+            origin_pos = router.node_position(origin)
+            dest_pos = router.node_position(destination)
+            path = forecaster.forecast(
+                origin_pos[0], origin_pos[1], origin, destination,
+                vessel_type, dest_pos[0], dest_pos[1],
+            )
+            outcomes.append((origin, destination, observed, path))
+        return outcomes
+
+    outcomes = benchmark.pedantic(forecast_all, rounds=1, iterations=1)
+
+    precisions = []
+    continuities = []
+    lengths = []
+    forecast_count = 0
+    for origin, destination, observed, path in outcomes:
+        if path is None or len(path) < 2:
+            continue
+        forecast_count += 1
+        lengths.append(len(path))
+        precisions.append(
+            sum(1 for cell in path if cell in observed) / len(path)
+        )
+        gaps = [
+            grid_distance(a, b) for a, b in zip(path, path[1:])
+        ]
+        continuities.append(statistics.fmean(gaps))
+
+    lines = [
+        "Route forecasting: A* over per-route transition graphs",
+        f"routes with >=30 inventoried cells: {len(routes)}; "
+        f"forecasts produced: {forecast_count}",
+        f"mean forecast length: {statistics.fmean(lengths):.0f} cells",
+        f"mean precision vs observed route cells: "
+        f"{statistics.fmean(precisions):.1%}",
+        f"mean inter-step grid distance: {statistics.fmean(continuities):.2f} "
+        "(1.0 = perfectly contiguous neighbor steps)",
+        "",
+        "Shape checks: forecasts exist for most dense routes, stay on the "
+        "observed corridor, and advance in near-neighbor steps.",
+    ]
+    write_report("usecase_routing", lines)
+
+    assert forecast_count >= max(1, len(routes[:12]) // 2)
+    assert statistics.fmean(precisions) > 0.9
+    assert statistics.fmean(continuities) < 4.0
+
+
+def test_transition_graph_build_speed(benchmark, bench_inventory):
+    routes = _route_keys(bench_inventory, minimum_cells=10)
+    origin, destination, vessel_type = routes[0]
+    graph = benchmark(
+        lambda: TransitionGraph.from_inventory(
+            bench_inventory, origin, destination, vessel_type
+        )
+    )
+    assert graph.edge_count() > 0

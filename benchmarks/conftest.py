@@ -1,0 +1,68 @@
+"""Shared benchmark fixtures: one medium-scale world and its inventories.
+
+Benchmark scale note (applies to every table/figure): the paper processed
+2.7 B reports from 60 k vessels over a year on a 128-vcore Spark cluster;
+this harness runs the same pipeline on a synthetic world scaled to a
+laptop (~10⁵ reports, tens of vessels, weeks).  Absolute values therefore
+differ by construction; each benchmark reports the *shape* the paper
+claims (who wins, by what order, which direction the trend runs) and
+EXPERIMENTS.md records paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import PipelineConfig, WorldConfig, build_inventory, generate_dataset
+
+#: Where benchmark tables are written (versioned artefacts of a run).
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The shared benchmark scale.
+BENCH_CONFIG = WorldConfig(
+    seed=2022, n_vessels=48, days=24.0, report_interval_s=600.0
+)
+
+
+def write_report(name: str, lines: list[str]) -> None:
+    """Print a benchmark's paper-style table and persist it under
+    benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    print(f"\n{text}")
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def bench_world():
+    """The shared synthetic archive (~10⁵ reports)."""
+    return generate_dataset(BENCH_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def bench_result(bench_world):
+    """Pipeline result at the paper's primary resolution (6)."""
+    return build_inventory(
+        bench_world.positions,
+        bench_world.fleet,
+        bench_world.ports,
+        PipelineConfig(resolution=6),
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_inventory(bench_result):
+    return bench_result.inventory
+
+
+@pytest.fixture(scope="session")
+def bench_result_res7(bench_world):
+    """Pipeline result at the paper's secondary resolution (7)."""
+    return build_inventory(
+        bench_world.positions,
+        bench_world.fleet,
+        bench_world.ports,
+        PipelineConfig(resolution=7),
+    )

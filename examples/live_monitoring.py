@@ -1,0 +1,78 @@
+"""Live monitoring: streaming ingestion + online anomaly screening.
+
+The operational loop the paper's stakeholders run: a historical inventory
+provides the model of normalcy; a *streaming* builder keeps extending it
+as live AIS arrives; and every incoming report is screened against the
+normalcy model in real time.
+
+Usage::
+
+    python examples/live_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro import PipelineConfig, WorldConfig, build_inventory, generate_dataset
+from repro.apps import AnomalyDetector
+from repro.pipeline import StreamingInventoryBuilder
+
+
+def main() -> None:
+    print("bootstrapping the normalcy inventory from history ...")
+    history = generate_dataset(
+        WorldConfig(seed=71, n_vessels=24, days=16.0, report_interval_s=600.0)
+    )
+    config = PipelineConfig(resolution=6)
+    normalcy = build_inventory(
+        history.positions, history.fleet, history.ports, config
+    ).inventory
+    detector = AnomalyDetector(normalcy)
+    print(f"normalcy model: {len(normalcy):,} groups")
+
+    print("\nstreaming a live day of traffic ...")
+    live = generate_dataset(
+        WorldConfig(seed=72, n_vessels=24, days=12.0, report_interval_s=900.0)
+    )
+    builder = StreamingInventoryBuilder(live.fleet, live.ports, config)
+    static = live.static_by_mmsi()
+
+    flagged = 0
+    screened = 0
+    examples_shown = 0
+    for report in live.positions:
+        completed = builder.ingest(report)
+        if completed:
+            # A trip just completed: screen its track against normalcy.
+            for record in completed[:: max(1, len(completed) // 10)]:
+                screened += 1
+                score = detector.score(
+                    record.lat, record.lon, record.sog, record.cog,
+                    vessel_type=record.vessel_type,
+                )
+                if score.is_anomalous:
+                    flagged += 1
+                    if examples_shown < 3:
+                        examples_shown += 1
+                        vessel = static[record.mmsi]
+                        print(f"  ⚑ {vessel.name}: {score.reasons[0]}")
+
+    stats = builder.stats
+    print("\nstream statistics:")
+    print(f"  reports ingested:     {stats.ingested:,}")
+    print(f"  invalid fields:       {stats.invalid}")
+    print(f"  stale/duplicates:     {stats.stale_or_duplicate}")
+    print(f"  infeasible jumps:     {stats.infeasible}")
+    print(f"  trips completed:      {stats.trips_completed}")
+    print(f"  live inventory:       {len(builder.inventory):,} groups")
+    print(f"\nscreened {screened} completed-trip positions against "
+          f"normalcy: {flagged} flagged ({flagged/max(1, screened):.1%})")
+
+    print("\nmerging the live inventory into the normalcy model "
+          "(tomorrow's baseline) ...")
+    before = len(normalcy)
+    normalcy.merge(builder.inventory)
+    print(f"normalcy model grew {before:,} -> {len(normalcy):,} groups")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Quickstart: build a global inventory from synthetic AIS and query it.
+
+Runs the full Patterns-of-Life loop in under a minute:
+
+1. generate a synthetic maritime world (fleet + voyages + AIS reports,
+   with realistic data-quality defects);
+2. run the paper's pipeline (clean → trips → project → aggregate);
+3. query the resulting inventory and print an ASCII map of global speeds.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import PipelineConfig, WorldConfig, build_inventory, generate_dataset
+from repro.apps import ascii_map, raster_from_inventory
+from repro.geo.polygon import BoundingBox
+from repro.hexgrid import cell_to_latlng
+from repro.inventory.keys import GroupingSet
+
+
+def main() -> None:
+    print("1. generating a synthetic world (24 vessels, 14 days) ...")
+    data = generate_dataset(
+        WorldConfig(seed=7, n_vessels=24, days=14.0, report_interval_s=600.0)
+    )
+    print(f"   {len(data.positions):,} position reports, "
+          f"{len(data.voyages)} scheduled voyages, "
+          f"{data.defects.total()} injected data defects")
+
+    print("2. building the global inventory (resolution 6) ...")
+    result = build_inventory(
+        data.positions, data.fleet, data.ports, PipelineConfig(resolution=6)
+    )
+    for stage, count in result.funnel.items():
+        print(f"   {stage:<22} {count:>10,}")
+
+    inventory = result.inventory
+    print("3. querying the busiest cell ...")
+    key, summary = max(
+        ((k, s) for k, s in inventory.items()
+         if k.grouping_set is GroupingSet.CELL),
+        key=lambda pair: pair[1].records,
+    )
+    lat, lon = cell_to_latlng(key.cell)
+    p10, p50, p90 = summary.speed_percentiles()
+    print(f"   cell near ({lat:.2f}, {lon:.2f}): "
+          f"{summary.records} reports, "
+          f"{summary.ships.cardinality()} distinct ships")
+    print(f"   speed: mean {summary.mean_speed_kn():.1f} kn, "
+          f"p10/p50/p90 = {p10:.1f}/{p50:.1f}/{p90:.1f} kn")
+    print(f"   mean course: {summary.mean_course_deg():.0f}°; "
+          f"top destination: {summary.top_destination()}")
+
+    print("4. global mean-speed map (ASCII preview):")
+    raster = raster_from_inventory(
+        inventory, lambda s: s.mean_speed_kn(),
+        BoundingBox(-60.0, 70.0, -180.0, 180.0), width=300, height=120,
+    )
+    print(ascii_map(raster, max_width=100))
+
+
+if __name__ == "__main__":
+    main()

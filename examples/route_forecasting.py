@@ -1,0 +1,88 @@
+"""Route forecasting with transition graphs and A* (paper §4.1.3).
+
+Builds an inventory, picks a route with rich history, constructs the
+per-route cell transition graph online, and forecasts the remaining route
+of a vessel from mid-voyage — printing the predicted corridor as
+coordinates and as an ASCII sketch.
+
+Usage::
+
+    python examples/route_forecasting.py
+"""
+
+from __future__ import annotations
+
+from repro import PipelineConfig, WorldConfig, build_inventory, generate_dataset
+from repro.apps import RouteForecaster, TransitionGraph
+from repro.hexgrid import cell_to_latlng
+from repro.inventory.keys import GroupingSet
+from repro.world.ports import port_by_id
+from repro.world.routing import SeaRouter
+
+
+def main() -> None:
+    print("building the inventory ...")
+    data = generate_dataset(
+        WorldConfig(seed=21, n_vessels=30, days=20.0, report_interval_s=600.0)
+    )
+    inventory = build_inventory(
+        data.positions, data.fleet, data.ports, PipelineConfig(resolution=6)
+    ).inventory
+
+    # The densest route key in the inventory.
+    route_counts: dict = {}
+    for key, _ in inventory.items():
+        if key.grouping_set is GroupingSet.CELL_OD_TYPE:
+            route = (key.origin, key.destination, key.vessel_type)
+            route_counts[route] = route_counts.get(route, 0) + 1
+    origin, destination, vessel_type = max(route_counts, key=route_counts.get)
+    origin_port = port_by_id(origin)
+    destination_port = port_by_id(destination)
+    print(f"densest route: {origin_port.name} -> {destination_port.name} "
+          f"({vessel_type}), {route_counts[(origin, destination, vessel_type)]} "
+          "inventoried cells")
+
+    graph = TransitionGraph.from_inventory(
+        inventory, origin, destination, vessel_type
+    )
+    print(f"transition graph: {len(graph.nodes())} cells, "
+          f"{graph.edge_count()} directed transitions")
+
+    # Forecast from 30 % of the way along the real sea route.
+    router = SeaRouter()
+    track = router.route_positions(origin, destination)
+    midpoint = track[max(1, len(track) // 3)]
+    forecaster = RouteForecaster(inventory)
+    path = forecaster.forecast(
+        midpoint[0], midpoint[1], origin, destination, vessel_type,
+        destination_port.lat, destination_port.lon,
+    )
+    if path is None:
+        print("no forecast possible (sparse history)")
+        return
+    print(f"forecast from ({midpoint[0]:.1f}, {midpoint[1]:.1f}): "
+          f"{len(path)} cells to destination")
+    print("first/last forecast positions:")
+    for cell in path[:3]:
+        lat, lon = cell_to_latlng(cell)
+        print(f"   ({lat:8.3f}, {lon:8.3f})")
+    print("   ...")
+    for cell in path[-3:]:
+        lat, lon = cell_to_latlng(cell)
+        print(f"   ({lat:8.3f}, {lon:8.3f})")
+
+    # Compare against the most-frequent-next-cell walk (greedy follow).
+    greedy = [path[0]]
+    seen = {path[0]}
+    while len(greedy) < 3 * len(path):
+        next_cell = graph.most_frequent_next(greedy[-1])
+        if next_cell is None or next_cell in seen:
+            break
+        greedy.append(next_cell)
+        seen.add(next_cell)
+    print(f"greedy most-frequent-transition walk: {len(greedy)} cells "
+          f"(A* path: {len(path)})")
+
+
+if __name__ == "__main__":
+    main()

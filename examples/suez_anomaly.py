@@ -1,0 +1,103 @@
+"""Detecting the Suez blockage against a model of normalcy (paper §1/§2).
+
+March 2021: a grounded container vessel closes the canal and traffic
+reroutes around the Cape of Good Hope.  This example reproduces the
+detection story end to end:
+
+1. build a normalcy inventory from an undisrupted period;
+2. simulate a blockage window (voyages transiting during it divert via the
+   Cape — an emergent consequence of removing the canal edge from the
+   routing graph);
+3. score both populations with the anomaly detector.
+
+Usage::
+
+    python examples/suez_anomaly.py
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro import PipelineConfig, WorldConfig, build_inventory, generate_dataset
+from repro.apps import AnomalyDetector
+from repro.inventory.keys import GroupingSet
+from repro.world.routing import SeaRouter
+
+
+def main() -> None:
+    print("building the normalcy model (undisrupted traffic) ...")
+    normal = generate_dataset(
+        WorldConfig(seed=31, n_vessels=32, days=20.0, report_interval_s=600.0)
+    )
+    inventory = build_inventory(
+        normal.positions, normal.fleet, normal.ports,
+        PipelineConfig(resolution=6),
+    ).inventory
+    detector = AnomalyDetector(inventory)
+
+    router = SeaRouter()
+    blocked = SeaRouter(blocked_canals={"suez", "panama"})
+    routes = {}
+    for key, _ in inventory.items():
+        if key.grouping_set is GroupingSet.CELL_OD_TYPE:
+            route = (key.origin, key.destination, key.vessel_type)
+            routes[route] = routes.get(route, 0) + 1
+    suez_routes = [
+        route for route, count in routes.items()
+        if count >= 20 and router.uses_canal(route[0], route[1], "suez")
+    ]
+    if not suez_routes:
+        print("no dense Suez routes in this world; re-run with more vessels")
+        return
+    print(f"Suez-transiting routes with history: {len(suez_routes)}")
+
+    import random
+
+    from repro.world.simulator import TrackSimulator
+    from repro.world.voyages import VoyagePlan
+
+    rng = random.Random(31)
+
+    def dense_track(which_router, origin, destination):
+        simulator = TrackSimulator(which_router, report_interval_s=1800.0)
+        plan = VoyagePlan(
+            mmsi=999_000_003, origin=origin, destination=destination,
+            depart_ts=0.0, speed_kn=13.0,
+            route_nodes=tuple(which_router.route_nodes(origin, destination)),
+        )
+        return [
+            (r.lat, r.lon, r.sog, r.cog)
+            for r in simulator.voyage_track(plan, end_ts=1e12, rng=rng)
+        ]
+
+    normal_scores = []
+    diverted_scores = []
+    print(f"{'route':<22} {'normal':>8} {'diverted':>9}")
+    for origin, destination, vessel_type in suez_routes[:6]:
+        score_normal = detector.score_track(
+            dense_track(router, origin, destination),
+            vessel_type=vessel_type,
+            origin=origin, destination=destination,
+        )
+        score_diverted = detector.score_track(
+            dense_track(blocked, origin, destination),
+            vessel_type=vessel_type,
+            origin=origin, destination=destination,
+        )
+        normal_scores.append(score_normal)
+        diverted_scores.append(score_diverted)
+        print(f"{origin}->{destination:<14} {score_normal:>7.0%} "
+              f"{score_diverted:>8.0%}")
+
+    print()
+    print(f"mean off-lane fraction: normal   "
+          f"{statistics.fmean(normal_scores):.0%}")
+    print(f"mean off-lane fraction: diverted "
+          f"{statistics.fmean(diverted_scores):.0%}")
+    print("the diverted voyages light up exactly as the paper's "
+          "model-of-normalcy argument predicts")
+
+
+if __name__ == "__main__":
+    main()

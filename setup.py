@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Offline environments without the ``wheel`` package cannot build PEP 517
+editable installs; ``pip install -e . --no-build-isolation --no-use-pep517``
+uses this file instead.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""Patterns of Life: a global inventory of maritime mobility patterns.
+
+A faithful, self-contained reproduction of *"Patterns of Life: Global
+Inventory for maritime mobility patterns"* (Spiliopoulos et al., EDBT
+2024): a pipeline that compresses AIS vessel-tracking archives into a
+queryable inventory of per-hexagonal-cell statistical summaries, plus the
+use cases the paper builds on it (ETA estimation, destination prediction,
+route forecasting, anomaly detection).
+
+Quickstart::
+
+    from repro import generate_dataset, build_inventory, WorldConfig
+
+    data = generate_dataset(WorldConfig(n_vessels=30, days=14))
+    result = build_inventory(data.positions, data.fleet, data.ports)
+    summary = result.inventory.summary_at(51.9, 3.9)   # off Rotterdam
+    print(summary.mean_speed_kn(), summary.top_destination())
+
+Subsystems (each documented in its own subpackage):
+
+- :mod:`repro.geo` — geodesy and circular statistics
+- :mod:`repro.hexgrid` — hierarchical hexagonal global grid (H3 substitute)
+- :mod:`repro.ais` — AIS protocol: messages, NMEA codec, validation
+- :mod:`repro.sketches` — mergeable statistical summaries
+- :mod:`repro.engine` — mini map-reduce engine (Spark substitute)
+- :mod:`repro.world` — synthetic maritime world and AIS simulator
+- :mod:`repro.pipeline` — the paper's methodology
+- :mod:`repro.inventory` — the global inventory and its on-disk format
+- :mod:`repro.apps` — the use-case applications
+"""
+
+from repro.world import WorldConfig, generate_dataset
+from repro.pipeline import PipelineConfig, build_inventory
+from repro.inventory import Inventory, GroupKey, GroupingSet
+from repro.engine import Engine, EngineConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "WorldConfig",
+    "generate_dataset",
+    "PipelineConfig",
+    "build_inventory",
+    "Inventory",
+    "GroupKey",
+    "GroupingSet",
+    "Engine",
+    "EngineConfig",
+    "__version__",
+]

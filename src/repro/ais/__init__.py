@@ -1,0 +1,88 @@
+"""AIS protocol substrate: messages, wire codec and validation ranges.
+
+The paper's input is a year of archived AIS positional reports (ITU-R
+M.1371 message types 1–3 and 18) plus a static-report inventory used to
+attach a vessel type to every position.  This package implements the
+protocol layer a real ingestion system needs:
+
+- :mod:`repro.ais.messages` — typed message models (position reports,
+  class-B reports, static & voyage data) with protocol sentinel values.
+- :mod:`repro.ais.sixbit` — the 6-bit packing layer shared by all AIS
+  payloads: bit-level writer/reader, payload armoring, the 6-bit text
+  charset.
+- :mod:`repro.ais.nmea` — NMEA 0183 framing: ``!AIVDM`` sentences,
+  checksums, multi-fragment assembly.
+- :mod:`repro.ais.codec` — field layouts for message types 1/2/3, 5, 18
+  and 24; encode/decode between models and armored payloads.
+- :mod:`repro.ais.csvio` — a NOAA-AIS-style CSV codec for decoded reports
+  (the open-data format the reproduction substitutes for the proprietary
+  archive).
+- :mod:`repro.ais.validation` — the value-range checks of the paper's
+  cleaning stage (§3.3.1).
+- :mod:`repro.ais.vesseltypes` — AIS ship-type codes → market segments and
+  the commercial-fleet predicate.
+"""
+
+from repro.ais.messages import (
+    ClassBPositionReport,
+    NavigationStatus,
+    PositionReport,
+    StaticDataReportA,
+    StaticDataReportB,
+    StaticVoyageData,
+)
+from repro.ais.nmea import (
+    NmeaAssembler,
+    NmeaSentence,
+    checksum,
+    format_sentence,
+    parse_sentence,
+)
+from repro.ais.codec import decode_payload, encode_message, decode_sentences
+from repro.ais.csvio import read_csv, write_csv, CSV_COLUMNS
+from repro.ais.validation import (
+    is_valid_course,
+    is_valid_heading,
+    is_valid_latitude,
+    is_valid_longitude,
+    is_valid_mmsi,
+    is_valid_position_report,
+    is_valid_speed,
+    is_valid_status,
+)
+from repro.ais.vesseltypes import (
+    MarketSegment,
+    is_commercial_type,
+    segment_for_type,
+)
+
+__all__ = [
+    "PositionReport",
+    "ClassBPositionReport",
+    "StaticVoyageData",
+    "StaticDataReportA",
+    "StaticDataReportB",
+    "NavigationStatus",
+    "NmeaSentence",
+    "NmeaAssembler",
+    "checksum",
+    "format_sentence",
+    "parse_sentence",
+    "encode_message",
+    "decode_payload",
+    "decode_sentences",
+    "read_csv",
+    "write_csv",
+    "CSV_COLUMNS",
+    "MarketSegment",
+    "segment_for_type",
+    "is_commercial_type",
+    "is_valid_latitude",
+    "is_valid_longitude",
+    "is_valid_speed",
+    "is_valid_course",
+    "is_valid_heading",
+    "is_valid_status",
+    "is_valid_mmsi",
+    "is_valid_position_report",
+]

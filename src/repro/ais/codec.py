@@ -1,0 +1,346 @@
+"""Encode/decode AIS messages to and from armored payloads.
+
+Field layouts follow ITU-R M.1371: positions are 1/10000-minute integers,
+speeds are decknots, courses are decidegrees.  ``encode_message`` produces
+framed NMEA sentences (splitting type 5 across fragments);
+``decode_sentences`` is the streaming inverse used by the ingestion
+examples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.ais.messages import (
+    ClassBPositionReport,
+    PositionReport,
+    StaticDataReportA,
+    StaticDataReportB,
+    StaticVoyageData,
+)
+from repro.ais.nmea import NmeaAssembler, parse_sentence, split_payload
+from repro.ais.sixbit import BitReader, BitWriter, armor, unarmor
+
+AisMessage = (
+    PositionReport
+    | ClassBPositionReport
+    | StaticVoyageData
+    | StaticDataReportA
+    | StaticDataReportB
+)
+
+_LATLON_SCALE = 600_000.0  # 1/10000 arc-minute units
+
+
+def encode_message(
+    message: AisMessage, message_id: str = "1", channel: str = "A"
+) -> list[str]:
+    """Encode a message model into one or more framed NMEA sentences."""
+    if isinstance(message, PositionReport):
+        bits = _encode_position(message)
+    elif isinstance(message, ClassBPositionReport):
+        bits = _encode_class_b(message)
+    elif isinstance(message, StaticVoyageData):
+        bits = _encode_static_voyage(message)
+    elif isinstance(message, StaticDataReportA):
+        bits = _encode_static_a(message)
+    elif isinstance(message, StaticDataReportB):
+        bits = _encode_static_b(message)
+    else:
+        raise TypeError(f"cannot encode message of type {type(message).__name__}")
+    payload, fill = armor(bits)
+    return split_payload(payload, fill, message_id=message_id, channel=channel)
+
+
+def decode_payload(payload: str, fill_bits: int = 0, epoch_ts: float = 0.0):
+    """Decode an armored payload into a message model.
+
+    ``epoch_ts`` stamps position reports with a receive time (the payload
+    itself only carries the UTC second).  Unsupported message types raise
+    :class:`ValueError` — callers stream past them.
+    """
+    reader = BitReader(unarmor(payload, fill_bits))
+    msg_type = reader.read_uint(6)
+    if msg_type in (1, 2, 3):
+        return _decode_position(reader, msg_type, epoch_ts)
+    if msg_type == 5:
+        return _decode_static_voyage(reader)
+    if msg_type == 18:
+        return _decode_class_b(reader, epoch_ts)
+    if msg_type == 24:
+        return _decode_static_data(reader)
+    raise ValueError(f"unsupported AIS message type {msg_type}")
+
+
+def decode_sentences(
+    lines: Iterable[str], epoch_ts: float = 0.0
+) -> Iterator[AisMessage]:
+    """Stream-decode NMEA lines, assembling fragments and skipping lines
+    that fail framing, checksum or payload decoding (as a live receiver
+    pipeline does)."""
+    assembler = NmeaAssembler()
+    for line in lines:
+        try:
+            sentence = parse_sentence(line)
+        except ValueError:
+            continue
+        completed = assembler.push(sentence)
+        if completed is None:
+            continue
+        payload, fill = completed
+        try:
+            yield decode_payload(payload, fill, epoch_ts=epoch_ts)
+        except ValueError:
+            continue
+
+
+# -- position reports (types 1-3) -------------------------------------------
+
+
+def _encode_position(msg: PositionReport) -> list[int]:
+    writer = BitWriter()
+    writer.write_uint(msg.msg_type, 6)
+    writer.write_uint(msg.repeat, 2)
+    writer.write_uint(msg.mmsi, 30)
+    writer.write_uint(msg.status, 4)
+    writer.write_int(msg.rot, 8)
+    writer.write_uint(min(1023, round(msg.sog * 10.0)), 10)
+    writer.write_bool(msg.accuracy)
+    writer.write_int(round(msg.lon * _LATLON_SCALE), 28)
+    writer.write_int(round(msg.lat * _LATLON_SCALE), 27)
+    writer.write_uint(min(4095, round(msg.cog * 10.0)), 12)
+    writer.write_uint(msg.heading, 9)
+    writer.write_uint(msg.utc_second, 6)
+    writer.write_uint(msg.maneuver, 2)
+    writer.write_uint(0, 3)  # spare
+    writer.write_bool(msg.raim)
+    writer.write_uint(msg.radio, 19)
+    return writer.to_bits()
+
+
+def _decode_position(
+    reader: BitReader, msg_type: int, epoch_ts: float
+) -> PositionReport:
+    repeat = reader.read_uint(2)
+    mmsi = reader.read_uint(30)
+    status = reader.read_uint(4)
+    rot = reader.read_int(8)
+    sog = reader.read_uint(10) / 10.0
+    accuracy = reader.read_bool()
+    lon = reader.read_int(28) / _LATLON_SCALE
+    lat = reader.read_int(27) / _LATLON_SCALE
+    cog = reader.read_uint(12) / 10.0
+    heading = reader.read_uint(9)
+    reader.read_uint(6)  # utc second — superseded by epoch_ts
+    maneuver = reader.read_uint(2)
+    reader.read_uint(3)  # spare
+    raim = reader.read_bool()
+    radio = reader.read_uint(19)
+    return PositionReport(
+        mmsi=mmsi,
+        epoch_ts=epoch_ts,
+        lat=lat,
+        lon=lon,
+        sog=sog,
+        cog=cog,
+        heading=heading,
+        status=status,
+        rot=rot,
+        msg_type=msg_type,
+        repeat=repeat,
+        accuracy=accuracy,
+        maneuver=maneuver,
+        raim=raim,
+        radio=radio,
+    )
+
+
+# -- class B position (type 18) ----------------------------------------------
+
+
+def _encode_class_b(msg: ClassBPositionReport) -> list[int]:
+    writer = BitWriter()
+    writer.write_uint(18, 6)
+    writer.write_uint(msg.repeat, 2)
+    writer.write_uint(msg.mmsi, 30)
+    writer.write_uint(0, 8)  # reserved
+    writer.write_uint(min(1023, round(msg.sog * 10.0)), 10)
+    writer.write_bool(msg.accuracy)
+    writer.write_int(round(msg.lon * _LATLON_SCALE), 28)
+    writer.write_int(round(msg.lat * _LATLON_SCALE), 27)
+    writer.write_uint(min(4095, round(msg.cog * 10.0)), 12)
+    writer.write_uint(msg.heading, 9)
+    writer.write_uint(int(msg.epoch_ts) % 60, 6)
+    writer.write_uint(0, 2)  # reserved
+    writer.write_bool(True)  # carrier-sense unit
+    writer.write_bool(False)  # no display
+    writer.write_bool(False)  # no DSC
+    writer.write_bool(True)  # whole-band
+    writer.write_bool(False)  # no message 22 handling
+    writer.write_bool(False)  # autonomous mode
+    writer.write_bool(msg.raim)
+    writer.write_uint(msg.radio, 20)
+    return writer.to_bits()
+
+
+def _decode_class_b(reader: BitReader, epoch_ts: float) -> ClassBPositionReport:
+    repeat = reader.read_uint(2)
+    mmsi = reader.read_uint(30)
+    reader.read_uint(8)  # reserved
+    sog = reader.read_uint(10) / 10.0
+    accuracy = reader.read_bool()
+    lon = reader.read_int(28) / _LATLON_SCALE
+    lat = reader.read_int(27) / _LATLON_SCALE
+    cog = reader.read_uint(12) / 10.0
+    heading = reader.read_uint(9)
+    reader.read_uint(6)  # utc second
+    reader.read_uint(2)  # reserved
+    for _ in range(6):  # cs/display/dsc/band/msg22/assigned flags
+        reader.read_bool()
+    raim = reader.read_bool()
+    radio = reader.read_uint(20)
+    return ClassBPositionReport(
+        mmsi=mmsi,
+        epoch_ts=epoch_ts,
+        lat=lat,
+        lon=lon,
+        sog=sog,
+        cog=cog,
+        heading=heading,
+        repeat=repeat,
+        accuracy=accuracy,
+        raim=raim,
+        radio=radio,
+    )
+
+
+# -- static & voyage data (type 5) -------------------------------------------
+
+
+def _encode_static_voyage(msg: StaticVoyageData) -> list[int]:
+    writer = BitWriter()
+    writer.write_uint(5, 6)
+    writer.write_uint(msg.repeat, 2)
+    writer.write_uint(msg.mmsi, 30)
+    writer.write_uint(msg.ais_version, 2)
+    writer.write_uint(msg.imo, 30)
+    writer.write_string(msg.callsign, 42)
+    writer.write_string(msg.shipname, 120)
+    writer.write_uint(msg.ship_type, 8)
+    writer.write_uint(msg.dim_bow, 9)
+    writer.write_uint(msg.dim_stern, 9)
+    writer.write_uint(msg.dim_port, 6)
+    writer.write_uint(msg.dim_starboard, 6)
+    writer.write_uint(msg.epfd, 4)
+    writer.write_uint(msg.eta_month, 4)
+    writer.write_uint(msg.eta_day, 5)
+    writer.write_uint(msg.eta_hour, 5)
+    writer.write_uint(msg.eta_minute, 6)
+    writer.write_uint(min(255, round(msg.draught * 10.0)), 8)
+    writer.write_string(msg.destination, 120)
+    writer.write_bool(msg.dte)
+    writer.write_uint(0, 1)  # spare
+    return writer.to_bits()
+
+
+def _decode_static_voyage(reader: BitReader) -> StaticVoyageData:
+    repeat = reader.read_uint(2)
+    mmsi = reader.read_uint(30)
+    ais_version = reader.read_uint(2)
+    imo = reader.read_uint(30)
+    callsign = reader.read_string(42)
+    shipname = reader.read_string(120)
+    ship_type = reader.read_uint(8)
+    dim_bow = reader.read_uint(9)
+    dim_stern = reader.read_uint(9)
+    dim_port = reader.read_uint(6)
+    dim_starboard = reader.read_uint(6)
+    epfd = reader.read_uint(4)
+    eta_month = reader.read_uint(4)
+    eta_day = reader.read_uint(5)
+    eta_hour = reader.read_uint(5)
+    eta_minute = reader.read_uint(6)
+    draught = reader.read_uint(8) / 10.0
+    destination = reader.read_string(120)
+    dte = reader.read_bool()
+    return StaticVoyageData(
+        mmsi=mmsi,
+        imo=imo,
+        callsign=callsign,
+        shipname=shipname,
+        ship_type=ship_type,
+        dim_bow=dim_bow,
+        dim_stern=dim_stern,
+        dim_port=dim_port,
+        dim_starboard=dim_starboard,
+        eta_month=eta_month,
+        eta_day=eta_day,
+        eta_hour=eta_hour,
+        eta_minute=eta_minute,
+        draught=draught,
+        destination=destination,
+        repeat=repeat,
+        ais_version=ais_version,
+        epfd=epfd,
+        dte=dte,
+    )
+
+
+# -- static data report (type 24) --------------------------------------------
+
+
+def _encode_static_a(msg: StaticDataReportA) -> list[int]:
+    writer = BitWriter()
+    writer.write_uint(24, 6)
+    writer.write_uint(msg.repeat, 2)
+    writer.write_uint(msg.mmsi, 30)
+    writer.write_uint(0, 2)  # part number A
+    writer.write_string(msg.shipname, 120)
+    writer.write_uint(0, 8)  # spare
+    return writer.to_bits()
+
+
+def _encode_static_b(msg: StaticDataReportB) -> list[int]:
+    writer = BitWriter()
+    writer.write_uint(24, 6)
+    writer.write_uint(msg.repeat, 2)
+    writer.write_uint(msg.mmsi, 30)
+    writer.write_uint(1, 2)  # part number B
+    writer.write_uint(msg.ship_type, 8)
+    writer.write_string(msg.vendor_id, 42)
+    writer.write_string(msg.callsign, 42)
+    writer.write_uint(msg.dim_bow, 9)
+    writer.write_uint(msg.dim_stern, 9)
+    writer.write_uint(msg.dim_port, 6)
+    writer.write_uint(msg.dim_starboard, 6)
+    writer.write_uint(0, 6)  # spare
+    return writer.to_bits()
+
+
+def _decode_static_data(reader: BitReader):
+    repeat = reader.read_uint(2)
+    mmsi = reader.read_uint(30)
+    part = reader.read_uint(2)
+    if part == 0:
+        shipname = reader.read_string(120)
+        return StaticDataReportA(mmsi=mmsi, shipname=shipname, repeat=repeat)
+    if part == 1:
+        ship_type = reader.read_uint(8)
+        vendor_id = reader.read_string(42)
+        callsign = reader.read_string(42)
+        dim_bow = reader.read_uint(9)
+        dim_stern = reader.read_uint(9)
+        dim_port = reader.read_uint(6)
+        dim_starboard = reader.read_uint(6)
+        return StaticDataReportB(
+            mmsi=mmsi,
+            ship_type=ship_type,
+            vendor_id=vendor_id,
+            callsign=callsign,
+            dim_bow=dim_bow,
+            dim_stern=dim_stern,
+            dim_port=dim_port,
+            dim_starboard=dim_starboard,
+            repeat=repeat,
+        )
+    raise ValueError(f"invalid type-24 part number {part}")

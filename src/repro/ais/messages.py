@@ -1,0 +1,161 @@
+"""Typed AIS message models.
+
+Field names and sentinel ("not available") values follow ITU-R M.1371.
+Positions carry an ``epoch_ts`` receive timestamp — AIS itself transmits
+only the UTC second (0–59); tracking systems stamp arrival time at the
+receiver, and that stamped time is what the pipeline sorts and windows by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+
+class NavigationStatus(IntEnum):
+    """Navigation status codes of position report bits 38–41."""
+
+    UNDER_WAY_ENGINE = 0
+    AT_ANCHOR = 1
+    NOT_UNDER_COMMAND = 2
+    RESTRICTED_MANEUVERABILITY = 3
+    CONSTRAINED_BY_DRAUGHT = 4
+    MOORED = 5
+    AGROUND = 6
+    FISHING = 7
+    UNDER_WAY_SAILING = 8
+    RESERVED_9 = 9
+    RESERVED_10 = 10
+    POWER_DRIVEN_TOWING_ASTERN = 11
+    POWER_DRIVEN_PUSHING_AHEAD = 12
+    RESERVED_13 = 13
+    AIS_SART = 14
+    NOT_DEFINED = 15
+
+
+#: Sentinel values the protocol uses for "not available".
+LON_NOT_AVAILABLE = 181.0
+LAT_NOT_AVAILABLE = 91.0
+SOG_NOT_AVAILABLE = 102.3
+COG_NOT_AVAILABLE = 360.0
+HEADING_NOT_AVAILABLE = 511
+ROT_NOT_AVAILABLE = -128
+
+
+@dataclass(slots=True)
+class PositionReport:
+    """A class-A position report (message types 1, 2 or 3)."""
+
+    mmsi: int
+    epoch_ts: float
+    lat: float
+    lon: float
+    sog: float
+    cog: float
+    heading: int = HEADING_NOT_AVAILABLE
+    status: int = int(NavigationStatus.UNDER_WAY_ENGINE)
+    rot: int = ROT_NOT_AVAILABLE
+    msg_type: int = 1
+    repeat: int = 0
+    accuracy: bool = False
+    maneuver: int = 0
+    raim: bool = False
+    radio: int = 0
+
+    def __post_init__(self) -> None:
+        if self.msg_type not in (1, 2, 3):
+            raise ValueError(
+                f"position report message type must be 1-3, got {self.msg_type}"
+            )
+
+    @property
+    def utc_second(self) -> int:
+        """The 0–59 UTC second field derived from the receive timestamp."""
+        return int(self.epoch_ts) % 60
+
+
+@dataclass(slots=True)
+class ClassBPositionReport:
+    """A class-B position report (message type 18) — small craft; the paper
+    filters these out of the commercial-fleet analysis."""
+
+    mmsi: int
+    epoch_ts: float
+    lat: float
+    lon: float
+    sog: float
+    cog: float
+    heading: int = HEADING_NOT_AVAILABLE
+    repeat: int = 0
+    accuracy: bool = False
+    raim: bool = False
+    radio: int = 0
+
+    msg_type: int = field(default=18, init=False)
+
+
+@dataclass(slots=True)
+class StaticVoyageData:
+    """Static and voyage-related data (message type 5, class A)."""
+
+    mmsi: int
+    imo: int
+    callsign: str
+    shipname: str
+    ship_type: int
+    dim_bow: int = 0
+    dim_stern: int = 0
+    dim_port: int = 0
+    dim_starboard: int = 0
+    eta_month: int = 0
+    eta_day: int = 0
+    eta_hour: int = 24
+    eta_minute: int = 60
+    draught: float = 0.0
+    destination: str = ""
+    repeat: int = 0
+    ais_version: int = 2
+    epfd: int = 1
+    dte: bool = False
+
+    msg_type: int = field(default=5, init=False)
+
+    @property
+    def length_m(self) -> int:
+        """Overall length derived from the bow/stern dimensions."""
+        return self.dim_bow + self.dim_stern
+
+    @property
+    def beam_m(self) -> int:
+        """Beam derived from the port/starboard dimensions."""
+        return self.dim_port + self.dim_starboard
+
+
+@dataclass(slots=True)
+class StaticDataReportA:
+    """Static data report part A (message type 24, class B): name only."""
+
+    mmsi: int
+    shipname: str
+    repeat: int = 0
+
+    msg_type: int = field(default=24, init=False)
+    part_number: int = field(default=0, init=False)
+
+
+@dataclass(slots=True)
+class StaticDataReportB:
+    """Static data report part B (message type 24, class B)."""
+
+    mmsi: int
+    ship_type: int
+    vendor_id: str = ""
+    callsign: str = ""
+    dim_bow: int = 0
+    dim_stern: int = 0
+    dim_port: int = 0
+    dim_starboard: int = 0
+    repeat: int = 0
+
+    msg_type: int = field(default=24, init=False)
+    part_number: int = field(default=1, init=False)

@@ -1,0 +1,147 @@
+"""NMEA 0183 framing for AIS: ``!AIVDM`` sentences.
+
+An AIS receiver emits lines like::
+
+    !AIVDM,1,1,,A,15MgK45P3@G?fl0E`JbR0OwT0@MS,0*4E
+
+with fields: fragment count, fragment number, sequential message id (for
+multi-fragment messages), radio channel, armored payload, fill bits, and an
+XOR checksum.  Payloads longer than a sentence (message type 5) are split
+across fragments; :class:`NmeaAssembler` reassembles them in stream order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Maximum armored payload characters per sentence (NMEA's 82-char line
+#: budget leaves room for 60 payload characters in an AIVDM sentence).
+MAX_PAYLOAD_CHARS = 60
+
+
+@dataclass(frozen=True, slots=True)
+class NmeaSentence:
+    """One parsed ``!AIVDM``/``!AIVDO`` sentence."""
+
+    talker: str
+    fragment_count: int
+    fragment_number: int
+    message_id: str
+    channel: str
+    payload: str
+    fill_bits: int
+
+
+def checksum(body: str) -> int:
+    """XOR checksum over the characters between '!' and '*'."""
+    value = 0
+    for char in body:
+        value ^= ord(char)
+    return value
+
+
+def format_sentence(
+    payload: str,
+    fill_bits: int,
+    fragment_count: int = 1,
+    fragment_number: int = 1,
+    message_id: str = "",
+    channel: str = "A",
+    talker: str = "AIVDM",
+) -> str:
+    """Render one framed sentence with its checksum."""
+    body = (
+        f"{talker},{fragment_count},{fragment_number},{message_id},"
+        f"{channel},{payload},{fill_bits}"
+    )
+    return f"!{body}*{checksum(body):02X}"
+
+
+def split_payload(
+    payload: str, fill_bits: int, message_id: str, channel: str = "A"
+) -> list[str]:
+    """Frame an armored payload, splitting across sentences when needed."""
+    chunks = [
+        payload[i : i + MAX_PAYLOAD_CHARS]
+        for i in range(0, len(payload), MAX_PAYLOAD_CHARS)
+    ] or [""]
+    total = len(chunks)
+    sentences = []
+    for number, chunk in enumerate(chunks, start=1):
+        sentences.append(
+            format_sentence(
+                chunk,
+                fill_bits if number == total else 0,
+                fragment_count=total,
+                fragment_number=number,
+                message_id=message_id if total > 1 else "",
+                channel=channel,
+            )
+        )
+    return sentences
+
+
+def parse_sentence(line: str) -> NmeaSentence:
+    """Parse and checksum-verify one sentence line.
+
+    Raises :class:`ValueError` on malformed framing or checksum mismatch.
+    """
+    line = line.strip()
+    if not line.startswith("!"):
+        raise ValueError(f"not an NMEA sentence: {line!r}")
+    try:
+        body, declared = line[1:].rsplit("*", 1)
+    except ValueError as exc:
+        raise ValueError(f"missing checksum in sentence: {line!r}") from exc
+    if int(declared, 16) != checksum(body):
+        raise ValueError(f"checksum mismatch in sentence: {line!r}")
+    fields = body.split(",")
+    if len(fields) != 7:
+        raise ValueError(f"expected 7 fields, got {len(fields)}: {line!r}")
+    talker, frag_count, frag_num, msg_id, channel, payload, fill = fields
+    if talker not in ("AIVDM", "AIVDO"):
+        raise ValueError(f"unsupported talker {talker!r}")
+    return NmeaSentence(
+        talker=talker,
+        fragment_count=int(frag_count),
+        fragment_number=int(frag_num),
+        message_id=msg_id,
+        channel=channel,
+        payload=payload,
+        fill_bits=int(fill),
+    )
+
+
+class NmeaAssembler:
+    """Reassembles multi-fragment messages from a sentence stream.
+
+    Feed sentences in arrival order with :meth:`push`; each call returns a
+    completed ``(payload, fill_bits)`` pair or ``None`` while fragments are
+    pending.  Incomplete groups are evicted when a conflicting group id
+    arrives (mirroring receiver behaviour on channel collisions).
+    """
+
+    def __init__(self) -> None:
+        self._pending: dict[tuple[str, str], dict[int, NmeaSentence]] = {}
+
+    def push(self, sentence: NmeaSentence) -> tuple[str, int] | None:
+        """Add one sentence; return the completed payload when whole."""
+        if sentence.fragment_count == 1:
+            return sentence.payload, sentence.fill_bits
+        key = (sentence.message_id, sentence.channel)
+        group = self._pending.setdefault(key, {})
+        if sentence.fragment_number in group:
+            # A new message reused the id before the old one completed.
+            group.clear()
+        group[sentence.fragment_number] = sentence
+        if len(group) < sentence.fragment_count:
+            return None
+        del self._pending[key]
+        ordered = [group[i] for i in sorted(group)]
+        payload = "".join(s.payload for s in ordered)
+        return payload, ordered[-1].fill_bits
+
+    @property
+    def pending_groups(self) -> int:
+        """Number of fragment groups still awaiting completion."""
+        return len(self._pending)

@@ -1,0 +1,156 @@
+"""The 6-bit layer beneath every AIS payload.
+
+AIS messages are bit streams; NMEA transports them as "armored" ASCII where
+each character carries six bits.  This module provides:
+
+- :class:`BitWriter` / :class:`BitReader` — big-endian bit-level packing
+  with signed/unsigned integers and 6-bit-charset strings;
+- :func:`armor` / :func:`unarmor` — payload ↔ ASCII conversion, including
+  the fill-bit bookkeeping NMEA sentences carry in their last field.
+"""
+
+from __future__ import annotations
+
+#: The AIS 6-bit text charset, indexed by 6-bit value (ITU-R M.1371 table 47).
+SIXBIT_CHARSET = (
+    "@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_ !\"#$%&'()*+,-./0123456789:;<=>?"
+)
+
+_CHAR_TO_SIXBIT = {char: i for i, char in enumerate(SIXBIT_CHARSET)}
+
+
+class BitWriter:
+    """Accumulates an AIS payload bit by bit (big-endian within fields)."""
+
+    def __init__(self) -> None:
+        self._bits: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def write_uint(self, value: int, width: int) -> None:
+        """Append an unsigned integer in ``width`` bits."""
+        if value < 0 or value >= (1 << width):
+            raise ValueError(f"value {value} does not fit in {width} unsigned bits")
+        for shift in range(width - 1, -1, -1):
+            self._bits.append((value >> shift) & 1)
+
+    def write_int(self, value: int, width: int) -> None:
+        """Append a two's-complement signed integer in ``width`` bits."""
+        lo = -(1 << (width - 1))
+        hi = (1 << (width - 1)) - 1
+        if not lo <= value <= hi:
+            raise ValueError(f"value {value} does not fit in {width} signed bits")
+        self.write_uint(value & ((1 << width) - 1), width)
+
+    def write_bool(self, value: bool) -> None:
+        """Append a single flag bit."""
+        self._bits.append(1 if value else 0)
+
+    def write_string(self, text: str, width: int) -> None:
+        """Append a 6-bit-charset string padded with '@' to ``width`` bits.
+
+        ``width`` must be a multiple of six.  Characters outside the AIS
+        charset raise :class:`ValueError`; lowercase letters are upcased
+        first, as real transponders do.
+        """
+        if width % 6 != 0:
+            raise ValueError(f"string width must be a multiple of 6, got {width}")
+        slots = width // 6
+        text = text.upper()[:slots]
+        for char in text:
+            code = _CHAR_TO_SIXBIT.get(char)
+            if code is None:
+                raise ValueError(f"character {char!r} not in the AIS 6-bit charset")
+            self.write_uint(code, 6)
+        for _ in range(slots - len(text)):
+            self.write_uint(0, 6)  # '@' padding
+
+    def to_bits(self) -> list[int]:
+        """The accumulated bits (a copy)."""
+        return list(self._bits)
+
+
+class BitReader:
+    """Sequential reader over a payload's bits."""
+
+    def __init__(self, bits: list[int]) -> None:
+        self._bits = bits
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        """Bits left to read."""
+        return len(self._bits) - self._pos
+
+    def read_uint(self, width: int) -> int:
+        """Read an unsigned integer of ``width`` bits."""
+        if width > self.remaining:
+            raise ValueError(
+                f"payload truncated: wanted {width} bits, {self.remaining} left"
+            )
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self._bits[self._pos]
+            self._pos += 1
+        return value
+
+    def read_int(self, width: int) -> int:
+        """Read a two's-complement signed integer of ``width`` bits."""
+        raw = self.read_uint(width)
+        if raw & (1 << (width - 1)):
+            raw -= 1 << width
+        return raw
+
+    def read_bool(self) -> bool:
+        """Read a single flag bit."""
+        return self.read_uint(1) == 1
+
+    def read_string(self, width: int) -> str:
+        """Read a 6-bit-charset string, stripping '@' padding and trailing
+        spaces."""
+        if width % 6 != 0:
+            raise ValueError(f"string width must be a multiple of 6, got {width}")
+        chars = []
+        for _ in range(width // 6):
+            chars.append(SIXBIT_CHARSET[self.read_uint(6)])
+        text = "".join(chars)
+        return text.split("@", 1)[0].rstrip()
+
+
+def armor(bits: list[int]) -> tuple[str, int]:
+    """Convert payload bits to the NMEA armored string.
+
+    Returns ``(payload, fill_bits)``: the payload is padded with zero bits
+    to a multiple of six, and ``fill_bits`` says how many were added (the
+    count transmitted in the sentence's last field).
+    """
+    fill = (-len(bits)) % 6
+    padded = bits + [0] * fill
+    chars = []
+    for i in range(0, len(padded), 6):
+        value = 0
+        for bit in padded[i : i + 6]:
+            value = (value << 1) | bit
+        chars.append(chr(value + 48) if value < 40 else chr(value + 56))
+    return "".join(chars), fill
+
+
+def unarmor(payload: str, fill_bits: int = 0) -> list[int]:
+    """Convert an armored payload string back to bits, dropping fill bits."""
+    if not 0 <= fill_bits <= 5:
+        raise ValueError(f"fill bits must be in [0, 5], got {fill_bits}")
+    bits: list[int] = []
+    for char in payload:
+        code = ord(char) - 48
+        if code > 40:
+            code -= 8
+        if not 0 <= code <= 63:
+            raise ValueError(f"invalid armored character {char!r}")
+        for shift in range(5, -1, -1):
+            bits.append((code >> shift) & 1)
+    if fill_bits:
+        if fill_bits > len(bits):
+            raise ValueError("fill bits exceed payload length")
+        bits = bits[:-fill_bits]
+    return bits

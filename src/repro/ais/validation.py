@@ -1,0 +1,82 @@
+"""Protocol range validation (the paper's cleaning predicates, §3.3.1).
+
+"Values of longitude, latitude, speed, course, heading or status that do
+not comply with its expected value range are filtered out."  These
+predicates treat the protocol's explicit "not available" sentinels as
+invalid too — a report without a usable position or speed contributes
+nothing to the inventory.
+"""
+
+from __future__ import annotations
+
+from repro.ais.messages import (
+    COG_NOT_AVAILABLE,
+    HEADING_NOT_AVAILABLE,
+    LAT_NOT_AVAILABLE,
+    LON_NOT_AVAILABLE,
+    SOG_NOT_AVAILABLE,
+    PositionReport,
+)
+
+#: Maximum plausible speed over ground in knots for value-range validation.
+#: (Distinct from the 50-knot *transition feasibility* threshold, which
+#: applies to the implied speed between consecutive reports.)
+MAX_VALID_SOG = 102.2
+
+
+def is_valid_latitude(lat: float) -> bool:
+    """In [-90, 90] and not the 91.0 sentinel."""
+    return -90.0 <= lat <= 90.0 and lat != LAT_NOT_AVAILABLE
+
+
+def is_valid_longitude(lon: float) -> bool:
+    """In [-180, 180] and not the 181.0 sentinel."""
+    return -180.0 <= lon <= 180.0 and lon != LON_NOT_AVAILABLE
+
+
+def is_valid_speed(sog: float) -> bool:
+    """In [0, 102.2] knots; 102.3 is the protocol's 'not available'."""
+    return 0.0 <= sog <= MAX_VALID_SOG and sog != SOG_NOT_AVAILABLE
+
+
+def is_valid_course(cog: float) -> bool:
+    """In [0, 360); 360.0 is the protocol's 'not available'."""
+    return 0.0 <= cog < COG_NOT_AVAILABLE
+
+
+def is_valid_heading(heading: int) -> bool:
+    """In [0, 359]; 511 is the protocol's 'not available'.
+
+    Heading-unavailable is tolerated by :func:`is_valid_position_report`
+    (many class-A installations have no gyro feed); this predicate is for
+    callers that specifically need a usable heading.
+    """
+    return 0 <= heading < 360 and heading != HEADING_NOT_AVAILABLE
+
+
+def is_valid_status(status: int) -> bool:
+    """A defined navigation-status code (0–15)."""
+    return 0 <= status <= 15
+
+
+def is_valid_mmsi(mmsi: int) -> bool:
+    """A nine-digit Maritime Mobile Service Identity."""
+    return 100_000_000 <= mmsi <= 999_999_999
+
+
+def is_valid_position_report(report: PositionReport) -> bool:
+    """The conjunction the cleaning stage applies to every record.
+
+    Heading may be 'not available' (511) — the feature extractor simply
+    skips heading statistics for such records — but position, speed,
+    course, status and MMSI must all be in range.
+    """
+    return (
+        is_valid_mmsi(report.mmsi)
+        and is_valid_latitude(report.lat)
+        and is_valid_longitude(report.lon)
+        and is_valid_speed(report.sog)
+        and is_valid_course(report.cog)
+        and (is_valid_heading(report.heading) or report.heading == HEADING_NOT_AVAILABLE)
+        and is_valid_status(report.status)
+    )

@@ -1,0 +1,77 @@
+"""AIS ship-type codes → market segments.
+
+The paper breaks statistics down "per market segment each vessel belongs
+to" and filters the dataset to the commercial fleet (cargo/tanker/
+passenger vessels over 5000 GRT with class-A transceivers).  AIS encodes
+the ship type as a two-digit code in message types 5 and 24B; the first
+digit carries the category.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class MarketSegment(str, Enum):
+    """Coarse market segments used as the vessel-type grouping key."""
+
+    CARGO = "cargo"
+    CONTAINER = "container"
+    TANKER = "tanker"
+    PASSENGER = "passenger"
+    FISHING = "fishing"
+    TUG = "tug"
+    PLEASURE = "pleasure"
+    HIGH_SPEED = "high_speed"
+    OTHER = "other"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Segments the paper's commercial-fleet filter keeps.
+COMMERCIAL_SEGMENTS = frozenset(
+    {
+        MarketSegment.CARGO,
+        MarketSegment.CONTAINER,
+        MarketSegment.TANKER,
+        MarketSegment.PASSENGER,
+    }
+)
+
+#: AIS type codes conventionally used for container ships by fleet
+#: databases (AIS itself has no container code; 71/72 "cargo hazardous A/B"
+#: are commonly re-labelled from registry data — we follow that practice so
+#: the container segment exists as its own market).
+_CONTAINER_CODES = frozenset({71, 72})
+
+
+def segment_for_type(ship_type: int | None) -> MarketSegment:
+    """Map an AIS ship-type code (0–99) to a market segment.
+
+    Unknown, missing or reserved codes map to ``OTHER``.
+    """
+    if ship_type is None or not 0 <= ship_type <= 99:
+        return MarketSegment.OTHER
+    if ship_type in _CONTAINER_CODES:
+        return MarketSegment.CONTAINER
+    decade = ship_type // 10
+    if decade == 3:
+        return MarketSegment.FISHING if ship_type == 30 else MarketSegment.PLEASURE
+    if decade == 4:
+        return MarketSegment.HIGH_SPEED
+    if ship_type in (52, 31, 32):
+        return MarketSegment.TUG
+    if decade == 6:
+        return MarketSegment.PASSENGER
+    if decade == 7:
+        return MarketSegment.CARGO
+    if decade == 8:
+        return MarketSegment.TANKER
+    return MarketSegment.OTHER
+
+
+def is_commercial_type(ship_type: int | None) -> bool:
+    """Whether a ship-type code belongs to the commercial fleet the paper
+    analyses."""
+    return segment_for_type(ship_type) in COMMERCIAL_SEGMENTS

@@ -1,0 +1,45 @@
+"""Use-case applications over the global inventory (§4.1).
+
+- :mod:`repro.apps.render` — pictorial knowledge extraction: the per-cell
+  feature rasters behind Figures 1, 4, 5 and 6 (PPM/PGM/ASCII output).
+- :mod:`repro.apps.eta` — estimated time of arrival from the historical
+  ATA statistics (§4.1.2), with a great-circle baseline for comparison.
+- :mod:`repro.apps.destination` — streaming destination prediction by
+  top-N voting along a live track (§4.1.3).
+- :mod:`repro.apps.routing` — route forecasting: the per-route transition
+  graph and an A* search over it (§4.1.3).
+- :mod:`repro.apps.anomaly` — the model-of-normalcy outlier detector the
+  introduction motivates (off-lane positions, abnormal speed/course).
+"""
+
+from repro.apps.render import (
+    RasterGrid,
+    ascii_map,
+    raster_from_inventory,
+    write_pgm,
+    write_ppm,
+    COLORMAPS,
+)
+from repro.apps.eta import EtaEstimate, EtaEstimator, great_circle_baseline_s
+from repro.apps.destination import DestinationPredictor, PredictionState
+from repro.apps.routing import RouteForecaster, TransitionGraph, astar
+from repro.apps.anomaly import AnomalyDetector, AnomalyScore
+
+__all__ = [
+    "RasterGrid",
+    "raster_from_inventory",
+    "ascii_map",
+    "write_ppm",
+    "write_pgm",
+    "COLORMAPS",
+    "EtaEstimator",
+    "EtaEstimate",
+    "great_circle_baseline_s",
+    "DestinationPredictor",
+    "PredictionState",
+    "TransitionGraph",
+    "RouteForecaster",
+    "astar",
+    "AnomalyDetector",
+    "AnomalyScore",
+]

@@ -1,0 +1,167 @@
+"""Anomaly detection against the model of normalcy.
+
+The related-work section states the motivation plainly: "we build a model
+of normalcy that can then be used to identify any outliers from this,
+e.g. Covid-19 or Suez Canal."  The detector scores a live observation
+against the inventory's historical statistics for its cell:
+
+- **off-lane**: the (origin, destination, type) key has no data for this
+  cell *or any cell within* ``neighborhood_k`` *rings of it* — the vessel
+  is somewhere vessels on this route never went (the Suez-diversion
+  signature).  The ring tolerance absorbs lane width: real corridors are
+  a few cells wide (traffic separation, weather routing), so demanding
+  exact cell membership would flag ordinary lateral spread;
+- **speed**: z-score of the observed speed against the cell's speed
+  distribution (loitering, drifting, unusual haste);
+- **course**: deviation from the cell's circular mean course, normalised
+  by its circular spread (against-the-lane movement).
+
+Scores combine into a single anomaly flag with explainable components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.circular import angular_difference_deg
+from repro.hexgrid import grid_disk, latlng_to_cell
+from repro.inventory.store import Inventory
+
+
+@dataclass(frozen=True, slots=True)
+class AnomalyScore:
+    """One scored observation, with per-component contributions."""
+
+    off_lane: bool
+    speed_z: float | None
+    course_deviation: float | None
+    is_anomalous: bool
+    reasons: tuple[str, ...]
+
+
+class AnomalyDetector:
+    """Scores live observations against a normalcy inventory."""
+
+    def __init__(
+        self,
+        inventory: Inventory,
+        speed_z_threshold: float = 3.5,
+        course_deviation_threshold: float = 3.0,
+        min_history: int = 5,
+        neighborhood_k: int = 1,
+    ) -> None:
+        """
+        :param speed_z_threshold: |z| above which speed is anomalous.
+        :param course_deviation_threshold: course deviation over circular
+            std above which heading is anomalous.
+        :param min_history: cells with fewer records than this give no
+            opinion (insufficient normalcy model) rather than a flag.
+        :param neighborhood_k: ring tolerance of the off-lane check (0 =
+            exact cell membership; 1 = within one cell of the corridor).
+        """
+        self.inventory = inventory
+        self.speed_z_threshold = speed_z_threshold
+        self.course_deviation_threshold = course_deviation_threshold
+        self.min_history = min_history
+        self.neighborhood_k = neighborhood_k
+        self._route_cells_cache: dict[tuple[str, str, str], set[int]] = {}
+
+    def score(
+        self,
+        lat: float,
+        lon: float,
+        sog: float,
+        cog: float,
+        vessel_type: str | None = None,
+        origin: str | None = None,
+        destination: str | None = None,
+    ) -> AnomalyScore:
+        """Score one observation.
+
+        Route context (origin/destination/type) enables the off-lane
+        check; without it only the speed/course statistics apply.
+        """
+        reasons: list[str] = []
+        off_lane = False
+        if origin is not None and destination is not None and vessel_type:
+            lane_cells = self._lane_cells(origin, destination, vessel_type)
+            cell = latlng_to_cell(lat, lon, self.inventory.resolution)
+            nearby = grid_disk(cell, self.neighborhood_k)
+            if not any(candidate in lane_cells for candidate in nearby):
+                off_lane = True
+                reasons.append(
+                    f"no history for route {origin}->{destination} within "
+                    f"{self.neighborhood_k} cells of this position"
+                )
+        base = self.inventory.summary_at(lat, lon, vessel_type=vessel_type)
+        if base is None:
+            base = self.inventory.summary_at(lat, lon)
+        speed_z: float | None = None
+        course_deviation: float | None = None
+        if base is not None and base.records >= self.min_history:
+            if base.speed.count >= self.min_history and base.speed.std > 1e-6:
+                speed_z = (sog - base.speed.mean) / base.speed.std
+                if abs(speed_z) > self.speed_z_threshold:
+                    reasons.append(
+                        f"speed {sog:.1f} kn is {speed_z:+.1f} sd from the "
+                        f"cell mean {base.speed.mean:.1f} kn"
+                    )
+            mean_course = base.course.mean_deg
+            course_std = base.course.std_deg
+            if mean_course is not None and course_std is not None:
+                deviation = angular_difference_deg(cog, mean_course)
+                spread = max(course_std, 5.0)  # floor: never trust <5° spread
+                course_deviation = deviation / spread
+                if course_deviation > self.course_deviation_threshold:
+                    reasons.append(
+                        f"course {cog:.0f}° deviates {deviation:.0f}° from the "
+                        f"cell mean {mean_course:.0f}° (spread {spread:.0f}°)"
+                    )
+        is_anomalous = off_lane or any(
+            reason for reason in reasons
+        )
+        return AnomalyScore(
+            off_lane=off_lane,
+            speed_z=speed_z,
+            course_deviation=course_deviation,
+            is_anomalous=is_anomalous,
+            reasons=tuple(reasons),
+        )
+
+    def _lane_cells(
+        self, origin: str, destination: str, vessel_type: str
+    ) -> set[int]:
+        route = (origin, destination, vessel_type)
+        cached = self._route_cells_cache.get(route)
+        if cached is None:
+            cached = set(
+                self.inventory.route_cells(origin, destination, vessel_type)
+            )
+            self._route_cells_cache[route] = cached
+        return cached
+
+    def score_track(
+        self,
+        track: list[tuple[float, float, float, float]],
+        vessel_type: str | None = None,
+        origin: str | None = None,
+        destination: str | None = None,
+    ) -> float:
+        """Fraction of a (lat, lon, sog, cog) track flagged anomalous —
+        the track-level signal the Suez benchmark thresholds on."""
+        if not track:
+            return 0.0
+        flagged = sum(
+            1
+            for lat, lon, sog, cog in track
+            if self.score(
+                lat,
+                lon,
+                sog,
+                cog,
+                vessel_type=vessel_type,
+                origin=origin,
+                destination=destination,
+            ).is_anomalous
+        )
+        return flagged / len(track)

@@ -1,0 +1,91 @@
+"""Streaming destination prediction (§4.1.3).
+
+"Given a stream of AIS positional reports of a vessel that … has not
+disclosed its destination, a streaming application may query online the
+inventory for each AIS message and retrieve the top-N destinations for
+vessels of the same type that sailed nearby in the past … and keep track
+of this list as the stream proceeds to decide on the most probable
+destination."
+
+:class:`DestinationPredictor` implements that voting scheme: every
+observed position contributes the cell's historical destination
+frequencies (normalised, so busy cells don't dominate), and the running
+tally is the prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.inventory.store import Inventory
+
+
+@dataclass
+class PredictionState:
+    """The running tally for one tracked vessel."""
+
+    votes: dict[str, float] = field(default_factory=dict)
+    observations: int = 0
+    matched_observations: int = 0
+
+    def ranking(self) -> list[tuple[str, float]]:
+        """Destinations by descending vote share."""
+        total = sum(self.votes.values())
+        if total == 0.0:
+            return []
+        return sorted(
+            ((dest, vote / total) for dest, vote in self.votes.items()),
+            key=lambda item: (-item[1], item[0]),
+        )
+
+    def best(self) -> str | None:
+        """Current most probable destination."""
+        ranking = self.ranking()
+        return ranking[0][0] if ranking else None
+
+
+class DestinationPredictor:
+    """Online voting over the inventory's top-N destination statistics."""
+
+    def __init__(self, inventory: Inventory, top_n: int = 5) -> None:
+        self.inventory = inventory
+        self.top_n = top_n
+
+    def start(self) -> PredictionState:
+        """A fresh state for a newly tracked vessel."""
+        return PredictionState()
+
+    def observe(
+        self,
+        state: PredictionState,
+        lat: float,
+        lon: float,
+        vessel_type: str | None = None,
+    ) -> PredictionState:
+        """Fold one position report into the prediction."""
+        state.observations += 1
+        top = self.inventory.top_destinations_at(
+            lat, lon, vessel_type=vessel_type, n=self.top_n
+        )
+        if not top:
+            return state
+        state.matched_observations += 1
+        total = sum(count for _, count in top)
+        if total <= 0:
+            return state
+        for destination, count in top:
+            state.votes[destination] = (
+                state.votes.get(destination, 0.0) + count / total
+            )
+        return state
+
+    def predict_track(
+        self,
+        track: list[tuple[float, float]],
+        vessel_type: str | None = None,
+    ) -> PredictionState:
+        """Convenience: run a whole (lat, lon) track through the stream."""
+        state = self.start()
+        for lat, lon in track:
+            self.observe(state, lat, lon, vessel_type=vessel_type)
+        return state

@@ -1,0 +1,135 @@
+"""Estimated time of arrival from the inventory's ATA statistics (§4.1.2).
+
+"Explicit statistics for ATA and ETO are … available for all value
+combinations of GI on each cell for online querying; each result set can
+be considered as a basic ETA estimate."  The estimator queries the cell a
+vessel currently occupies and reads the historical actual-time-to-arrival
+distribution, preferring the most specific grouping set available:
+
+1. (cell, origin, destination, vessel type) — vessels on the *same route*;
+2. (cell, vessel type) — same market through this water;
+3. (cell) — anything through this water.
+
+The fallback tiers mix every route crossing the cell, and a cell beside
+*some* port is full of near-zero ATAs that say nothing about a vessel
+bound elsewhere.  So when the caller supplies a destination, a fallback
+tier only answers if that destination appears among the cell's historical
+top destinations — "vessels through this water that were going where you
+are going".
+
+A physics baseline (great-circle distance over a typical service speed)
+is provided so the benchmarks can quantify the inventory's added value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.distance import haversine_m
+from repro.inventory.store import Inventory
+
+_KNOT_MS = 0.514444
+
+
+@dataclass(frozen=True, slots=True)
+class EtaEstimate:
+    """One ETA answer: point estimate plus the historical spread.
+
+    ``destination_matched`` is False when the answer came from a fallback
+    tier whose historical traffic does *not* include the probe's
+    destination — a low-confidence answer callers may discount.
+    """
+
+    mean_s: float
+    p10_s: float
+    p50_s: float
+    p90_s: float
+    samples: int
+    grouping: str
+    destination_matched: bool = True
+
+    def interval_contains(self, actual_s: float) -> bool:
+        """Whether the actual remaining time fell inside [p10, p90]."""
+        return self.p10_s <= actual_s <= self.p90_s
+
+
+class EtaEstimator:
+    """ETA lookups against a built inventory."""
+
+    def __init__(self, inventory: Inventory, min_samples: int = 3) -> None:
+        self.inventory = inventory
+        self.min_samples = min_samples
+
+    def estimate(
+        self,
+        lat: float,
+        lon: float,
+        vessel_type: str | None = None,
+        origin: str | None = None,
+        destination: str | None = None,
+    ) -> EtaEstimate | None:
+        """The ATA distribution of the most specific grouping available.
+
+        Returns ``None`` when no grouping at this cell holds at least
+        ``min_samples`` ATA observations — an honest "no history here".
+        """
+        attempts: list[tuple[str, dict]] = []
+        if origin is not None and destination is not None and vessel_type:
+            attempts.append(
+                (
+                    "cell_od_type",
+                    dict(
+                        vessel_type=vessel_type,
+                        origin=origin,
+                        destination=destination,
+                    ),
+                )
+            )
+        if vessel_type:
+            attempts.append(("cell_type", dict(vessel_type=vessel_type)))
+        attempts.append(("cell", {}))
+        # Pass 1 prefers tiers whose historical traffic shares the probe's
+        # destination; pass 2 accepts anything, flagged low-confidence.
+        passes = (True, False) if destination is not None else (False,)
+        for require_match in passes:
+            for grouping, kwargs in attempts:
+                summary = self.inventory.summary_at(lat, lon, **kwargs)
+                if summary is None or summary.ata.count < self.min_samples:
+                    continue
+                matched = grouping == "cell_od_type"
+                if not matched and destination is not None:
+                    historical = {
+                        item.value for item in summary.destinations.top()
+                    }
+                    matched = destination in historical
+                if require_match and not matched:
+                    continue
+                quantile = summary.ata_quantiles.quantile
+                return EtaEstimate(
+                    mean_s=summary.ata.mean,
+                    p10_s=quantile(0.10),
+                    p50_s=quantile(0.50),
+                    p90_s=quantile(0.90),
+                    samples=summary.ata.count,
+                    grouping=grouping,
+                    destination_matched=matched,
+                )
+        return None
+
+
+def great_circle_baseline_s(
+    lat: float,
+    lon: float,
+    dest_lat: float,
+    dest_lon: float,
+    service_speed_kn: float = 14.0,
+) -> float:
+    """The naive baseline: straight-line distance over a service speed.
+
+    Systematically optimistic — real routes thread straits and canals —
+    which is exactly the error the inventory's ATA history removes.
+    """
+    if service_speed_kn <= 0.0:
+        raise ValueError("service speed must be positive")
+    distance = haversine_m(lat, lon, dest_lat, dest_lon)
+    return distance / (service_speed_kn * _KNOT_MS)

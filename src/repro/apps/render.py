@@ -1,0 +1,208 @@
+"""Pictorial representations of the inventory (Figures 1, 4, 5, 6).
+
+The paper renders per-cell features as coloured maps.  Without a plotting
+stack, this module rasterises inventory features into lat/lon grids and
+writes portable pixmaps (PPM/PGM — viewable everywhere, no dependencies)
+plus quick ASCII previews for terminals and tests.
+
+Colour mappings follow the paper's figures: speed uses a blue→red ramp,
+course uses a directional hue wheel (north green, south red, east blue,
+west yellow — Figure 1's legend), counts use a log-scaled monochrome
+ramp.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.geo.polygon import BoundingBox
+from repro.hexgrid import latlng_to_cell
+from repro.inventory.keys import GroupKey
+from repro.inventory.store import Inventory
+from repro.inventory.summary import CellSummary
+
+
+@dataclass
+class RasterGrid:
+    """A lat/lon value grid (row 0 = northernmost)."""
+
+    bbox: BoundingBox
+    width: int
+    height: int
+    values: list[list[float | None]]
+
+    def value_range(self) -> tuple[float, float] | None:
+        """(min, max) over defined pixels, or ``None`` when all empty."""
+        defined = [v for row in self.values for v in row if v is not None]
+        if not defined:
+            return None
+        return min(defined), max(defined)
+
+    def coverage(self) -> float:
+        """Fraction of pixels with a defined value."""
+        total = self.width * self.height
+        defined = sum(1 for row in self.values for v in row if v is not None)
+        return defined / total if total else 0.0
+
+
+def raster_from_inventory(
+    inventory: Inventory,
+    accessor: Callable[[CellSummary], float | None],
+    bbox: BoundingBox,
+    width: int = 360,
+    height: int = 180,
+    vessel_type: str | None = None,
+) -> RasterGrid:
+    """Sample a per-cell feature onto a lat/lon pixel grid.
+
+    Each pixel samples the summary of the cell containing its center
+    (fast, resolution-faithful; pixels smaller than cells show the hex
+    structure, which is the point).
+    """
+    values: list[list[float | None]] = []
+    lat_span = bbox.lat_max - bbox.lat_min
+    lon_span = bbox.lon_max - bbox.lon_min
+    if lon_span < 0:
+        lon_span += 360.0
+    for row in range(height):
+        lat = bbox.lat_max - (row + 0.5) * lat_span / height
+        row_values: list[float | None] = []
+        for col in range(width):
+            lon = bbox.lon_min + (col + 0.5) * lon_span / width
+            if lon > 180.0:
+                lon -= 360.0
+            cell = latlng_to_cell(lat, lon, inventory.resolution)
+            summary = inventory.get(GroupKey(cell=cell, vessel_type=vessel_type))
+            row_values.append(None if summary is None else accessor(summary))
+        values.append(row_values)
+    return RasterGrid(bbox=bbox, width=width, height=height, values=values)
+
+
+# -- colormaps ------------------------------------------------------------------
+
+
+def _ramp_blue_red(t: float) -> tuple[int, int, int]:
+    t = min(1.0, max(0.0, t))
+    return (int(255 * t), int(64 * (1.0 - abs(2 * t - 1))), int(255 * (1.0 - t)))
+
+
+def _hue_wheel(angle_deg: float) -> tuple[int, int, int]:
+    # Figure 1 legend: north=green, east=blue, south=red, west=yellow.
+    anchors = [
+        (0.0, (40, 200, 60)),
+        (90.0, (40, 80, 230)),
+        (180.0, (230, 40, 40)),
+        (270.0, (230, 210, 40)),
+        (360.0, (40, 200, 60)),
+    ]
+    angle = angle_deg % 360.0
+    for (a0, c0), (a1, c1) in zip(anchors, anchors[1:]):
+        if a0 <= angle <= a1:
+            t = (angle - a0) / (a1 - a0)
+            return tuple(int(x0 + t * (x1 - x0)) for x0, x1 in zip(c0, c1))
+    return anchors[0][1]
+
+
+def _log_mono(t: float) -> tuple[int, int, int]:
+    t = min(1.0, max(0.0, t))
+    value = int(30 + 225 * t)
+    return (value, value, value)
+
+
+#: name → (per-pixel colour fn taking normalised value, is_angular)
+COLORMAPS: dict[str, tuple[Callable, bool]] = {
+    "speed": (_ramp_blue_red, False),
+    "course": (_hue_wheel, True),
+    "count": (_log_mono, False),
+    "ata": (_ramp_blue_red, False),
+}
+
+
+def write_ppm(
+    raster: RasterGrid,
+    path: str | Path,
+    colormap: str = "speed",
+    background: tuple[int, int, int] = (8, 12, 24),
+) -> Path:
+    """Write a colour PPM (P6).  Angular colormaps map values directly as
+    degrees; scalar ones normalise to the raster's value range (counts are
+    log-scaled first)."""
+    painter, is_angular = COLORMAPS[colormap]
+    span = raster.value_range()
+    lo, hi = span if span else (0.0, 1.0)
+    log_scale = colormap == "count"
+    if log_scale:
+        lo = math.log1p(lo)
+        hi = math.log1p(hi)
+    path = Path(path)
+    with open(path, "wb") as handle:
+        handle.write(f"P6\n{raster.width} {raster.height}\n255\n".encode())
+        for row in raster.values:
+            line = bytearray()
+            for value in row:
+                if value is None:
+                    line.extend(background)
+                elif is_angular:
+                    line.extend(painter(value))
+                else:
+                    v = math.log1p(value) if log_scale else value
+                    t = (v - lo) / (hi - lo) if hi > lo else 0.5
+                    line.extend(painter(t))
+            handle.write(bytes(line))
+    return path
+
+
+def write_pgm(raster: RasterGrid, path: str | Path) -> Path:
+    """Write a grayscale PGM (P5) of the normalised values."""
+    span = raster.value_range()
+    lo, hi = span if span else (0.0, 1.0)
+    path = Path(path)
+    with open(path, "wb") as handle:
+        handle.write(f"P5\n{raster.width} {raster.height}\n255\n".encode())
+        for row in raster.values:
+            line = bytearray()
+            for value in row:
+                if value is None:
+                    line.append(0)
+                else:
+                    t = (value - lo) / (hi - lo) if hi > lo else 0.5
+                    line.append(int(20 + 235 * min(1.0, max(0.0, t))))
+            handle.write(bytes(line))
+    return path
+
+
+_ASCII_RAMP = " .:-=+*#%@"
+
+
+def ascii_map(raster: RasterGrid, max_width: int = 100) -> str:
+    """A terminal preview: density ramp over the normalised values.
+
+    Blocks of pixels pool to their maximum defined value so thin lanes
+    (often one pixel wide) survive the down-sampling.
+    """
+    step = max(1, raster.width // max_width)
+    span = raster.value_range()
+    lo, hi = span if span else (0.0, 1.0)
+    lines = []
+    for row_start in range(0, raster.height, step):
+        block_rows = raster.values[row_start : row_start + step]
+        chars = []
+        for col_start in range(0, raster.width, step):
+            block = [
+                value
+                for row in block_rows
+                for value in row[col_start : col_start + step]
+                if value is not None
+            ]
+            if not block:
+                chars.append(" ")
+            else:
+                value = max(block)
+                t = (value - lo) / (hi - lo) if hi > lo else 0.5
+                index = int(t * (len(_ASCII_RAMP) - 1))
+                chars.append(_ASCII_RAMP[min(len(_ASCII_RAMP) - 1, max(1, index))])
+        lines.append("".join(chars))
+    return "\n".join(lines)

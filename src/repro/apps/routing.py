@@ -1,0 +1,186 @@
+"""Route forecasting: transition graphs + A* (§4.1.3).
+
+"We query the global inventory to retrieve the full set of cells for
+which the key exists … organized in a graph online; the vertices
+correspond to cell identifiers and their connections are defined with
+respect to the transitions feature.  Given the graph, typical graph theory
+solutions that address the shortest path problem, such as A*, can be used
+to forecast the route."
+
+:class:`TransitionGraph` is that online graph; :func:`astar` is a from-
+scratch A* with a great-circle heuristic on cell centers (admissible:
+no sequence of transitions is shorter than the straight line).  The tests
+cross-check path optimality against networkx.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.geo.distance import haversine_m
+from repro.hexgrid import cell_to_latlng, latlng_to_cell
+from repro.inventory.store import Inventory
+
+
+class TransitionGraph:
+    """A directed graph of cell → next-cell transitions for one route key."""
+
+    def __init__(self) -> None:
+        self._edges: dict[int, dict[int, int]] = {}
+
+    @classmethod
+    def from_inventory(
+        cls, inventory: Inventory, origin: str, destination: str, vessel_type: str
+    ) -> "TransitionGraph":
+        """Build the per-key graph from the route's cells and their
+        transition top-N statistics."""
+        graph = cls()
+        for cell, summary in inventory.route_cells(
+            origin, destination, vessel_type
+        ).items():
+            for next_cell, count in summary.top_transitions(n=summary.config.topn_capacity):
+                graph.add_edge(cell, next_cell, count)
+        return graph
+
+    def add_edge(self, src: int, dst: int, count: int) -> None:
+        """Record ``count`` observed transitions src → dst."""
+        if count < 1:
+            raise ValueError(f"transition count must be positive, got {count}")
+        self._edges.setdefault(src, {})
+        self._edges[src][dst] = self._edges[src].get(dst, 0) + count
+
+    def neighbors(self, cell: int) -> dict[int, int]:
+        """Outgoing transitions (next_cell → count)."""
+        return self._edges.get(cell, {})
+
+    def nodes(self) -> set[int]:
+        """All cells appearing as a source or target."""
+        found = set(self._edges)
+        for targets in self._edges.values():
+            found.update(targets)
+        return found
+
+    def edge_count(self) -> int:
+        """Number of directed edges."""
+        return sum(len(targets) for targets in self._edges.values())
+
+    def most_frequent_next(self, cell: int) -> int | None:
+        """The single most popular next cell ("the most frequent direct
+        cell transition" of §1), or ``None`` at a sink."""
+        targets = self.neighbors(cell)
+        if not targets:
+            return None
+        return max(targets, key=lambda dst: (targets[dst], -dst))
+
+
+def _cell_distance_m(cell_a: int, cell_b: int) -> float:
+    lat_a, lon_a = cell_to_latlng(cell_a)
+    lat_b, lon_b = cell_to_latlng(cell_b)
+    return haversine_m(lat_a, lon_a, lat_b, lon_b)
+
+
+def astar(
+    graph: TransitionGraph,
+    start: int,
+    goal: int,
+    edge_cost: Callable[[int, int, int], float] | None = None,
+) -> list[int] | None:
+    """A* shortest path over a transition graph; ``None`` if unreachable.
+
+    Default edge cost is the great-circle distance between cell centers,
+    making the great-circle heuristic admissible and the result the
+    geographically shortest observed path.  Pass a custom ``edge_cost``
+    (src, dst, count) to prefer popular transitions instead.
+    """
+    if edge_cost is None:
+        edge_cost = lambda src, dst, count: _cell_distance_m(src, dst)  # noqa: E731
+    open_heap: list[tuple[float, int, int]] = [(0.0, 0, start)]
+    g_score: dict[int, float] = {start: 0.0}
+    came_from: dict[int, int] = {}
+    closed: set[int] = set()
+    tie = 0
+    while open_heap:
+        _, _, current = heapq.heappop(open_heap)
+        if current == goal:
+            return _reconstruct(came_from, current)
+        if current in closed:
+            continue
+        closed.add(current)
+        for neighbor, count in graph.neighbors(current).items():
+            tentative = g_score[current] + edge_cost(current, neighbor, count)
+            if tentative < g_score.get(neighbor, math.inf):
+                g_score[neighbor] = tentative
+                came_from[neighbor] = current
+                tie += 1
+                heapq.heappush(
+                    open_heap,
+                    (
+                        tentative + _cell_distance_m(neighbor, goal),
+                        tie,
+                        neighbor,
+                    ),
+                )
+    return None
+
+
+def _reconstruct(came_from: dict[int, int], current: int) -> list[int]:
+    path = [current]
+    while current in came_from:
+        current = came_from[current]
+        path.append(current)
+    path.reverse()
+    return path
+
+
+@dataclass
+class RouteForecaster:
+    """Forecast a vessel's remaining route from its latest position."""
+
+    inventory: Inventory
+
+    def forecast(
+        self,
+        lat: float,
+        lon: float,
+        origin: str,
+        destination: str,
+        vessel_type: str,
+        goal_lat: float,
+        goal_lon: float,
+        popularity_weighted: bool = False,
+    ) -> list[int] | None:
+        """Predicted cell sequence from the vessel's cell to the goal cell.
+
+        The start snaps to the nearest cell present in the route key's
+        graph (live positions rarely hit an inventoried cell dead-center);
+        returns ``None`` when the key has no data or no path exists.
+        """
+        graph = TransitionGraph.from_inventory(
+            self.inventory, origin, destination, vessel_type
+        )
+        nodes = graph.nodes()
+        if not nodes:
+            return None
+        start = self._snap(lat, lon, nodes)
+        goal = self._snap(goal_lat, goal_lon, nodes)
+        cost = None
+        if popularity_weighted:
+            # Popular transitions are cheaper; distance keeps it metric.
+            cost = lambda src, dst, count: _cell_distance_m(src, dst) / (  # noqa: E731
+                1.0 + math.log1p(count)
+            )
+        return astar(graph, start, goal, edge_cost=cost)
+
+    def _snap(self, lat: float, lon: float, nodes: set[int]) -> int:
+        exact = latlng_to_cell(lat, lon, self.inventory.resolution)
+        if exact in nodes:
+            return exact
+        return min(
+            nodes,
+            key=lambda cell: _cell_distance_m(
+                cell, exact
+            ),
+        )

@@ -1,0 +1,244 @@
+"""Command-line interface: the whole loop without writing Python.
+
+::
+
+    python -m repro generate --vessels 24 --days 14 --out archive.csv
+    python -m repro build    --archive archive.csv --resolution 6 --out inv.sst
+    python -m repro query    --inventory inv.sst --lat 1.2 --lon 103.8
+    python -m repro render   --inventory inv.sst --feature speed --out map.ppm
+    python -m repro info     --inventory inv.sst
+
+``generate`` writes a NOAA-style CSV archive plus sidecar fleet/port CSVs;
+``build`` runs the pipeline and persists the inventory as an SSTable;
+``query`` and ``render`` read the SSTable directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+from repro import PipelineConfig, WorldConfig, build_inventory, generate_dataset
+from repro.ais import read_csv, write_csv
+from repro.ais.vesseltypes import MarketSegment
+from repro.apps import raster_from_inventory, write_ppm
+from repro.geo.polygon import BoundingBox
+from repro.inventory import Inventory, open_inventory, write_inventory
+from repro.world.fleet import Vessel
+from repro.world.ports import PORTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Patterns of Life: maritime mobility inventory tools",
+    )
+    commands = parser.add_subparsers(required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic AIS archive"
+    )
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("--vessels", type=int, default=24)
+    generate.add_argument("--days", type=float, default=14.0)
+    generate.add_argument("--interval", type=float, default=600.0,
+                          help="report interval in seconds")
+    generate.add_argument("--out", type=Path, required=True,
+                          help="positions CSV path (fleet/ports sidecars "
+                               "derive from it)")
+    generate.set_defaults(handler=_cmd_generate)
+
+    build = commands.add_parser(
+        "build", help="run the pipeline over an archive, persist the inventory"
+    )
+    build.add_argument("--archive", type=Path, required=True,
+                       help="positions CSV from 'generate'")
+    build.add_argument("--fleet", type=Path, default=None,
+                       help="fleet sidecar CSV (default: <archive>.fleet.csv)")
+    build.add_argument("--resolution", type=int, default=6)
+    build.add_argument("--out", type=Path, required=True,
+                       help="inventory SSTable path")
+    build.set_defaults(handler=_cmd_build)
+
+    query = commands.add_parser("query", help="point-query an inventory")
+    query.add_argument("--inventory", type=Path, required=True)
+    query.add_argument("--lat", type=float, required=True)
+    query.add_argument("--lon", type=float, required=True)
+    query.add_argument("--resolution", type=int, default=6)
+    query.add_argument("--vessel-type", default=None)
+    query.set_defaults(handler=_cmd_query)
+
+    render = commands.add_parser("render", help="render a feature map (PPM)")
+    render.add_argument("--inventory", type=Path, required=True)
+    render.add_argument("--resolution", type=int, default=6)
+    render.add_argument("--feature", choices=("speed", "course", "count", "ata"),
+                        default="speed")
+    render.add_argument("--bbox", default="-65,72,-180,180",
+                        help="lat_min,lat_max,lon_min,lon_max")
+    render.add_argument("--width", type=int, default=360)
+    render.add_argument("--height", type=int, default=170)
+    render.add_argument("--out", type=Path, required=True)
+    render.set_defaults(handler=_cmd_render)
+
+    info = commands.add_parser("info", help="summarize an inventory table")
+    info.add_argument("--inventory", type=Path, required=True)
+    info.set_defaults(handler=_cmd_info)
+
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    data = generate_dataset(
+        WorldConfig(
+            seed=args.seed,
+            n_vessels=args.vessels,
+            days=args.days,
+            report_interval_s=args.interval,
+        )
+    )
+    count = write_csv(args.out, data.positions)
+    fleet_path = _fleet_sidecar(args.out)
+    with open(fleet_path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["mmsi", "imo", "name", "callsign", "flag", "segment",
+             "ship_type", "grt", "length_m", "beam_m", "design_speed_kn"]
+        )
+        for vessel in data.fleet:
+            writer.writerow(
+                [vessel.mmsi, vessel.imo, vessel.name, vessel.callsign,
+                 vessel.flag, vessel.segment.value, vessel.ship_type,
+                 vessel.grt, vessel.length_m, vessel.beam_m,
+                 vessel.design_speed_kn]
+            )
+    print(f"wrote {count:,} reports to {args.out}")
+    print(f"wrote {len(data.fleet)} vessels to {fleet_path}")
+    return 0
+
+
+def _cmd_build(args) -> int:
+    fleet_path = args.fleet or _fleet_sidecar(args.archive)
+    fleet = _read_fleet(fleet_path)
+    positions = list(read_csv(args.archive))
+    print(f"loaded {len(positions):,} reports and {len(fleet)} vessels")
+    result = build_inventory(
+        positions, fleet, PORTS, PipelineConfig(resolution=args.resolution)
+    )
+    for stage, count in result.funnel.items():
+        print(f"  {stage:<22} {count:>10,}")
+    entries = write_inventory(result.inventory, args.out)
+    print(f"wrote {entries:,} groups to {args.out}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    inventory = _load_inventory(args.inventory, args.resolution)
+    summary = inventory.summary_at(
+        args.lat, args.lon, vessel_type=args.vessel_type
+    )
+    if summary is None:
+        print("no data for this cell")
+        return 1
+    print(f"records:      {summary.records}")
+    print(f"ships:        {summary.ships.cardinality()}")
+    print(f"trips:        {summary.trips.cardinality()}")
+    speed = summary.speed_percentiles()
+    print(f"speed kn:     mean {summary.mean_speed_kn():.1f} "
+          f"p10/p50/p90 {speed[0]:.1f}/{speed[1]:.1f}/{speed[2]:.1f}")
+    course = summary.mean_course_deg()
+    print(f"course:       {'—' if course is None else f'{course:.0f}°'}")
+    ata = summary.mean_ata_s()
+    print(f"mean ATA:     {'—' if ata is None else f'{ata/3600.0:.1f} h'}")
+    print(f"destinations: "
+          + ", ".join(f"{t.value}×{t.count}"
+                      for t in summary.destinations.top(5)))
+    return 0
+
+
+def _cmd_render(args) -> int:
+    inventory = _load_inventory(args.inventory, args.resolution)
+    lat_min, lat_max, lon_min, lon_max = (
+        float(part) for part in args.bbox.split(",")
+    )
+    accessors = {
+        "speed": lambda s: s.mean_speed_kn(),
+        "course": lambda s: s.mean_course_deg(),
+        "count": lambda s: float(s.records),
+        "ata": lambda s: (s.mean_ata_s() or 0.0) / 3600.0,
+    }
+    raster = raster_from_inventory(
+        inventory, accessors[args.feature],
+        BoundingBox(lat_min, lat_max, lon_min, lon_max),
+        width=args.width, height=args.height,
+    )
+    write_ppm(raster, args.out, colormap=args.feature)
+    print(f"wrote {args.out} ({raster.coverage():.2%} coverage)")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    with open_inventory(args.inventory) as reader:
+        print(f"entries: {reader.entry_count:,} in {reader.block_count} blocks")
+        from repro.inventory.keys import GroupingSet
+
+        counts = {grouping_set: 0 for grouping_set in GroupingSet}
+        records = 0
+        for key, summary in reader.scan():
+            counts[key.grouping_set] += 1
+            if key.grouping_set is GroupingSet.CELL:
+                records += summary.records
+        for grouping_set, count in counts.items():
+            print(f"  {grouping_set.value:<14} {count:>10,} groups")
+        print(f"records aggregated: {records:,}")
+    return 0
+
+
+def _fleet_sidecar(archive: Path) -> Path:
+    return archive.with_suffix(".fleet.csv")
+
+
+def _read_fleet(path: Path) -> list[Vessel]:
+    fleet = []
+    with open(path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            fleet.append(
+                Vessel(
+                    mmsi=int(row["mmsi"]),
+                    imo=int(row["imo"]),
+                    name=row["name"],
+                    callsign=row["callsign"],
+                    flag=row["flag"],
+                    segment=MarketSegment(row["segment"]),
+                    ship_type=int(row["ship_type"]),
+                    grt=int(row["grt"]),
+                    length_m=int(row["length_m"]),
+                    beam_m=int(row["beam_m"]),
+                    design_speed_kn=float(row["design_speed_kn"]),
+                )
+            )
+    return fleet
+
+
+def _load_inventory(path: Path, resolution: int) -> Inventory:
+    inventory = Inventory(resolution=resolution)
+    with open_inventory(path) as reader:
+        for key, summary in reader.scan():
+            inventory.put(key, summary)
+    return inventory
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

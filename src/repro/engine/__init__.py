@@ -1,0 +1,45 @@
+"""A miniature MapReduce/RDD engine (the paper's Apache Spark substitute).
+
+The methodology is explicitly MapReduce: the grouping set is the map
+phase, the statistical summaries the reduce phase (§3.3.4).  This package
+provides the operator algebra the pipeline code programs against, shaped
+after Spark's RDD API so the jobs read like the originals:
+
+- :class:`~repro.engine.context.Engine` — entry point: configuration
+  (partition count, scheduler, spill directory) and dataset creation.
+- :class:`~repro.engine.dataset.Dataset` — an immutable, partitioned,
+  lazily-evaluated collection with narrow transformations (``map``,
+  ``filter``, ``flat_map``, ``map_partitions``) and shuffle
+  transformations (``reduce_by_key``, ``combine_by_key``,
+  ``group_by_key``, ``join``, ``sort_by``, ``distinct``,
+  ``repartition``).
+- :mod:`~repro.engine.partitioner` — hash and range partitioners over a
+  process-stable hash.
+- :mod:`~repro.engine.shuffle` — the all-to-all exchange, with optional
+  disk spill for outsize buckets.
+- :mod:`~repro.engine.scheduler` — serial, thread-pool and process-pool
+  execution backends.
+- :mod:`~repro.engine.metrics` — per-stage instrumentation used by the
+  Figure 3 stage-timing benchmark.
+
+Deliberate scope cuts versus Spark: no lineage-based fault tolerance (a
+single host has nothing to recover from), no SQL/catalyst layer, no
+broadcast variables (closures capture small tables directly).
+"""
+
+from repro.engine.context import Engine, EngineConfig
+from repro.engine.dataset import Dataset
+from repro.engine.hashing import stable_hash
+from repro.engine.metrics import MetricsRecorder, StageMetric
+from repro.engine.partitioner import HashPartitioner, RangePartitioner
+
+__all__ = [
+    "Engine",
+    "EngineConfig",
+    "Dataset",
+    "HashPartitioner",
+    "RangePartitioner",
+    "stable_hash",
+    "MetricsRecorder",
+    "StageMetric",
+]

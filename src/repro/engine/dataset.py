@@ -1,0 +1,576 @@
+"""The Dataset: an immutable, partitioned, lazily evaluated collection.
+
+Transformations build a DAG; terminal actions (``collect``, ``count``,
+``reduce`` …) evaluate it.  Within one action, every node is materialized
+at most once (a memo table keyed by node identity); across actions a node
+recomputes unless explicitly ``persist()``-ed, mirroring Spark's contract.
+
+Narrow transformations (map/filter/flat_map/map_partitions) run one task
+per partition on the engine's scheduler.  Wide transformations shuffle
+through :func:`repro.engine.shuffle.exchange` and apply a reduce-side
+function per output partition, again on the scheduler.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Iterable, Iterator
+from typing import TYPE_CHECKING
+
+from repro.engine.metrics import StageTimer
+from repro.engine.partitioner import HashPartitioner, RangePartitioner
+from repro.engine.shuffle import exchange
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.engine.context import Engine
+
+
+class Dataset:
+    """One node of the execution DAG.  Construct via ``Engine.parallelize``
+    or by transforming another dataset — never directly."""
+
+    def __init__(
+        self,
+        engine: "Engine",
+        parents: tuple["Dataset", ...],
+        num_partitions: int,
+        label: str,
+    ) -> None:
+        self.engine = engine
+        self.parents = parents
+        self.num_partitions = num_partitions
+        self.label = label
+        self._persisted: list[list] | None = None
+        self._persist_requested = False
+
+    # -- narrow transformations ---------------------------------------------
+
+    def map(self, fn: Callable) -> "Dataset":
+        """Element-wise transform."""
+        return self.map_partitions(
+            lambda _, records: map(fn, records), label=f"map({_name(fn)})"
+        )
+
+    def filter(self, predicate: Callable) -> "Dataset":
+        """Keep elements satisfying the predicate."""
+        return self.map_partitions(
+            lambda _, records: filter(predicate, records),
+            label=f"filter({_name(predicate)})",
+        )
+
+    def flat_map(self, fn: Callable) -> "Dataset":
+        """Element-wise transform producing zero or more outputs each."""
+        return self.map_partitions(
+            lambda _, records: itertools.chain.from_iterable(map(fn, records)),
+            label=f"flat_map({_name(fn)})",
+        )
+
+    def map_partitions(
+        self, fn: Callable[[int, list], Iterable], label: str | None = None
+    ) -> "Dataset":
+        """Partition-wise transform: ``fn(index, records) -> iterable``.
+
+        The most general narrow operation; everything element-wise is
+        sugar over it.
+        """
+        return _MapPartitions(self, fn, label or f"map_partitions({_name(fn)})")
+
+    def key_by(self, fn: Callable) -> "Dataset":
+        """Pair every element with a key: ``x -> (fn(x), x)``."""
+        return self.map_partitions(
+            lambda _, records: ((fn(x), x) for x in records),
+            label=f"key_by({_name(fn)})",
+        )
+
+    def map_values(self, fn: Callable) -> "Dataset":
+        """Transform the value of every (key, value) pair."""
+        return self.map_partitions(
+            lambda _, records: ((k, fn(v)) for k, v in records),
+            label=f"map_values({_name(fn)})",
+        )
+
+    def flat_map_values(self, fn: Callable) -> "Dataset":
+        """Expand every (key, value) pair into (key, v') pairs."""
+        return self.map_partitions(
+            lambda _, records: (
+                (k, out) for k, v in records for out in fn(v)
+            ),
+            label=f"flat_map_values({_name(fn)})",
+        )
+
+    def union(self, other: "Dataset") -> "Dataset":
+        """Concatenate two datasets (partitions are concatenated, no
+        shuffle)."""
+        return _Union(self, other)
+
+    # -- wide (shuffle) transformations ---------------------------------------
+
+    def partition_by(
+        self, partitioner: HashPartitioner | RangePartitioner | None = None,
+        key_fn: Callable | None = None,
+    ) -> "Dataset":
+        """Redistribute (key, value) pairs by key.
+
+        ``key_fn`` overrides how the routing key is derived (default: the
+        first element of each record).
+        """
+        partitioner = partitioner or HashPartitioner(self.engine.num_partitions)
+        extract = key_fn or (lambda record: record[0])
+        return _Shuffle(
+            self,
+            route=lambda record: partitioner.partition(extract(record)),
+            num_out=partitioner.num_partitions,
+            label="partition_by",
+        )
+
+    def repartition(self, num_partitions: int) -> "Dataset":
+        """Round-robin redistribution into ``num_partitions`` partitions."""
+        if num_partitions < 1:
+            raise ValueError(f"need at least one partition, got {num_partitions}")
+        return _Repartition(self, num_partitions)
+
+    def reduce_by_key(self, fn: Callable) -> "Dataset":
+        """Merge values per key with a commutative, associative function.
+
+        Combines map-side before the shuffle (the single most important
+        optimisation for skewed AIS data) and reduce-side after.
+        """
+        return self.combine_by_key(
+            create=lambda v: v, merge_value=fn, merge_combiners=fn,
+            label=f"reduce_by_key({_name(fn)})",
+        )
+
+    def combine_by_key(
+        self,
+        create: Callable,
+        merge_value: Callable,
+        merge_combiners: Callable,
+        num_partitions: int | None = None,
+        label: str | None = None,
+    ) -> "Dataset":
+        """The general aggregation: per key, ``create`` builds a combiner
+        from the first value, ``merge_value`` folds further values in
+        map-side, and ``merge_combiners`` merges partial combiners
+        reduce-side.  This is exactly the monoid contract the sketches
+        implement."""
+        num_out = num_partitions or self.engine.num_partitions
+        partitioner = HashPartitioner(num_out)
+
+        def map_side(_index: int, records: list) -> Iterator:
+            partials: dict = {}
+            for key, value in records:
+                if key in partials:
+                    partials[key] = merge_value(partials[key], value)
+                else:
+                    partials[key] = create(value)
+            return iter(partials.items())
+
+        def reduce_side(_index: int, records: list) -> list:
+            merged: dict = {}
+            for key, combiner in records:
+                if key in merged:
+                    merged[key] = merge_combiners(merged[key], combiner)
+                else:
+                    merged[key] = combiner
+            return list(merged.items())
+
+        combined = self.map_partitions(map_side, label="map_side_combine")
+        shuffled = _Shuffle(
+            combined,
+            route=lambda record: partitioner.partition(record[0]),
+            num_out=num_out,
+            label=label or "combine_by_key",
+            post=reduce_side,
+        )
+        return shuffled
+
+    def group_by_key(self, num_partitions: int | None = None) -> "Dataset":
+        """Gather all values per key into a list.  Prefer
+        :meth:`combine_by_key` with a mergeable summary whenever the
+        per-key value count can be large."""
+        return self.combine_by_key(
+            create=lambda v: [v],
+            merge_value=lambda acc, v: (acc.append(v) or acc),
+            merge_combiners=lambda a, b: a + b,
+            num_partitions=num_partitions,
+            label="group_by_key",
+        )
+
+    def distinct(self) -> "Dataset":
+        """Remove duplicate records (records must be stable-hashable)."""
+        from repro.engine.hashing import stable_hash
+
+        num_out = self.engine.num_partitions
+
+        def dedupe(_index: int, records: list) -> list:
+            seen = set()
+            output = []
+            for record in records:
+                if record not in seen:
+                    seen.add(record)
+                    output.append(record)
+            return output
+
+        deduped_local = self.map_partitions(dedupe, label="distinct_local")
+        shuffled = _Shuffle(
+            deduped_local,
+            route=lambda record: stable_hash(record) % num_out,
+            num_out=num_out,
+            label="distinct",
+            post=dedupe,
+        )
+        return shuffled
+
+    def sort_by(
+        self,
+        key: Callable,
+        ascending: bool = True,
+        num_partitions: int | None = None,
+    ) -> "Dataset":
+        """Total-order sort via range partitioning on a key sample."""
+        num_out = num_partitions or self.engine.num_partitions
+        return _SortBy(self, key, ascending, num_out)
+
+    def join(self, other: "Dataset", num_partitions: int | None = None) -> "Dataset":
+        """Inner hash join of (key, value) datasets → (key, (left, right))."""
+        return _Join(self, other, how="inner",
+                     num_partitions=num_partitions or self.engine.num_partitions)
+
+    def left_join(
+        self, other: "Dataset", num_partitions: int | None = None
+    ) -> "Dataset":
+        """Left outer join → (key, (left, right_or_None))."""
+        return _Join(self, other, how="left",
+                     num_partitions=num_partitions or self.engine.num_partitions)
+
+    def cogroup(
+        self, other: "Dataset", num_partitions: int | None = None
+    ) -> "Dataset":
+        """Group both sides by key → (key, (left_values, right_values))."""
+        return _Join(self, other, how="cogroup",
+                     num_partitions=num_partitions or self.engine.num_partitions)
+
+    # -- persistence -----------------------------------------------------------
+
+    def persist(self) -> "Dataset":
+        """Keep this node's materialized partitions across actions."""
+        self._persist_requested = True
+        return self
+
+    def unpersist(self) -> "Dataset":
+        """Drop any cached partitions."""
+        self._persist_requested = False
+        self._persisted = None
+        return self
+
+    # -- actions ----------------------------------------------------------------
+
+    def collect(self) -> list:
+        """Materialize every record into one list."""
+        partitions = self.engine._evaluate(self)
+        return [record for partition in partitions for record in partition]
+
+    def collect_partitions(self) -> list[list]:
+        """Materialize and return the partition structure."""
+        return [list(p) for p in self.engine._evaluate(self)]
+
+    def count(self) -> int:
+        """Number of records."""
+        return sum(len(p) for p in self.engine._evaluate(self))
+
+    def take(self, n: int) -> list:
+        """The first ``n`` records in partition order."""
+        if n < 0:
+            raise ValueError(f"cannot take a negative number of records: {n}")
+        if n == 0:
+            return []
+        output: list = []
+        for partition in self.engine._evaluate(self):
+            for record in partition:
+                output.append(record)
+                if len(output) == n:
+                    return output
+        return output
+
+    def first(self):
+        """The first record; raises :class:`ValueError` when empty."""
+        taken = self.take(1)
+        if not taken:
+            raise ValueError("first() on an empty dataset")
+        return taken[0]
+
+    def reduce(self, fn: Callable):
+        """Fold all records with an associative binary function."""
+        partials = []
+        for partition in self.engine._evaluate(self):
+            iterator = iter(partition)
+            try:
+                acc = next(iterator)
+            except StopIteration:
+                continue
+            for record in iterator:
+                acc = fn(acc, record)
+            partials.append(acc)
+        if not partials:
+            raise ValueError("reduce() on an empty dataset")
+        result = partials[0]
+        for partial in partials[1:]:
+            result = fn(result, partial)
+        return result
+
+    def aggregate(self, zero, seq_fn: Callable, comb_fn: Callable):
+        """Fold with distinct element/partial combiners (Spark's
+        ``aggregate``): ``seq_fn(acc, record)`` within a partition,
+        ``comb_fn(acc1, acc2)`` across partitions.  ``zero`` must be
+        copyable via ``seq_fn`` semantics — it is reused as the initial
+        accumulator of every partition, so it must not be mutated unless
+        ``seq_fn`` returns a fresh object."""
+        partials = []
+        for partition in self.engine._evaluate(self):
+            acc = zero
+            for record in partition:
+                acc = seq_fn(acc, record)
+            partials.append(acc)
+        result = zero
+        for partial in partials:
+            result = comb_fn(result, partial)
+        return result
+
+    def count_by_key(self) -> dict:
+        """Count records per key of (key, value) pairs."""
+        counts: dict = {}
+        for partition in self.engine._evaluate(self):
+            for key, _value in partition:
+                counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def to_dict(self) -> dict:
+        """Collect (key, value) pairs into a dict (later keys win)."""
+        return dict(self.collect())
+
+    # -- evaluation (engine-internal) ---------------------------------------------
+
+    def _compute(self, memo: dict) -> list[list]:
+        raise NotImplementedError
+
+    def _materialize(self, memo: dict) -> list[list]:
+        if self._persisted is not None:
+            return self._persisted
+        if id(self) in memo:
+            return memo[id(self)]
+        result = self._compute(memo)
+        memo[id(self)] = result
+        if self._persist_requested:
+            self._persisted = result
+        return result
+
+
+class _Source(Dataset):
+    """Leaf node wrapping already-partitioned in-memory data."""
+
+    def __init__(self, engine: "Engine", partitions: list[list]) -> None:
+        super().__init__(engine, (), len(partitions), "source")
+        self._partitions = partitions
+
+    def _compute(self, memo: dict) -> list[list]:
+        return self._partitions
+
+
+class _MapPartitions(Dataset):
+    def __init__(self, parent: Dataset, fn: Callable, label: str) -> None:
+        super().__init__(parent.engine, (parent,), parent.num_partitions, label)
+        self._fn = fn
+
+    def _compute(self, memo: dict) -> list[list]:
+        parent_parts = self.parents[0]._materialize(memo)
+        fn = self._fn
+        rows_in = sum(len(p) for p in parent_parts)
+        with StageTimer(
+            self.engine.metrics, self.label, rows_in, len(parent_parts)
+        ) as timer:
+            result = self.engine.scheduler.run(
+                lambda index, part: list(fn(index, part)), parent_parts
+            )
+            timer.rows_out = sum(len(p) for p in result)
+        return result
+
+
+class _Union(Dataset):
+    def __init__(self, left: Dataset, right: Dataset) -> None:
+        if left.engine is not right.engine:
+            raise ValueError("cannot union datasets from different engines")
+        super().__init__(
+            left.engine,
+            (left, right),
+            left.num_partitions + right.num_partitions,
+            "union",
+        )
+
+    def _compute(self, memo: dict) -> list[list]:
+        left = self.parents[0]._materialize(memo)
+        right = self.parents[1]._materialize(memo)
+        return list(left) + list(right)
+
+
+class _Shuffle(Dataset):
+    def __init__(
+        self,
+        parent: Dataset,
+        route: Callable[[object], int],
+        num_out: int,
+        label: str,
+        post: Callable[[int, list], list] | None = None,
+    ) -> None:
+        super().__init__(parent.engine, (parent,), num_out, label)
+        self._route = route
+        self._post = post
+
+    def _compute(self, memo: dict) -> list[list]:
+        parent_parts = self.parents[0]._materialize(memo)
+        rows_in = sum(len(p) for p in parent_parts)
+        with StageTimer(
+            self.engine.metrics, self.label, rows_in, self.num_partitions
+        ) as timer:
+            buckets = exchange(
+                parent_parts,
+                self._route,
+                self.num_partitions,
+                spill_dir=self.engine.spill_dir,
+                spill_threshold=self.engine.spill_threshold,
+            )
+            if self._post is not None:
+                post = self._post
+                buckets = self.engine.scheduler.run(
+                    lambda index, part: list(post(index, part)), buckets
+                )
+            timer.rows_out = sum(len(p) for p in buckets)
+        return buckets
+
+
+class _Repartition(Dataset):
+    """Round-robin redistribution; stateless across re-evaluations (unlike
+    a counter captured in a shuffle router would be)."""
+
+    def __init__(self, parent: Dataset, num_out: int) -> None:
+        super().__init__(
+            parent.engine, (parent,), num_out, f"repartition({num_out})"
+        )
+
+    def _compute(self, memo: dict) -> list[list]:
+        parent_parts = self.parents[0]._materialize(memo)
+        rows_in = sum(len(p) for p in parent_parts)
+        with StageTimer(
+            self.engine.metrics, self.label, rows_in, self.num_partitions
+        ) as timer:
+            buckets: list[list] = [[] for _ in range(self.num_partitions)]
+            index = 0
+            for partition in parent_parts:
+                for record in partition:
+                    buckets[index % self.num_partitions].append(record)
+                    index += 1
+            timer.rows_out = rows_in
+        return buckets
+
+
+class _SortBy(Dataset):
+    _SAMPLE_PER_PARTITION = 64
+
+    def __init__(
+        self, parent: Dataset, key: Callable, ascending: bool, num_out: int
+    ) -> None:
+        super().__init__(parent.engine, (parent,), num_out, "sort_by")
+        self._key = key
+        self._ascending = ascending
+
+    def _compute(self, memo: dict) -> list[list]:
+        parent_parts = self.parents[0]._materialize(memo)
+        key = self._key
+        rows_in = sum(len(p) for p in parent_parts)
+        with StageTimer(
+            self.engine.metrics, self.label, rows_in, self.num_partitions
+        ) as timer:
+            sample: list = []
+            for partition in parent_parts:
+                step = max(1, len(partition) // self._SAMPLE_PER_PARTITION)
+                sample.extend(partition[::step])
+            partitioner = RangePartitioner.from_sample(
+                sample, self.num_partitions, key=key
+            )
+            buckets = exchange(
+                parent_parts,
+                partitioner.partition,
+                partitioner.num_partitions,
+                spill_dir=self.engine.spill_dir,
+                spill_threshold=self.engine.spill_threshold,
+            )
+            buckets = self.engine.scheduler.run(
+                lambda _i, part: sorted(part, key=key, reverse=not self._ascending),
+                buckets,
+            )
+            if not self._ascending:
+                buckets = list(reversed(buckets))
+            timer.rows_out = sum(len(p) for p in buckets)
+        return buckets
+
+
+class _Join(Dataset):
+    def __init__(
+        self, left: Dataset, right: Dataset, how: str, num_partitions: int
+    ) -> None:
+        if left.engine is not right.engine:
+            raise ValueError("cannot join datasets from different engines")
+        super().__init__(left.engine, (left, right), num_partitions, f"join[{how}]")
+        self._how = how
+
+    def _compute(self, memo: dict) -> list[list]:
+        left_parts = self.parents[0]._materialize(memo)
+        right_parts = self.parents[1]._materialize(memo)
+        partitioner = HashPartitioner(self.num_partitions)
+        route = lambda record: partitioner.partition(record[0])  # noqa: E731
+        rows_in = sum(len(p) for p in left_parts) + sum(len(p) for p in right_parts)
+        with StageTimer(
+            self.engine.metrics, self.label, rows_in, self.num_partitions
+        ) as timer:
+            left_buckets = exchange(
+                left_parts, route, self.num_partitions,
+                spill_dir=self.engine.spill_dir,
+                spill_threshold=self.engine.spill_threshold,
+            )
+            right_buckets = exchange(
+                right_parts, route, self.num_partitions,
+                spill_dir=self.engine.spill_dir,
+                spill_threshold=self.engine.spill_threshold,
+            )
+            how = self._how
+            paired = list(zip(left_buckets, right_buckets))
+
+            def join_partition(_index: int, pair: tuple) -> list:
+                left_bucket, right_bucket = pair
+                right_table: dict = {}
+                for key, value in right_bucket:
+                    right_table.setdefault(key, []).append(value)
+                output = []
+                if how == "cogroup":
+                    left_table: dict = {}
+                    for key, value in left_bucket:
+                        left_table.setdefault(key, []).append(value)
+                    for key in set(left_table) | set(right_table):
+                        output.append(
+                            (key, (left_table.get(key, []), right_table.get(key, [])))
+                        )
+                    return output
+                for key, value in left_bucket:
+                    matches = right_table.get(key)
+                    if matches:
+                        output.extend((key, (value, match)) for match in matches)
+                    elif how == "left":
+                        output.append((key, (value, None)))
+                return output
+
+            buckets = self.engine.scheduler.run(join_partition, paired)
+            timer.rows_out = sum(len(p) for p in buckets)
+        return buckets
+
+
+def _name(fn: Callable) -> str:
+    return getattr(fn, "__name__", "<fn>")

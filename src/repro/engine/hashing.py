@@ -1,0 +1,46 @@
+"""Process-stable hashing for partitioners and sketches.
+
+Python's built-in ``hash`` is salted per interpreter (PYTHONHASHSEED), so
+partition assignments would differ between runs and between the processes
+of the process scheduler.  ``stable_hash`` derives a 64-bit value from a
+canonical byte encoding instead, making every shuffle deterministic.
+"""
+
+from __future__ import annotations
+
+from hashlib import blake2b
+
+
+def stable_hash(value: object) -> int:
+    """A 64-bit hash that is identical across processes and runs.
+
+    Supports the key types the pipeline shuffles on: ints, strings,
+    bytes, floats, bools, None, and (nested) tuples thereof.
+    """
+    return int.from_bytes(_digest(value), "big")
+
+
+def _digest(value: object) -> bytes:
+    if isinstance(value, bool):
+        payload = b"o" + bytes([value])
+    elif isinstance(value, int):
+        payload = b"i" + value.to_bytes(16, "big", signed=True)
+    elif isinstance(value, str):
+        payload = b"s" + value.encode("utf-8")
+    elif isinstance(value, bytes):
+        payload = b"b" + value
+    elif isinstance(value, float):
+        payload = b"f" + repr(value).encode("ascii")
+    elif value is None:
+        payload = b"n"
+    elif isinstance(value, tuple):
+        hasher = blake2b(digest_size=8)
+        hasher.update(b"t")
+        for item in value:
+            hasher.update(_digest(item))
+        return hasher.digest()
+    else:
+        raise TypeError(
+            f"unhashable key type for stable_hash: {type(value).__name__}"
+        )
+    return blake2b(payload, digest_size=8).digest()

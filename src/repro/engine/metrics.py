@@ -1,0 +1,84 @@
+"""Per-stage instrumentation.
+
+Every terminal action records one :class:`StageMetric` per evaluated
+transformation: operator name, wall time, rows in and rows out.  The
+Figure 3 benchmark (execution-flow timing) reads these to print the
+pipeline's stage breakdown, and the stage-funnel benchmark (Figure 2)
+reads the row counts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class StageMetric:
+    """One evaluated stage of a job."""
+
+    label: str
+    seconds: float
+    rows_in: int
+    rows_out: int
+    partitions: int
+
+
+@dataclass
+class MetricsRecorder:
+    """Accumulates stage metrics across a job (or several)."""
+
+    stages: list[StageMetric] = field(default_factory=list)
+
+    def record(
+        self, label: str, seconds: float, rows_in: int, rows_out: int, partitions: int
+    ) -> None:
+        """Append one stage's numbers."""
+        self.stages.append(StageMetric(label, seconds, rows_in, rows_out, partitions))
+
+    def total_seconds(self) -> float:
+        """Wall time across all recorded stages."""
+        return sum(stage.seconds for stage in self.stages)
+
+    def by_label(self) -> dict[str, float]:
+        """Total seconds per stage label, insertion-ordered."""
+        totals: dict[str, float] = {}
+        for stage in self.stages:
+            totals[stage.label] = totals.get(stage.label, 0.0) + stage.seconds
+        return totals
+
+    def clear(self) -> None:
+        """Drop all recorded stages."""
+        self.stages.clear()
+
+
+class StageTimer:
+    """Context manager that records a stage on exit."""
+
+    def __init__(
+        self,
+        recorder: MetricsRecorder | None,
+        label: str,
+        rows_in: int,
+        partitions: int,
+    ) -> None:
+        self._recorder = recorder
+        self._label = label
+        self._rows_in = rows_in
+        self._partitions = partitions
+        self._start = 0.0
+        self.rows_out = 0
+
+    def __enter__(self) -> "StageTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._recorder is not None and exc_type is None:
+            self._recorder.record(
+                self._label,
+                time.perf_counter() - self._start,
+                self._rows_in,
+                self.rows_out,
+                self._partitions,
+            )

@@ -1,0 +1,145 @@
+"""Execution backends: run one task per partition, serially or in parallel.
+
+A *task* is a plain callable of one partition's data.  The serial backend
+is the reference implementation every other backend must agree with (the
+engine tests assert this).  Threads help when partition work releases the
+GIL (file I/O, hashing); processes help for pure-Python CPU work at the
+price of pickling partitions across the boundary — the engine-scaling
+ablation benchmark measures exactly this trade-off.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+
+
+class SerialScheduler:
+    """Runs tasks one after another in the caller's thread."""
+
+    name = "serial"
+
+    def run(
+        self, task: Callable[[int, list], list], partitions: Sequence[list]
+    ) -> list[list]:
+        """Apply ``task(index, partition)`` to every partition, in order."""
+        return [task(i, part) for i, part in enumerate(partitions)]
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class ThreadScheduler:
+    """Runs tasks on a shared thread pool."""
+
+    name = "threads"
+
+    def __init__(self, max_workers: int = 4) -> None:
+        if max_workers < 1:
+            raise ValueError(f"need at least one worker, got {max_workers}")
+        self.max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+
+    def run(
+        self, task: Callable[[int, list], list], partitions: Sequence[list]
+    ) -> list[list]:
+        """Apply ``task`` to every partition concurrently; results keep
+        partition order."""
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+        futures = [
+            self._pool.submit(task, i, part) for i, part in enumerate(partitions)
+        ]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        """Shut the pool down."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+class ProcessScheduler:
+    """Runs tasks in forked worker processes.
+
+    Fork-per-run: each worker inherits the task closure and its slice of
+    partitions through the fork (no pickling of functions, which lets
+    lambda-heavy jobs run), computes its results, and pickles only the
+    results back through a pipe.  POSIX-only, like the fork start method
+    itself.
+    """
+
+    name = "processes"
+
+    def __init__(self, max_workers: int = 4) -> None:
+        if max_workers < 1:
+            raise ValueError(f"need at least one worker, got {max_workers}")
+        self.max_workers = max_workers
+
+    def run(
+        self, task: Callable[[int, list], list], partitions: Sequence[list]
+    ) -> list[list]:
+        """Apply ``task`` to every partition across forked workers; results
+        keep partition order."""
+        import os
+        import pickle
+
+        count = len(partitions)
+        if count == 0:
+            return []
+        workers = min(self.max_workers, count)
+        if workers == 1:
+            return [task(i, part) for i, part in enumerate(partitions)]
+        slices = [list(range(w, count, workers)) for w in range(workers)]
+        children: list[tuple[int, int, list[int]]] = []  # (pid, read_fd, indices)
+        for indices in slices:
+            read_fd, write_fd = os.pipe()
+            pid = os.fork()
+            if pid == 0:
+                # Worker: compute the slice, stream pickled results, exit
+                # without running parent atexit/cleanup handlers.
+                os.close(read_fd)
+                status = 0
+                try:
+                    payload = pickle.dumps(
+                        [task(i, partitions[i]) for i in indices],
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                    with os.fdopen(write_fd, "wb") as pipe:
+                        pipe.write(payload)
+                except BaseException:
+                    status = 1
+                os._exit(status)
+            os.close(write_fd)
+            children.append((pid, read_fd, indices))
+        results: list[list | None] = [None] * count
+        failure = False
+        for pid, read_fd, indices in children:
+            with os.fdopen(read_fd, "rb") as pipe:
+                payload = pipe.read()
+            _, status = os.waitpid(pid, 0)
+            if status != 0 or not payload:
+                failure = True
+                continue
+            for index, result in zip(indices, pickle.loads(payload)):
+                results[index] = result
+        if failure:
+            raise RuntimeError(
+                "a forked worker failed; re-run on the serial scheduler to "
+                "see the underlying exception"
+            )
+        return results  # type: ignore[return-value]
+
+    def close(self) -> None:
+        """Fork-per-run keeps no pool; nothing to release."""
+
+
+def make_scheduler(name: str, max_workers: int = 4):
+    """Factory: 'serial', 'threads' or 'processes'."""
+    if name == "serial":
+        return SerialScheduler()
+    if name == "threads":
+        return ThreadScheduler(max_workers=max_workers)
+    if name == "processes":
+        return ProcessScheduler(max_workers=max_workers)
+    raise ValueError(f"unknown scheduler {name!r}")

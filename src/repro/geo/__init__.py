@@ -1,0 +1,74 @@
+"""Geodesy primitives shared by every other subsystem.
+
+The maritime pipeline constantly converts between positions, distances,
+bearings and tracks.  This package implements those primitives on a
+spherical earth model (sufficient for AIS analytics, where positional noise
+dwarfs the ellipsoidal correction):
+
+- :mod:`repro.geo.distance` — haversine distances, initial bearings,
+  destination points and cross-track errors.
+- :mod:`repro.geo.greatcircle` — great-circle interpolation and sampling,
+  used by the voyage simulator to lay tracks between waypoints.
+- :mod:`repro.geo.rhumb` — rhumb-line (constant-bearing) navigation, the
+  other steering mode real vessels use on short legs.
+- :mod:`repro.geo.circular` — statistics on angular quantities (course,
+  heading), where the arithmetic mean of 359° and 1° must be 0°, not 180°.
+- :mod:`repro.geo.polygon` — point-in-polygon and bounding-box tests used
+  by the port geofencing stage.
+"""
+
+from repro.geo.constants import (
+    EARTH_RADIUS_M,
+    EARTH_AREA_KM2,
+    KNOT_MS,
+    NAUTICAL_MILE_M,
+)
+from repro.geo.distance import (
+    haversine_m,
+    haversine_nm,
+    initial_bearing_deg,
+    destination_point,
+    cross_track_distance_m,
+    speed_between_knots,
+)
+from repro.geo.greatcircle import (
+    interpolate,
+    sample_track,
+    track_length_m,
+)
+from repro.geo.rhumb import rhumb_distance_m, rhumb_bearing_deg, rhumb_destination
+from repro.geo.circular import (
+    angular_difference_deg,
+    circular_mean_deg,
+    circular_resultant,
+    circular_std_deg,
+    normalize_deg,
+)
+from repro.geo.polygon import BoundingBox, point_in_polygon, polygon_bbox
+
+__all__ = [
+    "EARTH_RADIUS_M",
+    "EARTH_AREA_KM2",
+    "KNOT_MS",
+    "NAUTICAL_MILE_M",
+    "haversine_m",
+    "haversine_nm",
+    "initial_bearing_deg",
+    "destination_point",
+    "cross_track_distance_m",
+    "speed_between_knots",
+    "interpolate",
+    "sample_track",
+    "track_length_m",
+    "rhumb_distance_m",
+    "rhumb_bearing_deg",
+    "rhumb_destination",
+    "angular_difference_deg",
+    "circular_mean_deg",
+    "circular_resultant",
+    "circular_std_deg",
+    "normalize_deg",
+    "BoundingBox",
+    "point_in_polygon",
+    "polygon_bbox",
+]

@@ -1,0 +1,78 @@
+"""Circular (directional) statistics.
+
+Course-over-ground and heading are angles: averaging 359° and 1° must give
+0°, not 180°.  Table 3 of the paper marks their means with an asterisk for
+exactly this reason.  The functions here operate on degrees in [0, 360) and
+are the scalar counterparts of the mergeable
+:class:`repro.sketches.circular.CircularMoments` sketch.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+
+def normalize_deg(angle: float) -> float:
+    """Normalise any angle in degrees into [0, 360)."""
+    result = math.fmod(angle, 360.0)
+    if result < 0.0:
+        result += 360.0
+    # Adding 360 to a tiny negative rounds to exactly 360.0; keep the
+    # half-open interval honest.
+    if result >= 360.0:
+        result = 0.0
+    return result
+
+
+def angular_difference_deg(a: float, b: float) -> float:
+    """Smallest absolute difference between two angles, in [0, 180]."""
+    diff = abs(normalize_deg(a) - normalize_deg(b))
+    return min(diff, 360.0 - diff)
+
+
+def circular_resultant(angles_deg: Iterable[float]) -> tuple[float, float, int]:
+    """Sum of unit vectors for a collection of angles.
+
+    Returns ``(sum_cos, sum_sin, count)``; the building block shared by
+    mean, resultant length and circular standard deviation.
+    """
+    sum_cos = 0.0
+    sum_sin = 0.0
+    count = 0
+    for angle in angles_deg:
+        rad = math.radians(angle)
+        sum_cos += math.cos(rad)
+        sum_sin += math.sin(rad)
+        count += 1
+    return sum_cos, sum_sin, count
+
+
+def circular_mean_deg(angles_deg: Iterable[float]) -> float:
+    """Circular mean of angles in degrees, in [0, 360).
+
+    Raises :class:`ValueError` on an empty input or when the resultant is
+    (numerically) zero, i.e. the directions perfectly cancel and no mean
+    direction exists.
+    """
+    sum_cos, sum_sin, count = circular_resultant(angles_deg)
+    if count == 0:
+        raise ValueError("circular mean of an empty collection is undefined")
+    if math.hypot(sum_cos, sum_sin) < 1e-12 * count:
+        raise ValueError("circular mean is undefined: directions cancel out")
+    return normalize_deg(math.degrees(math.atan2(sum_sin, sum_cos)))
+
+
+def circular_std_deg(angles_deg: Iterable[float]) -> float:
+    """Circular standard deviation in degrees.
+
+    Defined as ``sqrt(-2 ln R̄)`` (in radians, converted to degrees), where
+    R̄ is the mean resultant length.  Zero for identical angles, growing
+    without bound as directions become uniform.
+    """
+    sum_cos, sum_sin, count = circular_resultant(angles_deg)
+    if count == 0:
+        raise ValueError("circular std of an empty collection is undefined")
+    r_bar = math.hypot(sum_cos, sum_sin) / count
+    r_bar = min(1.0, max(1e-300, r_bar))
+    return math.degrees(math.sqrt(-2.0 * math.log(r_bar)))

@@ -1,0 +1,83 @@
+"""Planar point-in-polygon and bounding-box utilities.
+
+Port geofences are small (a few kilometres across), so the flat-earth
+approximation inside a geofence is exact for all practical purposes.
+Polygons are sequences of (lat, lon) vertices; the last vertex is
+implicitly joined back to the first.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingBox:
+    """Geographic bounding box; ``lon_min`` may exceed ``lon_max`` when the
+    box crosses the antimeridian."""
+
+    lat_min: float
+    lat_max: float
+    lon_min: float
+    lon_max: float
+
+    def __post_init__(self) -> None:
+        if self.lat_min > self.lat_max:
+            raise ValueError(
+                f"lat_min {self.lat_min} exceeds lat_max {self.lat_max}"
+            )
+
+    def contains(self, lat: float, lon: float) -> bool:
+        """Whether the point falls inside (edges inclusive)."""
+        if not (self.lat_min <= lat <= self.lat_max):
+            return False
+        if self.lon_min <= self.lon_max:
+            return self.lon_min <= lon <= self.lon_max
+        # Antimeridian-crossing box.
+        return lon >= self.lon_min or lon <= self.lon_max
+
+    def expand(self, margin_deg: float) -> "BoundingBox":
+        """A new box grown by ``margin_deg`` on every side (lat clamped)."""
+        return BoundingBox(
+            lat_min=max(-90.0, self.lat_min - margin_deg),
+            lat_max=min(90.0, self.lat_max + margin_deg),
+            lon_min=self.lon_min - margin_deg,
+            lon_max=self.lon_max + margin_deg,
+        )
+
+
+def point_in_polygon(
+    lat: float, lon: float, vertices: Sequence[tuple[float, float]]
+) -> bool:
+    """Even-odd ray-casting point-in-polygon test.
+
+    Points exactly on an edge may land on either side (standard ray-casting
+    behaviour); geofence radii are chosen so this never matters.
+    """
+    if len(vertices) < 3:
+        return False
+    inside = False
+    j = len(vertices) - 1
+    for i in range(len(vertices)):
+        lat_i, lon_i = vertices[i]
+        lat_j, lon_j = vertices[j]
+        crosses = (lon_i > lon) != (lon_j > lon)
+        if crosses:
+            intersect_lat = (lat_j - lat_i) * (lon - lon_i) / (lon_j - lon_i) + lat_i
+            if lat < intersect_lat:
+                inside = not inside
+        j = i
+    return inside
+
+
+def polygon_bbox(vertices: Sequence[tuple[float, float]]) -> BoundingBox:
+    """Axis-aligned bounding box of a polygon (no antimeridian handling;
+    geofence polygons never span it)."""
+    if not vertices:
+        raise ValueError("cannot compute bounding box of an empty polygon")
+    lats = [v[0] for v in vertices]
+    lons = [v[1] for v in vertices]
+    return BoundingBox(
+        lat_min=min(lats), lat_max=max(lats), lon_min=min(lons), lon_max=max(lons)
+    )

@@ -1,0 +1,73 @@
+"""Rhumb-line (loxodrome) navigation.
+
+A rhumb line crosses every meridian at the same angle — the track a vessel
+follows when holding a constant compass course.  The simulator uses rhumb
+legs for short coastal hops where real crews steer constant headings, and
+the tests cross-check rhumb against great-circle results (a rhumb line is
+never shorter).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geo.constants import EARTH_RADIUS_M
+
+
+def _mercator_y(lat_rad: float) -> float:
+    # Guard the projective singularity at the poles.
+    lat_rad = min(math.pi / 2 - 1e-10, max(-math.pi / 2 + 1e-10, lat_rad))
+    return math.log(math.tan(math.pi / 4.0 + lat_rad / 2.0))
+
+
+def rhumb_distance_m(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Length of the rhumb line between two points, in metres."""
+    phi1 = math.radians(lat1)
+    phi2 = math.radians(lat2)
+    dphi = phi2 - phi1
+    dlmb = math.radians(lon2 - lon1)
+    # Take the shorter way around the earth.
+    if abs(dlmb) > math.pi:
+        dlmb = dlmb - math.copysign(2.0 * math.pi, dlmb)
+    dpsi = _mercator_y(phi2) - _mercator_y(phi1)
+    if abs(dpsi) > 1e-12:
+        q = dphi / dpsi
+    else:
+        q = math.cos(phi1)
+    return math.hypot(dphi, q * dlmb) * EARTH_RADIUS_M
+
+
+def rhumb_bearing_deg(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Constant bearing of the rhumb line from point 1 to point 2, [0, 360)."""
+    phi1 = math.radians(lat1)
+    phi2 = math.radians(lat2)
+    dlmb = math.radians(lon2 - lon1)
+    if abs(dlmb) > math.pi:
+        dlmb = dlmb - math.copysign(2.0 * math.pi, dlmb)
+    dpsi = _mercator_y(phi2) - _mercator_y(phi1)
+    return math.degrees(math.atan2(dlmb, dpsi)) % 360.0
+
+
+def rhumb_destination(
+    lat: float, lon: float, bearing_deg: float, distance_m: float
+) -> tuple[float, float]:
+    """Destination after following a constant bearing for a given distance."""
+    delta = distance_m / EARTH_RADIUS_M
+    theta = math.radians(bearing_deg)
+    phi1 = math.radians(lat)
+    lmb1 = math.radians(lon)
+    dphi = delta * math.cos(theta)
+    phi2 = phi1 + dphi
+    # Clamp latitude if the track runs over a pole.
+    phi2 = min(math.pi / 2, max(-math.pi / 2, phi2))
+    dpsi = _mercator_y(phi2) - _mercator_y(phi1)
+    if abs(dpsi) > 1e-12:
+        q = dphi / dpsi
+    else:
+        q = math.cos(phi1)
+    dlmb = delta * math.sin(theta) / q if q != 0.0 else 0.0
+    lon2 = math.degrees(lmb1 + dlmb)
+    lon2 = ((lon2 + 180.0) % 360.0) - 180.0
+    if lon2 == -180.0:
+        lon2 = 180.0
+    return math.degrees(phi2), lon2

@@ -1,0 +1,88 @@
+"""64-bit cell identifiers.
+
+A cell id packs the resolution and the axial lattice coordinates into one
+integer so that inventories can key, sort and serialize cells cheaply:
+
+    bits 58–61   resolution (0–15)
+    bits 29–57   q + OFFSET (29-bit biased)
+    bits  0–28   r + OFFSET (29-bit biased)
+
+Bias 2²⁸ centres the representable axial range on zero; at the finest
+resolution (15, ~1 m lattice spacing) the plane needs |q|,|r| ≲ 3·10⁷,
+comfortably inside the ±2.7·10⁸ the packing allows.  Bit 62 is always zero
+so ids are positive in signed-64 containers; bit 63 is reserved.
+"""
+
+from __future__ import annotations
+
+#: Highest supported resolution.
+MAX_RESOLUTION = 15
+
+_COORD_BITS = 29
+_COORD_OFFSET = 1 << (_COORD_BITS - 1)
+_COORD_MASK = (1 << _COORD_BITS) - 1
+_RES_SHIFT = 2 * _COORD_BITS
+_Q_SHIFT = _COORD_BITS
+
+#: Type alias for readability in signatures throughout the package.
+CellId = int
+
+
+def pack_cell(res: int, q: int, r: int) -> CellId:
+    """Pack (resolution, q, r) into a cell id.
+
+    Raises :class:`ValueError` when the resolution or either coordinate is
+    out of the representable range.
+    """
+    if not 0 <= res <= MAX_RESOLUTION:
+        raise ValueError(f"resolution must be in [0, {MAX_RESOLUTION}], got {res}")
+    bq = q + _COORD_OFFSET
+    br = r + _COORD_OFFSET
+    if not (0 <= bq <= _COORD_MASK and 0 <= br <= _COORD_MASK):
+        raise ValueError(f"axial coordinates out of range: q={q} r={r}")
+    return (res << _RES_SHIFT) | (bq << _Q_SHIFT) | br
+
+
+def unpack_cell(cell: CellId) -> tuple[int, int, int]:
+    """Unpack a cell id into (resolution, q, r)."""
+    if cell < 0 or cell >> (_RES_SHIFT + 4):
+        raise ValueError(f"invalid cell id {cell!r}")
+    res = cell >> _RES_SHIFT
+    if res > MAX_RESOLUTION:
+        raise ValueError(f"invalid resolution {res} in cell id {cell!r}")
+    q = ((cell >> _Q_SHIFT) & _COORD_MASK) - _COORD_OFFSET
+    r = (cell & _COORD_MASK) - _COORD_OFFSET
+    return res, q, r
+
+
+def get_resolution(cell: CellId) -> int:
+    """The resolution encoded in a cell id."""
+    return unpack_cell(cell)[0]
+
+
+def is_valid_cell(cell: object) -> bool:
+    """Whether ``cell`` is a structurally valid cell id."""
+    if not isinstance(cell, int) or isinstance(cell, bool):
+        return False
+    try:
+        unpack_cell(cell)
+    except ValueError:
+        return False
+    return True
+
+
+def cell_to_string(cell: CellId) -> str:
+    """Canonical 16-hex-digit text form of a cell id (zero padded)."""
+    res, q, r = unpack_cell(cell)  # validation
+    del res, q, r
+    return f"{cell:016x}"
+
+
+def string_to_cell(text: str) -> CellId:
+    """Parse the canonical text form back into a cell id."""
+    try:
+        cell = int(text, 16)
+    except ValueError as exc:
+        raise ValueError(f"not a hexadecimal cell id: {text!r}") from exc
+    unpack_cell(cell)  # validation
+    return cell

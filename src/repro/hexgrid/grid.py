@@ -1,0 +1,164 @@
+"""Public grid API: indexing, traversal and the aperture-7 hierarchy.
+
+This module is the H3-shaped surface the rest of the project programs
+against; function names deliberately mirror the h3-py v4 API
+(``latlng_to_cell``, ``grid_disk``, ``cell_to_parent``, …) so readers
+familiar with the paper's stack can map code to methodology directly.
+"""
+
+from __future__ import annotations
+
+from repro.hexgrid.cellid import CellId, get_resolution, pack_cell, unpack_cell
+from repro.hexgrid.hexmath import (
+    hex_disk,
+    hex_distance,
+    hex_line,
+    hex_ring,
+)
+from repro.hexgrid.lattice import (
+    cell_coords_to_plane,
+    cell_corners_plane,
+    plane_to_cell_coords,
+)
+from repro.hexgrid.projection import project, unproject
+
+
+def latlng_to_cell(lat: float, lon: float, res: int) -> CellId:
+    """Index a geographic position: the cell containing (lat, lon)."""
+    x, y = project(lat, lon)
+    q, r = plane_to_cell_coords(x, y, res)
+    return pack_cell(res, q, r)
+
+
+def cell_to_latlng(cell: CellId) -> tuple[float, float]:
+    """Geographic coordinates of a cell's center."""
+    res, q, r = unpack_cell(cell)
+    x, y = cell_coords_to_plane(q, r, res)
+    return unproject(x, y)
+
+
+def cell_to_boundary(cell: CellId) -> list[tuple[float, float]]:
+    """The six boundary vertices of a cell as (lat, lon), counter-clockwise."""
+    res, q, r = unpack_cell(cell)
+    return [unproject(x, y) for x, y in cell_corners_plane(q, r, res)]
+
+
+def grid_distance(cell_a: CellId, cell_b: CellId) -> int:
+    """Minimum number of neighbor hops between two same-resolution cells."""
+    res_a, qa, ra = unpack_cell(cell_a)
+    res_b, qb, rb = unpack_cell(cell_b)
+    _require_same_res(res_a, res_b)
+    return hex_distance(qa, ra, qb, rb)
+
+
+def grid_disk(cell: CellId, k: int) -> list[CellId]:
+    """All cells within ``k`` hops of a cell, center first, ring by ring."""
+    res, q, r = unpack_cell(cell)
+    return [pack_cell(res, nq, nr) for nq, nr in hex_disk(q, r, k)]
+
+
+def grid_ring(cell: CellId, k: int) -> list[CellId]:
+    """Cells at exactly ``k`` hops from a cell."""
+    res, q, r = unpack_cell(cell)
+    return [pack_cell(res, nq, nr) for nq, nr in hex_ring(q, r, k)]
+
+
+def grid_path_cells(cell_a: CellId, cell_b: CellId) -> list[CellId]:
+    """Cells along the straight lattice line between two cells, inclusive.
+
+    Consecutive cells in the result are always neighbors, which makes the
+    path suitable for densifying sparse trajectories before counting cell
+    transitions.
+    """
+    res_a, qa, ra = unpack_cell(cell_a)
+    res_b, qb, rb = unpack_cell(cell_b)
+    _require_same_res(res_a, res_b)
+    return [pack_cell(res_a, q, r) for q, r in hex_line(qa, ra, qb, rb)]
+
+
+def are_neighbor_cells(cell_a: CellId, cell_b: CellId) -> bool:
+    """Whether two distinct same-resolution cells share an edge."""
+    res_a, qa, ra = unpack_cell(cell_a)
+    res_b, qb, rb = unpack_cell(cell_b)
+    if res_a != res_b:
+        return False
+    return hex_distance(qa, ra, qb, rb) == 1
+
+
+def cell_to_parent(cell: CellId, parent_res: int | None = None) -> CellId:
+    """The ancestor cell containing this cell's center.
+
+    ``parent_res`` defaults to one level coarser.  Must be coarser than or
+    equal to the cell's own resolution.
+    """
+    res, q, r = unpack_cell(cell)
+    if parent_res is None:
+        parent_res = res - 1
+    if parent_res < 0 or parent_res > res:
+        raise ValueError(
+            f"parent resolution {parent_res} invalid for cell at resolution {res}"
+        )
+    if parent_res == res:
+        return cell
+    x, y = cell_coords_to_plane(q, r, res)
+    pq, pr = plane_to_cell_coords(x, y, parent_res)
+    return pack_cell(parent_res, pq, pr)
+
+
+def cell_to_center_child(cell: CellId, child_res: int | None = None) -> CellId:
+    """The descendant cell containing this cell's center point."""
+    res, q, r = unpack_cell(cell)
+    if child_res is None:
+        child_res = res + 1
+    if child_res < res:
+        raise ValueError(
+            f"child resolution {child_res} invalid for cell at resolution {res}"
+        )
+    if child_res == res:
+        return cell
+    x, y = cell_coords_to_plane(q, r, res)
+    cq, cr = plane_to_cell_coords(x, y, child_res)
+    return pack_cell(child_res, cq, cr)
+
+
+def cell_to_children(cell: CellId, child_res: int | None = None) -> list[CellId]:
+    """All descendant cells whose ancestor (via :func:`cell_to_parent`) is
+    this cell.
+
+    Children average exactly 7 per level (aperture 7); individual parents
+    may own 6–8 children because child centers, not areas, define the
+    relation — the same semantics H3 has.  Results are sorted for
+    determinism.
+    """
+    res = get_resolution(cell)
+    if child_res is None:
+        child_res = res + 1
+    if child_res < res:
+        raise ValueError(
+            f"child resolution {child_res} invalid for cell at resolution {res}"
+        )
+    cells = [cell]
+    for level in range(res, child_res):
+        next_cells: list[CellId] = []
+        for parent in cells:
+            next_cells.extend(_direct_children(parent, level + 1))
+        cells = next_cells
+    return sorted(cells)
+
+
+def _direct_children(cell: CellId, child_res: int) -> list[CellId]:
+    center_child = cell_to_center_child(cell, child_res)
+    # Geometric children all lie within 2 hops of the center child for
+    # aperture 7; filter candidates by their actual parent.
+    return [
+        candidate
+        for candidate in grid_disk(center_child, 2)
+        if cell_to_parent(candidate, get_resolution(cell)) == cell
+    ]
+
+
+def _require_same_res(res_a: int, res_b: int) -> None:
+    if res_a != res_b:
+        raise ValueError(
+            f"cells must share a resolution, got {res_a} and {res_b}"
+        )

@@ -1,0 +1,119 @@
+"""Per-resolution lattice parameters and plane↔axial conversion.
+
+Resolutions form an aperture-7 hierarchy: each step down divides cell area
+by 7, shrinks lattice spacing by √7 and rotates the lattice by the classic
+angle α = atan(√3 / 5) ≈ 19.1066° — the angle of the axial vector (2, 1)
+that generates the index-7 sub-lattice.  This is the same aperture/rotation
+scheme H3 uses.
+
+Cell areas are calibrated to H3's published averages so resolution numbers
+mean the same thing in both systems: resolution 0 ≈ 4.36 M km², resolution
+6 ≈ 37 km², resolution 7 ≈ 5.3 km².  Unlike H3 (icosahedral, ±60 % area
+spread), every cell at a resolution here has *exactly* the calibrated area,
+because the underlying projection is equal-area.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+from repro.hexgrid.cellid import MAX_RESOLUTION
+from repro.hexgrid.hexmath import axial_to_plane, axial_round, plane_to_axial
+from repro.hexgrid.projection import PLANE_AREA_M2
+
+#: Average H3 resolution-0 cell area, used to calibrate our resolution 0.
+_BASE_AREA_KM2 = 4_357_449.41
+
+#: Aperture of the hierarchy: children per parent.
+APERTURE = 7
+
+#: Inter-resolution lattice rotation in radians: angle of axial vector (2,1).
+ROTATION_ALPHA = math.atan2(math.sqrt(3.0) / 2.0, 2.5)
+
+_SQRT7 = math.sqrt(7.0)
+# Hexagon area = (3√3/2)·size² where size is the circumradius.
+_HEX_AREA_COEFF = 3.0 * math.sqrt(3.0) / 2.0
+
+
+def cell_area_km2(res: int) -> float:
+    """Exact geodesic area of every cell at a resolution, in km²."""
+    _check_res(res)
+    return _BASE_AREA_KM2 / (APERTURE**res)
+
+
+def cell_area_m2(res: int) -> float:
+    """Exact geodesic area of every cell at a resolution, in m²."""
+    return cell_area_km2(res) * 1e6
+
+
+@lru_cache(maxsize=None)
+def cell_size_m(res: int) -> float:
+    """Hexagon circumradius (center-to-vertex) in plane metres."""
+    _check_res(res)
+    return math.sqrt(cell_area_m2(res) / _HEX_AREA_COEFF)
+
+
+def cell_edge_length_km(res: int) -> float:
+    """Edge length of a cell in km (equals the circumradius for a regular
+    hexagon)."""
+    return cell_size_m(res) / 1000.0
+
+
+def cell_spacing_m(res: int) -> float:
+    """Center-to-center distance of adjacent cells in plane metres."""
+    return math.sqrt(3.0) * cell_size_m(res)
+
+
+def cells_count(res: int) -> int:
+    """Total number of cells tiling the globe at a resolution.
+
+    Computed as sphere area over cell area; exact up to the handful of
+    partial cells cut by the antimeridian seam.
+    """
+    _check_res(res)
+    return round(PLANE_AREA_M2 / cell_area_m2(res))
+
+
+@lru_cache(maxsize=None)
+def _rotation(res: int) -> tuple[float, float]:
+    """(cos, sin) of the cumulative lattice rotation at a resolution."""
+    angle = res * ROTATION_ALPHA
+    return math.cos(angle), math.sin(angle)
+
+
+def plane_to_cell_coords(x: float, y: float, res: int) -> tuple[int, int]:
+    """Containing cell's axial coordinates for a plane point."""
+    cos_a, sin_a = _rotation(res)
+    # Rotate the point by −angle into the lattice frame.
+    lx = cos_a * x + sin_a * y
+    ly = -sin_a * x + cos_a * y
+    fq, fr = plane_to_axial(lx, ly, cell_size_m(res))
+    return axial_round(fq, fr)
+
+
+def cell_coords_to_plane(q: int, r: int, res: int) -> tuple[float, float]:
+    """Plane coordinates of a cell's center."""
+    lx, ly = axial_to_plane(q, r, cell_size_m(res))
+    cos_a, sin_a = _rotation(res)
+    # Rotate from the lattice frame back by +angle.
+    return cos_a * lx - sin_a * ly, sin_a * lx + cos_a * ly
+
+
+def cell_corners_plane(q: int, r: int, res: int) -> list[tuple[float, float]]:
+    """The six vertex plane coordinates of a cell, counter-clockwise."""
+    size = cell_size_m(res)
+    lx, ly = axial_to_plane(q, r, size)
+    cos_a, sin_a = _rotation(res)
+    corners = []
+    for i in range(6):
+        angle = math.radians(60.0 * i - 30.0)
+        cx = lx + size * math.cos(angle)
+        cy = ly + size * math.sin(angle)
+        corners.append((cos_a * cx - sin_a * cy, sin_a * cx + cos_a * cy))
+    return corners
+
+
+def _check_res(res: int) -> None:
+    if not 0 <= res <= MAX_RESOLUTION:
+        raise ValueError(f"resolution must be in [0, {MAX_RESOLUTION}], got {res}")

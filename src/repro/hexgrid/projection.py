@@ -1,0 +1,58 @@
+"""Lambert cylindrical equal-area projection.
+
+The grid lives on a plane where one square metre corresponds to exactly one
+square metre of the earth's surface:
+
+    x = R · λ          (longitude in radians)
+    y = R · sin(φ)     (latitude in radians)
+
+The projected plane is the rectangle x ∈ [−πR, πR], y ∈ [−R, R] with total
+area 2πR × 2R = 4πR², the surface area of the sphere.  Because hexagon
+areas in the plane equal their geodesic areas, every grid cell at a given
+resolution covers an identical area of ocean.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geo.constants import EARTH_RADIUS_M
+
+#: Half-width of the projected plane (x spans ±PLANE_HALF_WIDTH_M).
+PLANE_HALF_WIDTH_M = math.pi * EARTH_RADIUS_M
+
+#: Half-height of the projected plane (y spans ±PLANE_HALF_HEIGHT_M).
+PLANE_HALF_HEIGHT_M = EARTH_RADIUS_M
+
+#: Total plane area in m² — equals the sphere's surface area.
+PLANE_AREA_M2 = 4.0 * math.pi * EARTH_RADIUS_M**2
+
+
+def project(lat: float, lon: float) -> tuple[float, float]:
+    """Project geographic coordinates to plane metres.
+
+    Latitude is clamped to [−90, 90]; longitude is normalised to
+    (−180, 180] so the seam sits on the antimeridian.
+    """
+    lat = min(90.0, max(-90.0, lat))
+    lon = ((lon + 180.0) % 360.0) - 180.0
+    if lon == -180.0:
+        lon = 180.0
+    x = EARTH_RADIUS_M * math.radians(lon)
+    y = EARTH_RADIUS_M * math.sin(math.radians(lat))
+    return x, y
+
+
+def unproject(x: float, y: float) -> tuple[float, float]:
+    """Inverse projection from plane metres to (lat, lon).
+
+    ``y`` is clamped to the plane; ``x`` wraps around the antimeridian so
+    that cell centers just past the seam still yield valid longitudes.
+    """
+    sin_lat = min(1.0, max(-1.0, y / EARTH_RADIUS_M))
+    lat = math.degrees(math.asin(sin_lat))
+    lon = math.degrees(x / EARTH_RADIUS_M)
+    lon = ((lon + 180.0) % 360.0) - 180.0
+    if lon == -180.0:
+        lon = 180.0
+    return lat, lon

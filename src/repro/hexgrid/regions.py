@@ -1,0 +1,80 @@
+"""Region covers: enumerate the cells of a geographic area.
+
+Used by the regional benchmarks (Figure 4's Baltic box) and by the
+utilization metric of Table 4, which needs the denominator "how many cells
+exist over a given area".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.geo.polygon import BoundingBox, point_in_polygon, polygon_bbox
+from repro.hexgrid.cellid import CellId, pack_cell
+from repro.hexgrid.lattice import cell_coords_to_plane, cell_spacing_m
+from repro.hexgrid.projection import project, unproject
+
+
+def bbox_cells(bbox: BoundingBox, res: int) -> list[CellId]:
+    """All cells whose *center* falls inside a bounding box.
+
+    Scans the axial-coordinate range covered by the box; cost is
+    proportional to the number of candidate cells, so choose the resolution
+    with the box size in mind.  Boxes spanning the antimeridian are split
+    into two non-spanning boxes first.
+    """
+    if bbox.lon_min > bbox.lon_max:
+        west = BoundingBox(bbox.lat_min, bbox.lat_max, bbox.lon_min, 180.0)
+        east = BoundingBox(bbox.lat_min, bbox.lat_max, -180.0, bbox.lon_max)
+        return sorted(set(bbox_cells(west, res)) | set(bbox_cells(east, res)))
+    corners = [
+        project(bbox.lat_min, bbox.lon_min),
+        project(bbox.lat_min, bbox.lon_max),
+        project(bbox.lat_max, bbox.lon_min),
+        project(bbox.lat_max, bbox.lon_max),
+    ]
+    return sorted(_scan_plane_rect(corners, bbox, res))
+
+
+def polyfill(vertices: Sequence[tuple[float, float]], res: int) -> list[CellId]:
+    """All cells whose center lies inside a (lat, lon) polygon."""
+    bbox = polygon_bbox(vertices)
+    cells = []
+    for cell in bbox_cells(bbox, res):
+        lat, lon = _cell_center(cell, res)
+        if point_in_polygon(lat, lon, vertices):
+            cells.append(cell)
+    return cells
+
+
+def _cell_center(cell: CellId, res: int) -> tuple[float, float]:
+    from repro.hexgrid.cellid import unpack_cell
+
+    _, q, r = unpack_cell(cell)
+    x, y = cell_coords_to_plane(q, r, res)
+    return unproject(x, y)
+
+
+def _scan_plane_rect(
+    corners: list[tuple[float, float]], bbox: BoundingBox, res: int
+) -> list[CellId]:
+    from repro.hexgrid.lattice import plane_to_cell_coords
+
+    spacing = cell_spacing_m(res)
+    # Find the axial bounds of the rectangle by sampling its corners with a
+    # one-cell safety margin (the lattice is rotated relative to the plane).
+    qs: list[int] = []
+    rs: list[int] = []
+    for x, y in corners:
+        q, r = plane_to_cell_coords(x, y, res)
+        qs.append(q)
+        rs.append(r)
+    margin = 2
+    cells: list[CellId] = []
+    for q in range(min(qs) - margin, max(qs) + margin + 1):
+        for r in range(min(rs) - margin, max(rs) + margin + 1):
+            x, y = cell_coords_to_plane(q, r, res)
+            lat, lon = unproject(x, y)
+            if bbox.contains(lat, lon):
+                cells.append(pack_cell(res, q, r))
+    return cells

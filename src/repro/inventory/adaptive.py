@@ -1,0 +1,174 @@
+"""Adaptive multi-resolution inventories (the paper's §5 future work).
+
+"We aim to further explore hierarchical capabilities of the selected
+spatial index to provide non-uniform inventories … automatically adjusting
+to the density of maritime traffic, i.e., using larger cells in open sea
+areas … preserving at the same time high resolution in dense areas, such
+as the ones near the ports."
+
+:func:`build_adaptive` implements that idea on top of a uniform
+fine-resolution inventory: fine cells whose pure-cell record count is
+below ``min_records`` are *merged into their parents* (recursively, down
+to ``coarse_resolution``), while dense cells keep their native
+resolution.  Because every summary is a monoid, coarsening is exact: a
+parent's summary equals the merge of its children's.
+
+The result is an :class:`AdaptiveInventory`: a mixed-resolution cell map
+with point queries that probe fine-to-coarse, typically shrinking the
+group count severalfold at negligible cost to dense-area locality.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.hexgrid import cell_to_parent, get_resolution, latlng_to_cell
+from repro.inventory.keys import GroupKey, GroupingSet
+from repro.inventory.store import Inventory
+from repro.inventory.summary import CellSummary
+
+
+class AdaptiveInventory:
+    """A non-uniform inventory: cell resolutions vary with traffic density."""
+
+    def __init__(self, fine_resolution: int, coarse_resolution: int) -> None:
+        if coarse_resolution > fine_resolution:
+            raise ValueError(
+                f"coarse resolution {coarse_resolution} must not exceed the "
+                f"fine resolution {fine_resolution}"
+            )
+        self.fine_resolution = fine_resolution
+        self.coarse_resolution = coarse_resolution
+        self._groups: dict[GroupKey, CellSummary] = {}
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def items(self) -> Iterator[tuple[GroupKey, CellSummary]]:
+        """All (key, summary) pairs, unordered."""
+        return iter(self._groups.items())
+
+    def cells(self) -> set[int]:
+        """Distinct cells (mixed resolutions)."""
+        return {key.cell for key in self._groups}
+
+    def resolution_histogram(self) -> dict[int, int]:
+        """Cell count per resolution level — the 'shape' of adaptivity."""
+        histogram: dict[int, int] = {}
+        for cell in self.cells():
+            resolution = get_resolution(cell)
+            histogram[resolution] = histogram.get(resolution, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def summary_at(
+        self,
+        lat: float,
+        lon: float,
+        vessel_type: str | None = None,
+        origin: str | None = None,
+        destination: str | None = None,
+    ) -> CellSummary | None:
+        """Point query: probe the fine cell first, then its ancestors."""
+        for resolution in range(
+            self.fine_resolution, self.coarse_resolution - 1, -1
+        ):
+            cell = latlng_to_cell(lat, lon, resolution)
+            key = GroupKey(
+                cell=cell,
+                vessel_type=vessel_type,
+                origin=origin,
+                destination=destination,
+            )
+            summary = self._groups.get(key)
+            if summary is not None:
+                return summary
+        return None
+
+    def total_records(self) -> int:
+        """Records in the pure-cell grouping set (each counted once)."""
+        return sum(
+            summary.records
+            for key, summary in self._groups.items()
+            if key.grouping_set is GroupingSet.CELL
+        )
+
+    def _put(self, key: GroupKey, summary: CellSummary) -> None:
+        existing = self._groups.get(key)
+        if existing is None:
+            self._groups[key] = summary
+        else:
+            existing.merge(summary)
+
+
+def build_adaptive(
+    inventory: Inventory,
+    min_records: int,
+    coarse_resolution: int,
+) -> AdaptiveInventory:
+    """Coarsen a uniform inventory into an adaptive one.
+
+    A fine cell stays at its native resolution when its *pure-cell* record
+    count reaches ``min_records``; otherwise every grouping of that cell
+    merges into the parent cell, repeatedly until either the merged parent
+    is dense enough or ``coarse_resolution`` is reached.
+
+    The source inventory is not modified.  Conservation law (tested):
+    the adaptive inventory holds exactly the records of the original.
+    """
+    if min_records < 1:
+        raise ValueError(f"min_records must be positive, got {min_records}")
+    fine_resolution = inventory.resolution
+    adaptive = AdaptiveInventory(fine_resolution, coarse_resolution)
+
+    # Organise source groups by cell so a cell's groupings travel together.
+    by_cell: dict[int, list[tuple[GroupKey, CellSummary]]] = {}
+    cell_records: dict[int, int] = {}
+    for key, summary in inventory.items():
+        clone = CellSummary.from_dict(summary.to_dict())
+        by_cell.setdefault(key.cell, []).append((key, clone))
+        if key.grouping_set is GroupingSet.CELL:
+            cell_records[key.cell] = summary.records
+
+    for resolution in range(fine_resolution, coarse_resolution, -1):
+        sparse = [
+            cell
+            for cell in by_cell
+            if get_resolution(cell) == resolution
+            and cell_records.get(cell, 0) < min_records
+        ]
+        for cell in sparse:
+            parent = cell_to_parent(cell)
+            parent_groups = by_cell.setdefault(parent, [])
+            parent_index = {
+                _dims(key): index for index, (key, _) in enumerate(parent_groups)
+            }
+            for key, summary in by_cell.pop(cell):
+                dims = _dims(key)
+                if dims in parent_index:
+                    parent_groups[parent_index[dims]][1].merge(summary)
+                else:
+                    parent_index[dims] = len(parent_groups)
+                    parent_groups.append((_rekey(key, parent), summary))
+                if key.grouping_set is GroupingSet.CELL:
+                    cell_records[parent] = (
+                        cell_records.get(parent, 0) + summary.records
+                    )
+            cell_records.pop(cell, None)
+
+    for groups in by_cell.values():
+        for key, summary in groups:
+            adaptive._put(key, summary)
+    return adaptive
+
+
+def _dims(key: GroupKey) -> tuple:
+    return (key.vessel_type, key.origin, key.destination)
+
+
+def _rekey(key: GroupKey, cell: int) -> GroupKey:
+    return GroupKey(
+        cell=cell,
+        vessel_type=key.vessel_type,
+        origin=key.origin,
+        destination=key.destination,
+    )

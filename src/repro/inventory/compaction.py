@@ -1,0 +1,70 @@
+"""SSTable compaction: k-way merging of persisted inventories.
+
+An operational deployment builds one inventory table per ingestion window
+(day, week) and periodically compacts them — the LSM pattern.  Because
+cell summaries form a monoid, compaction is exact: merging the tables of
+disjoint windows yields byte-for-byte the statistics of a single build
+over the union.
+
+:func:`merge_tables` streams the inputs through a k-way heap merge in key
+order, merging summaries of equal keys, so peak memory is one entry per
+input table regardless of table sizes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from pathlib import Path
+
+from repro.inventory.sstable import SSTableReader, SSTableWriter, _key_bytes
+
+
+def merge_tables(
+    inputs: list[str | Path],
+    output: str | Path,
+    block_size: int = 16 * 1024,
+) -> int:
+    """Compact several inventory tables into one; returns the entry count.
+
+    Keys appearing in several inputs have their summaries merged (the
+    summary monoid); each input must itself be a valid table.
+    """
+    if not inputs:
+        raise ValueError("need at least one input table")
+    readers = [SSTableReader(path) for path in inputs]
+    try:
+        heap = []
+        scans = [reader.scan() for reader in readers]
+        for index, scan in enumerate(scans):
+            entry = next(scan, None)
+            if entry is not None:
+                key, summary = entry
+                heapq.heappush(heap, (_key_bytes(key), index, key, summary))
+        entries = 0
+        with SSTableWriter(output, block_size=block_size) as writer:
+            current_raw: bytes | None = None
+            current_key = None
+            current_summary = None
+            while heap:
+                raw, index, key, summary = heapq.heappop(heap)
+                if current_raw is None:
+                    current_raw, current_key, current_summary = raw, key, summary
+                elif raw == current_raw:
+                    current_summary.merge(summary)
+                else:
+                    writer.add(current_key, current_summary)
+                    entries += 1
+                    current_raw, current_key, current_summary = raw, key, summary
+                entry = next(scans[index], None)
+                if entry is not None:
+                    next_key, next_summary = entry
+                    heapq.heappush(
+                        heap, (_key_bytes(next_key), index, next_key, next_summary)
+                    )
+            if current_raw is not None:
+                writer.add(current_key, current_summary)
+                entries += 1
+        return entries
+    finally:
+        for reader in readers:
+            reader.close()

@@ -1,0 +1,118 @@
+"""GeoJSON export: inventories as standard GIS features.
+
+The paper's figures are maps; real consumers of a mobility inventory load
+it into GIS tooling (QGIS, kepler.gl, deck.gl).  ``inventory_to_geojson``
+emits one Polygon feature per cell with the headline statistics as
+properties, so any GeoJSON viewer reproduces Figures 1/4/5/6 directly.
+
+Cells crossing the antimeridian are split-safe: their vertex longitudes
+are unwrapped to one side so the polygon never spans ±180°.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable
+from pathlib import Path
+
+from repro.hexgrid import cell_to_boundary
+from repro.inventory.keys import GroupingSet
+from repro.inventory.store import Inventory
+from repro.inventory.summary import CellSummary
+
+
+def cell_feature(
+    cell: int,
+    summary: CellSummary,
+    extra_properties: dict | None = None,
+) -> dict:
+    """One GeoJSON Feature for a cell and its summary."""
+    boundary = cell_to_boundary(cell)
+    ring = [[lon, lat] for lat, lon in boundary]
+    ring = _unwrap_antimeridian(ring)
+    ring.append(ring[0])  # close the ring
+    speed = summary.speed_percentiles()
+    properties = {
+        "cell": f"{cell:016x}",
+        "records": summary.records,
+        "ships": summary.ships.cardinality(),
+        "trips": summary.trips.cardinality(),
+        "mean_speed_kn": _round(summary.mean_speed_kn()),
+        "speed_p50_kn": _round(speed[1]) if speed else None,
+        "mean_course_deg": _round(summary.mean_course_deg()),
+        "mean_ata_h": _round(
+            summary.mean_ata_s() / 3600.0 if summary.mean_ata_s() else None
+        ),
+        "top_destination": summary.top_destination(),
+    }
+    if extra_properties:
+        properties.update(extra_properties)
+    return {
+        "type": "Feature",
+        "geometry": {"type": "Polygon", "coordinates": [ring]},
+        "properties": properties,
+    }
+
+
+def inventory_to_geojson(
+    inventory: Inventory,
+    vessel_type: str | None = None,
+    predicate: Callable[[CellSummary], bool] | None = None,
+    max_features: int | None = None,
+) -> dict:
+    """A FeatureCollection of the inventory's cells.
+
+    :param vessel_type: export the per-type breakdown instead of the
+        pure-cell grouping.
+    :param predicate: optional filter on summaries (e.g. only dense cells).
+    :param max_features: cap the output (features are ordered by record
+        count, densest first, so a cap keeps the most informative cells).
+    """
+    wanted = (
+        GroupingSet.CELL if vessel_type is None else GroupingSet.CELL_TYPE
+    )
+    selected = [
+        (key, summary)
+        for key, summary in inventory.items()
+        if key.grouping_set is wanted
+        and (vessel_type is None or key.vessel_type == vessel_type)
+        and (predicate is None or predicate(summary))
+    ]
+    selected.sort(key=lambda pair: -pair[1].records)
+    if max_features is not None:
+        selected = selected[:max_features]
+    features = [cell_feature(key.cell, summary) for key, summary in selected]
+    return {"type": "FeatureCollection", "features": features}
+
+
+def write_geojson(
+    inventory: Inventory,
+    path: str | Path,
+    vessel_type: str | None = None,
+    predicate: Callable[[CellSummary], bool] | None = None,
+    max_features: int | None = None,
+) -> int:
+    """Write a FeatureCollection to disk; returns the feature count."""
+    collection = inventory_to_geojson(
+        inventory,
+        vessel_type=vessel_type,
+        predicate=predicate,
+        max_features=max_features,
+    )
+    with open(path, "w") as handle:
+        json.dump(collection, handle, separators=(",", ":"))
+    return len(collection["features"])
+
+
+def _round(value: float | None) -> float | None:
+    return None if value is None else round(value, 2)
+
+
+def _unwrap_antimeridian(ring: list[list[float]]) -> list[list[float]]:
+    lons = [lon for lon, _lat in ring]
+    if max(lons) - min(lons) <= 180.0:
+        return ring
+    # The cell straddles ±180°: shift the negative side up by 360.
+    return [
+        [lon + 360.0 if lon < 0.0 else lon, lat] for lon, lat in ring
+    ]

@@ -1,0 +1,116 @@
+"""Grouping sets and group identifiers (the paper's Table 2).
+
+A :class:`GroupKey` is the concatenation of grouping-set feature values
+the paper calls the group identifier (GI).  Three grouping sets are
+computed in one pass:
+
+========================  =====================================================
+``CELL``                  all traffic crossing each cell
+``CELL_TYPE``             broken down per vessel type (market segment)
+``CELL_OD_TYPE``          broken down per origin, destination and vessel type
+========================  =====================================================
+
+Keys are hashable, totally ordered (for the on-disk sorted format) and
+pack to fixed-prefix bytes for the SSTable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class GroupingSet(Enum):
+    """The three grouping sets of Table 2."""
+
+    CELL = "cell"
+    CELL_TYPE = "cell_type"
+    CELL_OD_TYPE = "cell_od_type"
+
+
+#: All grouping sets, in Table 2 order.
+ALL_GROUPING_SETS: tuple[GroupingSet, ...] = (
+    GroupingSet.CELL,
+    GroupingSet.CELL_TYPE,
+    GroupingSet.CELL_OD_TYPE,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class GroupKey:
+    """One group identifier: a cell plus optional breakdown dimensions.
+
+    ``None`` dimensions mean "aggregated over" — the pure-cell grouping
+    set has every optional dimension ``None``.
+    """
+
+    cell: int
+    vessel_type: str | None = None
+    origin: str | None = None
+    destination: str | None = None
+
+    @property
+    def grouping_set(self) -> GroupingSet:
+        """Which grouping set this key belongs to."""
+        if self.origin is not None or self.destination is not None:
+            return GroupingSet.CELL_OD_TYPE
+        if self.vessel_type is not None:
+            return GroupingSet.CELL_TYPE
+        return GroupingSet.CELL
+
+    def sort_key(self) -> tuple:
+        """Total order used by the on-disk format: cell first, then the
+        breakdown dimensions with ``None`` sorting before any string."""
+        return (
+            self.cell,
+            self.vessel_type or "",
+            self.origin or "",
+            self.destination or "",
+        )
+
+    def to_tuple(self) -> tuple:
+        """Plain-tuple form (used by the engine's shuffles)."""
+        return (self.cell, self.vessel_type, self.origin, self.destination)
+
+    @classmethod
+    def from_tuple(cls, data: tuple) -> "GroupKey":
+        """Inverse of :meth:`to_tuple`."""
+        cell, vessel_type, origin, destination = data
+        return cls(
+            cell=cell,
+            vessel_type=vessel_type,
+            origin=origin,
+            destination=destination,
+        )
+
+
+def keys_for_record(
+    cell: int,
+    vessel_type: str,
+    origin: str | None,
+    destination: str | None,
+    grouping_sets: tuple[GroupingSet, ...] = ALL_GROUPING_SETS,
+) -> list[GroupKey]:
+    """The group identifiers one record contributes to.
+
+    A record with trip semantics contributes to all three sets; a record
+    without (no origin/destination) contributes to the first two only —
+    the paper excludes such records from trip-aware statistics but not
+    from general traffic statistics.
+    """
+    keys = []
+    for grouping_set in grouping_sets:
+        if grouping_set is GroupingSet.CELL:
+            keys.append(GroupKey(cell=cell))
+        elif grouping_set is GroupingSet.CELL_TYPE:
+            keys.append(GroupKey(cell=cell, vessel_type=vessel_type))
+        elif origin is not None and destination is not None:
+            keys.append(
+                GroupKey(
+                    cell=cell,
+                    vessel_type=vessel_type,
+                    origin=origin,
+                    destination=destination,
+                )
+            )
+    return keys

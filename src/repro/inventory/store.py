@@ -1,0 +1,178 @@
+"""The queryable global inventory.
+
+"Stakeholders can retrieve the historical statistical summary for each
+cell area, as well as the most frequent direct cell transition per market
+and port connections, by querying for a specific location" (§1).  The
+:class:`Inventory` answers exactly those queries:
+
+- :meth:`Inventory.summary_at` — point lookup by (lat, lon) with optional
+  vessel-type and route breakdown;
+- :meth:`Inventory.top_destinations_at` — the destination-prediction
+  primitive;
+- :meth:`Inventory.route_cells` — all cells known for an
+  (origin, destination, type) key, the route-forecasting input;
+- :meth:`Inventory.merge` — inventories from disjoint time windows or
+  regions combine exactly (the summary monoid lifts to the whole store).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.hexgrid import latlng_to_cell
+from repro.inventory.keys import GroupKey, GroupingSet
+from repro.inventory.summary import CellSummary, SummaryConfig, DEFAULT_SUMMARY_CONFIG
+
+
+class Inventory:
+    """A mapping of group identifiers to cell summaries, plus query sugar."""
+
+    def __init__(
+        self,
+        resolution: int,
+        config: SummaryConfig = DEFAULT_SUMMARY_CONFIG,
+    ) -> None:
+        self.resolution = resolution
+        self.config = config
+        self._groups: dict[GroupKey, CellSummary] = {}
+        # Secondary index: (origin, destination, vessel_type) → cells.
+        self._route_index: dict[tuple[str, str, str], set[int]] | None = None
+
+    # -- building -----------------------------------------------------------------
+
+    def put(self, key: GroupKey, summary: CellSummary) -> None:
+        """Insert or merge one group's summary."""
+        existing = self._groups.get(key)
+        if existing is None:
+            self._groups[key] = summary
+        else:
+            existing.merge(summary)
+        self._route_index = None
+
+    def merge(self, other: "Inventory") -> "Inventory":
+        """Fold another inventory in (same resolution required)."""
+        if other.resolution != self.resolution:
+            raise ValueError(
+                f"cannot merge inventories at resolutions {self.resolution} "
+                f"and {other.resolution}"
+            )
+        for key, summary in other._groups.items():
+            self.put(key, summary)
+        return self
+
+    # -- inspection ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __contains__(self, key: GroupKey) -> bool:
+        return key in self._groups
+
+    def items(self) -> Iterator[tuple[GroupKey, CellSummary]]:
+        """All (key, summary) pairs, unordered."""
+        return iter(self._groups.items())
+
+    def get(self, key: GroupKey) -> CellSummary | None:
+        """Exact-key lookup."""
+        return self._groups.get(key)
+
+    def cells(self) -> set[int]:
+        """Distinct cells present (over all grouping sets)."""
+        return {key.cell for key in self._groups}
+
+    def group_count(self, grouping_set: GroupingSet) -> int:
+        """Number of groups in one grouping set."""
+        return sum(
+            1 for key in self._groups if key.grouping_set is grouping_set
+        )
+
+    def total_records(self) -> int:
+        """Records folded into the pure-cell grouping set (each input
+        record counts once there)."""
+        return sum(
+            summary.records
+            for key, summary in self._groups.items()
+            if key.grouping_set is GroupingSet.CELL
+        )
+
+    # -- queries ---------------------------------------------------------------------
+
+    def summary_at(
+        self,
+        lat: float,
+        lon: float,
+        vessel_type: str | None = None,
+        origin: str | None = None,
+        destination: str | None = None,
+    ) -> CellSummary | None:
+        """The summary for the cell containing a position.
+
+        Provide ``vessel_type`` for the per-market breakdown and both
+        ``origin`` and ``destination`` for the per-route breakdown.
+        """
+        if (origin is None) != (destination is None):
+            raise ValueError(
+                "origin and destination must be provided together"
+            )
+        if origin is not None and vessel_type is None:
+            raise ValueError("route breakdowns require a vessel type")
+        cell = latlng_to_cell(lat, lon, self.resolution)
+        return self._groups.get(
+            GroupKey(
+                cell=cell,
+                vessel_type=vessel_type,
+                origin=origin,
+                destination=destination,
+            )
+        )
+
+    def top_destinations_at(
+        self, lat: float, lon: float, vessel_type: str | None = None, n: int = 5
+    ) -> list[tuple[str, int]]:
+        """Most frequent historical destinations of vessels crossing the
+        cell at a position: the destination-prediction primitive."""
+        cell = latlng_to_cell(lat, lon, self.resolution)
+        best: list[tuple[str, int]] = []
+        if vessel_type is not None:
+            summary = self._groups.get(GroupKey(cell=cell, vessel_type=vessel_type))
+            if summary is not None:
+                best = [
+                    (item.value, item.count)
+                    for item in summary.destinations.top(n)
+                ]
+        if not best:
+            summary = self._groups.get(GroupKey(cell=cell))
+            if summary is not None:
+                best = [
+                    (item.value, item.count)
+                    for item in summary.destinations.top(n)
+                ]
+        return best
+
+    def route_cells(
+        self, origin: str, destination: str, vessel_type: str
+    ) -> dict[int, CellSummary]:
+        """All cells for which the (origin, destination, type) key exists —
+        "the full set of possible transition locations for the selected
+        key" (§4.1.3)."""
+        if self._route_index is None:
+            self._build_route_index()
+        cells = self._route_index.get((origin, destination, vessel_type), set())
+        result = {}
+        for cell in cells:
+            key = GroupKey(
+                cell=cell,
+                vessel_type=vessel_type,
+                origin=origin,
+                destination=destination,
+            )
+            result[cell] = self._groups[key]
+        return result
+
+    def _build_route_index(self) -> None:
+        index: dict[tuple[str, str, str], set[int]] = {}
+        for key in self._groups:
+            if key.grouping_set is GroupingSet.CELL_OD_TYPE:
+                route = (key.origin, key.destination, key.vessel_type)
+                index.setdefault(route, set()).add(key.cell)
+        self._route_index = index

@@ -1,0 +1,61 @@
+"""Extra (non-AIS) features fused into cell summaries (§5 future work).
+
+"In future work, we intend to extend the proposed methodology to include
+features of non-AIS data … combine AIS with weather and commodity data."
+
+An :class:`ExtraFeature` is a named function of (lat, lon, ts) sampled at
+every trip record during projection; its values aggregate into a
+mergeable :class:`~repro.sketches.moments.MomentsSketch` per group, right
+alongside the AIS-native features of Table 3.  The built-in constructor
+:func:`wind_features` fuses the synthetic wind climatology; any other
+environmental field (waves, currents, commodity indices keyed by region)
+plugs in the same way.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.world.weather import WindField
+
+
+@dataclass(frozen=True)
+class ExtraFeature:
+    """A named scalar field sampled at (lat, lon, ts).
+
+    ``fn`` may return ``None`` for "no data here", which simply skips the
+    record for this feature's statistics.
+    """
+
+    name: str
+    fn: Callable[[float, float, float], float | None]
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name:
+            raise ValueError(f"invalid extra-feature name {self.name!r}")
+
+
+def wind_features(seed: int = 0) -> tuple[ExtraFeature, ...]:
+    """Wind speed and the blow-direction relative meridional component.
+
+    Two fused features per record: the wind speed (m/s) and the signed
+    north-south component (m/s, positive = from the north), enough to ask
+    per-cell questions like "how windy is this water" and "which way does
+    it usually blow" from the inventory.
+    """
+    field = WindField(seed=seed)
+
+    def speed(lat: float, lon: float, ts: float) -> float:
+        return field.wind_at(lat, lon, ts).speed_ms
+
+    def northerly(lat: float, lon: float, ts: float) -> float:
+        import math
+
+        sample = field.wind_at(lat, lon, ts)
+        return sample.speed_ms * math.cos(math.radians(sample.direction_deg))
+
+    return (
+        ExtraFeature("wind_speed_ms", speed),
+        ExtraFeature("wind_northerly_ms", northerly),
+    )

@@ -1,0 +1,72 @@
+"""Feature extraction (§3.3.4): grouping sets → summary aggregation.
+
+"The GS set corresponds to the mapping phase while the aggregated
+statistics correspond to the reduce phase."  Concretely:
+
+- **map**: each cell record fans out to one (group identifier, record)
+  pair per grouping set (Table 2);
+- **reduce**: ``combine_by_key`` folds records into
+  :class:`~repro.inventory.summary.CellSummary` sketches map-side and
+  merges partial summaries reduce-side (Table 3).
+"""
+
+from __future__ import annotations
+
+from repro.inventory.keys import keys_for_record
+from repro.inventory.summary import CellSummary, SummaryConfig
+from repro.pipeline.records import CellRecord
+
+
+def fan_out(record: CellRecord) -> list[tuple[tuple, CellRecord]]:
+    """One (key-tuple, record) pair per grouping set the record feeds.
+
+    Keys travel through the shuffle as plain tuples (cheap to hash and
+    pickle); they are rebuilt into :class:`GroupKey` when the inventory is
+    assembled.
+    """
+    return [
+        (key.to_tuple(), record)
+        for key in keys_for_record(
+            cell=record.cell,
+            vessel_type=record.vessel_type,
+            origin=record.origin,
+            destination=record.destination,
+        )
+    ]
+
+
+def make_update(config: SummaryConfig):
+    """A (summary, record) → summary folder bound to a sketch config."""
+
+    def update(summary: CellSummary, record: CellRecord) -> CellSummary:
+        summary.update(
+            mmsi=record.mmsi,
+            sog=record.sog,
+            cog=record.cog,
+            heading=record.heading,
+            trip_id=record.trip_id,
+            eto_s=record.eto_s,
+            ata_s=record.ata_s,
+            origin=record.origin,
+            destination=record.destination,
+            next_cell=record.next_cell,
+            extras=record.extras,
+        )
+        return summary
+
+    return update
+
+
+def make_create(config: SummaryConfig):
+    """A record → fresh summary constructor bound to a sketch config."""
+    update = make_update(config)
+
+    def create(record: CellRecord) -> CellSummary:
+        return update(CellSummary(config), record)
+
+    return create
+
+
+def merge_summaries(a: CellSummary, b: CellSummary) -> CellSummary:
+    """Reduce-side combiner: the summary monoid's merge."""
+    return a.merge(b)

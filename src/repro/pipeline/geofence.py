@@ -1,0 +1,68 @@
+"""Port geofencing (§3.3.2's spatial technique).
+
+A :class:`PortIndex` answers "which port, if any, contains this position?"
+in O(1): ports are pre-registered into the grid cells their geofence can
+touch at a coarse index resolution; a lookup hashes the query position to
+its cell, then haversine-checks the handful of candidate ports registered
+there.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro.geo.distance import haversine_m
+from repro.hexgrid import grid_disk, latlng_to_cell
+from repro.hexgrid.lattice import cell_spacing_m
+from repro.world.ports import Port
+
+
+class PortIndex:
+    """Cell-bucketed port lookup."""
+
+    def __init__(self, ports: Iterable[Port], index_resolution: int = 5) -> None:
+        self.index_resolution = index_resolution
+        self._ports = tuple(ports)
+        self._buckets: dict[int, tuple[Port, ...]] = {}
+        spacing = cell_spacing_m(index_resolution)
+        staging: dict[int, list[Port]] = {}
+        for port in self._ports:
+            center = latlng_to_cell(port.lat, port.lon, index_resolution)
+            # The geofence circle can poke into cells within radius +
+            # one spacing of the center cell.  The equal-area projection
+            # stretches geodesic distance by 1/cos(lat) at worst, so widen
+            # the ring accordingly for high-latitude ports.
+            stretch = 1.0 / max(0.2, math.cos(math.radians(port.lat)))
+            rings = int(port.radius_m * stretch / spacing) + 2
+            for cell in grid_disk(center, rings):
+                staging.setdefault(cell, []).append(port)
+        self._buckets = {cell: tuple(ports) for cell, ports in staging.items()}
+
+    @property
+    def ports(self) -> tuple[Port, ...]:
+        """The indexed ports."""
+        return self._ports
+
+    def port_at(self, lat: float, lon: float) -> Port | None:
+        """The port whose geofence contains the position, or ``None``.
+
+        Overlapping geofences (rare: adjacent terminal pairs) resolve to
+        the nearest port center.
+        """
+        cell = latlng_to_cell(lat, lon, self.index_resolution)
+        candidates = self._buckets.get(cell)
+        if not candidates:
+            return None
+        best: Port | None = None
+        best_distance = math.inf
+        for port in candidates:
+            distance = haversine_m(lat, lon, port.lat, port.lon)
+            if distance <= port.radius_m and distance < best_distance:
+                best = port
+                best_distance = distance
+        return best
+
+    def bucket_count(self) -> int:
+        """Number of cells with registered candidates (index footprint)."""
+        return len(self._buckets)

@@ -1,0 +1,86 @@
+"""Projection to the spatial index (§3.3.3) and transition derivation.
+
+Each trip record gets the cell containing its position at the configured
+resolution.  Within a trip's time order, a record's ``next_cell`` is the
+next *different* cell the vessel reaches — "a summation of individual
+transitions from a cell to another with respect to the original order of
+AIS messages within each trip" (§3.3.4).
+
+With ``densify=True`` the lattice line between non-adjacent consecutive
+cells is traced (:func:`repro.hexgrid.grid_path_cells`) so that sparse
+reporting still yields neighbor-to-neighbor transitions; the synthetic
+intermediate records carry the interpolating record's features.
+"""
+
+from __future__ import annotations
+
+from repro.hexgrid import grid_path_cells, latlng_to_cell
+from repro.pipeline.records import CellRecord, TripRecord
+
+
+def project_trip(
+    records: list[TripRecord],
+    resolution: int,
+    densify: bool = False,
+    extra_features: tuple = (),
+) -> list[CellRecord]:
+    """Cell-projected records of one trip, in time order.
+
+    ``extra_features`` (:class:`~repro.pipeline.extras.ExtraFeature`) are
+    sampled at each record's position and timestamp; their values ride on
+    the cell records into the summaries.
+    """
+    if not records:
+        return []
+    cells = [
+        latlng_to_cell(record.lat, record.lon, resolution) for record in records
+    ]
+    output: list[CellRecord] = []
+    for index, (record, cell) in enumerate(zip(records, cells)):
+        extras = tuple(
+            feature.fn(record.lat, record.lon, record.ts)
+            for feature in extra_features
+        )
+        next_cell = _next_different(cells, index)
+        if densify and next_cell is not None and next_cell != cell:
+            path = grid_path_cells(cell, next_cell)
+            if len(path) > 2:
+                output.append(_make_cell_record(record, cell, path[1], extras))
+                for step, intermediate in enumerate(path[1:-1]):
+                    output.append(
+                        _make_cell_record(
+                            record, intermediate, path[step + 2], extras
+                        )
+                    )
+                continue
+        output.append(_make_cell_record(record, cell, next_cell, extras))
+    return output
+
+
+def _next_different(cells: list[int], index: int) -> int | None:
+    current = cells[index]
+    for cell in cells[index + 1 :]:
+        if cell != current:
+            return cell
+    return None
+
+
+def _make_cell_record(
+    record: TripRecord, cell: int, next_cell: int | None, extras: tuple = ()
+) -> CellRecord:
+    return CellRecord(
+        mmsi=record.mmsi,
+        ts=record.ts,
+        sog=record.sog,
+        cog=record.cog,
+        heading=record.heading,
+        vessel_type=record.vessel_type,
+        trip_id=record.trip_id,
+        origin=record.origin,
+        destination=record.destination,
+        eto_s=record.eto_s,
+        ata_s=record.ata_s,
+        cell=cell,
+        next_cell=next_cell,
+        extras=extras,
+    )

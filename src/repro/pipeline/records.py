@@ -1,0 +1,89 @@
+"""Record models flowing between pipeline stages.
+
+Each stage narrows and enriches the records: raw protocol reports become
+:class:`CleanRecord` after validation and enrichment, :class:`TripRecord`
+after trip-semantics annotation, and :class:`CellRecord` after spatial
+projection — the final shape the feature extractor aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class CleanRecord:
+    """A validated, enriched position report (post §3.3.1)."""
+
+    mmsi: int
+    ts: float
+    lat: float
+    lon: float
+    sog: float
+    cog: float
+    heading: int | None
+    status: int
+    vessel_type: str
+    grt: int
+
+
+@dataclass(frozen=True, slots=True)
+class TripRecord:
+    """A clean record annotated with trip semantics (post §3.3.2).
+
+    ``eto_s`` is the elapsed time from departure, ``ata_s`` the actual
+    remaining time to arrival — both derived purely by subtracting the
+    report timestamp from the trip's endpoint timestamps.
+    """
+
+    mmsi: int
+    ts: float
+    lat: float
+    lon: float
+    sog: float
+    cog: float
+    heading: int | None
+    status: int
+    vessel_type: str
+    grt: int
+    trip_id: str
+    origin: str
+    destination: str
+    depart_ts: float
+    arrive_ts: float
+
+    @property
+    def eto_s(self) -> float:
+        """Elapsed time from origin, seconds."""
+        return self.ts - self.depart_ts
+
+    @property
+    def ata_s(self) -> float:
+        """Actual time to arrival, seconds."""
+        return self.arrive_ts - self.ts
+
+
+@dataclass(frozen=True, slots=True)
+class CellRecord:
+    """A trip record projected onto the grid (post §3.3.3).
+
+    ``next_cell`` is the next *different* cell this vessel's trip visits,
+    or ``None`` at the trip's end — the raw material of the transitions
+    feature.  ``extras`` holds fused non-AIS feature values, aligned with
+    the pipeline's configured extra features.
+    """
+
+    mmsi: int
+    ts: float
+    sog: float
+    cog: float
+    heading: int | None
+    vessel_type: str
+    trip_id: str
+    origin: str
+    destination: str
+    eto_s: float
+    ata_s: float
+    cell: int
+    next_cell: int | None
+    extras: tuple = ()

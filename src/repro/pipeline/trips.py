@@ -1,0 +1,118 @@
+"""Trip semantics extraction (§3.3.2).
+
+"We consider all messages of a specific vessel that have been captured
+in-between of consecutive two port stops to be part of the same trip. …
+The first and the last records outside port-geometries are considered as
+the origin and destination timestamp respectively.  Any message that
+cannot be annotated with trip information is excluded."
+
+Given one vessel's clean, time-ordered records, :func:`annotate_trips`
+finds the port-*stop* runs, forms a trip from every gap between two
+*different* consecutive stops, and annotates the gap's records with the
+trip id, endpoints and the derived ETO/ATA features.
+
+A record counts as part of a port stop only when it is inside a port
+geofence **and** effectively stationary (below ``stop_speed_kn``).  Mere
+presence is not enough: several major geofences sit on through-lanes
+(Port Said at the canal mouth, Tanger Med on the Gibraltar approach), and
+a vessel steaming through one at transit speed has not called at the port
+— without the speed criterion, half of all Asia–Europe trips would appear
+to "end" at Port Said.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.geofence import PortIndex
+from repro.pipeline.records import CleanRecord, TripRecord
+
+#: Below this speed-over-ground, an in-geofence record is a port stop.
+DEFAULT_STOP_SPEED_KN = 2.0
+
+
+def annotate_trips(
+    records: list[CleanRecord],
+    port_index: PortIndex,
+    stop_speed_kn: float = DEFAULT_STOP_SPEED_KN,
+) -> list[TripRecord]:
+    """Trip-annotated records of one vessel (unannotatable ones excluded).
+
+    Records that are part of port stops and records in window-edge gaps
+    (whose origin or destination stop is unknown) are dropped, exactly as
+    the paper excludes them.
+    """
+    if not records:
+        return []
+    # Label every record with the port it is *stopped* at (None = under
+    # way, whether in open sea or transiting a geofence).
+    port_labels = [
+        port_index.port_at(record.lat, record.lon)
+        if record.sog < stop_speed_kn
+        else None
+        for record in records
+    ]
+    trips: list[TripRecord] = []
+    trip_counter = 0
+    gap_start: int | None = None
+    last_port: str | None = None
+    for index, (record, port) in enumerate(zip(records, port_labels)):
+        if port is None:
+            if gap_start is None:
+                gap_start = index
+            continue
+        # We are inside a port; close any open gap.
+        if gap_start is not None and last_port is not None:
+            if port.port_id != last_port:
+                trips.extend(
+                    _annotate_gap(
+                        records,
+                        gap_start,
+                        index,
+                        last_port,
+                        port.port_id,
+                        trip_counter,
+                    )
+                )
+                trip_counter += 1
+            gap_start = None
+        elif gap_start is not None:
+            # Gap started before any known port: origin unknown; exclude.
+            gap_start = None
+        last_port = port.port_id
+    # A trailing gap has no destination stop: excluded.
+    return trips
+
+
+def _annotate_gap(
+    records: list[CleanRecord],
+    start: int,
+    end: int,
+    origin: str,
+    destination: str,
+    trip_counter: int,
+) -> list[TripRecord]:
+    gap = records[start:end]
+    if not gap:
+        return []
+    trip_id = f"{gap[0].mmsi}-{trip_counter:04d}"
+    depart_ts = gap[0].ts
+    arrive_ts = gap[-1].ts
+    return [
+        TripRecord(
+            mmsi=record.mmsi,
+            ts=record.ts,
+            lat=record.lat,
+            lon=record.lon,
+            sog=record.sog,
+            cog=record.cog,
+            heading=record.heading,
+            status=record.status,
+            vessel_type=record.vessel_type,
+            grt=record.grt,
+            trip_id=trip_id,
+            origin=origin,
+            destination=destination,
+            depart_ts=depart_ts,
+            arrive_ts=arrive_ts,
+        )
+        for record in gap
+    ]

@@ -1,0 +1,52 @@
+"""Mergeable one-pass statistical summaries (the reduce phase's algebra).
+
+Table 3 of the paper assigns each mobility feature a set of statistics:
+counts, distinct counts, means, standard deviations, approximate
+percentiles, fixed-width bins and top-N frequent values.  The methodology
+computes them with MapReduce, which imposes one algebraic requirement on
+every statistic: it must be a *commutative monoid* — updatable one record
+at a time, mergeable across partitions in any order, with an identity
+(the empty sketch).
+
+Every class here satisfies that contract (``update`` / ``merge`` /
+``to_dict`` / ``from_dict``), and the property-based tests verify
+merge-associativity and split-merge consistency:
+
+- :class:`~repro.sketches.moments.MomentsSketch` — count/mean/std/min/max
+  via Welford's method with Chan's parallel merge.
+- :class:`~repro.sketches.circular.CircularMoments` — circular mean and
+  dispersion for course/heading (the asterisked means of Table 3).
+- :class:`~repro.sketches.tdigest.TDigest` — approximate percentiles
+  (the paper's 10th/50th/90th) via the merging t-digest.
+- :class:`~repro.sketches.gk.GKQuantiles` — Greenwald–Khanna quantiles,
+  the classic deterministic-error alternative, kept for the sketch
+  ablation benchmark.
+- :class:`~repro.sketches.hyperloglog.HyperLogLog` — distinct counts
+  (ships, trips).
+- :class:`~repro.sketches.spacesaving.SpaceSaving` — top-N frequent values
+  (origins, destinations, cell transitions).
+- :class:`~repro.sketches.histogram.DirectionHistogram` — the 30° course/
+  heading bins.
+- :class:`~repro.sketches.reservoir.ReservoirSample` — uniform sample,
+  used as the exact-ish reference in accuracy tests.
+"""
+
+from repro.sketches.moments import MomentsSketch
+from repro.sketches.circular import CircularMoments
+from repro.sketches.tdigest import TDigest
+from repro.sketches.gk import GKQuantiles
+from repro.sketches.hyperloglog import HyperLogLog
+from repro.sketches.spacesaving import SpaceSaving
+from repro.sketches.histogram import DirectionHistogram
+from repro.sketches.reservoir import ReservoirSample
+
+__all__ = [
+    "MomentsSketch",
+    "CircularMoments",
+    "TDigest",
+    "GKQuantiles",
+    "HyperLogLog",
+    "SpaceSaving",
+    "DirectionHistogram",
+    "ReservoirSample",
+]

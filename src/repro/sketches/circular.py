@@ -1,0 +1,73 @@
+"""Mergeable circular moments for angular features (course, heading).
+
+Keeps the vector sum of unit headings; the circular mean is the angle of
+the resultant and the mean resultant length R̄ measures concentration
+(1 = all identical, 0 = uniformly spread).  Sums are trivially mergeable,
+which is why Table 3's course/heading means can be computed in a reduce.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class CircularMoments:
+    """Mergeable circular mean / dispersion of angles in degrees."""
+
+    sum_cos: float = 0.0
+    sum_sin: float = 0.0
+    count: int = 0
+
+    def update(self, angle_deg: float) -> None:
+        """Fold one angle (degrees, any range) into the sketch."""
+        rad = math.radians(angle_deg)
+        self.sum_cos += math.cos(rad)
+        self.sum_sin += math.sin(rad)
+        self.count += 1
+
+    def merge(self, other: "CircularMoments") -> None:
+        """Fold another sketch into this one."""
+        self.sum_cos += other.sum_cos
+        self.sum_sin += other.sum_sin
+        self.count += other.count
+
+    @property
+    def mean_deg(self) -> float | None:
+        """Circular mean in [0, 360), or ``None`` when undefined (empty
+        sketch or perfectly cancelling directions)."""
+        if self.count == 0:
+            return None
+        if math.hypot(self.sum_cos, self.sum_sin) < 1e-12 * self.count:
+            return None
+        mean = math.degrees(math.atan2(self.sum_sin, self.sum_cos)) % 360.0
+        return 0.0 if mean >= 360.0 else mean
+
+    @property
+    def resultant_length(self) -> float:
+        """Mean resultant length R̄ in [0, 1]; 0.0 for an empty sketch."""
+        if self.count == 0:
+            return 0.0
+        return min(1.0, math.hypot(self.sum_cos, self.sum_sin) / self.count)
+
+    @property
+    def std_deg(self) -> float | None:
+        """Circular standard deviation in degrees (``sqrt(-2 ln R̄)``)."""
+        if self.count == 0:
+            return None
+        r_bar = max(1e-300, self.resultant_length)
+        return math.degrees(math.sqrt(-2.0 * math.log(r_bar)))
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable state."""
+        return {"cos": self.sum_cos, "sin": self.sum_sin, "count": self.count}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CircularMoments":
+        """Reconstruct from :meth:`to_dict` output."""
+        return cls(
+            sum_cos=float(data["cos"]),
+            sum_sin=float(data["sin"]),
+            count=int(data["count"]),
+        )

@@ -1,0 +1,127 @@
+"""Greenwald–Khanna quantile summary.
+
+The deterministic-error classic: maintains tuples (value, g, Δ) such that
+any φ-quantile query is answered within ε·n rank error.  Kept alongside the
+t-digest so the sketch-ablation benchmark can compare the two families
+(deterministic rank error vs relative-accuracy tails) on the same feature
+streams.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class _Tuple:
+    value: float
+    g: int
+    delta: int
+
+
+class GKQuantiles:
+    """ε-approximate quantile summary with deterministic rank error."""
+
+    def __init__(self, epsilon: float = 0.01) -> None:
+        if not 0.0 < epsilon < 0.5:
+            raise ValueError(f"epsilon must be in (0, 0.5), got {epsilon}")
+        self.epsilon = epsilon
+        self.count = 0
+        self._tuples: list[_Tuple] = []
+        self._since_compress = 0
+        self._compress_every = max(1, int(1.0 / (2.0 * epsilon)))
+
+    def update(self, value: float) -> None:
+        """Insert one observation."""
+        self.count += 1
+        values = [t.value for t in self._tuples]
+        idx = bisect_right(values, value)
+        if idx == 0 or idx == len(self._tuples):
+            # New minimum or maximum is always exact.
+            self._tuples.insert(idx, _Tuple(value, 1, 0))
+        else:
+            delta = max(0, int(2.0 * self.epsilon * self.count) - 1)
+            self._tuples.insert(idx, _Tuple(value, 1, delta))
+        self._since_compress += 1
+        if self._since_compress >= self._compress_every:
+            self._compress()
+            self._since_compress = 0
+
+    def merge(self, other: "GKQuantiles") -> None:
+        """Fold another summary into this one.
+
+        Standard mergeable-summaries construction: interleave the tuple
+        lists sorted by value (g's preserved, Δ's inherited) and compress.
+        The merged error is bounded by the larger of the two ε's plus the
+        compression slack — adequate for reduce trees of moderate depth.
+        """
+        merged: list[_Tuple] = []
+        a, b = self._tuples, other._tuples
+        i = j = 0
+        while i < len(a) and j < len(b):
+            if a[i].value <= b[j].value:
+                merged.append(_Tuple(a[i].value, a[i].g, a[i].delta))
+                i += 1
+            else:
+                merged.append(_Tuple(b[j].value, b[j].g, b[j].delta))
+                j += 1
+        merged.extend(_Tuple(t.value, t.g, t.delta) for t in a[i:])
+        merged.extend(_Tuple(t.value, t.g, t.delta) for t in b[j:])
+        self._tuples = merged
+        self.count += other.count
+        self._compress()
+
+    def quantile(self, q: float) -> float:
+        """Value at quantile ``q`` within ε·n rank error."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            raise ValueError("quantile of an empty summary is undefined")
+        rank = max(1, round(q * self.count))
+        margin = int(self.epsilon * self.count)
+        r_min = 0
+        for t in self._tuples:
+            r_min += t.g
+            if r_min + t.delta >= rank + margin or r_min >= rank:
+                return t.value
+        return self._tuples[-1].value
+
+    def tuple_count(self) -> int:
+        """Number of stored tuples (the summary's footprint)."""
+        return len(self._tuples)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable state."""
+        return {
+            "epsilon": self.epsilon,
+            "count": self.count,
+            "tuples": [[t.value, t.g, t.delta] for t in self._tuples],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GKQuantiles":
+        """Reconstruct from :meth:`to_dict` output."""
+        summary = cls(epsilon=float(data["epsilon"]))
+        summary.count = int(data["count"])
+        summary._tuples = [
+            _Tuple(float(v), int(g), int(d)) for v, g, d in data["tuples"]
+        ]
+        return summary
+
+    def _compress(self) -> None:
+        if len(self._tuples) < 3:
+            return
+        threshold = int(2.0 * self.epsilon * self.count)
+        result = [self._tuples[-1]]
+        # Sweep right-to-left, absorbing tuples into their right neighbor
+        # while the combined uncertainty stays within the threshold.
+        for t in reversed(self._tuples[1:-1]):
+            head = result[-1]
+            if t.g + head.g + head.delta <= threshold:
+                head.g += t.g
+            else:
+                result.append(t)
+        result.append(self._tuples[0])
+        result.reverse()
+        self._tuples = result

@@ -1,0 +1,82 @@
+"""Fixed-width direction histograms (the paper's 30° course/heading bins).
+
+A trivially mergeable vector of counters over [0°, 360°).  Twelve 30° bins
+is the paper's configuration; the width is a parameter so the resolution
+ablation can vary it.
+"""
+
+from __future__ import annotations
+
+
+class DirectionHistogram:
+    """Counts of angular observations in fixed-width bins over [0, 360)."""
+
+    __slots__ = ("bin_width_deg", "num_bins", "counts", "total")
+
+    def __init__(self, bin_width_deg: float = 30.0) -> None:
+        if bin_width_deg <= 0.0 or 360.0 % bin_width_deg != 0.0:
+            raise ValueError(
+                f"bin width must evenly divide 360 degrees, got {bin_width_deg}"
+            )
+        self.bin_width_deg = bin_width_deg
+        self.num_bins = int(360.0 / bin_width_deg)
+        self.counts = [0] * self.num_bins
+        self.total = 0
+
+    def update(self, angle_deg: float, weight: int = 1) -> None:
+        """Count an angle (any range; normalised into [0, 360))."""
+        index = self.bin_index(angle_deg)
+        self.counts[index] += weight
+        self.total += weight
+
+    def merge(self, other: "DirectionHistogram") -> None:
+        """Bin-wise addition; widths must match."""
+        if other.bin_width_deg != self.bin_width_deg:
+            raise ValueError(
+                f"cannot merge histograms of widths {self.bin_width_deg} and "
+                f"{other.bin_width_deg}"
+            )
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.total += other.total
+
+    def bin_index(self, angle_deg: float) -> int:
+        """Index of the bin containing an angle."""
+        normalized = angle_deg % 360.0
+        return min(self.num_bins - 1, int(normalized / self.bin_width_deg))
+
+    def bin_range(self, index: int) -> tuple[float, float]:
+        """[start, end) angle range of a bin in degrees."""
+        if not 0 <= index < self.num_bins:
+            raise ValueError(f"bin index out of range: {index}")
+        return index * self.bin_width_deg, (index + 1) * self.bin_width_deg
+
+    def mode_bin(self) -> int | None:
+        """Index of the most populated bin, or ``None`` when empty; ties go
+        to the lowest index."""
+        if self.total == 0:
+            return None
+        return max(range(self.num_bins), key=lambda i: (self.counts[i], -i))
+
+    def share(self, index: int) -> float:
+        """Fraction of observations in a bin (0.0 when empty)."""
+        if self.total == 0:
+            return 0.0
+        return self.counts[index] / self.total
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable state."""
+        return {"width": self.bin_width_deg, "counts": list(self.counts)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DirectionHistogram":
+        """Reconstruct from :meth:`to_dict` output."""
+        histogram = cls(bin_width_deg=float(data["width"]))
+        counts = [int(c) for c in data["counts"]]
+        if len(counts) != histogram.num_bins:
+            raise ValueError(
+                f"expected {histogram.num_bins} bins, got {len(counts)}"
+            )
+        histogram.counts = counts
+        histogram.total = sum(counts)
+        return histogram

@@ -1,0 +1,88 @@
+"""Streaming moments: count, mean, variance, extrema.
+
+Welford's online algorithm keeps the running mean and the sum of squared
+deviations (M2); Chan et al.'s formula merges two such states exactly, so
+a distributed reduce yields the same mean/variance as a single pass, up to
+floating-point rounding.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class MomentsSketch:
+    """Mergeable count/mean/std/min/max summary of a numeric feature."""
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+    min_value: float = field(default=math.inf)
+    max_value: float = field(default=-math.inf)
+
+    def update(self, value: float) -> None:
+        """Fold one observation into the sketch (Welford's step)."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def merge(self, other: "MomentsSketch") -> None:
+        """Fold another sketch into this one (Chan's parallel formula)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self.m2 = other.m2
+            self.min_value = other.min_value
+            self.max_value = other.max_value
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.m2 = self.m2 + other.m2 + delta * delta * self.count * other.count / total
+        self.mean = self.mean + delta * other.count / total
+        self.count = total
+        self.min_value = min(self.min_value, other.min_value)
+        self.max_value = max(self.max_value, other.max_value)
+
+    @property
+    def variance(self) -> float:
+        """Population variance; 0.0 for fewer than two observations."""
+        if self.count < 2:
+            return 0.0
+        return max(0.0, self.m2 / self.count)
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable state."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "m2": self.m2,
+            "min": None if self.count == 0 else self.min_value,
+            "max": None if self.count == 0 else self.max_value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MomentsSketch":
+        """Reconstruct from :meth:`to_dict` output."""
+        sketch = cls(
+            count=int(data["count"]),
+            mean=float(data["mean"]),
+            m2=float(data["m2"]),
+        )
+        if sketch.count > 0:
+            sketch.min_value = float(data["min"])
+            sketch.max_value = float(data["max"])
+        return sketch

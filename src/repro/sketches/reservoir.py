@@ -1,0 +1,75 @@
+"""Uniform reservoir sampling (Vitter's algorithm R) with weighted merge.
+
+Not part of the paper's feature set — the tests use it as an unbiased
+reference sample when validating the approximate sketches, and the anomaly
+app uses it to retain example observations per cell.  Randomness is
+self-contained and seeded so pipelines remain reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class ReservoirSample:
+    """Fixed-size uniform sample over a stream of arbitrary items."""
+
+    __slots__ = ("capacity", "seen", "items", "_rng")
+
+    def __init__(self, capacity: int = 128, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.seen = 0
+        self.items: list[object] = []
+        self._rng = random.Random(seed)
+
+    def update(self, item: object) -> None:
+        """Observe one item."""
+        self.seen += 1
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            return
+        slot = self._rng.randrange(self.seen)
+        if slot < self.capacity:
+            self.items[slot] = item
+
+    def merge(self, other: "ReservoirSample") -> None:
+        """Fold another reservoir in, keeping the union sample uniform.
+
+        Each output slot draws from this reservoir with probability
+        proportional to its stream size, otherwise from the other's.
+        """
+        if other.seen == 0:
+            return
+        if self.seen == 0:
+            self.seen = other.seen
+            self.items = list(other.items)
+            return
+        total = self.seen + other.seen
+        merged: list[object] = []
+        mine = list(self.items)
+        theirs = list(other.items)
+        self._rng.shuffle(mine)
+        self._rng.shuffle(theirs)
+        while len(merged) < self.capacity and (mine or theirs):
+            take_mine = False
+            if mine and theirs:
+                take_mine = self._rng.random() < self.seen / total
+            elif mine:
+                take_mine = True
+            merged.append(mine.pop() if take_mine else theirs.pop())
+        self.items = merged
+        self.seen = total
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable state (items must themselves be serialisable)."""
+        return {"capacity": self.capacity, "seen": self.seen, "items": self.items}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReservoirSample":
+        """Reconstruct from :meth:`to_dict` output."""
+        sample = cls(capacity=int(data["capacity"]))
+        sample.seen = int(data["seen"])
+        sample.items = list(data["items"])
+        return sample

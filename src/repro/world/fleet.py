@@ -1,0 +1,190 @@
+"""Fleet synthesis: vessels with protocol-correct identities.
+
+Each vessel gets an MMSI with a real country prefix (MID), an IMO number
+with a valid check digit, a plausible name, a market segment with matching
+AIS ship-type code, gross tonnage, dimensions and a design speed — the
+static-report inventory the paper joins against positional data.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.ais.vesseltypes import MarketSegment
+
+#: Flag states with their Maritime Identification Digits and rough share
+#: of the world commercial fleet (Panama/Liberia/Marshall Islands dominate
+#: real registries).
+_FLAGS: tuple[tuple[str, int, float], ...] = (
+    ("PA", 352, 0.16),
+    ("LR", 636, 0.13),
+    ("MH", 538, 0.12),
+    ("HK", 477, 0.09),
+    ("SG", 563, 0.08),
+    ("MT", 248, 0.07),
+    ("CN", 412, 0.06),
+    ("GR", 237, 0.05),
+    ("JP", 431, 0.05),
+    ("CY", 209, 0.04),
+    ("DK", 219, 0.03),
+    ("DE", 211, 0.03),
+    ("GB", 232, 0.03),
+    ("NO", 257, 0.03),
+    ("KR", 440, 0.03),
+)
+
+_NAME_PREFIXES: dict[MarketSegment, tuple[str, ...]] = {
+    MarketSegment.CONTAINER: (
+        "EVER", "MSC", "MAERSK", "COSCO", "CMA CGM", "OOCL", "ONE", "HMM",
+        "YM", "HAPAG", "ZIM", "WAN HAI",
+    ),
+    MarketSegment.CARGO: (
+        "PACIFIC", "ATLANTIC", "GLOBAL", "UNITED", "NORDIC", "EASTERN",
+        "WESTERN", "GOLDEN", "SILVER", "ROYAL",
+    ),
+    MarketSegment.TANKER: (
+        "FRONT", "GULF", "NORDIC", "STENA", "MINERVA", "DELTA", "ALPINE",
+        "EAGLE", "POLAR", "CRUDE",
+    ),
+    MarketSegment.PASSENGER: (
+        "STAR", "SPIRIT", "PRIDE", "QUEEN", "PRINCESS", "JEWEL", "CROWN",
+        "AURORA",
+    ),
+    MarketSegment.FISHING: ("LADY", "SEA", "NORTH", "LUCKY", "MISS"),
+    MarketSegment.TUG: ("SVITZER", "SMIT", "HARBOR", "PORT"),
+}
+
+_NAME_SUFFIXES: tuple[str, ...] = (
+    "GLORY", "TRIUMPH", "OCEAN", "PIONEER", "VOYAGER", "EXPRESS", "SPIRIT",
+    "FORTUNE", "HARMONY", "HORIZON", "NAVIGATOR", "GUARDIAN", "SUMMIT",
+    "ENDEAVOUR", "VICTORY", "EMERALD", "SAPPHIRE", "DIAMOND", "ALLIANCE",
+    "UNITY", "COURAGE", "DESTINY", "LIBERTY", "MAJESTY", "ODYSSEY",
+)
+
+#: Per-segment (ship_type code, min GRT, max GRT, min design kn, max design kn).
+_SEGMENT_SPECS: dict[MarketSegment, tuple[int, int, int, float, float]] = {
+    MarketSegment.CONTAINER: (71, 20_000, 230_000, 16.0, 23.0),
+    MarketSegment.CARGO: (70, 6_000, 90_000, 11.0, 15.0),
+    MarketSegment.TANKER: (80, 8_000, 160_000, 11.0, 15.5),
+    MarketSegment.PASSENGER: (60, 5_500, 120_000, 17.0, 22.0),
+    MarketSegment.FISHING: (30, 150, 2_500, 8.0, 12.0),
+    MarketSegment.TUG: (52, 200, 3_000, 8.0, 13.0),
+}
+
+#: Default commercial-heavy fleet mix; the ~12 % non-commercial tail
+#: exercises the paper's commercial-fleet filter.
+DEFAULT_SEGMENT_MIX: tuple[tuple[MarketSegment, float], ...] = (
+    (MarketSegment.CONTAINER, 0.30),
+    (MarketSegment.CARGO, 0.24),
+    (MarketSegment.TANKER, 0.22),
+    (MarketSegment.PASSENGER, 0.12),
+    (MarketSegment.FISHING, 0.08),
+    (MarketSegment.TUG, 0.04),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Vessel:
+    """One vessel of the synthetic fleet (the static-data inventory row)."""
+
+    mmsi: int
+    imo: int
+    name: str
+    callsign: str
+    flag: str
+    segment: MarketSegment
+    ship_type: int
+    grt: int
+    length_m: int
+    beam_m: int
+    design_speed_kn: float
+
+    @property
+    def is_commercial(self) -> bool:
+        """The paper's filter: commercial segments above 5000 GRT."""
+        from repro.ais.vesseltypes import COMMERCIAL_SEGMENTS
+
+        return self.segment in COMMERCIAL_SEGMENTS and self.grt >= 5_000
+
+
+def imo_check_digit(base: int) -> int:
+    """Check digit of a 6-digit IMO base: Σ digit·(7−position) mod 10."""
+    digits = [int(d) for d in f"{base:06d}"]
+    return sum(d * w for d, w in zip(digits, range(7, 1, -1))) % 10
+
+
+def make_imo(base: int) -> int:
+    """A full 7-digit IMO number with valid check digit."""
+    if not 100_000 <= base <= 999_999:
+        raise ValueError(f"IMO base must have six digits, got {base}")
+    return base * 10 + imo_check_digit(base)
+
+
+def build_fleet(
+    n_vessels: int,
+    seed: int = 0,
+    segment_mix: tuple[tuple[MarketSegment, float], ...] = DEFAULT_SEGMENT_MIX,
+) -> list[Vessel]:
+    """Generate a deterministic fleet of ``n_vessels`` vessels."""
+    if n_vessels < 1:
+        raise ValueError(f"need at least one vessel, got {n_vessels}")
+    rng = random.Random(seed)
+    segments = [segment for segment, _ in segment_mix]
+    weights = [weight for _, weight in segment_mix]
+    used_mmsi: set[int] = set()
+    used_names: set[str] = set()
+    fleet = []
+    for index in range(n_vessels):
+        segment = rng.choices(segments, weights=weights)[0]
+        ship_type, grt_lo, grt_hi, kn_lo, kn_hi = _SEGMENT_SPECS[segment]
+        flag, mid, _share = rng.choices(
+            _FLAGS, weights=[share for _, _, share in _FLAGS]
+        )[0]
+        mmsi = _fresh_mmsi(rng, mid, used_mmsi)
+        imo = make_imo(900_000 + index)
+        name = _fresh_name(rng, segment, used_names)
+        # Log-uniform GRT keeps most of the fleet mid-sized with a long
+        # large-vessel tail, like real registries.
+        grt = int(grt_lo * (grt_hi / grt_lo) ** rng.random())
+        length = int(30 + 10 * (grt ** 0.36))
+        beam = max(8, int(length / 6.5))
+        fleet.append(
+            Vessel(
+                mmsi=mmsi,
+                imo=imo,
+                name=name,
+                callsign=f"{flag}{rng.randrange(1000, 9999)}",
+                flag=flag,
+                segment=segment,
+                ship_type=ship_type,
+                grt=grt,
+                length_m=length,
+                beam_m=beam,
+                design_speed_kn=round(rng.uniform(kn_lo, kn_hi), 1),
+            )
+        )
+    return fleet
+
+
+def _fresh_mmsi(rng: random.Random, mid: int, used: set[int]) -> int:
+    while True:
+        mmsi = mid * 1_000_000 + rng.randrange(0, 1_000_000)
+        if mmsi not in used:
+            used.add(mmsi)
+            return mmsi
+
+
+def _fresh_name(
+    rng: random.Random, segment: MarketSegment, used: set[str]
+) -> str:
+    prefixes = _NAME_PREFIXES.get(segment, _NAME_PREFIXES[MarketSegment.CARGO])
+    for _ in range(200):
+        name = f"{rng.choice(prefixes)} {rng.choice(_NAME_SUFFIXES)}"
+        if name not in used:
+            used.add(name)
+            return name
+    # Fall back to a numbered name once combinations are exhausted.
+    name = f"{rng.choice(prefixes)} {len(used) + 1}"
+    used.add(name)
+    return name

@@ -1,0 +1,222 @@
+"""The port database: ~120 major world ports with real coordinates.
+
+The paper relies on "an external database to acquire port locations" for
+the geofencing stage.  Each port carries a UN/LOCODE-style identifier, a
+harbour-level coordinate, a geofence radius, a traffic ``weight`` (used by
+the voyage scheduler to make busy ports busy), and the ids of its
+``gateways`` — the sea-lane waypoints a departing vessel steams toward
+(see :mod:`repro.world.waterways`).
+
+Coordinates are harbour approximations good to a few kilometres, which is
+all geofencing at multi-kilometre radii requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Port:
+    """One port of the external port database."""
+
+    port_id: str
+    name: str
+    country: str
+    lat: float
+    lon: float
+    weight: float
+    gateways: tuple[str, ...]
+    radius_m: float = 6_000.0
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0 or not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"port {self.port_id} has invalid coordinates")
+        if self.weight <= 0.0:
+            raise ValueError(f"port {self.port_id} must have positive weight")
+
+
+def _p(port_id, name, country, lat, lon, weight, *gateways, radius_m=6_000.0):
+    return Port(port_id, name, country, lat, lon, weight, tuple(gateways), radius_m)
+
+
+#: The global port inventory.  Gateways reference waypoint ids from
+#: :data:`repro.world.waterways.WAYPOINTS`.
+PORTS: tuple[Port, ...] = (
+    # --- East Asia -----------------------------------------------------------
+    _p("CNSHA", "Shanghai", "CN", 31.23, 121.49, 10.0, "ECS"),
+    _p("CNNGB", "Ningbo-Zhoushan", "CN", 29.93, 121.85, 9.0, "ECS"),
+    _p("CNSZX", "Shenzhen", "CN", 22.49, 114.05, 9.0, "SCS", "TWN"),
+    _p("CNCAN", "Guangzhou", "CN", 22.80, 113.55, 8.0, "SCS"),
+    _p("CNTAO", "Qingdao", "CN", 36.07, 120.32, 8.0, "YELL"),
+    _p("CNTXG", "Tianjin", "CN", 38.98, 117.79, 7.5, "YELL"),
+    _p("CNXMN", "Xiamen", "CN", 24.45, 118.07, 7.0, "TWN"),
+    _p("CNDLC", "Dalian", "CN", 38.93, 121.65, 6.5, "YELL"),
+    _p("HKHKG", "Hong Kong", "HK", 22.30, 114.17, 8.5, "SCS", "TWN"),
+    _p("TWKHH", "Kaohsiung", "TW", 22.61, 120.28, 7.0, "TWN", "LUZ"),
+    _p("KRPUS", "Busan", "KR", 35.08, 129.04, 8.5, "KOR"),
+    _p("KRINC", "Incheon", "KR", 37.45, 126.60, 6.0, "YELL"),
+    _p("JPTYO", "Tokyo", "JP", 35.61, 139.79, 7.0, "TOK"),
+    _p("JPYOK", "Yokohama", "JP", 35.44, 139.66, 7.0, "TOK"),
+    _p("JPNGO", "Nagoya", "JP", 35.03, 136.85, 6.5, "TOK"),
+    _p("JPUKB", "Kobe", "JP", 34.67, 135.21, 6.0, "KOR", "TOK"),
+    _p("JPOSA", "Osaka", "JP", 34.64, 135.42, 5.5, "KOR", "TOK"),
+    # --- Southeast Asia --------------------------------------------------------
+    _p("SGSIN", "Singapore", "SG", 1.26, 103.84, 10.0, "SGS"),
+    _p("MYPKG", "Port Klang", "MY", 3.00, 101.39, 7.5, "MAL"),
+    _p("MYTPP", "Tanjung Pelepas", "MY", 1.36, 103.55, 7.0, "SGS"),
+    _p("THLCH", "Laem Chabang", "TH", 13.08, 100.88, 6.5, "GOTH"),
+    _p("VNSGN", "Ho Chi Minh City", "VN", 10.50, 107.03, 6.0, "SCS"),
+    _p("VNHPH", "Haiphong", "VN", 20.85, 106.78, 5.5, "SCS"),
+    _p("IDTPP", "Jakarta (Tanjung Priok)", "ID", -6.10, 106.88, 6.5, "JAVA"),
+    _p("IDSUB", "Surabaya", "ID", -7.20, 112.73, 5.5, "JAVA"),
+    _p("PHMNL", "Manila", "PH", 14.58, 120.95, 6.0, "LUZ", "SCS"),
+    # --- South Asia ------------------------------------------------------------
+    _p("LKCMB", "Colombo", "LK", 6.95, 79.84, 7.0, "DON"),
+    _p("INNSA", "Nhava Sheva", "IN", 18.95, 72.94, 7.0, "ARAB"),
+    _p("INMUN", "Mundra", "IN", 22.74, 69.70, 6.5, "ARAB"),
+    _p("INMAA", "Chennai", "IN", 13.10, 80.30, 5.5, "BENG"),
+    _p("INVTZ", "Visakhapatnam", "IN", 17.69, 83.29, 5.0, "BENG"),
+    _p("BDCGP", "Chittagong", "BD", 22.31, 91.80, 5.5, "BENG"),
+    _p("PKKHI", "Karachi", "PK", 24.83, 66.97, 5.5, "ARAB"),
+    # --- Middle East -------------------------------------------------------------
+    _p("AEJEA", "Jebel Ali (Dubai)", "AE", 25.01, 55.06, 8.0, "HRM"),
+    _p("AEAUH", "Abu Dhabi", "AE", 24.52, 54.38, 5.5, "HRM"),
+    _p("OMSLL", "Salalah", "OM", 16.95, 54.00, 6.0, "ARAB"),
+    _p("OMSOH", "Sohar", "OM", 24.50, 56.63, 5.0, "HRM"),
+    _p("SAJED", "Jeddah", "SA", 21.48, 39.17, 6.5, "REDC"),
+    _p("SADMM", "Dammam", "SA", 26.50, 50.20, 5.5, "HRM"),
+    _p("KWKWI", "Kuwait (Shuwaikh)", "KW", 29.35, 47.93, 5.0, "HRM"),
+    _p("IQBSR", "Basra (Umm Qasr)", "IQ", 30.03, 47.94, 4.5, "HRM"),
+    _p("QAHMD", "Hamad", "QA", 25.01, 51.61, 5.0, "HRM"),
+    # --- Europe: Mediterranean & Black Sea ----------------------------------------
+    _p("GRPIR", "Piraeus", "GR", 37.94, 23.62, 7.0, "MEDE", "MEDC"),
+    _p("ITGOA", "Genoa", "IT", 44.40, 8.92, 6.0, "MEDC"),
+    _p("ITGIT", "Gioia Tauro", "IT", 38.45, 15.90, 5.5, "MEDC"),
+    _p("ESVLC", "Valencia", "ES", 39.44, -0.32, 6.5, "GIB", "MEDC"),
+    _p("ESALG", "Algeciras", "ES", 36.13, -5.44, 7.0, "GIB"),
+    _p("ESBCN", "Barcelona", "ES", 41.35, 2.16, 5.5, "MEDC"),
+    _p("FRMRS", "Marseille", "FR", 43.31, 5.33, 5.5, "MEDC"),
+    _p("MTMAR", "Marsaxlokk", "MT", 35.83, 14.54, 5.5, "MEDC"),
+    _p("EGPSD", "Port Said", "EG", 31.26, 32.31, 6.5, "SUZN", radius_m=9_000.0),
+    _p("EGALY", "Alexandria", "EG", 31.19, 29.87, 5.0, "MEDE"),
+    _p("TRAMB", "Ambarli (Istanbul)", "TR", 40.97, 28.69, 5.5, "BSP"),
+    _p("ROCND", "Constanta", "RO", 44.16, 28.65, 4.5, "BSP"),
+    _p("UAODS", "Odesa", "UA", 46.49, 30.74, 4.0, "BSP"),
+    _p("MATNG", "Tanger Med", "MA", 35.88, -5.50, 6.5, "GIB"),
+    _p("MACAS", "Casablanca", "MA", 33.61, -7.62, 4.5, "GIB"),
+    # --- Europe: Atlantic, North Sea, Baltic ----------------------------------------
+    _p("NLRTM", "Rotterdam", "NL", 51.95, 4.05, 10.0, "NSEA", "DOV"),
+    _p("BEANR", "Antwerp", "BE", 51.28, 4.30, 8.5, "DOV", "NSEA"),
+    _p("DEHAM", "Hamburg", "DE", 53.54, 9.93, 8.0, "NSEA"),
+    _p("DEBRV", "Bremerhaven", "DE", 53.57, 8.55, 7.0, "NSEA"),
+    _p("FRLEH", "Le Havre", "FR", 49.47, 0.15, 6.5, "DOV", "BISC"),
+    _p("GBFXT", "Felixstowe", "GB", 51.95, 1.31, 7.0, "DOV", "NSEA"),
+    _p("GBSOU", "Southampton", "GB", 50.90, -1.41, 6.0, "DOV", "BISC"),
+    _p("GBLGP", "London Gateway", "GB", 51.50, 0.46, 5.5, "DOV"),
+    _p("ESBIO", "Bilbao", "ES", 43.35, -3.03, 4.5, "BISC"),
+    _p("PTLIS", "Lisbon", "PT", 38.70, -9.15, 4.5, "GIB", "BISC"),
+    _p("PTSIE", "Sines", "PT", 37.94, -8.87, 5.0, "GIB", "BISC"),
+    _p("IEDUB", "Dublin", "IE", 53.35, -6.20, 4.0, "DOV", "BISC"),
+    # Baltic (the Figure 4 region)
+    _p("PLGDN", "Gdansk", "PL", 54.40, 18.67, 5.5, "BALT"),
+    _p("PLGDY", "Gdynia", "PL", 54.53, 18.55, 4.5, "BALT"),
+    _p("LTKLJ", "Klaipeda", "LT", 55.71, 21.11, 4.0, "BALT"),
+    _p("LVRIX", "Riga", "LV", 57.03, 24.05, 4.0, "BALT"),
+    _p("EETLL", "Tallinn", "EE", 59.45, 24.77, 4.0, "GFIN"),
+    _p("FIHEL", "Helsinki", "FI", 60.15, 24.97, 4.5, "GFIN"),
+    _p("FIKTK", "Kotka", "FI", 60.43, 26.96, 3.5, "GFIN"),
+    _p("RULED", "St Petersburg", "RU", 59.88, 30.20, 5.0, "GFIN"),
+    _p("SESTO", "Stockholm", "SE", 59.35, 18.14, 4.0, "BALT"),
+    _p("SEGOT", "Gothenburg", "SE", 57.69, 11.90, 5.0, "SKA"),
+    _p("DKCPH", "Copenhagen-Malmo", "DK", 55.69, 12.61, 4.5, "SKA", "BALT"),
+    _p("DKAAR", "Aarhus", "DK", 56.15, 10.23, 4.5, "SKA"),
+    _p("DERSK", "Rostock", "DE", 54.15, 12.10, 4.0, "BALT", "SKA"),
+    _p("NOOSL", "Oslo", "NO", 59.90, 10.73, 4.0, "SKA"),
+    _p("NOBGO", "Bergen", "NO", 60.39, 5.31, 3.5, "NORW"),
+    # --- Africa -----------------------------------------------------------------
+    _p("ZADUR", "Durban", "ZA", -29.87, 31.03, 6.0, "GOOD", "MOZ"),
+    _p("ZACPT", "Cape Town", "ZA", -33.91, 18.43, 5.0, "GOOD"),
+    _p("ZAPLZ", "Gqeberha (Port Elizabeth)", "ZA", -33.96, 25.63, 4.0, "GOOD"),
+    _p("NGAPP", "Lagos (Apapa)", "NG", 6.43, 3.37, 5.0, "WAFR"),
+    _p("GHTEM", "Tema", "GH", 5.64, 0.01, 4.5, "WAFR"),
+    _p("CIABJ", "Abidjan", "CI", 5.25, -4.00, 4.5, "WAFR"),
+    _p("SNDKR", "Dakar", "SN", 14.68, -17.43, 4.0, "WAFR", "MATL"),
+    _p("KEMBA", "Mombasa", "KE", -4.07, 39.66, 4.5, "MOZ", "ARAB"),
+    _p("TZDAR", "Dar es Salaam", "TZ", -6.82, 39.30, 4.0, "MOZ"),
+    _p("DJJIB", "Djibouti", "DJ", 11.60, 43.15, 5.0, "BAB"),
+    # --- North America ---------------------------------------------------------------
+    _p("USLAX", "Los Angeles", "US", 33.73, -118.26, 9.0, "USWC"),
+    _p("USLGB", "Long Beach", "US", 33.75, -118.20, 8.5, "USWC"),
+    _p("USOAK", "Oakland", "US", 37.80, -122.32, 6.5, "USWC"),
+    _p("USSEA", "Seattle", "US", 47.58, -122.35, 6.0, "USWC"),
+    _p("USTAC", "Tacoma", "US", 47.27, -122.41, 5.5, "USWC"),
+    _p("CAVAN", "Vancouver", "CA", 49.29, -123.11, 6.5, "USWC"),
+    _p("CAPRR", "Prince Rupert", "CA", 54.32, -130.32, 4.5, "USWC", "NPAC"),
+    _p("USNYC", "New York-New Jersey", "US", 40.67, -74.05, 8.5, "USEC"),
+    _p("USSAV", "Savannah", "US", 32.08, -81.09, 7.0, "USEC"),
+    _p("USORF", "Norfolk", "US", 36.90, -76.33, 6.5, "USEC"),
+    _p("USCHS", "Charleston", "US", 32.78, -79.93, 6.0, "USEC"),
+    _p("USHOU", "Houston", "US", 29.73, -95.09, 7.0, "USGC"),
+    _p("USNOL", "New Orleans", "US", 29.93, -90.06, 5.5, "USGC"),
+    _p("USMIA", "Miami", "US", 25.77, -80.17, 5.5, "CARB", "USEC"),
+    _p("CAMTR", "Montreal", "CA", 45.56, -73.52, 4.5, "NATL"),
+    _p("CAHAL", "Halifax", "CA", 44.65, -63.57, 4.5, "NATL", "USEC"),
+    # --- Central & South America ------------------------------------------------------
+    _p("MXZLO", "Manzanillo (MX)", "MX", 19.06, -104.31, 5.5, "PANP", "USWC"),
+    _p("MXLZC", "Lazaro Cardenas", "MX", 17.94, -102.18, 5.0, "PANP", "USWC"),
+    _p("MXVER", "Veracruz", "MX", 19.21, -96.12, 4.5, "USGC"),
+    _p("PAPTY", "Balboa (Panama)", "PA", 8.95, -79.57, 6.0, "PANP", radius_m=8_000.0),
+    _p("PAONX", "Colon", "PA", 9.36, -79.90, 6.0, "PANC", radius_m=8_000.0),
+    _p("COCTG", "Cartagena (CO)", "CO", 10.40, -75.53, 5.5, "CARB", "PANC"),
+    _p("JMKIN", "Kingston", "JM", 17.97, -76.79, 5.0, "CARB"),
+    _p("DOCAU", "Caucedo", "DO", 18.42, -69.63, 4.5, "CARB"),
+    _p("BRSSZ", "Santos", "BR", -23.98, -46.29, 6.5, "SATL", "SAMC"),
+    _p("BRPNG", "Paranagua", "BR", -25.50, -48.51, 5.0, "SAMC"),
+    _p("BRRIG", "Rio Grande", "BR", -32.07, -52.09, 4.5, "SAMC"),
+    _p("BRRIO", "Rio de Janeiro", "BR", -22.89, -43.18, 5.0, "SATL", "SAMC"),
+    _p("ARBUE", "Buenos Aires", "AR", -34.58, -58.36, 5.0, "SAMC"),
+    _p("UYMVD", "Montevideo", "UY", -34.90, -56.21, 4.5, "SAMC"),
+    _p("PECLL", "Callao", "PE", -12.04, -77.14, 5.0, "WSAM"),
+    _p("CLVAP", "Valparaiso", "CL", -33.03, -71.62, 4.5, "WSAM"),
+    _p("CLSAI", "San Antonio (CL)", "CL", -33.59, -71.61, 4.5, "WSAM"),
+    _p("ECGYE", "Guayaquil", "EC", -2.28, -79.91, 4.5, "WSAM", "PANP"),
+    # --- Oceania -------------------------------------------------------------------
+    _p("AUSYD", "Sydney (Botany)", "AU", -33.97, 151.22, 5.5, "AUSS", "TASM"),
+    _p("AUMEL", "Melbourne", "AU", -37.83, 144.92, 5.5, "AUSS"),
+    _p("AUBNE", "Brisbane", "AU", -27.38, 153.17, 5.0, "TASM", "CORL"),
+    _p("AUFRE", "Fremantle", "AU", -32.05, 115.74, 4.5, "AUSW"),
+    _p("NZAKL", "Auckland", "NZ", -36.84, 174.78, 4.5, "TASM"),
+    _p("NZTRG", "Tauranga", "NZ", -37.64, 176.18, 4.0, "TASM"),
+    _p("USHNL", "Honolulu", "US", 21.31, -157.87, 4.0, "HAWI"),
+)
+
+_PORT_INDEX = {port.port_id: port for port in PORTS}
+
+if len(_PORT_INDEX) != len(PORTS):  # pragma: no cover - data sanity
+    raise RuntimeError("duplicate port ids in the port database")
+
+
+def port_by_id(port_id: str) -> Port:
+    """Look a port up by id; raises :class:`KeyError` with a helpful
+    message for unknown ids."""
+    try:
+        return _PORT_INDEX[port_id]
+    except KeyError:
+        raise KeyError(f"unknown port id {port_id!r}") from None
+
+
+def ports_dataframe_rows() -> list[dict]:
+    """The database as plain dict rows (for CSV export and examples)."""
+    return [
+        {
+            "port_id": port.port_id,
+            "name": port.name,
+            "country": port.country,
+            "lat": port.lat,
+            "lon": port.lon,
+            "weight": port.weight,
+            "radius_m": port.radius_m,
+        }
+        for port in PORTS
+    ]

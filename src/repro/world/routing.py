@@ -1,0 +1,176 @@
+"""Sea routing: Dijkstra over the port + waypoint lane graph.
+
+The router answers "which sequence of (lat, lon) nodes does a voyage from
+port A to port B follow?".  Ports attach to the graph through their
+gateway waypoints and through direct short-hop edges to nearby ports
+(coastal trades like Los Angeles ↔ Oakland never touch an ocean hub).
+
+Blocking a canal removes its edge before the search, so a blocked Suez
+yields Cape of Good Hope routings with no special-case code — the
+shortest-path structure of the graph does the rerouting, just as shipping
+lines did in March 2021.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable
+
+from repro.geo.distance import haversine_m
+from repro.world.ports import PORTS, Port, port_by_id
+from repro.world.waterways import CANAL_EDGES, SEA_EDGES, WAYPOINTS
+
+#: Ports closer than this sail directly without entering the lane graph.
+DIRECT_HOP_MAX_M = 450_000.0
+
+#: Routing cost added to a canal transit (queue + pilotage + fees expressed
+#: as equivalent sea distance, ≈ one day of steaming).  Keeps shortest
+#: paths realistic: a canal is taken when it saves real distance, not to
+#: shave a rounding error.
+CANAL_PENALTY_M = 800_000.0
+
+
+class RouteNotFound(Exception):
+    """No sea path exists between two ports (e.g. every canal blocked and
+    no alternative edge)."""
+
+
+class SeaRouter:
+    """Shortest-path routing over the lane graph.
+
+    :param blocked_canals: canal tags ('suez', 'panama') whose edges are
+        removed before searching.
+    """
+
+    def __init__(self, blocked_canals: Iterable[str] = ()) -> None:
+        self.blocked_canals = frozenset(blocked_canals)
+        self._coords: dict[str, tuple[float, float]] = {}
+        self._adjacency: dict[str, list[tuple[str, float]]] = {}
+        self._route_cache: dict[tuple[str, str], list[str]] = {}
+        self._build()
+
+    def node_position(self, node_id: str) -> tuple[float, float]:
+        """(lat, lon) of a graph node (port or waypoint)."""
+        return self._coords[node_id]
+
+    def route_nodes(self, origin_id: str, dest_id: str) -> list[str]:
+        """Node ids along the shortest sea path, origin and destination
+        ports included.  Raises :class:`RouteNotFound` when disconnected.
+        """
+        port_by_id(origin_id)  # validate ids eagerly with a clear error
+        port_by_id(dest_id)
+        if origin_id == dest_id:
+            return [origin_id]
+        cache_key = (origin_id, dest_id)
+        cached = self._route_cache.get(cache_key)
+        if cached is not None:
+            return list(cached)
+        path = self._dijkstra(origin_id, dest_id)
+        if path is None:
+            raise RouteNotFound(
+                f"no sea route from {origin_id} to {dest_id} "
+                f"(blocked canals: {sorted(self.blocked_canals) or 'none'})"
+            )
+        self._route_cache[cache_key] = path
+        return list(path)
+
+    def route_positions(
+        self, origin_id: str, dest_id: str
+    ) -> list[tuple[float, float]]:
+        """(lat, lon) polyline of the shortest sea path."""
+        return [self.node_position(n) for n in self.route_nodes(origin_id, dest_id)]
+
+    def route_length_m(self, origin_id: str, dest_id: str) -> float:
+        """Total length of the routed path in metres."""
+        positions = self.route_positions(origin_id, dest_id)
+        return sum(
+            haversine_m(a[0], a[1], b[0], b[1])
+            for a, b in zip(positions, positions[1:])
+        )
+
+    def uses_canal(self, origin_id: str, dest_id: str, canal: str) -> bool:
+        """Whether the routed path traverses a canal's edge."""
+        tags = {
+            frozenset((a, b)): tag for a, b, tag in CANAL_EDGES
+        }
+        nodes = self.route_nodes(origin_id, dest_id)
+        return any(
+            tags.get(frozenset((a, b))) == canal for a, b in zip(nodes, nodes[1:])
+        )
+
+    # -- construction -----------------------------------------------------------
+
+    def _build(self) -> None:
+        for waypoint in WAYPOINTS.values():
+            self._coords[waypoint.waypoint_id] = (waypoint.lat, waypoint.lon)
+        for port in PORTS:
+            self._coords[port.port_id] = (port.lat, port.lon)
+        edges: list[tuple[str, str]] = list(SEA_EDGES)
+        for port in PORTS:
+            for gateway in port.gateways:
+                if gateway not in WAYPOINTS:
+                    raise KeyError(
+                        f"port {port.port_id} references unknown gateway "
+                        f"{gateway!r}"
+                    )
+                edges.append((port.port_id, gateway))
+        edges.extend(self._direct_hops())
+        for a, b in edges:
+            self._add_edge(a, b)
+        for a, b, tag in CANAL_EDGES:
+            if tag not in self.blocked_canals:
+                self._add_edge(a, b, extra_cost_m=CANAL_PENALTY_M)
+
+    def _direct_hops(self) -> list[tuple[str, str]]:
+        hops = []
+        for i, port_a in enumerate(PORTS):
+            for port_b in PORTS[i + 1 :]:
+                distance = haversine_m(
+                    port_a.lat, port_a.lon, port_b.lat, port_b.lon
+                )
+                if distance <= DIRECT_HOP_MAX_M and self._share_basin(
+                    port_a, port_b
+                ):
+                    hops.append((port_a.port_id, port_b.port_id))
+        return hops
+
+    @staticmethod
+    def _share_basin(port_a: Port, port_b: Port) -> bool:
+        # A cheap land-avoidance heuristic: nearby ports may sail directly
+        # only when they share a gateway (same basin); Panama's two coasts
+        # are 80 km apart but share no gateway, so no hop through the
+        # isthmus is created.
+        return bool(set(port_a.gateways) & set(port_b.gateways))
+
+    def _add_edge(self, a: str, b: str, extra_cost_m: float = 0.0) -> None:
+        lat_a, lon_a = self._coords[a]
+        lat_b, lon_b = self._coords[b]
+        weight = haversine_m(lat_a, lon_a, lat_b, lon_b) + extra_cost_m
+        self._adjacency.setdefault(a, []).append((b, weight))
+        self._adjacency.setdefault(b, []).append((a, weight))
+
+    def _dijkstra(self, source: str, target: str) -> list[str] | None:
+        distances: dict[str, float] = {source: 0.0}
+        previous: dict[str, str] = {}
+        heap: list[tuple[float, str]] = [(0.0, source)]
+        visited: set[str] = set()
+        while heap:
+            dist, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            if node == target:
+                break
+            visited.add(node)
+            for neighbor, weight in self._adjacency.get(node, ()):
+                candidate = dist + weight
+                if candidate < distances.get(neighbor, float("inf")):
+                    distances[neighbor] = candidate
+                    previous[neighbor] = node
+                    heapq.heappush(heap, (candidate, neighbor))
+        if target not in distances:
+            return None
+        path = [target]
+        while path[-1] != source:
+            path.append(previous[path[-1]])
+        path.reverse()
+        return path

@@ -1,0 +1,118 @@
+"""Disruption scenarios: the abnormal behaviour the inventory detects.
+
+The paper motivates the inventory as a *model of normalcy* against which
+disruptions (COVID port shutdowns, the 2021 Suez blockage) stand out.
+Scenarios rewrite scheduled voyage plans:
+
+- :class:`SuezBlockage` — voyages that would transit the canal inside the
+  window are re-routed with the canal edge removed, which yields Cape of
+  Good Hope paths emergently.
+- :class:`PortShutdown` — voyages to a closed port divert to the nearest
+  open alternative.
+
+The anomaly benchmark builds a normalcy inventory from undisrupted data
+and checks it flags the rewritten voyages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.distance import haversine_m
+from repro.world.ports import PORTS, port_by_id
+from repro.world.routing import RouteNotFound, SeaRouter
+from repro.world.voyages import VoyagePlan
+
+
+class Scenario:
+    """Base class: a transformation of the scheduled voyage plans."""
+
+    def apply(self, plans: list[VoyagePlan], router: SeaRouter) -> list[VoyagePlan]:
+        """Return rewritten plans; implementations must not mutate inputs."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SuezBlockage(Scenario):
+    """The canal is impassable during [start_ts, end_ts)."""
+
+    start_ts: float
+    end_ts: float
+    canal: str = "suez"
+
+    def apply(self, plans: list[VoyagePlan], router: SeaRouter) -> list[VoyagePlan]:
+        """Re-route affected voyages around the blockage."""
+        blocked_router = SeaRouter(blocked_canals={self.canal})
+        rewritten = []
+        for plan in plans:
+            if not self.start_ts <= plan.depart_ts < self.end_ts:
+                rewritten.append(plan)
+                continue
+            if not router.uses_canal(plan.origin, plan.destination, self.canal):
+                rewritten.append(plan)
+                continue
+            try:
+                nodes = tuple(
+                    blocked_router.route_nodes(plan.origin, plan.destination)
+                )
+            except RouteNotFound:
+                rewritten.append(plan)
+                continue
+            rewritten.append(
+                VoyagePlan(
+                    mmsi=plan.mmsi,
+                    origin=plan.origin,
+                    destination=plan.destination,
+                    depart_ts=plan.depart_ts,
+                    speed_kn=plan.speed_kn,
+                    route_nodes=nodes,
+                )
+            )
+        return rewritten
+
+
+@dataclass(frozen=True)
+class PortShutdown(Scenario):
+    """A port accepts no arrivals during [start_ts, end_ts)."""
+
+    port_id: str
+    start_ts: float
+    end_ts: float
+
+    def apply(self, plans: list[VoyagePlan], router: SeaRouter) -> list[VoyagePlan]:
+        """Divert affected arrivals to the nearest open port."""
+        closed = port_by_id(self.port_id)
+        alternates = sorted(
+            (p for p in PORTS if p.port_id != self.port_id),
+            key=lambda p: haversine_m(closed.lat, closed.lon, p.lat, p.lon),
+        )
+        rewritten = []
+        for plan in plans:
+            affected = (
+                plan.destination == self.port_id
+                and self.start_ts <= plan.depart_ts < self.end_ts
+            )
+            if not affected:
+                rewritten.append(plan)
+                continue
+            diverted = None
+            for alternate in alternates:
+                if alternate.port_id == plan.origin:
+                    continue
+                try:
+                    nodes = tuple(
+                        router.route_nodes(plan.origin, alternate.port_id)
+                    )
+                except RouteNotFound:
+                    continue
+                diverted = VoyagePlan(
+                    mmsi=plan.mmsi,
+                    origin=plan.origin,
+                    destination=alternate.port_id,
+                    depart_ts=plan.depart_ts,
+                    speed_kn=plan.speed_kn,
+                    route_nodes=nodes,
+                )
+                break
+            rewritten.append(diverted if diverted is not None else plan)
+        return rewritten

@@ -1,0 +1,342 @@
+"""AIS track generation: voyages → position reports, with injected dirt.
+
+The simulator walks each voyage's routed polyline at the vessel's speed,
+emitting a position report every reporting interval with measurement
+noise, then corrupts the stream the way real AIS archives are corrupted:
+out-of-protocol field values, duplicated messages, out-of-order arrivals
+and GPS teleport spikes.  Injection counts are tracked so the Figure 2
+funnel benchmark can verify the cleaning stage removes what was injected.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.ais.messages import NavigationStatus, PositionReport
+from repro.geo.distance import destination_point, haversine_m, initial_bearing_deg
+from repro.geo.greatcircle import interpolate
+from repro.world.ports import Port, port_by_id
+from repro.world.routing import SeaRouter
+from repro.world.voyages import VoyagePlan
+
+_KNOT_MS = 0.514444
+
+#: Distance from a port inside which vessels steam dead slow.
+_SLOW_ZONE_M = 15_000.0
+#: Distance from a port inside which vessels are at reduced speed.
+_APPROACH_ZONE_M = 45_000.0
+#: Mean starboard lane offset: vessels keep to the right of the lane
+#: centerline (COLREGS rule 10), which is what separates opposing flows
+#: into adjacent cells and produces the traffic-separation patterns of
+#: the paper's Figure 4.
+_LANE_OFFSET_MEAN_M = 3_500.0
+
+
+@dataclass(frozen=True, slots=True)
+class NoiseModel:
+    """Measurement noise and data-quality defect rates.
+
+    Defect probabilities are per emitted report; defaults give a ~1 %
+    overall dirt rate, in line with open AIS archives.
+    """
+
+    position_sigma_m: float = 40.0
+    sog_sigma_kn: float = 0.35
+    cog_sigma_deg: float = 3.0
+    heading_sigma_deg: float = 2.0
+    p_bad_field: float = 0.003
+    p_duplicate: float = 0.004
+    p_out_of_order: float = 0.003
+    p_teleport: float = 0.001
+
+
+@dataclass(slots=True)
+class DefectStats:
+    """How many of each defect the simulator injected."""
+
+    bad_field: int = 0
+    duplicate: int = 0
+    out_of_order: int = 0
+    teleport: int = 0
+
+    def total(self) -> int:
+        """All injected defects."""
+        return self.bad_field + self.duplicate + self.out_of_order + self.teleport
+
+    def merge(self, other: "DefectStats") -> None:
+        """Accumulate another vessel's stats."""
+        self.bad_field += other.bad_field
+        self.duplicate += other.duplicate
+        self.out_of_order += other.out_of_order
+        self.teleport += other.teleport
+
+
+@dataclass(slots=True)
+class _Leg:
+    lat1: float
+    lon1: float
+    lat2: float
+    lon2: float
+    length_m: float
+
+
+class TrackSimulator:
+    """Generates position reports for voyages, dwells and local work."""
+
+    def __init__(
+        self,
+        router: SeaRouter,
+        noise: NoiseModel | None = None,
+        report_interval_s: float = 300.0,
+        moored_interval_s: float = 1800.0,
+    ) -> None:
+        if report_interval_s <= 0.0 or moored_interval_s <= 0.0:
+            raise ValueError("report intervals must be positive")
+        self.router = router
+        self.noise = noise or NoiseModel()
+        self.report_interval_s = report_interval_s
+        self.moored_interval_s = moored_interval_s
+
+    # -- clean track generation ------------------------------------------------
+
+    def voyage_track(
+        self, plan: VoyagePlan, end_ts: float, rng: random.Random
+    ) -> list[PositionReport]:
+        """Reports for one voyage, truncated at ``end_ts``.
+
+        The first report is inside the origin geofence and the last (when
+        not truncated) inside the destination geofence, so the geofencing
+        stage can reconstruct the trip.
+        """
+        legs = self._legs(plan.route_nodes)
+        total_m = sum(leg.length_m for leg in legs)
+        if total_m == 0.0:
+            return []
+        origin = port_by_id(plan.origin)
+        destination = port_by_id(plan.destination)
+        cruise_ms = plan.speed_kn * _KNOT_MS
+        # Starboard offset, fixed per voyage: opposing flows take opposite
+        # sides of the lane, mild per-vessel spread widens the corridor.
+        lane_offset_m = max(500.0, rng.gauss(_LANE_OFFSET_MEAN_M, 1_200.0))
+        reports: list[PositionReport] = []
+        clock = plan.depart_ts
+        travelled = 0.0
+        leg_index = 0
+        leg_offset = 0.0
+        while travelled < total_m and clock < end_ts:
+            leg = legs[leg_index]
+            fraction = leg_offset / leg.length_m if leg.length_m > 0 else 0.0
+            lat, lon = interpolate(leg.lat1, leg.lon1, leg.lat2, leg.lon2, fraction)
+            bearing = initial_bearing_deg(lat, lon, leg.lat2, leg.lon2)
+            edge = min(travelled, total_m - travelled)
+            if edge > _SLOW_ZONE_M:
+                # Keep right of the centerline in open water; converge on
+                # the exact port position inside the slow zone.
+                taper = min(1.0, (edge - _SLOW_ZONE_M) / _APPROACH_ZONE_M)
+                lat, lon = destination_point(
+                    lat, lon, (bearing + 90.0) % 360.0, lane_offset_m * taper
+                )
+            factor = self._speed_factor(travelled, total_m)
+            speed_ms = max(0.8, cruise_ms * factor)
+            reports.append(
+                self._make_report(plan.mmsi, clock, lat, lon, speed_ms, bearing, rng)
+            )
+            step = speed_ms * self.report_interval_s
+            travelled += step
+            leg_offset += step
+            clock += self.report_interval_s
+            while leg_index < len(legs) - 1 and leg_offset >= legs[leg_index].length_m:
+                leg_offset -= legs[leg_index].length_m
+                leg_index += 1
+        if travelled >= total_m and clock < end_ts:
+            # Final report pinned inside the destination geofence.
+            reports.append(
+                self._make_report(
+                    plan.mmsi,
+                    clock,
+                    destination.lat,
+                    destination.lon,
+                    0.5,
+                    initial_bearing_deg(
+                        origin.lat, origin.lon, destination.lat, destination.lon
+                    ),
+                    rng,
+                )
+            )
+        return reports
+
+    def dwell_track(
+        self,
+        port: Port,
+        mmsi: int,
+        start_ts: float,
+        end_ts: float,
+        rng: random.Random,
+    ) -> list[PositionReport]:
+        """Moored reports while a vessel sits in port."""
+        reports = []
+        berth_lat = port.lat + rng.uniform(-0.01, 0.01)
+        berth_lon = port.lon + rng.uniform(-0.01, 0.01)
+        clock = start_ts
+        while clock < end_ts:
+            reports.append(
+                PositionReport(
+                    mmsi=mmsi,
+                    epoch_ts=clock,
+                    lat=berth_lat + rng.gauss(0.0, 1e-4),
+                    lon=berth_lon + rng.gauss(0.0, 1e-4),
+                    sog=abs(rng.gauss(0.0, 0.1)),
+                    cog=rng.uniform(0.0, 359.9),
+                    heading=rng.randrange(0, 360),
+                    status=int(NavigationStatus.MOORED),
+                )
+            )
+            clock += self.moored_interval_s
+        return reports
+
+    def local_track(
+        self,
+        mmsi: int,
+        port: Port,
+        start_ts: float,
+        end_ts: float,
+        rng: random.Random,
+        radius_m: float = 60_000.0,
+        speed_kn: float = 7.0,
+    ) -> list[PositionReport]:
+        """A wandering local track (fishing / harbour work) around a port.
+
+        These vessels never complete port-to-port trips; the pipeline's
+        trip-extraction stage must exclude them, and the commercial filter
+        must drop them earlier still.
+        """
+        lat, lon = port.lat, port.lon
+        heading = rng.uniform(0.0, 360.0)
+        reports = []
+        clock = start_ts
+        while clock < end_ts:
+            heading = (heading + rng.gauss(0.0, 25.0)) % 360.0
+            step_m = speed_kn * _KNOT_MS * self.report_interval_s
+            lat, lon = destination_point(lat, lon, heading, step_m)
+            if haversine_m(lat, lon, port.lat, port.lon) > radius_m:
+                heading = initial_bearing_deg(lat, lon, port.lat, port.lon)
+                lat, lon = destination_point(lat, lon, heading, step_m)
+            reports.append(
+                self._make_report(
+                    mmsi, clock, lat, lon, speed_kn * _KNOT_MS, heading, rng,
+                    status=int(NavigationStatus.FISHING),
+                )
+            )
+            clock += self.report_interval_s * 2.0
+        return reports
+
+    # -- corruption ---------------------------------------------------------------
+
+    def corrupt(
+        self, reports: list[PositionReport], rng: random.Random
+    ) -> tuple[list[PositionReport], DefectStats]:
+        """Inject archive-style defects into a clean, time-ordered track."""
+        noise = self.noise
+        stats = DefectStats()
+        output: list[PositionReport] = []
+        for report in reports:
+            roll = rng.random()
+            if roll < noise.p_teleport:
+                spiked = _copy_report(report)
+                spiked.lat = max(-89.9, min(89.9, report.lat + rng.uniform(5.0, 15.0)))
+                spiked.lon = report.lon - rng.uniform(5.0, 15.0)
+                output.append(spiked)
+                stats.teleport += 1
+                continue
+            if roll < noise.p_teleport + noise.p_bad_field:
+                broken = _copy_report(report)
+                choice = rng.randrange(4)
+                if choice == 0:
+                    broken.lat = 91.0
+                elif choice == 1:
+                    broken.lon = 181.0
+                elif choice == 2:
+                    broken.sog = 102.3
+                else:
+                    broken.cog = 360.0
+                output.append(broken)
+                stats.bad_field += 1
+                continue
+            output.append(report)
+            if rng.random() < noise.p_duplicate:
+                output.append(_copy_report(report))
+                stats.duplicate += 1
+        # Out-of-order arrivals: swap adjacent reports in the stream.
+        index = 1
+        while index < len(output):
+            if rng.random() < noise.p_out_of_order:
+                output[index - 1], output[index] = output[index], output[index - 1]
+                stats.out_of_order += 1
+                index += 2
+            else:
+                index += 1
+        return output, stats
+
+    # -- internals ------------------------------------------------------------------
+
+    def _legs(self, nodes: tuple[str, ...]) -> list[_Leg]:
+        legs = []
+        for a, b in zip(nodes, nodes[1:]):
+            lat1, lon1 = self.router.node_position(a)
+            lat2, lon2 = self.router.node_position(b)
+            legs.append(_Leg(lat1, lon1, lat2, lon2, haversine_m(lat1, lon1, lat2, lon2)))
+        return legs
+
+    @staticmethod
+    def _speed_factor(travelled_m: float, total_m: float) -> float:
+        edge = min(travelled_m, total_m - travelled_m)
+        if edge < _SLOW_ZONE_M:
+            return 0.35
+        if edge < _APPROACH_ZONE_M:
+            return 0.70
+        return 1.0
+
+    def _make_report(
+        self,
+        mmsi: int,
+        clock: float,
+        lat: float,
+        lon: float,
+        speed_ms: float,
+        bearing: float,
+        rng: random.Random,
+        status: int = int(NavigationStatus.UNDER_WAY_ENGINE),
+    ) -> PositionReport:
+        noise = self.noise
+        jitter_bearing = rng.uniform(0.0, 360.0)
+        jitter_m = abs(rng.gauss(0.0, noise.position_sigma_m))
+        lat, lon = destination_point(lat, lon, jitter_bearing, jitter_m)
+        sog = max(0.0, speed_ms / _KNOT_MS + rng.gauss(0.0, noise.sog_sigma_kn))
+        cog = (bearing + rng.gauss(0.0, noise.cog_sigma_deg)) % 360.0
+        heading = int(bearing + rng.gauss(0.0, noise.heading_sigma_deg)) % 360
+        return PositionReport(
+            mmsi=mmsi,
+            epoch_ts=clock,
+            lat=max(-90.0, min(90.0, lat)),
+            lon=lon,
+            sog=min(102.2, sog),
+            cog=cog,
+            heading=heading,
+            status=status,
+        )
+
+
+def _copy_report(report: PositionReport) -> PositionReport:
+    return PositionReport(
+        mmsi=report.mmsi,
+        epoch_ts=report.epoch_ts,
+        lat=report.lat,
+        lon=report.lon,
+        sog=report.sog,
+        cog=report.cog,
+        heading=report.heading,
+        status=report.status,
+        rot=report.rot,
+        msg_type=report.msg_type,
+    )

@@ -1,0 +1,188 @@
+"""Waypoints and the curated sea-lane graph.
+
+Real vessels do not sail port-to-port great circles — they thread straits,
+canals and traffic corridors.  The simulator reproduces that by routing
+every voyage through a graph whose nodes are ports plus the waypoints
+below (straits, canal mouths, open-ocean hubs) and whose edges are the
+curated sea lanes connecting them.  Legs between adjacent nodes are sailed
+as great circles.
+
+Canal edges carry a ``canal`` tag so scenarios can block them: removing
+the ``suez`` edge makes Dijkstra discover the Cape of Good Hope routing by
+itself, which is exactly the 2021 Ever Given diversion the paper's
+introduction motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Waypoint:
+    """A named node of the sea-lane graph."""
+
+    waypoint_id: str
+    name: str
+    lat: float
+    lon: float
+
+
+def _w(waypoint_id: str, name: str, lat: float, lon: float) -> Waypoint:
+    return Waypoint(waypoint_id, name, lat, lon)
+
+
+#: All waypoints, keyed by id.
+WAYPOINTS: dict[str, Waypoint] = {
+    w.waypoint_id: w
+    for w in (
+        # Europe
+        _w("DOV", "Dover Strait", 51.05, 1.45),
+        _w("NSEA", "North Sea hub", 54.30, 4.00),
+        _w("SKA", "Skagen", 57.90, 10.70),
+        _w("BALT", "Central Baltic", 56.00, 18.00),
+        _w("GFIN", "Gulf of Finland entrance", 59.60, 24.00),
+        _w("NORW", "Norwegian Sea", 61.50, 3.50),
+        _w("BISC", "Cape Finisterre", 43.80, -9.80),
+        _w("GIB", "Strait of Gibraltar", 35.95, -5.55),
+        _w("MEDC", "Sicily Channel", 37.00, 11.00),
+        _w("MEDE", "Eastern Mediterranean", 33.80, 28.50),
+        _w("BSP", "Bosporus approach", 40.90, 28.20),
+        # Suez & Indian Ocean
+        _w("SUZN", "Suez Canal north", 31.35, 32.35),
+        _w("SUZS", "Suez Canal south", 29.75, 32.55),
+        _w("REDC", "Central Red Sea", 19.50, 38.80),
+        _w("BAB", "Bab-el-Mandeb", 12.50, 43.30),
+        _w("ARAB", "Arabian Sea hub", 14.00, 62.00),
+        _w("HRM", "Strait of Hormuz", 26.35, 56.50),
+        _w("DON", "Dondra Head", 5.50, 80.50),
+        _w("BENG", "Bay of Bengal hub", 11.00, 85.00),
+        _w("SIND", "South Indian Ocean hub", -32.00, 80.00),
+        _w("MOZ", "Mozambique Channel", -15.00, 42.00),
+        _w("GOOD", "Cape of Good Hope", -35.30, 18.00),
+        # Southeast & East Asia
+        _w("MAL", "Malacca NW approach", 6.50, 96.50),
+        _w("SGS", "Singapore Strait", 1.15, 103.75),
+        _w("GOTH", "Gulf of Thailand", 9.50, 101.50),
+        _w("JAVA", "Java Sea", -6.00, 107.50),
+        _w("SCS", "South China Sea hub", 12.00, 111.50),
+        _w("TWN", "Taiwan Strait", 23.00, 118.50),
+        _w("LUZ", "Luzon Strait", 19.50, 120.80),
+        _w("ECS", "East China Sea", 29.50, 124.00),
+        _w("YELL", "Yellow Sea", 37.00, 123.50),
+        _w("KOR", "Korea Strait", 33.80, 128.80),
+        _w("TOK", "Tokyo Bay approach", 34.50, 139.50),
+        # Pacific
+        _w("NPAC", "North Pacific hub", 45.00, -178.00),
+        _w("HAWI", "Hawaii", 21.20, -157.70),
+        _w("SPAC", "South Pacific hub", -15.00, -150.00),
+        _w("USWC", "US West Coast hub", 36.00, -126.00),
+        # Americas
+        _w("USEC", "US East Coast hub", 35.50, -74.50),
+        _w("USGC", "Gulf of Mexico hub", 25.50, -87.00),
+        _w("CARB", "Caribbean hub", 17.50, -67.50),
+        _w("PANC", "Panama Canal Caribbean side", 9.50, -79.90),
+        _w("PANP", "Panama Canal Pacific side", 8.30, -79.30),
+        _w("SAMC", "Rio de la Plata approach", -36.00, -52.00),
+        _w("WSAM", "West South America hub", -18.00, -74.50),
+        _w("HORN", "Cape Horn", -57.00, -66.50),
+        # Atlantic
+        _w("NATL", "North Atlantic hub", 48.00, -35.00),
+        _w("MATL", "Mid Atlantic hub", 28.00, -50.00),
+        _w("SATL", "South Atlantic hub", -10.00, -30.00),
+        _w("WAFR", "Gulf of Guinea hub", 2.50, 0.00),
+        # Oceania
+        _w("AUSW", "Cape Leeuwin", -35.50, 114.50),
+        _w("AUSS", "Bass Strait", -39.80, 145.50),
+        _w("TASM", "Tasman Sea hub", -36.00, 158.00),
+        _w("CORL", "Coral Sea hub", -22.00, 155.00),
+    )
+}
+
+#: Canal edges, tagged so scenarios can block them.
+CANAL_EDGES: tuple[tuple[str, str, str], ...] = (
+    ("SUZN", "SUZS", "suez"),
+    ("PANC", "PANP", "panama"),
+)
+
+#: Open-sea edges of the lane graph (undirected).
+SEA_EDGES: tuple[tuple[str, str], ...] = (
+    # Europe
+    ("DOV", "NSEA"),
+    ("DOV", "BISC"),
+    ("NSEA", "SKA"),
+    ("NSEA", "NORW"),
+    ("SKA", "BALT"),
+    ("BALT", "GFIN"),
+    ("BISC", "GIB"),
+    ("GIB", "MEDC"),
+    ("MEDC", "MEDE"),
+    ("MEDE", "BSP"),
+    ("MEDE", "SUZN"),
+    # Suez → Indian Ocean
+    ("SUZS", "REDC"),
+    ("REDC", "BAB"),
+    ("BAB", "ARAB"),
+    ("ARAB", "HRM"),
+    ("ARAB", "DON"),
+    ("ARAB", "MOZ"),
+    ("DON", "BENG"),
+    ("DON", "MAL"),
+    ("DON", "SIND"),
+    ("DON", "GOOD"),
+    ("SIND", "GOOD"),
+    ("SIND", "AUSW"),
+    ("GOOD", "MOZ"),
+    # Southeast / East Asia
+    ("MAL", "SGS"),
+    ("SGS", "GOTH"),
+    ("SGS", "JAVA"),
+    ("SGS", "SCS"),
+    ("GOTH", "SCS"),
+    ("SCS", "TWN"),
+    ("SCS", "LUZ"),
+    ("TWN", "ECS"),
+    ("LUZ", "TOK"),
+    ("ECS", "YELL"),
+    ("ECS", "KOR"),
+    ("KOR", "TOK"),
+    ("JAVA", "AUSW"),
+    # Pacific
+    ("TOK", "NPAC"),
+    ("NPAC", "USWC"),
+    ("NPAC", "HAWI"),
+    ("HAWI", "USWC"),
+    ("HAWI", "SPAC"),
+    ("SPAC", "PANP"),
+    ("SPAC", "TASM"),
+    ("TASM", "AUSS"),
+    ("TASM", "CORL"),
+    ("CORL", "LUZ"),
+    ("AUSS", "AUSW"),
+    # Americas
+    ("USWC", "PANP"),
+    ("PANC", "CARB"),
+    ("CARB", "USEC"),
+    ("CARB", "USGC"),
+    ("USGC", "USEC"),
+    ("CARB", "MATL"),
+    ("USEC", "NATL"),
+    ("USEC", "MATL"),
+    ("WSAM", "PANP"),
+    ("WSAM", "HORN"),
+    ("HORN", "SAMC"),
+    ("SAMC", "SATL"),
+    # Atlantic
+    ("NATL", "DOV"),
+    ("NATL", "BISC"),
+    ("NATL", "MATL"),
+    ("MATL", "GIB"),
+    ("MATL", "SATL"),
+    ("SATL", "GOOD"),
+    ("SATL", "WAFR"),
+    ("WAFR", "GIB"),
+    ("WAFR", "GOOD"),
+    # The Cape ↔ Europe lane sails the open Atlantic directly.
+    ("GOOD", "GIB"),
+    ("GOOD", "BISC"),
+)

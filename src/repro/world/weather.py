@@ -1,0 +1,86 @@
+"""A synthetic global wind climatology (the §5 weather-data substitute).
+
+The paper's future work plans to "combine AIS with weather … data in order
+to provide trade specific related summaries".  Real reanalysis data
+(ERA5 etc.) is not available offline, so this module provides a
+deterministic synthetic wind field with the climatology's gross structure:
+
+- **latitudinal bands**: easterly trade winds in the tropics, strong
+  westerlies in the mid-latitude storm tracks (the "roaring forties"),
+  calmer doldrums and subtropical ridges between;
+- **synoptic texture**: smooth spatial harmonics standing in for highs and
+  lows, drifting eastward over time;
+- **determinism**: the same (seed, position, time) always yields the same
+  sample, so pipelines stay reproducible.
+
+Units: wind speed in m/s, meteorological direction in degrees (direction
+the wind blows *from*, 0 = north).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class WindSample:
+    """One wind observation."""
+
+    speed_ms: float
+    direction_deg: float
+
+    @property
+    def speed_kn(self) -> float:
+        """Speed in knots."""
+        return self.speed_ms / 0.514444
+
+
+class WindField:
+    """Deterministic synthetic global wind."""
+
+    #: Eastward drift of the synoptic pattern, degrees of longitude per day.
+    DRIFT_DEG_PER_DAY = 5.0
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        # Seeded phase offsets decorrelate fields of different seeds.
+        self._phase_a = (seed * 0.7548776662466927) % 1.0 * 2 * math.pi
+        self._phase_b = (seed * 0.5698402909980532) % 1.0 * 2 * math.pi
+
+    def wind_at(self, lat: float, lon: float, ts: float = 0.0) -> WindSample:
+        """The wind at a position and time."""
+        lat = max(-89.9, min(89.9, lat))
+        drift = (ts / 86_400.0) * self.DRIFT_DEG_PER_DAY
+        lon_eff = math.radians(lon - drift)
+        lat_rad = math.radians(lat)
+
+        base_speed, base_from = self._band_climatology(lat)
+        # Synoptic modulation: two drifting harmonics.
+        texture = (
+            math.sin(3.0 * lon_eff + 2.0 * lat_rad + self._phase_a)
+            + 0.6 * math.sin(5.0 * lon_eff - 3.0 * lat_rad + self._phase_b)
+        )
+        speed = max(0.5, base_speed * (1.0 + 0.35 * texture))
+        direction = (base_from + 25.0 * texture) % 360.0
+        return WindSample(speed_ms=speed, direction_deg=direction)
+
+    @staticmethod
+    def _band_climatology(lat: float) -> tuple[float, float]:
+        """(mean speed m/s, direction-from deg) of the latitude band."""
+        alat = abs(lat)
+        hemisphere = 1.0 if lat >= 0 else -1.0
+        if alat < 5.0:
+            return 3.0, 90.0  # doldrums, light easterlies
+        if alat < 30.0:
+            # Trade winds: from the east, veering poleward.
+            direction = 90.0 + hemisphere * 20.0
+            return 7.0, direction % 360.0
+        if alat < 35.0:
+            return 4.0, 180.0  # subtropical ridge, light and variable
+        if alat < 65.0:
+            # Westerlies; the southern storm track is stronger.
+            speed = 10.0 + (3.0 if lat < 0 else 0.0) + (alat - 35.0) * 0.15
+            direction = 270.0 - hemisphere * 15.0
+            return speed, direction % 360.0
+        return 8.0, 90.0  # polar easterlies

@@ -1,0 +1,45 @@
+"""Shared fixtures: one small synthetic world and its inventory, built once.
+
+The end-to-end fixtures are session-scoped because dataset generation and
+pipeline runs are the expensive part of the suite; tests must treat them
+as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PipelineConfig, WorldConfig, build_inventory, generate_dataset
+from repro.engine import Engine, EngineConfig
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A compact but fully featured dataset (~15k reports, trips included)."""
+    return generate_dataset(
+        WorldConfig(seed=1234, n_vessels=16, days=10.0, report_interval_s=600.0)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_result(small_world):
+    """The pipeline result (inventory + funnel) for the small world."""
+    return build_inventory(
+        small_world.positions,
+        small_world.fleet,
+        small_world.ports,
+        PipelineConfig(),
+    )
+
+
+@pytest.fixture(scope="session")
+def small_inventory(small_result):
+    """The small world's inventory."""
+    return small_result.inventory
+
+
+@pytest.fixture()
+def engine():
+    """A fresh serial engine per test."""
+    with Engine(EngineConfig(num_partitions=4)) as eng:
+        yield eng

@@ -1,0 +1,149 @@
+"""Round-trip tests for the AIS message codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ais import decode_payload, decode_sentences, encode_message
+from repro.ais.messages import (
+    ClassBPositionReport,
+    PositionReport,
+    StaticDataReportA,
+    StaticDataReportB,
+    StaticVoyageData,
+)
+from repro.ais.nmea import parse_sentence
+
+
+MMSI = st.integers(min_value=100_000_000, max_value=999_999_999)
+LAT = st.floats(min_value=-89.9, max_value=89.9)
+LON = st.floats(min_value=-179.9, max_value=179.9)
+SOG = st.floats(min_value=0.0, max_value=102.2)
+COG = st.floats(min_value=0.0, max_value=359.9)
+
+
+@settings(max_examples=80)
+@given(mmsi=MMSI, lat=LAT, lon=LON, sog=SOG, cog=COG,
+       heading=st.integers(min_value=0, max_value=359),
+       status=st.integers(min_value=0, max_value=15),
+       msg_type=st.sampled_from([1, 2, 3]))
+def test_position_roundtrip_within_protocol_precision(
+    mmsi, lat, lon, sog, cog, heading, status, msg_type
+):
+    message = PositionReport(
+        mmsi=mmsi, epoch_ts=1_650_000_000.0, lat=lat, lon=lon, sog=sog,
+        cog=cog, heading=heading, status=status, msg_type=msg_type,
+    )
+    lines = encode_message(message)
+    assert len(lines) == 1
+    decoded = next(iter(decode_sentences(lines, epoch_ts=message.epoch_ts)))
+    assert decoded.mmsi == mmsi
+    assert decoded.msg_type == msg_type
+    assert decoded.status == status
+    assert decoded.heading == heading
+    # Protocol precision: 1/10000 arc-minute, 0.1 kn, 0.1°.
+    assert decoded.lat == pytest.approx(lat, abs=1e-5)
+    assert decoded.lon == pytest.approx(lon, abs=1e-5)
+    assert decoded.sog == pytest.approx(sog, abs=0.051)
+    assert decoded.cog == pytest.approx(cog, abs=0.051)
+
+
+def test_position_payload_is_168_bits():
+    message = PositionReport(
+        mmsi=235000001, epoch_ts=0.0, lat=50.0, lon=0.0, sog=10.0, cog=90.0
+    )
+    sentence = parse_sentence(encode_message(message)[0])
+    assert len(sentence.payload) * 6 - sentence.fill_bits == 168
+
+
+def test_position_report_rejects_bad_type():
+    with pytest.raises(ValueError):
+        PositionReport(mmsi=1, epoch_ts=0, lat=0, lon=0, sog=0, cog=0, msg_type=4)
+
+
+def test_class_b_roundtrip():
+    message = ClassBPositionReport(
+        mmsi=338123456, epoch_ts=1_650_000_000.0, lat=21.3, lon=-157.8,
+        sog=6.2, cog=245.0, heading=244,
+    )
+    decoded = next(iter(decode_sentences(encode_message(message), epoch_ts=1.0)))
+    assert isinstance(decoded, ClassBPositionReport)
+    assert decoded.mmsi == message.mmsi
+    assert decoded.lat == pytest.approx(message.lat, abs=1e-5)
+    assert decoded.sog == pytest.approx(6.2, abs=0.05)
+
+
+def test_static_voyage_roundtrip_multifragment():
+    message = StaticVoyageData(
+        mmsi=235009812, imo=9321483, callsign="GBXX5", shipname="EVER GIVEN",
+        ship_type=71, dim_bow=200, dim_stern=200, dim_port=29,
+        dim_starboard=30, draught=14.5, destination="ROTTERDAM",
+        eta_month=3, eta_day=23, eta_hour=5, eta_minute=30,
+    )
+    lines = encode_message(message, message_id="4")
+    assert len(lines) == 2  # 424 bits never fit one sentence
+    decoded = next(iter(decode_sentences(lines)))
+    assert isinstance(decoded, StaticVoyageData)
+    assert decoded.imo == 9321483
+    assert decoded.shipname == "EVER GIVEN"
+    assert decoded.destination == "ROTTERDAM"
+    assert decoded.callsign == "GBXX5"
+    assert decoded.ship_type == 71
+    assert decoded.draught == pytest.approx(14.5, abs=0.05)
+    assert (decoded.eta_month, decoded.eta_day) == (3, 23)
+    assert decoded.length_m == 400
+    assert decoded.beam_m == 59
+
+
+def test_static_data_report_a_roundtrip():
+    message = StaticDataReportA(mmsi=367000001, shipname="LADY FORTUNE")
+    decoded = next(iter(decode_sentences(encode_message(message))))
+    assert isinstance(decoded, StaticDataReportA)
+    assert decoded.shipname == "LADY FORTUNE"
+    assert decoded.part_number == 0
+
+
+def test_static_data_report_b_roundtrip():
+    message = StaticDataReportB(
+        mmsi=367000002, ship_type=30, vendor_id="SIMRAD", callsign="WX9999",
+        dim_bow=12, dim_stern=6, dim_port=3, dim_starboard=3,
+    )
+    decoded = next(iter(decode_sentences(encode_message(message))))
+    assert isinstance(decoded, StaticDataReportB)
+    assert decoded.ship_type == 30
+    assert decoded.callsign == "WX9999"
+    assert decoded.part_number == 1
+
+
+def test_decode_payload_rejects_unknown_type():
+    from repro.ais.sixbit import BitWriter, armor
+
+    writer = BitWriter()
+    writer.write_uint(9, 6)  # SAR aircraft report: unsupported
+    writer.write_uint(0, 162)
+    payload, fill = armor(writer.to_bits())
+    with pytest.raises(ValueError):
+        decode_payload(payload, fill)
+
+
+def test_decode_sentences_skips_corrupt_lines():
+    good = encode_message(
+        PositionReport(mmsi=235000001, epoch_ts=0.0, lat=1.0, lon=1.0, sog=5.0, cog=5.0)
+    )
+    stream = ["garbage", good[0][:-1] + "Z", good[0], "!AIVDM,bad*00"]
+    decoded = list(decode_sentences(stream))
+    assert len(decoded) == 1
+
+
+def test_decode_stream_of_mixed_messages():
+    messages = [
+        PositionReport(mmsi=235000001, epoch_ts=0.0, lat=1.0, lon=1.0, sog=5.0, cog=5.0),
+        StaticVoyageData(mmsi=235000001, imo=9000005, callsign="AB1",
+                         shipname="TEST", ship_type=70),
+        PositionReport(mmsi=235000002, epoch_ts=0.0, lat=2.0, lon=2.0, sog=6.0, cog=6.0),
+    ]
+    stream = []
+    for index, message in enumerate(messages):
+        stream.extend(encode_message(message, message_id=str(index)))
+    decoded = list(decode_sentences(stream))
+    assert len(decoded) == 3
+    assert isinstance(decoded[1], StaticVoyageData)

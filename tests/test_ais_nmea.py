@@ -1,0 +1,109 @@
+"""Tests for NMEA framing and multi-fragment assembly."""
+
+import pytest
+
+from repro.ais.nmea import (
+    NmeaAssembler,
+    checksum,
+    format_sentence,
+    parse_sentence,
+    split_payload,
+)
+
+
+def test_checksum_known_value():
+    # XOR of the canonical example body.
+    body = "AIVDM,1,1,,A,14eG;o@034o8sd<L9i:a;WF>062D,0"
+    assert checksum(body) == int("7D", 16)
+
+
+def test_format_parse_roundtrip():
+    line = format_sentence("1P000Oh1IT1svTP2r:43grwb0Eq4", 0, channel="B")
+    sentence = parse_sentence(line)
+    assert sentence.payload == "1P000Oh1IT1svTP2r:43grwb0Eq4"
+    assert sentence.channel == "B"
+    assert sentence.fragment_count == 1
+
+
+def test_parse_rejects_bad_checksum():
+    line = format_sentence("ABC", 0)
+    tampered = line[:-1] + ("0" if line[-1] != "0" else "1")
+    with pytest.raises(ValueError):
+        parse_sentence(tampered)
+
+
+def test_parse_rejects_missing_bang_and_star():
+    with pytest.raises(ValueError):
+        parse_sentence("AIVDM,1,1,,A,ABC,0*00")
+    with pytest.raises(ValueError):
+        parse_sentence("!AIVDM,1,1,,A,ABC,0")
+
+
+def test_parse_rejects_wrong_field_count():
+    body = "AIVDM,1,1,,A,ABC"
+    with pytest.raises(ValueError):
+        parse_sentence(f"!{body}*{checksum(body):02X}")
+
+
+def test_parse_rejects_unknown_talker():
+    body = "GPGGA,1,1,,A,ABC,0"
+    with pytest.raises(ValueError):
+        parse_sentence(f"!{body}*{checksum(body):02X}")
+
+
+def test_split_payload_single():
+    sentences = split_payload("SHORT", 2, message_id="5")
+    assert len(sentences) == 1
+    parsed = parse_sentence(sentences[0])
+    assert parsed.fill_bits == 2
+    assert parsed.message_id == ""  # single-fragment: no sequential id
+
+
+def test_split_payload_multi_fragment():
+    payload = "X" * 130
+    sentences = split_payload(payload, 4, message_id="3")
+    assert len(sentences) == 3
+    parsed = [parse_sentence(line) for line in sentences]
+    assert [p.fragment_number for p in parsed] == [1, 2, 3]
+    assert all(p.fragment_count == 3 for p in parsed)
+    assert all(p.message_id == "3" for p in parsed)
+    # Fill bits only on the final fragment.
+    assert [p.fill_bits for p in parsed] == [0, 0, 4]
+    assert "".join(p.payload for p in parsed) == payload
+
+
+def test_assembler_single_fragment_passthrough():
+    assembler = NmeaAssembler()
+    sentence = parse_sentence(format_sentence("ABCD", 1))
+    assert assembler.push(sentence) == ("ABCD", 1)
+
+
+def test_assembler_reassembles_out_of_order():
+    payload = "Y" * 130
+    sentences = [parse_sentence(s) for s in split_payload(payload, 2, "7")]
+    assembler = NmeaAssembler()
+    assert assembler.push(sentences[2]) is None
+    assert assembler.push(sentences[0]) is None
+    result = assembler.push(sentences[1])
+    assert result == (payload, 2)
+    assert assembler.pending_groups == 0
+
+
+def test_assembler_interleaved_channels():
+    a = [parse_sentence(s) for s in split_payload("A" * 100, 0, "1", channel="A")]
+    b = [parse_sentence(s) for s in split_payload("B" * 100, 0, "1", channel="B")]
+    assembler = NmeaAssembler()
+    assert assembler.push(a[0]) is None
+    assert assembler.push(b[0]) is None
+    assert assembler.push(a[1]) == ("A" * 100, 0)
+    assert assembler.push(b[1]) == ("B" * 100, 0)
+
+
+def test_assembler_evicts_on_id_reuse():
+    first = [parse_sentence(s) for s in split_payload("C" * 100, 0, "9")]
+    second = [parse_sentence(s) for s in split_payload("D" * 100, 0, "9")]
+    assembler = NmeaAssembler()
+    assert assembler.push(first[0]) is None
+    # The same (id, channel, fragment 1) arrives again: old group dropped.
+    assert assembler.push(second[0]) is None
+    assert assembler.push(second[1]) == ("D" * 100, 0)

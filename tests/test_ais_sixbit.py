@@ -1,0 +1,115 @@
+"""Tests for the AIS 6-bit packing layer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ais.sixbit import (
+    SIXBIT_CHARSET,
+    BitReader,
+    BitWriter,
+    armor,
+    unarmor,
+)
+
+
+def test_charset_has_64_symbols():
+    assert len(SIXBIT_CHARSET) == 64
+    assert SIXBIT_CHARSET[0] == "@"
+    assert SIXBIT_CHARSET[32] == " "
+
+
+@given(value=st.integers(min_value=0, max_value=(1 << 30) - 1),
+       width=st.integers(min_value=30, max_value=40))
+def test_uint_roundtrip(value, width):
+    writer = BitWriter()
+    writer.write_uint(value, width)
+    assert BitReader(writer.to_bits()).read_uint(width) == value
+
+
+@given(value=st.integers(min_value=-(1 << 27), max_value=(1 << 27) - 1))
+def test_int_roundtrip(value):
+    writer = BitWriter()
+    writer.write_int(value, 28)
+    assert BitReader(writer.to_bits()).read_int(28) == value
+
+
+def test_uint_overflow_raises():
+    writer = BitWriter()
+    with pytest.raises(ValueError):
+        writer.write_uint(256, 8)
+    with pytest.raises(ValueError):
+        writer.write_uint(-1, 8)
+
+
+def test_int_range_raises():
+    writer = BitWriter()
+    with pytest.raises(ValueError):
+        writer.write_int(128, 8)
+    with pytest.raises(ValueError):
+        writer.write_int(-129, 8)
+
+
+def test_bool_roundtrip():
+    writer = BitWriter()
+    writer.write_bool(True)
+    writer.write_bool(False)
+    reader = BitReader(writer.to_bits())
+    assert reader.read_bool() is True
+    assert reader.read_bool() is False
+
+
+def test_string_roundtrip_with_padding():
+    writer = BitWriter()
+    writer.write_string("EVER GIVEN", 120)
+    assert len(writer) == 120
+    assert BitReader(writer.to_bits()).read_string(120) == "EVER GIVEN"
+
+
+def test_string_lowercase_upcased():
+    writer = BitWriter()
+    writer.write_string("rotterdam", 60)
+    assert BitReader(writer.to_bits()).read_string(60) == "ROTTERDAM"
+
+
+def test_string_truncated_to_width():
+    writer = BitWriter()
+    writer.write_string("ABCDEFGHIJ", 18)  # three characters
+    assert BitReader(writer.to_bits()).read_string(18) == "ABC"
+
+
+def test_string_rejects_bad_width_and_charset():
+    writer = BitWriter()
+    with pytest.raises(ValueError):
+        writer.write_string("A", 7)
+    with pytest.raises(ValueError):
+        writer.write_string("~", 6)
+
+
+def test_reader_truncation_raises():
+    writer = BitWriter()
+    writer.write_uint(5, 4)
+    reader = BitReader(writer.to_bits())
+    with pytest.raises(ValueError):
+        reader.read_uint(8)
+
+
+@given(bits=st.lists(st.integers(min_value=0, max_value=1), max_size=300))
+def test_armor_roundtrip(bits):
+    payload, fill = armor(bits)
+    assert 0 <= fill <= 5
+    assert (len(bits) + fill) % 6 == 0
+    assert unarmor(payload, fill) == bits
+
+
+def test_armor_charset_excludes_confusables():
+    # Armored characters are in the two valid ASCII ranges only.
+    payload, _ = armor([1, 0, 1, 1, 0, 1] * 40)
+    for char in payload:
+        assert 48 <= ord(char) <= 87 or 96 <= ord(char) <= 119
+
+
+def test_unarmor_rejects_bad_fill_and_chars():
+    with pytest.raises(ValueError):
+        unarmor("0", 6)
+    with pytest.raises(ValueError):
+        unarmor("~", 0)

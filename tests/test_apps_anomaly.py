@@ -1,0 +1,117 @@
+"""Tests for the model-of-normalcy anomaly detector."""
+
+import pytest
+
+from repro.apps import AnomalyDetector
+from repro.hexgrid import cell_to_latlng
+from repro.inventory.keys import GroupingSet
+
+
+@pytest.fixture(scope="module")
+def busy_cell(small_inventory):
+    """The busiest pure-cell group: lots of history to model normalcy."""
+    best_key, best_summary = max(
+        (
+            (key, summary)
+            for key, summary in small_inventory.items()
+            if key.grouping_set is GroupingSet.CELL
+        ),
+        key=lambda pair: pair[1].records,
+    )
+    assert best_summary.records >= 5
+    return best_key, best_summary
+
+
+def test_normal_observation_not_flagged(small_inventory, busy_cell):
+    key, summary = busy_cell
+    detector = AnomalyDetector(small_inventory)
+    lat, lon = cell_to_latlng(key.cell)
+    score = detector.score(
+        lat, lon, sog=summary.speed.mean, cog=summary.course.mean_deg or 0.0
+    )
+    assert not score.is_anomalous
+    assert score.reasons == ()
+
+
+def test_extreme_speed_flagged(small_inventory, busy_cell):
+    key, summary = busy_cell
+    detector = AnomalyDetector(small_inventory)
+    lat, lon = cell_to_latlng(key.cell)
+    score = detector.score(
+        lat, lon, sog=summary.speed.mean + 60.0,
+        cog=summary.course.mean_deg or 0.0,
+    )
+    assert score.is_anomalous
+    assert score.speed_z is not None and score.speed_z > 3.5
+    assert any("speed" in reason for reason in score.reasons)
+
+
+def test_against_lane_course_flagged(small_inventory):
+    # Find a cell with a tight course distribution.
+    detector = AnomalyDetector(small_inventory)
+    for key, summary in small_inventory.items():
+        if key.grouping_set is not GroupingSet.CELL:
+            continue
+        mean = summary.course.mean_deg
+        if (
+            summary.records >= 8
+            and mean is not None
+            and (summary.course.std_deg or 99.0) < 20.0
+        ):
+            lat, lon = cell_to_latlng(key.cell)
+            score = detector.score(
+                lat, lon, sog=summary.speed.mean, cog=(mean + 180.0) % 360.0
+            )
+            assert score.is_anomalous
+            assert score.course_deviation is not None
+            return
+    pytest.skip("no tight-course cell in fixture inventory")
+
+
+def test_off_lane_route_flag(small_inventory):
+    detector = AnomalyDetector(small_inventory)
+    od_key = next(
+        key for key, _ in small_inventory.items()
+        if key.grouping_set is GroupingSet.CELL_OD_TYPE
+    )
+    # Mid-south-Pacific is never on this route.
+    score = detector.score(
+        -50.0, -130.0, sog=12.0, cog=90.0,
+        vessel_type=od_key.vessel_type,
+        origin=od_key.origin, destination=od_key.destination,
+    )
+    assert score.off_lane
+    assert score.is_anomalous
+
+
+def test_on_lane_route_not_off_lane(small_inventory):
+    detector = AnomalyDetector(small_inventory)
+    od_key = next(
+        key for key, summary in small_inventory.items()
+        if key.grouping_set is GroupingSet.CELL_OD_TYPE and summary.records >= 2
+    )
+    lat, lon = cell_to_latlng(od_key.cell)
+    score = detector.score(
+        lat, lon, sog=10.0, cog=90.0,
+        vessel_type=od_key.vessel_type,
+        origin=od_key.origin, destination=od_key.destination,
+    )
+    assert not score.off_lane
+
+
+def test_unknown_cell_gives_no_opinion(small_inventory):
+    detector = AnomalyDetector(small_inventory)
+    score = detector.score(-55.0, -140.0, sog=500.0, cog=0.0)
+    assert not score.is_anomalous  # no history → no normalcy model → silence
+    assert score.speed_z is None
+
+
+def test_score_track_fraction(small_inventory, busy_cell):
+    key, summary = busy_cell
+    detector = AnomalyDetector(small_inventory)
+    lat, lon = cell_to_latlng(key.cell)
+    normal = [(lat, lon, summary.speed.mean, summary.course.mean_deg or 0.0)] * 5
+    crazy = [(lat, lon, summary.speed.mean + 80.0, 0.0)] * 5
+    assert detector.score_track(normal) == 0.0
+    assert detector.score_track(crazy) == 1.0
+    assert detector.score_track([]) == 0.0

@@ -1,0 +1,140 @@
+"""Tests for the ETA estimator and the destination predictor."""
+
+import pytest
+
+from repro.apps import (
+    DestinationPredictor,
+    EtaEstimator,
+    great_circle_baseline_s,
+)
+from repro.hexgrid import cell_to_latlng
+from repro.inventory.keys import GroupingSet
+
+
+@pytest.fixture(scope="module")
+def od_samples(small_inventory):
+    """(lat, lon, key) samples for cells with route-level ATA history."""
+    samples = []
+    for key, summary in small_inventory.items():
+        if key.grouping_set is GroupingSet.CELL_OD_TYPE and summary.ata.count >= 3:
+            lat, lon = cell_to_latlng(key.cell)
+            samples.append((lat, lon, key, summary))
+            if len(samples) >= 20:
+                break
+    if not samples:
+        pytest.skip("fixture world produced no dense route cells")
+    return samples
+
+
+class TestEtaEstimator:
+    def test_route_level_estimate(self, small_inventory, od_samples):
+        estimator = EtaEstimator(small_inventory)
+        lat, lon, key, summary = od_samples[0]
+        estimate = estimator.estimate(
+            lat, lon, vessel_type=key.vessel_type,
+            origin=key.origin, destination=key.destination,
+        )
+        assert estimate is not None
+        assert estimate.grouping == "cell_od_type"
+        assert estimate.samples == summary.ata.count
+        assert estimate.p10_s <= estimate.p50_s <= estimate.p90_s
+        assert estimate.mean_s > 0
+
+    def test_fallback_to_type_then_cell(self, small_inventory, od_samples):
+        estimator = EtaEstimator(small_inventory)
+        lat, lon, key, _ = od_samples[0]
+        estimate = estimator.estimate(
+            lat, lon, vessel_type=key.vessel_type,
+            origin="XXXXX", destination="YYYYY",
+        )
+        assert estimate is not None
+        assert estimate.grouping in ("cell_type", "cell")
+
+    def test_no_history_returns_none(self, small_inventory):
+        estimator = EtaEstimator(small_inventory)
+        assert estimator.estimate(-55.0, -140.0) is None  # empty Southern Pacific
+
+    def test_min_samples_respected(self, small_inventory, od_samples):
+        lat, lon, key, summary = od_samples[0]
+        strict = EtaEstimator(small_inventory, min_samples=summary.ata.count + 1)
+        estimate = strict.estimate(
+            lat, lon, vessel_type=key.vessel_type,
+            origin=key.origin, destination=key.destination,
+        )
+        assert estimate is None or estimate.grouping != "cell_od_type"
+
+    def test_interval_contains(self, small_inventory, od_samples):
+        estimator = EtaEstimator(small_inventory)
+        lat, lon, key, _ = od_samples[0]
+        estimate = estimator.estimate(
+            lat, lon, vessel_type=key.vessel_type,
+            origin=key.origin, destination=key.destination,
+        )
+        assert estimate.interval_contains(estimate.p50_s)
+        assert not estimate.interval_contains(estimate.p90_s * 100 + 1e9)
+
+
+class TestBaseline:
+    def test_baseline_scales_with_distance(self):
+        near = great_circle_baseline_s(0.0, 0.0, 0.0, 1.0)
+        far = great_circle_baseline_s(0.0, 0.0, 0.0, 10.0)
+        assert far == pytest.approx(10 * near, rel=0.01)
+
+    def test_baseline_speed_validation(self):
+        with pytest.raises(ValueError):
+            great_circle_baseline_s(0.0, 0.0, 1.0, 1.0, service_speed_kn=0.0)
+
+    def test_baseline_units(self):
+        # 60 nm at 15 kn = 4 hours.
+        seconds = great_circle_baseline_s(0.0, 0.0, 1.0, 0.0, service_speed_kn=15.0)
+        assert seconds == pytest.approx(4 * 3600.0, rel=0.01)
+
+
+class TestDestinationPredictor:
+    def test_empty_state(self, small_inventory):
+        predictor = DestinationPredictor(small_inventory)
+        state = predictor.start()
+        assert state.best() is None
+        assert state.ranking() == []
+
+    def test_votes_accumulate_along_true_route(self, small_world, small_inventory):
+        from repro.world.routing import SeaRouter
+
+        predictor = DestinationPredictor(small_inventory)
+        router = SeaRouter()
+        static = small_world.static_by_mmsi()
+        scored = 0
+        hits = 0
+        for plan in small_world.voyages[:15]:
+            track = router.route_positions(plan.origin, plan.destination)
+            vessel_type = static[plan.mmsi].segment.value
+            state = predictor.predict_track(track, vessel_type=vessel_type)
+            if state.best() is None:
+                continue
+            scored += 1
+            if state.best() == plan.destination:
+                hits += 1
+        assert scored > 0
+        # Voting must beat the ~1/#ports random baseline by a wide margin.
+        assert hits / scored > 0.10
+
+    def test_ranking_is_normalised_and_sorted(self, small_world, small_inventory):
+        from repro.world.routing import SeaRouter
+
+        predictor = DestinationPredictor(small_inventory)
+        router = SeaRouter()
+        plan = small_world.voyages[0]
+        track = router.route_positions(plan.origin, plan.destination)
+        state = predictor.predict_track(track)
+        ranking = state.ranking()
+        if ranking:
+            shares = [share for _, share in ranking]
+            assert shares == sorted(shares, reverse=True)
+            assert sum(shares) == pytest.approx(1.0)
+
+    def test_observations_counted(self, small_inventory):
+        predictor = DestinationPredictor(small_inventory)
+        state = predictor.start()
+        predictor.observe(state, -55.0, -140.0)  # empty ocean: no match
+        assert state.observations == 1
+        assert state.matched_observations == 0

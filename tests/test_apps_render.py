@@ -1,0 +1,90 @@
+"""Tests for the map rendering app."""
+
+import pytest
+
+from repro.apps import (
+    COLORMAPS,
+    RasterGrid,
+    ascii_map,
+    raster_from_inventory,
+    write_pgm,
+    write_ppm,
+)
+from repro.geo.polygon import BoundingBox
+
+
+@pytest.fixture(scope="module")
+def speed_raster(small_inventory):
+    bbox = BoundingBox(-60.0, 70.0, -180.0, 180.0)
+    return raster_from_inventory(
+        small_inventory, lambda s: s.mean_speed_kn(), bbox, width=120, height=60
+    )
+
+
+def test_raster_dimensions(speed_raster):
+    assert speed_raster.width == 120
+    assert speed_raster.height == 60
+    assert len(speed_raster.values) == 60
+    assert all(len(row) == 120 for row in speed_raster.values)
+
+
+def test_raster_has_lanes_but_mostly_empty_ocean(speed_raster):
+    coverage = speed_raster.coverage()
+    assert 0.0 < coverage < 0.3  # lanes are thin at cell resolution
+
+
+def test_raster_value_range_is_plausible_speed(speed_raster):
+    lo, hi = speed_raster.value_range()
+    assert 0.0 <= lo <= hi <= 30.0
+
+
+def test_vessel_type_filter_reduces_coverage(small_inventory, speed_raster):
+    bbox = BoundingBox(-60.0, 70.0, -180.0, 180.0)
+    cargo = raster_from_inventory(
+        small_inventory, lambda s: s.mean_speed_kn(), bbox,
+        width=120, height=60, vessel_type="cargo",
+    )
+    assert cargo.coverage() <= speed_raster.coverage()
+
+
+def test_empty_raster_handles_no_values():
+    raster = RasterGrid(
+        bbox=BoundingBox(0.0, 1.0, 0.0, 1.0), width=2, height=2,
+        values=[[None, None], [None, None]],
+    )
+    assert raster.value_range() is None
+    assert raster.coverage() == 0.0
+
+
+def test_write_ppm_all_colormaps(tmp_path, speed_raster):
+    for name in COLORMAPS:
+        path = write_ppm(speed_raster, tmp_path / f"{name}.ppm", colormap=name)
+        payload = path.read_bytes()
+        assert payload.startswith(b"P6\n120 60\n255\n")
+        assert len(payload) == len(b"P6\n120 60\n255\n") + 120 * 60 * 3
+
+
+def test_write_pgm(tmp_path, speed_raster):
+    path = write_pgm(speed_raster, tmp_path / "gray.pgm")
+    payload = path.read_bytes()
+    assert payload.startswith(b"P5\n120 60\n255\n")
+    assert len(payload) == len(b"P5\n120 60\n255\n") + 120 * 60
+
+
+def test_ascii_map_preview(speed_raster):
+    art = ascii_map(speed_raster, max_width=60)
+    lines = art.splitlines()
+    assert lines
+    assert all(len(line) <= 61 for line in lines)
+    # Some lane pixels must render as non-space.
+    assert any(char != " " for line in lines for char in line)
+
+
+def test_antimeridian_raster():
+    from repro.inventory import Inventory
+
+    raster = raster_from_inventory(
+        Inventory(resolution=6), lambda s: 1.0,
+        BoundingBox(-10.0, 10.0, 170.0, -170.0), width=10, height=10,
+    )
+    assert raster.coverage() == 0.0  # empty inventory, but no crash

@@ -1,0 +1,194 @@
+"""Tests for the transition graph and A* route forecasting.
+
+A* optimality is cross-checked against networkx's Dijkstra on the same
+graph, per the reproduction plan.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.apps import RouteForecaster, TransitionGraph, astar
+from repro.apps.routing import _cell_distance_m
+from repro.hexgrid import grid_disk, latlng_to_cell
+from repro.inventory.keys import GroupingSet
+
+
+def _chain_graph(cells):
+    graph = TransitionGraph()
+    for a, b in zip(cells, cells[1:]):
+        graph.add_edge(a, b, count=3)
+    return graph
+
+
+@pytest.fixture()
+def lane_cells():
+    # A straight eastbound lane of adjacent cells.
+    start = latlng_to_cell(0.0, 50.0, 6)
+    cells = [start]
+    # Walk east through the disk neighbors deterministically.
+    for _ in range(10):
+        from repro.hexgrid import cell_to_latlng, grid_ring
+
+        current = cells[-1]
+        lat, lon = cell_to_latlng(current)
+        ring = grid_ring(current, 1)
+        next_cell = max(ring, key=lambda c: cell_to_latlng(c)[1])
+        cells.append(next_cell)
+    return cells
+
+
+class TestTransitionGraph:
+    def test_add_edge_accumulates(self):
+        graph = TransitionGraph()
+        graph.add_edge(1, 2, count=2)
+        graph.add_edge(1, 2, count=3)
+        assert graph.neighbors(1) == {2: 5}
+        assert graph.edge_count() == 1
+
+    def test_add_edge_validates_count(self):
+        with pytest.raises(ValueError):
+            TransitionGraph().add_edge(1, 2, count=0)
+
+    def test_nodes_include_sinks(self):
+        graph = _chain_graph([1, 2, 3])
+        assert graph.nodes() == {1, 2, 3}
+
+    def test_most_frequent_next(self):
+        graph = TransitionGraph()
+        graph.add_edge(1, 2, count=1)
+        graph.add_edge(1, 3, count=9)
+        assert graph.most_frequent_next(1) == 3
+        assert graph.most_frequent_next(99) is None
+
+    def test_from_inventory_builds_route_graph(self, small_inventory):
+        od_key = next(
+            key for key, summary in small_inventory.items()
+            if key.grouping_set is GroupingSet.CELL_OD_TYPE
+            and summary.transitions.total > 0
+        )
+        graph = TransitionGraph.from_inventory(
+            small_inventory, od_key.origin, od_key.destination, od_key.vessel_type
+        )
+        assert graph.edge_count() > 0
+
+
+class TestAstar:
+    def test_follows_chain(self, lane_cells):
+        graph = _chain_graph(lane_cells)
+        path = astar(graph, lane_cells[0], lane_cells[-1])
+        assert path == lane_cells
+
+    def test_start_equals_goal(self, lane_cells):
+        graph = _chain_graph(lane_cells)
+        assert astar(graph, lane_cells[0], lane_cells[0]) == [lane_cells[0]]
+
+    def test_unreachable_returns_none(self, lane_cells):
+        graph = _chain_graph(lane_cells)
+        # Directed chain: cannot go backwards.
+        assert astar(graph, lane_cells[-1], lane_cells[0]) is None
+
+    def test_picks_shorter_branch(self, lane_cells):
+        graph = _chain_graph(lane_cells)
+        # Add a shortcut skipping the middle (non-adjacent hop, longer per
+        # edge but fewer edges — A* must take whichever is shorter overall).
+        graph.add_edge(lane_cells[0], lane_cells[5], count=1)
+        path = astar(graph, lane_cells[0], lane_cells[-1])
+        expected = [lane_cells[0]] + lane_cells[5:]
+        assert path == expected
+
+    def test_optimality_matches_networkx(self, small_inventory):
+        od_keys = [
+            key for key, summary in small_inventory.items()
+            if key.grouping_set is GroupingSet.CELL_OD_TYPE
+            and summary.transitions.total > 0
+        ]
+        checked = 0
+        for key in od_keys[:5]:
+            graph = TransitionGraph.from_inventory(
+                small_inventory, key.origin, key.destination, key.vessel_type
+            )
+            nodes = sorted(graph.nodes())
+            if len(nodes) < 3:
+                continue
+            nxg = nx.DiGraph()
+            for src in nodes:
+                for dst in graph.neighbors(src):
+                    nxg.add_edge(src, dst, weight=_cell_distance_m(src, dst))
+            source, target = nodes[0], nodes[-1]
+            ours = astar(graph, source, target)
+            try:
+                reference = nx.shortest_path_length(
+                    nxg, source, target, weight="weight"
+                )
+            except nx.NetworkXNoPath:
+                assert ours is None
+                continue
+            assert ours is not None
+            ours_length = sum(
+                _cell_distance_m(a, b) for a, b in zip(ours, ours[1:])
+            )
+            assert ours_length == pytest.approx(reference, rel=1e-9)
+            checked += 1
+        assert checked > 0
+
+
+class TestRouteForecaster:
+    def test_forecast_on_real_route(self, small_world, small_inventory):
+        from repro.world.routing import SeaRouter
+
+        static = small_world.static_by_mmsi()
+        router = SeaRouter()
+        forecaster = RouteForecaster(small_inventory)
+        forecasted = 0
+        for plan in small_world.voyages:
+            vessel_type = static[plan.mmsi].segment.value
+            if not small_inventory.route_cells(
+                plan.origin, plan.destination, vessel_type
+            ):
+                continue
+            origin_pos = router.node_position(plan.origin)
+            dest_pos = router.node_position(plan.destination)
+            path = forecaster.forecast(
+                origin_pos[0], origin_pos[1], plan.origin, plan.destination,
+                vessel_type, dest_pos[0], dest_pos[1],
+            )
+            if path is None:
+                continue
+            forecasted += 1
+            assert len(path) > 2
+            if forecasted >= 3:
+                break
+        assert forecasted > 0
+
+    def test_forecast_without_history_returns_none(self, small_inventory):
+        forecaster = RouteForecaster(small_inventory)
+        assert forecaster.forecast(
+            0.0, 0.0, "NOPE1", "NOPE2", "cargo", 1.0, 1.0
+        ) is None
+
+    def test_popularity_weighting_changes_costs(self, lane_cells,
+                                                small_inventory):
+        # Popularity weighting still returns a valid path on a real key.
+        from repro.inventory.keys import GroupingSet
+
+        od_key = next(
+            (key for key, summary in small_inventory.items()
+             if key.grouping_set is GroupingSet.CELL_OD_TYPE
+             and summary.transitions.total > 3),
+            None,
+        )
+        if od_key is None:
+            pytest.skip("no transition-rich route in fixture")
+        from repro.hexgrid import cell_to_latlng
+
+        forecaster = RouteForecaster(small_inventory)
+        cells = list(small_inventory.route_cells(
+            od_key.origin, od_key.destination, od_key.vessel_type
+        ))
+        start = cell_to_latlng(cells[0])
+        goal = cell_to_latlng(cells[-1])
+        path = forecaster.forecast(
+            start[0], start[1], od_key.origin, od_key.destination,
+            od_key.vessel_type, goal[0], goal[1], popularity_weighted=True,
+        )
+        assert path is None or len(path) >= 1

@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def archive(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("cli")
+    path = directory / "archive.csv"
+    code = main([
+        "generate", "--seed", "5", "--vessels", "8", "--days", "5",
+        "--interval", "900", "--out", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def inventory_table(archive):
+    path = archive.parent / "inventory.sst"
+    code = main([
+        "build", "--archive", str(archive), "--out", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+def test_generate_writes_archive_and_sidecar(archive):
+    assert archive.exists()
+    sidecar = archive.with_suffix(".fleet.csv")
+    assert sidecar.exists()
+    header = archive.read_text().splitlines()[0]
+    assert header.startswith("MMSI,BaseDateTime")
+    assert "segment" in sidecar.read_text().splitlines()[0]
+
+
+def test_generate_is_deterministic(tmp_path, archive):
+    again = tmp_path / "again.csv"
+    main([
+        "generate", "--seed", "5", "--vessels", "8", "--days", "5",
+        "--interval", "900", "--out", str(again),
+    ])
+    assert again.read_text() == archive.read_text()
+
+
+def test_build_creates_table(inventory_table):
+    assert inventory_table.exists()
+    assert inventory_table.stat().st_size > 1000
+
+
+def test_info_reports_groups(inventory_table, capsys):
+    code = main(["info", "--inventory", str(inventory_table)])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "entries:" in output
+    assert "cell_od_type" in output
+
+
+def test_query_hits_a_known_cell(inventory_table, capsys):
+    # Find a cell we know exists by scanning the table first.
+    from repro.hexgrid import cell_to_latlng
+    from repro.inventory import open_inventory
+    from repro.inventory.keys import GroupingSet
+
+    with open_inventory(inventory_table) as reader:
+        key = next(
+            key for key, _ in reader.scan()
+            if key.grouping_set is GroupingSet.CELL
+        )
+    lat, lon = cell_to_latlng(key.cell)
+    code = main([
+        "query", "--inventory", str(inventory_table),
+        "--lat", str(lat), "--lon", str(lon),
+    ])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "records:" in output
+    assert "speed kn:" in output
+
+
+def test_query_miss_returns_nonzero(inventory_table, capsys):
+    code = main([
+        "query", "--inventory", str(inventory_table),
+        "--lat", "-55.0", "--lon", "-140.0",
+    ])
+    assert code == 1
+    assert "no data" in capsys.readouterr().out
+
+
+def test_render_writes_ppm(inventory_table, tmp_path):
+    out = tmp_path / "map.ppm"
+    code = main([
+        "render", "--inventory", str(inventory_table),
+        "--feature", "count", "--out", str(out),
+        "--width", "90", "--height", "45",
+    ])
+    assert code == 0
+    assert out.read_bytes().startswith(b"P6\n90 45\n255\n")
+
+
+def test_missing_archive_is_a_clean_error(tmp_path, capsys):
+    code = main([
+        "build", "--archive", str(tmp_path / "nope.csv"),
+        "--out", str(tmp_path / "x.sst"),
+    ])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err

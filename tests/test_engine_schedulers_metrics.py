@@ -1,0 +1,113 @@
+"""Scheduler equivalence and metrics instrumentation tests."""
+
+import operator
+import random
+
+import pytest
+
+from repro.engine import Engine, EngineConfig
+from repro.engine.scheduler import (
+    ProcessScheduler,
+    SerialScheduler,
+    ThreadScheduler,
+    make_scheduler,
+)
+
+
+REFERENCE_DATA = [(i % 13, i) for i in range(5000)]
+
+
+def _reference():
+    result: dict = {}
+    for key, value in REFERENCE_DATA:
+        result[key] = result.get(key, 0) + value
+    return result
+
+
+@pytest.mark.parametrize("scheduler", ["serial", "threads", "processes"])
+def test_all_schedulers_agree(scheduler):
+    with Engine(
+        EngineConfig(num_partitions=4, scheduler=scheduler, max_workers=2)
+    ) as engine:
+        result = dict(
+            engine.parallelize(REFERENCE_DATA).reduce_by_key(operator.add).collect()
+        )
+    assert result == _reference()
+
+
+@pytest.mark.parametrize("scheduler", ["serial", "threads", "processes"])
+def test_schedulers_run_lambda_closures(scheduler):
+    captured = {"offset": 7}
+    with Engine(
+        EngineConfig(num_partitions=3, scheduler=scheduler, max_workers=2)
+    ) as engine:
+        result = engine.parallelize(range(10)).map(
+            lambda x: x + captured["offset"]
+        ).collect()
+    assert result == [x + 7 for x in range(10)]
+
+
+def test_scheduler_factory():
+    assert isinstance(make_scheduler("serial"), SerialScheduler)
+    assert isinstance(make_scheduler("threads"), ThreadScheduler)
+    assert isinstance(make_scheduler("processes"), ProcessScheduler)
+    with pytest.raises(ValueError):
+        make_scheduler("gpu")
+
+
+def test_worker_validation():
+    with pytest.raises(ValueError):
+        ThreadScheduler(0)
+    with pytest.raises(ValueError):
+        ProcessScheduler(0)
+
+
+def test_process_scheduler_preserves_partition_order():
+    scheduler = ProcessScheduler(max_workers=3)
+    partitions = [[i] for i in range(10)]
+    result = scheduler.run(lambda index, part: [part[0] * 10], partitions)
+    assert result == [[i * 10] for i in range(10)]
+
+
+def test_process_scheduler_empty_input():
+    assert ProcessScheduler(2).run(lambda i, p: p, []) == []
+
+
+def test_process_scheduler_surfaces_worker_failure():
+    scheduler = ProcessScheduler(max_workers=2)
+
+    def boom(index, part):
+        raise RuntimeError("worker exploded")
+
+    with pytest.raises(RuntimeError):
+        scheduler.run(boom, [[1], [2]])
+
+
+def test_metrics_record_rows_and_stages():
+    with Engine(EngineConfig(num_partitions=4, collect_metrics=True)) as engine:
+        (
+            engine.parallelize(range(100))
+            .filter(lambda x: x % 2 == 0)
+            .key_by(lambda x: x % 5)
+            .reduce_by_key(operator.add)
+            .collect()
+        )
+        metrics = engine.metrics
+        assert metrics is not None
+        labels = [stage.label for stage in metrics.stages]
+        assert any("filter" in label for label in labels)
+        assert any("reduce_by_key" in label for label in labels)
+        filter_stage = next(s for s in metrics.stages if "filter" in s.label)
+        assert filter_stage.rows_in == 100
+        assert filter_stage.rows_out == 50
+        assert metrics.total_seconds() >= 0.0
+        by_label = metrics.by_label()
+        assert set(by_label) == set(labels)
+        metrics.clear()
+        assert metrics.stages == []
+
+
+def test_metrics_disabled_by_default():
+    with Engine(EngineConfig(num_partitions=2)) as engine:
+        engine.parallelize([1]).map(lambda x: x).collect()
+        assert engine.metrics is None

@@ -1,0 +1,123 @@
+"""Tests for the shuffle exchange, partitioners and stable hashing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine import HashPartitioner, RangePartitioner, stable_hash
+from repro.engine.shuffle import ShuffleStats, exchange
+
+
+class TestStableHash:
+    def test_supported_types(self):
+        for value in [0, -5, "abc", b"abc", 1.5, None, True, (1, "a", (2,))]:
+            assert isinstance(stable_hash(value), int)
+
+    def test_distinct_types_hash_differently(self):
+        assert stable_hash(1) != stable_hash("1")
+        assert stable_hash(b"x") != stable_hash("x")
+        assert stable_hash(True) != stable_hash(1)
+
+    def test_deterministic(self):
+        assert stable_hash(("vessel", 235000001)) == stable_hash(("vessel", 235000001))
+
+    def test_rejects_unhashable(self):
+        with pytest.raises(TypeError):
+            stable_hash([1, 2])
+
+    @given(value=st.integers())
+    def test_int_hash_is_64_bit(self, value):
+        assert 0 <= stable_hash(value) < (1 << 64)
+
+
+class TestHashPartitioner:
+    def test_range(self):
+        partitioner = HashPartitioner(8)
+        for key in ["a", "b", 42, (1, 2)]:
+            assert 0 <= partitioner.partition(key) < 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+    def test_equality(self):
+        assert HashPartitioner(4) == HashPartitioner(4)
+        assert HashPartitioner(4) != HashPartitioner(5)
+
+    def test_spread_is_reasonable(self):
+        partitioner = HashPartitioner(10)
+        counts = [0] * 10
+        for i in range(10000):
+            counts[partitioner.partition(i)] += 1
+        assert min(counts) > 700
+
+
+class TestRangePartitioner:
+    def test_bounds_routing(self):
+        partitioner = RangePartitioner([10, 20])
+        assert partitioner.num_partitions == 3
+        assert partitioner.partition(5) == 0
+        assert partitioner.partition(10) == 1
+        assert partitioner.partition(15) == 1
+        assert partitioner.partition(25) == 2
+
+    def test_key_function(self):
+        partitioner = RangePartitioner([10], key=len)
+        assert partitioner.partition("short") == 0
+        assert partitioner.partition("much longer string") == 1
+
+    def test_from_sample_produces_balanced_bounds(self):
+        sample = list(range(1000))
+        partitioner = RangePartitioner.from_sample(sample, 4)
+        counts = [0] * partitioner.num_partitions
+        for value in sample:
+            counts[partitioner.partition(value)] += 1
+        assert len([c for c in counts if c > 0]) == 4
+        assert max(counts) < 2 * min(c for c in counts if c > 0)
+
+    def test_from_sample_empty(self):
+        partitioner = RangePartitioner.from_sample([], 4)
+        assert partitioner.partition(123) == 0
+
+    def test_from_sample_validation(self):
+        with pytest.raises(ValueError):
+            RangePartitioner.from_sample([1], 0)
+
+
+class TestExchange:
+    def test_routes_records(self):
+        out = exchange([[1, 2, 3], [4, 5]], route=lambda r: r % 2, num_out=2)
+        assert out == [[2, 4], [1, 3, 5]]
+
+    def test_preserves_map_order_within_bucket(self):
+        out = exchange([[3, 1], [2]], route=lambda r: 0, num_out=1)
+        assert out == [[3, 1, 2]]
+
+    def test_rejects_bad_router(self):
+        with pytest.raises(ValueError):
+            exchange([[1]], route=lambda r: 5, num_out=2)
+        with pytest.raises(ValueError):
+            exchange([[1]], route=lambda r: 0, num_out=0)
+
+    def test_spill_roundtrip(self, tmp_path):
+        stats = ShuffleStats()
+        data = [[i for i in range(1000)]]
+        out = exchange(
+            data,
+            route=lambda r: r % 3,
+            num_out=3,
+            spill_dir=tmp_path,
+            spill_threshold=50,
+            stats=stats,
+        )
+        assert sorted(sum(out, [])) == list(range(1000))
+        assert stats.rows == 1000
+        assert stats.spilled_rows > 0
+        assert stats.spill_files > 0
+        # Spill files are cleaned up after draining.
+        assert not list(tmp_path.glob("spill-*.pkl"))
+
+    def test_no_spill_without_directory(self):
+        stats = ShuffleStats()
+        exchange([[1] * 500], route=lambda r: 0, num_out=1,
+                 spill_threshold=10, stats=stats)
+        assert stats.spilled_rows == 0

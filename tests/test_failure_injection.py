@@ -1,0 +1,168 @@
+"""Failure-injection tests: corrupted storage, hostile inputs.
+
+A database artefact must fail loudly and precisely on damaged inputs —
+silent misreads are worse than crashes.  These tests damage the on-disk
+inventory and feed the codec random garbage, asserting the failures are
+the *declared* exception types, never silent wrong answers or foreign
+exceptions (IndexError, UnicodeDecodeError leaking from internals).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hexgrid import latlng_to_cell
+from repro.inventory import (
+    GroupKey,
+    Inventory,
+    SSTableReader,
+    open_inventory,
+    write_inventory,
+)
+from repro.inventory.codec import CodecError, decode
+from repro.inventory.summary import CellSummary
+
+
+def _table(tmp_path, cells=30):
+    inventory = Inventory(resolution=6)
+    for i in range(cells):
+        summary = CellSummary()
+        summary.update(mmsi=100_000_000 + i, sog=10.0, cog=90.0, heading=90)
+        inventory.put(
+            GroupKey(cell=latlng_to_cell(10.0 + i * 0.3, 100.0, 6)), summary
+        )
+    path = tmp_path / "inventory.sst"
+    write_inventory(inventory, path)
+    return path, inventory
+
+
+class TestDamagedTables:
+    def test_truncated_footer(self, tmp_path):
+        path, _ = _table(tmp_path)
+        payload = path.read_bytes()
+        path.write_bytes(payload[:-10])
+        with pytest.raises(ValueError):
+            SSTableReader(path)
+
+    def test_truncated_to_nothing(self, tmp_path):
+        path, _ = _table(tmp_path)
+        path.write_bytes(b"PO")
+        with pytest.raises(ValueError):
+            SSTableReader(path)
+
+    def test_wrong_magic(self, tmp_path):
+        path, _ = _table(tmp_path)
+        payload = bytearray(path.read_bytes())
+        payload[:8] = b"NOTMAGIC"
+        path.write_bytes(bytes(payload))
+        with pytest.raises(ValueError):
+            SSTableReader(path)
+
+    def test_corrupted_footer_magic(self, tmp_path):
+        path, _ = _table(tmp_path)
+        payload = bytearray(path.read_bytes())
+        payload[-4:] = b"XXXX"
+        path.write_bytes(bytes(payload))
+        with pytest.raises(ValueError):
+            SSTableReader(path)
+
+    def test_corrupted_data_block_fails_loudly_on_read(self, tmp_path):
+        path, inventory = _table(tmp_path)
+        payload = bytearray(path.read_bytes())
+        # Scribble over the first data block (after the 8-byte magic).
+        for offset in range(40, 90):
+            payload[offset] ^= 0xFF
+        path.write_bytes(bytes(payload))
+        reader = SSTableReader(path)  # index+footer intact
+        keys = sorted(
+            (key for key, _ in inventory.items()),
+            key=lambda key: key.sort_key(),
+        )
+        with pytest.raises((CodecError, ValueError, KeyError)):
+            # Reading through the damaged region must raise a declared
+            # error, not return a wrong summary.
+            for key in keys:
+                reader.get(key)
+        reader.close()
+
+
+class TestHostileCodecInputs:
+    @given(payload=st.binary(max_size=200))
+    def test_random_bytes_never_raise_foreign_exceptions(self, payload):
+        try:
+            decode(payload)
+        except CodecError:
+            pass  # the declared failure mode
+
+    def test_deep_nesting_is_handled(self):
+        from repro.inventory.codec import encode
+
+        value = [1]
+        for _ in range(60):
+            value = [value]
+        assert decode(encode(value)) == value
+
+    def test_huge_declared_length_is_truncation_not_memory_bomb(self):
+        # 'l' tag + varint claiming 2^40 elements, then nothing.
+        payload = b"l" + bytes([0x80, 0x80, 0x80, 0x80, 0x80, 0x01])
+        with pytest.raises(CodecError):
+            decode(payload)
+
+
+class TestDirtyArchives:
+    def test_pipeline_survives_pathological_archive(self):
+        """An archive of nothing but garbage rows yields an empty, valid
+        inventory instead of crashing."""
+        from repro import PipelineConfig, build_inventory
+        from repro.ais.messages import PositionReport
+        from repro.world.fleet import build_fleet
+        from repro.world.ports import PORTS
+
+        rng = random.Random(0)
+        garbage = [
+            PositionReport(
+                mmsi=rng.randrange(10**9),
+                epoch_ts=rng.uniform(0, 10),
+                lat=rng.choice([91.0, -95.0, 200.0]),
+                lon=rng.choice([181.0, -999.0]),
+                sog=rng.choice([102.3, -5.0]),
+                cog=360.0,
+                heading=511,
+                status=rng.randrange(16),
+            )
+            for _ in range(500)
+        ]
+        result = build_inventory(
+            garbage, build_fleet(5, seed=1), PORTS, PipelineConfig()
+        )
+        assert result.funnel["valid_fields"] == 0
+        assert len(result.inventory) == 0
+
+    def test_single_report_archive(self):
+        from repro import PipelineConfig, build_inventory
+        from repro.ais.messages import PositionReport
+        from repro.world.fleet import build_fleet
+        from repro.world.ports import PORTS
+
+        fleet = build_fleet(5, seed=2)
+        commercial = next(v for v in fleet if v.is_commercial)
+        lone = PositionReport(
+            mmsi=commercial.mmsi, epoch_ts=0.0, lat=30.0, lon=-40.0,
+            sog=12.0, cog=90.0, heading=90, status=0,
+        )
+        result = build_inventory([lone], fleet, PORTS, PipelineConfig())
+        # One mid-ocean report has no trip: excluded, empty inventory.
+        assert result.funnel["commercial"] == 1
+        assert result.funnel["with_trip_semantics"] == 0
+
+    def test_empty_archive(self):
+        from repro import PipelineConfig, build_inventory
+        from repro.world.fleet import build_fleet
+        from repro.world.ports import PORTS
+
+        result = build_inventory(
+            [], build_fleet(3, seed=3), PORTS, PipelineConfig()
+        )
+        assert result.funnel["raw"] == 0
+        assert len(result.inventory) == 0

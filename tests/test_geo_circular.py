@@ -1,0 +1,74 @@
+"""Tests for repro.geo.circular."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo import (
+    angular_difference_deg,
+    circular_mean_deg,
+    circular_std_deg,
+    normalize_deg,
+)
+
+ANGLES = st.floats(min_value=-720.0, max_value=720.0)
+
+
+@given(angle=ANGLES)
+def test_normalize_range(angle):
+    result = normalize_deg(angle)
+    assert 0.0 <= result < 360.0
+
+
+def test_normalize_examples():
+    assert normalize_deg(-1.0) == 359.0
+    assert normalize_deg(360.0) == 0.0
+    assert normalize_deg(725.0) == pytest.approx(5.0)
+
+
+@given(a=ANGLES, b=ANGLES)
+def test_angular_difference_symmetric_and_bounded(a, b):
+    diff = angular_difference_deg(a, b)
+    assert 0.0 <= diff <= 180.0
+    assert diff == pytest.approx(angular_difference_deg(b, a))
+
+
+def test_angular_difference_wraps():
+    assert angular_difference_deg(359.0, 1.0) == pytest.approx(2.0)
+    assert angular_difference_deg(0.0, 180.0) == pytest.approx(180.0)
+
+
+def test_circular_mean_wraps_north():
+    assert circular_mean_deg([350.0, 10.0]) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_circular_mean_simple():
+    assert circular_mean_deg([80.0, 100.0]) == pytest.approx(90.0)
+
+
+def test_circular_mean_single_value():
+    assert circular_mean_deg([123.0]) == pytest.approx(123.0)
+
+
+def test_circular_mean_empty_raises():
+    with pytest.raises(ValueError):
+        circular_mean_deg([])
+
+
+def test_circular_mean_cancelling_raises():
+    with pytest.raises(ValueError):
+        circular_mean_deg([0.0, 180.0])
+
+
+def test_circular_std_zero_for_identical():
+    assert circular_std_deg([42.0] * 10) == pytest.approx(0.0, abs=1e-6)
+
+
+def test_circular_std_grows_with_spread():
+    narrow = circular_std_deg([88.0, 92.0] * 5)
+    wide = circular_std_deg([60.0, 120.0] * 5)
+    assert wide > narrow
+
+
+def test_circular_std_empty_raises():
+    with pytest.raises(ValueError):
+        circular_std_deg([])

@@ -1,0 +1,116 @@
+"""Tests for repro.geo.distance."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo import (
+    EARTH_RADIUS_M,
+    cross_track_distance_m,
+    destination_point,
+    haversine_m,
+    haversine_nm,
+    initial_bearing_deg,
+    speed_between_knots,
+)
+
+LATS = st.floats(min_value=-85.0, max_value=85.0)
+LONS = st.floats(min_value=-180.0, max_value=180.0)
+
+
+def test_one_degree_of_longitude_at_equator():
+    assert haversine_m(0.0, 0.0, 0.0, 1.0) == pytest.approx(111_195, rel=1e-3)
+
+
+def test_quarter_circumference_pole_to_equator():
+    expected = math.pi * EARTH_RADIUS_M / 2.0
+    assert haversine_m(0.0, 10.0, 90.0, 10.0) == pytest.approx(expected, rel=1e-9)
+
+
+def test_antipodal_distance_is_half_circumference():
+    expected = math.pi * EARTH_RADIUS_M
+    assert haversine_m(0.0, 0.0, 0.0, 180.0) == pytest.approx(expected, rel=1e-9)
+
+
+def test_zero_distance():
+    assert haversine_m(42.5, -71.0, 42.5, -71.0) == 0.0
+
+
+def test_nautical_mile_conversion():
+    assert haversine_nm(0.0, 0.0, 0.0, 1.0) == pytest.approx(60.04, rel=1e-3)
+
+
+@given(lat1=LATS, lon1=LONS, lat2=LATS, lon2=LONS)
+def test_haversine_symmetry(lat1, lon1, lat2, lon2):
+    forward = haversine_m(lat1, lon1, lat2, lon2)
+    backward = haversine_m(lat2, lon2, lat1, lon1)
+    assert forward == pytest.approx(backward, abs=1e-6)
+
+
+@given(lat1=LATS, lon1=LONS, lat2=LATS, lon2=LONS)
+def test_haversine_bounded_by_half_circumference(lat1, lon1, lat2, lon2):
+    assert 0.0 <= haversine_m(lat1, lon1, lat2, lon2) <= math.pi * EARTH_RADIUS_M + 1.0
+
+
+def test_bearing_due_north():
+    assert initial_bearing_deg(10.0, 5.0, 20.0, 5.0) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_bearing_due_east_at_equator():
+    assert initial_bearing_deg(0.0, 5.0, 0.0, 15.0) == pytest.approx(90.0, abs=1e-9)
+
+
+def test_bearing_due_south():
+    assert initial_bearing_deg(20.0, 5.0, 10.0, 5.0) == pytest.approx(180.0, abs=1e-9)
+
+
+def test_bearing_due_west_at_equator():
+    assert initial_bearing_deg(0.0, 15.0, 0.0, 5.0) == pytest.approx(270.0, abs=1e-9)
+
+
+@given(lat=LATS, lon=LONS, bearing=st.floats(min_value=0, max_value=359.99),
+       distance=st.floats(min_value=1.0, max_value=2_000_000.0))
+def test_destination_point_roundtrip_distance(lat, lon, bearing, distance):
+    lat2, lon2 = destination_point(lat, lon, bearing, distance)
+    assert haversine_m(lat, lon, lat2, lon2) == pytest.approx(distance, rel=1e-6)
+
+
+def test_destination_point_normalises_longitude():
+    lat2, lon2 = destination_point(0.0, 179.5, 90.0, 200_000.0)
+    assert -180.0 < lon2 <= 180.0
+    assert lon2 < 0  # crossed the antimeridian
+
+
+def test_cross_track_sign_and_magnitude():
+    # Point due north of an eastbound track at the equator: left of track.
+    offset = cross_track_distance_m(1.0, 5.0, 0.0, 0.0, 0.0, 10.0)
+    assert offset == pytest.approx(-111_195, rel=1e-2)
+    offset_south = cross_track_distance_m(-1.0, 5.0, 0.0, 0.0, 0.0, 10.0)
+    assert offset_south == pytest.approx(111_195, rel=1e-2)
+
+
+def test_point_on_track_has_zero_cross_track():
+    assert cross_track_distance_m(0.0, 5.0, 0.0, 0.0, 0.0, 10.0) == pytest.approx(
+        0.0, abs=1.0
+    )
+
+
+def test_speed_between_knots_basic():
+    # One degree of longitude at the equator in one hour ≈ 60 knots.
+    speed = speed_between_knots(0.0, 0.0, 0.0, 0.0, 1.0, 3600.0)
+    assert speed == pytest.approx(60.04, rel=1e-3)
+
+
+def test_speed_between_same_timestamp_different_position_is_infinite():
+    assert speed_between_knots(0.0, 0.0, 100.0, 0.0, 1.0, 100.0) == math.inf
+
+
+def test_speed_between_identical_points_is_zero():
+    assert speed_between_knots(5.0, 5.0, 100.0, 5.0, 5.0, 100.0) == 0.0
+
+
+def test_speed_is_direction_independent():
+    forward = speed_between_knots(0.0, 0.0, 0.0, 0.5, 0.5, 1800.0)
+    backward = speed_between_knots(0.5, 0.5, 0.0, 0.0, 0.0, 1800.0)
+    assert forward == pytest.approx(backward)

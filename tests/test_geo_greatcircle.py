@@ -1,0 +1,78 @@
+"""Tests for repro.geo.greatcircle."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo import haversine_m, interpolate, sample_track, track_length_m
+
+LATS = st.floats(min_value=-80.0, max_value=80.0)
+LONS = st.floats(min_value=-179.0, max_value=179.0)
+
+
+def test_interpolate_endpoints():
+    assert interpolate(10.0, 20.0, 30.0, 40.0, 0.0) == pytest.approx((10.0, 20.0))
+    assert interpolate(10.0, 20.0, 30.0, 40.0, 1.0) == pytest.approx((30.0, 40.0))
+
+
+def test_interpolate_midpoint_equidistant():
+    mid = interpolate(0.0, 0.0, 0.0, 90.0, 0.5)
+    d1 = haversine_m(0.0, 0.0, *mid)
+    d2 = haversine_m(*mid, 0.0, 90.0)
+    assert d1 == pytest.approx(d2, rel=1e-9)
+
+
+def test_interpolate_fraction_clamped():
+    assert interpolate(0.0, 0.0, 0.0, 10.0, -0.5) == pytest.approx((0.0, 0.0))
+    assert interpolate(0.0, 0.0, 0.0, 10.0, 1.5) == pytest.approx((0.0, 10.0))
+
+
+def test_interpolate_identical_points():
+    assert interpolate(5.0, 5.0, 5.0, 5.0, 0.7) == (5.0, 5.0)
+
+
+def test_interpolate_antipodal_does_not_produce_nan():
+    lat, lon = interpolate(0.0, 0.0, 0.0, 180.0, 0.3)
+    assert lat == lat and lon == lon  # not NaN
+
+
+@given(lat1=LATS, lon1=LONS, lat2=LATS, lon2=LONS,
+       fraction=st.floats(min_value=0.0, max_value=1.0))
+def test_interpolated_point_divides_distance_proportionally(
+    lat1, lon1, lat2, lon2, fraction
+):
+    total = haversine_m(lat1, lon1, lat2, lon2)
+    mid = interpolate(lat1, lon1, lat2, lon2, fraction)
+    partial = haversine_m(lat1, lon1, *mid)
+    assert partial == pytest.approx(fraction * total, abs=2.0)
+
+
+def test_sample_track_spacing():
+    points = sample_track(0.0, 0.0, 0.0, 5.0, spacing_m=100_000.0)
+    assert points[0] == (0.0, 0.0)
+    assert points[-1] == pytest.approx((0.0, 5.0))
+    for a, b in zip(points, points[1:-1]):
+        assert haversine_m(*a, *b) == pytest.approx(100_000.0, rel=1e-6)
+
+
+def test_sample_track_without_end():
+    points = sample_track(0.0, 0.0, 0.0, 5.0, spacing_m=100_000.0, include_end=False)
+    assert points[-1] != pytest.approx((0.0, 5.0))
+
+
+def test_sample_track_degenerate_leg():
+    assert sample_track(3.0, 3.0, 3.0, 3.0, spacing_m=500.0) == [(3.0, 3.0)]
+
+
+def test_sample_track_rejects_nonpositive_spacing():
+    with pytest.raises(ValueError):
+        sample_track(0.0, 0.0, 1.0, 1.0, spacing_m=0.0)
+
+
+def test_track_length_sums_legs():
+    waypoints = [(0.0, 0.0), (0.0, 1.0), (1.0, 1.0)]
+    expected = haversine_m(0.0, 0.0, 0.0, 1.0) + haversine_m(0.0, 1.0, 1.0, 1.0)
+    assert track_length_m(waypoints) == pytest.approx(expected)
+
+
+def test_track_length_of_single_point_is_zero():
+    assert track_length_m([(10.0, 10.0)]) == 0.0

@@ -1,0 +1,70 @@
+"""Tests for repro.geo.polygon."""
+
+import pytest
+
+from repro.geo import BoundingBox, point_in_polygon, polygon_bbox
+
+
+SQUARE = [(0.0, 0.0), (0.0, 10.0), (10.0, 10.0), (10.0, 0.0)]
+
+
+def test_point_inside_square():
+    assert point_in_polygon(5.0, 5.0, SQUARE)
+
+
+def test_point_outside_square():
+    assert not point_in_polygon(15.0, 5.0, SQUARE)
+    assert not point_in_polygon(5.0, -1.0, SQUARE)
+
+
+def test_concave_polygon():
+    # A "U" shape: the notch is outside.
+    u_shape = [
+        (0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0),
+        (0.0, 7.0), (8.0, 7.0), (8.0, 3.0), (0.0, 3.0),
+    ]
+    assert point_in_polygon(5.0, 1.5, u_shape)
+    assert point_in_polygon(5.0, 8.5, u_shape)
+    assert not point_in_polygon(1.0, 5.0, u_shape)  # inside the notch
+
+
+def test_degenerate_polygons_reject_everything():
+    assert not point_in_polygon(0.0, 0.0, [])
+    assert not point_in_polygon(0.0, 0.0, [(0.0, 0.0), (1.0, 1.0)])
+
+
+def test_polygon_bbox():
+    bbox = polygon_bbox(SQUARE)
+    assert bbox == BoundingBox(0.0, 10.0, 0.0, 10.0)
+
+
+def test_polygon_bbox_empty_raises():
+    with pytest.raises(ValueError):
+        polygon_bbox([])
+
+
+def test_bbox_contains_edges_inclusive():
+    bbox = BoundingBox(0.0, 10.0, 20.0, 30.0)
+    assert bbox.contains(0.0, 20.0)
+    assert bbox.contains(10.0, 30.0)
+    assert not bbox.contains(10.01, 25.0)
+
+
+def test_bbox_invalid_latitudes_raise():
+    with pytest.raises(ValueError):
+        BoundingBox(10.0, 0.0, 0.0, 1.0)
+
+
+def test_bbox_antimeridian_wrap():
+    pacific = BoundingBox(-10.0, 10.0, 170.0, -170.0)
+    assert pacific.contains(0.0, 175.0)
+    assert pacific.contains(0.0, -175.0)
+    assert not pacific.contains(0.0, 0.0)
+
+
+def test_bbox_expand_clamps_latitude():
+    polar = BoundingBox(85.0, 89.0, 0.0, 10.0)
+    grown = polar.expand(5.0)
+    assert grown.lat_max == 90.0
+    assert grown.lat_min == 80.0
+    assert grown.lon_min == -5.0

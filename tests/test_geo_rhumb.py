@@ -1,0 +1,60 @@
+"""Tests for repro.geo.rhumb."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo import (
+    haversine_m,
+    rhumb_bearing_deg,
+    rhumb_destination,
+    rhumb_distance_m,
+)
+
+LATS = st.floats(min_value=-70.0, max_value=70.0)
+LONS = st.floats(min_value=-179.0, max_value=179.0)
+
+
+def test_rhumb_along_meridian_equals_great_circle():
+    rhumb = rhumb_distance_m(0.0, 10.0, 30.0, 10.0)
+    great = haversine_m(0.0, 10.0, 30.0, 10.0)
+    assert rhumb == pytest.approx(great, rel=1e-9)
+
+
+def test_rhumb_along_equator_equals_great_circle():
+    rhumb = rhumb_distance_m(0.0, 0.0, 0.0, 40.0)
+    great = haversine_m(0.0, 0.0, 0.0, 40.0)
+    assert rhumb == pytest.approx(great, rel=1e-9)
+
+
+@given(lat1=LATS, lon1=LONS, lat2=LATS, lon2=LONS)
+def test_rhumb_never_shorter_than_great_circle(lat1, lon1, lat2, lon2):
+    rhumb = rhumb_distance_m(lat1, lon1, lat2, lon2)
+    great = haversine_m(lat1, lon1, lat2, lon2)
+    # Equality holds along meridians/equator; allow float rounding slack.
+    assert rhumb >= great * (1.0 - 1e-9) - 1e-6
+
+
+def test_rhumb_bearing_constant_quadrants():
+    assert rhumb_bearing_deg(0.0, 0.0, 10.0, 0.0) == pytest.approx(0.0)
+    assert rhumb_bearing_deg(0.0, 0.0, 0.0, 10.0) == pytest.approx(90.0)
+    assert rhumb_bearing_deg(10.0, 0.0, 0.0, 0.0) == pytest.approx(180.0)
+    assert rhumb_bearing_deg(0.0, 10.0, 0.0, 0.0) == pytest.approx(270.0)
+
+
+def test_rhumb_takes_short_way_around():
+    bearing = rhumb_bearing_deg(0.0, 170.0, 0.0, -170.0)
+    assert bearing == pytest.approx(90.0)
+
+
+@given(lat=LATS, lon=LONS, bearing=st.floats(min_value=0.0, max_value=359.9),
+       distance=st.floats(min_value=100.0, max_value=1_000_000.0))
+def test_rhumb_destination_roundtrip(lat, lon, bearing, distance):
+    lat2, lon2 = rhumb_destination(lat, lon, bearing, distance)
+    back = rhumb_distance_m(lat, lon, lat2, lon2)
+    assert back == pytest.approx(distance, rel=1e-3, abs=2.0)
+
+
+def test_rhumb_destination_due_east_keeps_latitude():
+    lat2, lon2 = rhumb_destination(30.0, 0.0, 90.0, 500_000.0)
+    assert lat2 == pytest.approx(30.0, abs=1e-9)
+    assert lon2 > 0.0

@@ -1,0 +1,81 @@
+"""Tests for repro.hexgrid.cellid."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hexgrid import (
+    MAX_RESOLUTION,
+    cell_to_string,
+    get_resolution,
+    is_valid_cell,
+    pack_cell,
+    string_to_cell,
+    unpack_cell,
+)
+
+COORDS = st.integers(min_value=-(1 << 27), max_value=(1 << 27))
+RESOLUTIONS = st.integers(min_value=0, max_value=MAX_RESOLUTION)
+
+
+@given(res=RESOLUTIONS, q=COORDS, r=COORDS)
+def test_pack_unpack_roundtrip(res, q, r):
+    assert unpack_cell(pack_cell(res, q, r)) == (res, q, r)
+
+
+@given(res=RESOLUTIONS, q=COORDS, r=COORDS)
+def test_packed_ids_are_positive(res, q, r):
+    assert pack_cell(res, q, r) > 0
+
+
+def test_pack_rejects_bad_resolution():
+    with pytest.raises(ValueError):
+        pack_cell(16, 0, 0)
+    with pytest.raises(ValueError):
+        pack_cell(-1, 0, 0)
+
+
+def test_pack_rejects_out_of_range_coordinates():
+    with pytest.raises(ValueError):
+        pack_cell(5, 1 << 29, 0)
+    with pytest.raises(ValueError):
+        pack_cell(5, 0, -(1 << 29))
+
+
+def test_get_resolution():
+    assert get_resolution(pack_cell(7, 100, -100)) == 7
+
+
+def test_unpack_rejects_garbage():
+    with pytest.raises(ValueError):
+        unpack_cell(-5)
+    with pytest.raises(ValueError):
+        unpack_cell(1 << 63)
+
+
+def test_is_valid_cell():
+    assert is_valid_cell(pack_cell(6, 0, 0))
+    assert not is_valid_cell(-1)
+    assert not is_valid_cell("nope")
+    assert not is_valid_cell(True)
+    assert not is_valid_cell(1 << 63)
+
+
+@given(res=RESOLUTIONS, q=COORDS, r=COORDS)
+def test_string_roundtrip(res, q, r):
+    cell = pack_cell(res, q, r)
+    assert string_to_cell(cell_to_string(cell)) == cell
+
+
+def test_string_form_is_fixed_width():
+    assert len(cell_to_string(pack_cell(0, 0, 0))) == 16
+
+
+def test_string_to_cell_rejects_nonhex():
+    with pytest.raises(ValueError):
+        string_to_cell("not-hex!")
+
+
+def test_sort_order_groups_resolutions():
+    coarse = pack_cell(3, 1000, 1000)
+    fine = pack_cell(9, -1000, -1000)
+    assert coarse < fine  # resolution occupies the high bits

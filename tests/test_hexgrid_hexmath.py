@@ -1,0 +1,96 @@
+"""Tests for repro.hexgrid.hexmath (pure lattice geometry)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hexgrid.hexmath import (
+    axial_round,
+    axial_to_plane,
+    hex_corners,
+    hex_disk,
+    hex_distance,
+    hex_line,
+    hex_neighbors,
+    hex_ring,
+    plane_to_axial,
+    point_in_hex,
+)
+
+AXIAL = st.integers(min_value=-500, max_value=500)
+
+
+@given(q=AXIAL, r=AXIAL)
+def test_plane_roundtrip(q, r):
+    x, y = axial_to_plane(q, r, size=100.0)
+    fq, fr = plane_to_axial(x, y, size=100.0)
+    assert axial_round(fq, fr) == (q, r)
+
+
+@given(q=AXIAL, r=AXIAL)
+def test_neighbors_are_at_distance_one(q, r):
+    for nq, nr in hex_neighbors(q, r):
+        assert hex_distance(q, r, nq, nr) == 1
+
+
+def test_neighbor_count_and_uniqueness():
+    neighbors = hex_neighbors(3, -2)
+    assert len(neighbors) == 6
+    assert len(set(neighbors)) == 6
+
+
+@given(q=AXIAL, r=AXIAL, k=st.integers(min_value=0, max_value=8))
+def test_ring_size(q, r, k):
+    ring = hex_ring(q, r, k)
+    expected = 1 if k == 0 else 6 * k
+    assert len(ring) == expected
+    assert len(set(ring)) == expected
+    for cell in ring:
+        assert hex_distance(q, r, *cell) == k
+
+
+@given(q=AXIAL, r=AXIAL, k=st.integers(min_value=0, max_value=6))
+def test_disk_size(q, r, k):
+    disk = hex_disk(q, r, k)
+    expected = 1 + 3 * k * (k + 1)
+    assert len(disk) == expected
+    assert len(set(disk)) == expected
+    assert disk[0] == (q, r)
+
+
+def test_ring_rejects_negative_radius():
+    with pytest.raises(ValueError):
+        hex_ring(0, 0, -1)
+
+
+@given(q1=AXIAL, r1=AXIAL, q2=AXIAL, r2=AXIAL)
+def test_distance_is_a_metric(q1, r1, q2, r2):
+    d = hex_distance(q1, r1, q2, r2)
+    assert d >= 0
+    assert (d == 0) == ((q1, r1) == (q2, r2))
+    assert d == hex_distance(q2, r2, q1, r1)
+
+
+@given(q1=AXIAL, r1=AXIAL, q2=AXIAL, r2=AXIAL)
+def test_line_connects_endpoints_with_neighbor_steps(q1, r1, q2, r2):
+    line = hex_line(q1, r1, q2, r2)
+    assert line[0] == (q1, r1)
+    assert line[-1] == (q2, r2)
+    assert len(line) == hex_distance(q1, r1, q2, r2) + 1
+    for a, b in zip(line, line[1:]):
+        assert hex_distance(*a, *b) == 1
+
+
+def test_corners_are_equidistant_from_center():
+    import math
+
+    corners = hex_corners(2, -1, size=50.0)
+    cx, cy = axial_to_plane(2, -1, size=50.0)
+    assert len(corners) == 6
+    for x, y in corners:
+        assert math.hypot(x - cx, y - cy) == pytest.approx(50.0)
+
+
+def test_point_in_hex_center_and_outside():
+    x, y = axial_to_plane(4, 4, size=10.0)
+    assert point_in_hex(x, y, 4, 4, size=10.0)
+    assert not point_in_hex(x + 100.0, y, 4, 4, size=10.0)

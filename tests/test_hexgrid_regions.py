@@ -1,0 +1,65 @@
+"""Tests for repro.hexgrid.regions (bbox covers and polyfill)."""
+
+import pytest
+
+from repro.geo import BoundingBox
+from repro.hexgrid import (
+    bbox_cells,
+    cell_area_km2,
+    cell_to_latlng,
+    get_resolution,
+    latlng_to_cell,
+    polyfill,
+)
+
+
+BALTIC = BoundingBox(54.0, 60.0, 10.0, 30.0)
+
+
+def test_bbox_cells_centers_inside():
+    cells = bbox_cells(BALTIC, 4)
+    assert cells
+    for cell in cells:
+        lat, lon = cell_to_latlng(cell)
+        assert BALTIC.contains(lat, lon)
+        assert get_resolution(cell) == 4
+
+
+def test_bbox_cells_cover_interior_points():
+    cells = set(bbox_cells(BALTIC, 4))
+    # Any point well inside the box must land in a covered cell.
+    for lat, lon in [(55.0, 15.0), (57.0, 20.0), (59.0, 25.0)]:
+        assert latlng_to_cell(lat, lon, 4) in cells
+
+
+def test_bbox_cells_count_tracks_area():
+    cells = bbox_cells(BALTIC, 4)
+    # Box area ≈ width × height in km (rough), divided by cell area.
+    approx_area_km2 = 6.0 * 111.0 * 20.0 * 111.0 * 0.55  # cos(57°) ≈ 0.55
+    expected = approx_area_km2 / cell_area_km2(4)
+    assert len(cells) == pytest.approx(expected, rel=0.35)
+
+
+def test_bbox_cells_antimeridian_split():
+    pacific = BoundingBox(-5.0, 5.0, 175.0, -175.0)
+    cells = bbox_cells(pacific, 3)
+    assert cells
+    lons = [cell_to_latlng(cell)[1] for cell in cells]
+    assert any(lon > 170.0 for lon in lons)
+    assert any(lon < -170.0 for lon in lons)
+
+
+def test_bbox_cells_results_sorted_unique():
+    cells = bbox_cells(BALTIC, 4)
+    assert cells == sorted(cells)
+    assert len(cells) == len(set(cells))
+
+
+def test_polyfill_triangle_subset_of_bbox():
+    triangle = [(54.0, 10.0), (60.0, 10.0), (54.0, 30.0)]
+    tri_cells = set(polyfill(triangle, 4))
+    box_cells = set(bbox_cells(BALTIC, 4))
+    assert tri_cells
+    assert tri_cells <= box_cells
+    # A triangle is about half its bounding box.
+    assert 0.25 < len(tri_cells) / len(box_cells) < 0.75

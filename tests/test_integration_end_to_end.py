@@ -1,0 +1,176 @@
+"""Cross-subsystem integration tests.
+
+These exercise seams that the per-module suites cannot: NMEA wire format
+feeding the pipeline, inventory persistence feeding the apps, split-window
+inventory merging, and the Suez disruption round trip.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    PipelineConfig,
+    WorldConfig,
+    build_inventory,
+    generate_dataset,
+)
+from repro.ais import decode_sentences, encode_message
+from repro.apps import AnomalyDetector
+from repro.inventory import GroupKey, open_inventory, write_inventory
+from repro.inventory.keys import GroupingSet
+
+
+def test_nmea_wire_roundtrip_feeds_pipeline(small_world):
+    """Encode a slice of the archive to AIVDM sentences, decode it back,
+    and verify the pipeline sees identical records."""
+    slice_ = small_world.positions[:500]
+    wire: list[str] = []
+    for index, report in enumerate(slice_):
+        wire.extend(encode_message(report, message_id=str(index % 10)))
+    decoded = []
+    for line, original in zip(wire, slice_):
+        decoded.extend(decode_sentences([line], epoch_ts=original.epoch_ts))
+    assert len(decoded) == len(slice_)
+    for original, received in zip(slice_, decoded):
+        assert received.mmsi == original.mmsi
+        assert received.lat == pytest.approx(original.lat, abs=1e-5)
+        assert received.sog == pytest.approx(original.sog, abs=0.06)
+
+
+def test_split_window_inventories_merge_to_whole(small_world):
+    """The monoid property at system level: building two half-window
+    inventories and merging equals building one inventory."""
+    positions = small_world.positions
+    midpoint_ts = positions[len(positions) // 2].epoch_ts
+    first = [r for r in positions if r.epoch_ts < midpoint_ts]
+    second = [r for r in positions if r.epoch_ts >= midpoint_ts]
+    config = PipelineConfig()
+
+    whole = build_inventory(
+        positions, small_world.fleet, small_world.ports, config
+    ).inventory
+    left = build_inventory(
+        first, small_world.fleet, small_world.ports, config
+    ).inventory
+    right = build_inventory(
+        second, small_world.fleet, small_world.ports, config
+    ).inventory
+    left.merge(right)
+
+    # Trips spanning the split are lost on both sides (each half lacks one
+    # endpoint), so the merged inventory is a subset — every group it DOES
+    # have must be consistent with the whole, and coverage must be high.
+    assert len(left) <= len(whole)
+    # Ocean crossings take longer than half the window, so a large share
+    # of trips straddle the split; a quarter surviving is already a lot.
+    assert len(left) > 0.25 * len(whole)
+    whole_keys = {key for key, _ in whole.items()}
+    covered = sum(1 for key, _ in left.items() if key in whole_keys)
+    assert covered / len(left) > 0.95
+
+
+def test_persisted_inventory_supports_apps(tmp_path, small_inventory):
+    """Round-trip the inventory through the SSTable and run a query app on
+    the re-loaded copy."""
+    path = tmp_path / "inventory.sst"
+    write_inventory(small_inventory, path)
+    from repro.inventory import Inventory
+
+    reloaded = Inventory(resolution=small_inventory.resolution)
+    with open_inventory(path) as reader:
+        for key, summary in reader.scan():
+            reloaded.put(key, summary)
+    assert len(reloaded) == len(small_inventory)
+
+    detector = AnomalyDetector(reloaded)
+    from repro.hexgrid import cell_to_latlng
+
+    key, summary = max(
+        ((k, s) for k, s in reloaded.items()
+         if k.grouping_set is GroupingSet.CELL),
+        key=lambda pair: pair[1].records,
+    )
+    lat, lon = cell_to_latlng(key.cell)
+    assert detector.score(
+        lat, lon, sog=summary.speed.mean + 70.0, cog=0.0
+    ).is_anomalous
+
+
+def test_suez_scenario_detected_against_normalcy():
+    """Build normalcy from undisrupted voyages, then verify a Cape-diverted
+    voyage is flagged off-lane while a normal one is not."""
+    from repro.world.routing import SeaRouter
+    from repro.world.voyages import VoyagePlan
+
+    config = WorldConfig(seed=321, n_vessels=10, days=14.0,
+                         report_interval_s=900.0, clean=True)
+    data = generate_dataset(config)
+    result = build_inventory(
+        data.positions, data.fleet, data.ports, PipelineConfig(resolution=5)
+    )
+    inventory = result.inventory
+    od_keys = [
+        key for key, _ in inventory.items()
+        if key.grouping_set is GroupingSet.CELL_OD_TYPE
+    ]
+    if not od_keys:
+        pytest.skip("fixture produced no route-level groups")
+
+    # Pick a route with Suez transit history if one exists, else any route.
+    router = SeaRouter()
+    key = next(
+        (k for k in od_keys if router.uses_canal(k.origin, k.destination, "suez")),
+        od_keys[0],
+    )
+    detector = AnomalyDetector(inventory)
+
+    normal_track = [
+        (lat, lon, 12.0, 90.0)
+        for lat, lon in router.route_positions(key.origin, key.destination)
+    ]
+    normal_fraction = detector.score_track(
+        normal_track, vessel_type=key.vessel_type,
+        origin=key.origin, destination=key.destination,
+    )
+
+    blocked = SeaRouter(blocked_canals={"suez", "panama"})
+    try:
+        diverted_positions = blocked.route_positions(key.origin, key.destination)
+    except Exception:
+        pytest.skip("route unroutable without canals")
+    diverted_track = [
+        (lat, lon, 12.0, 90.0) for lat, lon in diverted_positions
+    ]
+    diverted_fraction = detector.score_track(
+        diverted_track, vessel_type=key.vessel_type,
+        origin=key.origin, destination=key.destination,
+    )
+    if normal_track == diverted_track:
+        pytest.skip("route unaffected by canal blocking")
+    # The diversion strays off the inventoried lane far more often.
+    assert diverted_fraction > normal_fraction
+
+
+def test_csv_archive_roundtrip_to_inventory(tmp_path, small_world):
+    """Write the archive as CSV (the open-data interchange), read it back,
+    and verify the pipeline builds the identical inventory."""
+    from repro.ais import read_csv, write_csv
+
+    path = tmp_path / "archive.csv"
+    write_csv(path, small_world.positions)
+    reloaded = list(read_csv(path))
+    assert len(reloaded) == len(small_world.positions)
+
+    config = PipelineConfig()
+    from_memory = build_inventory(
+        small_world.positions, small_world.fleet, small_world.ports, config
+    )
+    from_csv = build_inventory(
+        reloaded, small_world.fleet, small_world.ports, config
+    )
+    # CSV rounds positions to 1e-6 deg and timestamps to seconds: cell
+    # assignments are unchanged at resolution 6.
+    assert from_csv.funnel["inventory_cells"] == pytest.approx(
+        from_memory.funnel["inventory_cells"], rel=0.01
+    )

@@ -1,0 +1,140 @@
+"""Tests for the adaptive multi-resolution inventory (§5 future work)."""
+
+import pytest
+
+from repro.hexgrid import cell_to_latlng, get_resolution, latlng_to_cell
+from repro.inventory import GroupKey, Inventory
+from repro.inventory.adaptive import AdaptiveInventory, build_adaptive
+from repro.inventory.keys import GroupingSet
+from repro.inventory.summary import CellSummary
+
+
+def _summary(records, mmsi_base=0):
+    summary = CellSummary()
+    for i in range(records):
+        summary.update(
+            mmsi=100_000_000 + mmsi_base + i, sog=10.0, cog=90.0, heading=90,
+            trip_id=f"t{mmsi_base + i}", eto_s=10.0, ata_s=20.0,
+            origin="AAAAA", destination="BBBBB",
+        )
+    return summary
+
+
+def _inventory_with(cells_and_counts, resolution=7):
+    inventory = Inventory(resolution=resolution)
+    for index, (cell, count) in enumerate(cells_and_counts):
+        inventory.put(GroupKey(cell=cell), _summary(count, mmsi_base=index * 100))
+        inventory.put(
+            GroupKey(cell=cell, vessel_type="cargo"),
+            _summary(count, mmsi_base=index * 100),
+        )
+    return inventory
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        AdaptiveInventory(fine_resolution=5, coarse_resolution=6)
+    inventory = Inventory(resolution=7)
+    with pytest.raises(ValueError):
+        build_adaptive(inventory, min_records=0, coarse_resolution=5)
+
+
+def test_dense_cells_keep_fine_resolution():
+    dense = latlng_to_cell(1.0, 103.0, 7)
+    inventory = _inventory_with([(dense, 50)])
+    adaptive = build_adaptive(inventory, min_records=10, coarse_resolution=4)
+    assert dense in adaptive.cells()
+    assert adaptive.resolution_histogram() == {7: 1}
+
+
+def test_sparse_cells_collapse_to_parent():
+    sparse = latlng_to_cell(40.0, -40.0, 7)
+    inventory = _inventory_with([(sparse, 2)])
+    adaptive = build_adaptive(inventory, min_records=10, coarse_resolution=4)
+    cells = adaptive.cells()
+    assert sparse not in cells
+    assert all(get_resolution(cell) == 4 for cell in cells)
+
+
+def test_siblings_merge_until_dense():
+    # Seven sibling cells with 3 records each: parent holds 21 >= 10.
+    from repro.hexgrid import cell_to_children
+
+    parent = latlng_to_cell(30.0, 30.0, 6)
+    children = cell_to_children(parent)
+    inventory = _inventory_with([(child, 3) for child in children])
+    adaptive = build_adaptive(inventory, min_records=10, coarse_resolution=4)
+    assert adaptive.cells() == {parent}
+    merged = [
+        summary for key, summary in adaptive.items()
+        if key.grouping_set is GroupingSet.CELL
+    ]
+    assert len(merged) == 1
+    assert merged[0].records == 3 * len(children)
+
+
+def test_record_conservation(small_inventory):
+    adaptive = build_adaptive(
+        small_inventory, min_records=8, coarse_resolution=3
+    )
+    assert adaptive.total_records() == small_inventory.total_records()
+
+
+def test_group_count_shrinks(small_inventory):
+    adaptive = build_adaptive(
+        small_inventory, min_records=8, coarse_resolution=3
+    )
+    assert len(adaptive) < len(small_inventory)
+
+
+def test_mixed_resolutions_present(small_inventory):
+    adaptive = build_adaptive(
+        small_inventory, min_records=8, coarse_resolution=3
+    )
+    histogram = adaptive.resolution_histogram()
+    assert len(histogram) >= 2  # genuinely non-uniform
+    assert min(histogram) >= 3
+    assert max(histogram) == small_inventory.resolution
+
+
+def test_point_query_probes_fine_to_coarse():
+    dense = latlng_to_cell(1.0, 103.0, 7)
+    sparse = latlng_to_cell(40.0, -40.0, 7)
+    inventory = _inventory_with([(dense, 50), (sparse, 2)])
+    adaptive = build_adaptive(inventory, min_records=10, coarse_resolution=4)
+
+    dense_hit = adaptive.summary_at(*cell_to_latlng(dense))
+    assert dense_hit is not None and dense_hit.records == 50
+
+    sparse_hit = adaptive.summary_at(*cell_to_latlng(sparse))
+    assert sparse_hit is not None and sparse_hit.records == 2
+
+    assert adaptive.summary_at(-55.0, -150.0) is None
+
+
+def test_breakdowns_travel_with_the_cell():
+    sparse = latlng_to_cell(40.0, -40.0, 7)
+    inventory = _inventory_with([(sparse, 2)])
+    adaptive = build_adaptive(inventory, min_records=10, coarse_resolution=4)
+    lat, lon = cell_to_latlng(sparse)
+    typed = adaptive.summary_at(lat, lon, vessel_type="cargo")
+    assert typed is not None and typed.records == 2
+
+
+def test_source_inventory_untouched(small_inventory):
+    before = {
+        key: summary.records for key, summary in small_inventory.items()
+    }
+    build_adaptive(small_inventory, min_records=50, coarse_resolution=3)
+    after = {
+        key: summary.records for key, summary in small_inventory.items()
+    }
+    assert before == after
+
+
+def test_min_records_one_is_identity_shape(small_inventory):
+    adaptive = build_adaptive(
+        small_inventory, min_records=1, coarse_resolution=3
+    )
+    assert adaptive.cells() == small_inventory.cells()
+    assert len(adaptive) == len(small_inventory)

@@ -1,0 +1,92 @@
+"""Tests for the binary codec, including hypothesis round-trips."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.inventory.codec import CodecError, decode, encode
+
+
+SCALARS = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**30), max_value=10**30),
+    st.floats(allow_nan=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+
+VALUES = st.recursive(
+    SCALARS,
+    lambda children: st.one_of(
+        st.lists(children, max_size=6),
+        st.dictionaries(st.text(max_size=8), children, max_size=6),
+        st.dictionaries(st.integers(-1000, 1000), children, max_size=6),
+    ),
+    max_leaves=30,
+)
+
+
+@given(value=VALUES)
+def test_roundtrip(value):
+    assert decode(encode(value)) == value
+
+
+def test_scalar_examples():
+    for value in [None, True, False, 0, -1, 2**70, -(2**70), 0.5, "ü", b"\x00"]:
+        assert decode(encode(value)) == value
+
+
+def test_float_precision_is_exact():
+    for value in [math.pi, 1e-308, -1e308, 0.1]:
+        assert decode(encode(value)) == value
+
+
+def test_nested_structures():
+    value = {"a": [1, {"b": b"xyz"}], 5: None, "": [[], {}]}
+    assert decode(encode(value)) == value
+
+
+def test_int_keys_preserved():
+    value = {1: "one", "1": "one-string"}
+    assert decode(encode(value)) == value
+
+
+def test_tuple_decodes_as_list():
+    assert decode(encode((1, 2))) == [1, 2]
+
+
+def test_compactness_vs_json():
+    import json
+
+    value = {"registers": [0] * 100, "mean": 1.2345678, "names": ["x"] * 20}
+    assert len(encode(value)) < len(json.dumps(value).encode())
+
+
+def test_unencodable_type_raises():
+    with pytest.raises(CodecError):
+        encode({1, 2, 3})
+
+
+def test_trailing_garbage_raises():
+    payload = encode(42) + b"\x00"
+    with pytest.raises(CodecError):
+        decode(payload)
+
+
+def test_truncation_raises():
+    payload = encode("hello world")
+    for cut in range(1, len(payload)):
+        with pytest.raises(CodecError):
+            decode(payload[:cut])
+
+
+def test_unknown_tag_raises():
+    with pytest.raises(CodecError):
+        decode(b"Z")
+
+
+def test_empty_payload_raises():
+    with pytest.raises(CodecError):
+        decode(b"")

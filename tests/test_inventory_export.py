@@ -1,0 +1,111 @@
+"""Tests for the GeoJSON export."""
+
+import json
+import math
+
+import pytest
+
+from repro.geo import haversine_m
+from repro.hexgrid import cell_to_latlng, latlng_to_cell
+from repro.inventory import GroupKey, Inventory
+from repro.inventory.export import (
+    cell_feature,
+    inventory_to_geojson,
+    write_geojson,
+)
+from repro.inventory.summary import CellSummary
+
+
+def _summary(records=4):
+    summary = CellSummary()
+    for i in range(records):
+        summary.update(
+            mmsi=100_000_000 + i, sog=11.0, cog=45.0, heading=44,
+            trip_id=f"t{i}", eto_s=10.0, ata_s=7200.0,
+            origin="CNSHA", destination="SGSIN",
+        )
+    return summary
+
+
+@pytest.fixture()
+def inventory():
+    store = Inventory(resolution=6)
+    for i in range(6):
+        cell = latlng_to_cell(1.0 + 0.2 * i, 103.0, 6)
+        store.put(GroupKey(cell=cell), _summary(records=2 + i))
+        store.put(GroupKey(cell=cell, vessel_type="cargo"), _summary(records=1))
+    return store
+
+
+def test_cell_feature_shape():
+    cell = latlng_to_cell(51.9, 3.9, 6)
+    feature = cell_feature(cell, _summary())
+    assert feature["type"] == "Feature"
+    ring = feature["geometry"]["coordinates"][0]
+    assert len(ring) == 7  # hexagon + closing vertex
+    assert ring[0] == ring[-1]
+    props = feature["properties"]
+    assert props["records"] == 4
+    assert props["top_destination"] == "SGSIN"
+    assert props["mean_ata_h"] == 2.0
+    assert props["cell"] == f"{cell:016x}"
+
+
+def test_feature_vertices_surround_center():
+    cell = latlng_to_cell(-33.9, 18.4, 6)
+    feature = cell_feature(cell, _summary())
+    center = cell_to_latlng(cell)
+    for lon, lat in feature["geometry"]["coordinates"][0][:-1]:
+        assert haversine_m(lat, lon, *center) < 12_000
+
+
+def test_antimeridian_cells_do_not_span_the_world():
+    cell = latlng_to_cell(0.0, 179.99, 6)
+    feature = cell_feature(cell, _summary())
+    lons = [lon for lon, _ in feature["geometry"]["coordinates"][0]]
+    assert max(lons) - min(lons) < 180.0
+
+
+def test_collection_counts_and_order(inventory):
+    collection = inventory_to_geojson(inventory)
+    assert collection["type"] == "FeatureCollection"
+    assert len(collection["features"]) == 6
+    counts = [f["properties"]["records"] for f in collection["features"]]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_vessel_type_export(inventory):
+    collection = inventory_to_geojson(inventory, vessel_type="cargo")
+    assert len(collection["features"]) == 6
+    assert all(f["properties"]["records"] == 1 for f in collection["features"])
+    assert inventory_to_geojson(inventory, vessel_type="tanker")["features"] == []
+
+
+def test_predicate_and_cap(inventory):
+    dense = inventory_to_geojson(
+        inventory, predicate=lambda s: s.records >= 5
+    )
+    assert len(dense["features"]) == 3
+    capped = inventory_to_geojson(inventory, max_features=2)
+    assert len(capped["features"]) == 2
+    assert capped["features"][0]["properties"]["records"] == 7
+
+
+def test_write_geojson_roundtrips_as_json(tmp_path, inventory):
+    path = tmp_path / "cells.geojson"
+    count = write_geojson(inventory, path)
+    assert count == 6
+    parsed = json.loads(path.read_text())
+    assert parsed["type"] == "FeatureCollection"
+    assert len(parsed["features"]) == 6
+    # Every coordinate is a finite number (valid GeoJSON).
+    for feature in parsed["features"]:
+        for lon, lat in feature["geometry"]["coordinates"][0]:
+            assert math.isfinite(lon) and math.isfinite(lat)
+
+
+def test_small_world_export(small_inventory, tmp_path):
+    path = tmp_path / "world.geojson"
+    count = write_geojson(small_inventory, path, max_features=500)
+    assert 0 < count <= 500
+    assert path.stat().st_size > 1000

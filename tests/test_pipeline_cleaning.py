@@ -1,0 +1,137 @@
+"""Tests for the cleaning stage (§3.3.1)."""
+
+import pytest
+
+from repro.ais.messages import PositionReport
+from repro.pipeline import cleaning
+from repro.world.fleet import build_fleet
+
+
+def _report(ts=0.0, lat=50.0, lon=1.0, mmsi=235000001, **overrides):
+    fields = dict(
+        mmsi=mmsi, epoch_ts=ts, lat=lat, lon=lon, sog=12.0, cog=45.0,
+        heading=44, status=0,
+    )
+    fields.update(overrides)
+    return PositionReport(**fields)
+
+
+class TestSortAndDedupe:
+    def test_sorts_by_timestamp(self):
+        reports = [_report(ts=300.0), _report(ts=0.0), _report(ts=600.0)]
+        cleaned = cleaning.sort_and_dedupe(reports)
+        assert [r.epoch_ts for r in cleaned] == [0.0, 300.0, 600.0]
+
+    def test_drops_exact_duplicates(self):
+        reports = [_report(ts=0.0), _report(ts=0.0), _report(ts=300.0)]
+        assert len(cleaning.sort_and_dedupe(reports)) == 2
+
+    def test_same_time_different_position_kept(self):
+        reports = [_report(ts=0.0, lat=50.0), _report(ts=0.0, lat=50.001)]
+        assert len(cleaning.sort_and_dedupe(reports)) == 2
+
+    def test_empty(self):
+        assert cleaning.sort_and_dedupe([]) == []
+
+
+class TestFeasibilityFilter:
+    def test_keeps_plausible_track(self):
+        # ~12 knots: 1.85 km per 300 s.
+        reports = [
+            _report(ts=i * 300.0, lat=50.0 + i * 0.0017) for i in range(10)
+        ]
+        assert len(cleaning.feasibility_filter(reports)) == 10
+
+    def test_drops_teleport_spike_only(self):
+        reports = [
+            _report(ts=0.0, lat=50.0),
+            _report(ts=300.0, lat=58.0),  # ~900 km in 5 min: impossible
+            _report(ts=600.0, lat=50.003),
+        ]
+        cleaned = cleaning.feasibility_filter(reports)
+        assert [r.lat for r in cleaned] == [50.0, 50.003]
+
+    def test_consecutive_spikes_all_dropped(self):
+        reports = [
+            _report(ts=0.0, lat=50.0),
+            _report(ts=300.0, lat=58.0),
+            _report(ts=600.0, lat=-12.0),
+            _report(ts=900.0, lat=50.01),
+        ]
+        cleaned = cleaning.feasibility_filter(reports)
+        assert [r.lat for r in cleaned] == [50.0, 50.01]
+
+    def test_threshold_is_configurable(self):
+        # ~60 knots (one degree of longitude per hour at the equator):
+        # feasible only if the threshold allows it.
+        reports = [
+            _report(ts=0.0, lat=0.0, lon=0.0),
+            _report(ts=3600.0, lat=0.0, lon=1.0),
+        ]
+        assert len(cleaning.feasibility_filter(reports, max_speed_kn=50.0)) == 1
+        assert len(cleaning.feasibility_filter(reports, max_speed_kn=70.0)) == 2
+
+    def test_empty(self):
+        assert cleaning.feasibility_filter([]) == []
+
+
+class TestEnrichment:
+    @pytest.fixture(scope="class")
+    def static(self):
+        fleet = build_fleet(120, seed=42)
+        return {vessel.mmsi: vessel for vessel in fleet}
+
+    def _vessel_of_segment(self, static, segment_value, commercial):
+        for vessel in static.values():
+            if vessel.segment.value == segment_value and (
+                vessel.is_commercial == commercial
+            ):
+                return vessel
+        pytest.skip(f"no {segment_value} vessel in fixture fleet")
+
+    def test_attaches_type_and_grt(self, static):
+        vessel = self._vessel_of_segment(static, "container", True)
+        records = cleaning.enrich_track(
+            vessel.mmsi, [_report(mmsi=vessel.mmsi)], static
+        )
+        assert records is not None
+        assert records[0].vessel_type == "container"
+        assert records[0].grt == vessel.grt
+
+    def test_unknown_mmsi_dropped(self, static):
+        assert cleaning.enrich_track(999999999, [_report()], static) is None
+
+    def test_non_commercial_dropped(self, static):
+        vessel = next(
+            v for v in static.values() if v.segment.value in ("fishing", "tug")
+        )
+        assert cleaning.enrich_track(
+            vessel.mmsi, [_report(mmsi=vessel.mmsi)], static
+        ) is None
+
+    def test_commercial_only_flag_disables_filter(self, static):
+        vessel = next(
+            v for v in static.values() if v.segment.value in ("fishing", "tug")
+        )
+        records = cleaning.enrich_track(
+            vessel.mmsi,
+            [_report(mmsi=vessel.mmsi)],
+            static,
+            min_grt=0,
+            commercial_only=False,
+        )
+        assert records is not None
+
+    def test_min_grt_threshold(self, static):
+        vessel = self._vessel_of_segment(static, "cargo", True)
+        assert cleaning.enrich_track(
+            vessel.mmsi, [_report(mmsi=vessel.mmsi)], static,
+            min_grt=vessel.grt + 1,
+        ) is None
+
+    def test_heading_sentinel_becomes_none(self, static):
+        vessel = self._vessel_of_segment(static, "tanker", True)
+        records = cleaning.enrich_track(
+            vessel.mmsi, [_report(mmsi=vessel.mmsi, heading=511)], static
+        )
+        assert records[0].heading is None

@@ -1,0 +1,182 @@
+"""Tests for geofencing and trip-semantics extraction (§3.3.2)."""
+
+import pytest
+
+from repro.pipeline.geofence import PortIndex
+from repro.pipeline.records import CleanRecord
+from repro.pipeline.trips import annotate_trips
+from repro.world.ports import PORTS, port_by_id
+
+
+@pytest.fixture(scope="module")
+def index():
+    return PortIndex(PORTS)
+
+
+class TestPortIndex:
+    def test_port_center_resolves_to_port(self, index):
+        for port_id in ["SGSIN", "NLRTM", "USLAX", "RULED", "CLVAP"]:
+            port = port_by_id(port_id)
+            found = index.port_at(port.lat, port.lon)
+            assert found is not None and found.port_id == port_id
+
+    def test_open_sea_resolves_to_none(self, index):
+        assert index.port_at(40.0, -40.0) is None  # mid-Atlantic
+        assert index.port_at(-50.0, 90.0) is None  # Southern Ocean
+
+    def test_just_outside_radius_is_none(self, index):
+        from repro.geo import destination_point
+
+        port = port_by_id("SGSIN")
+        lat, lon = destination_point(
+            port.lat, port.lon, 180.0, port.radius_m + 4_000.0
+        )
+        found = index.port_at(lat, lon)
+        assert found is None or found.port_id != "SGSIN"
+
+    def test_just_inside_radius_found(self, index):
+        from repro.geo import destination_point
+
+        port = port_by_id("NLRTM")
+        lat, lon = destination_point(port.lat, port.lon, 90.0, port.radius_m * 0.6)
+        found = index.port_at(lat, lon)
+        assert found is not None and found.port_id == "NLRTM"
+
+    def test_high_latitude_port_found(self, index):
+        # St Petersburg at 60°N exercises the projection-stretch handling.
+        port = port_by_id("RULED")
+        from repro.geo import destination_point
+
+        lat, lon = destination_point(port.lat, port.lon, 0.0, port.radius_m * 0.7)
+        found = index.port_at(lat, lon)
+        assert found is not None and found.port_id == "RULED"
+
+    def test_index_has_bounded_buckets(self, index):
+        assert 0 < index.bucket_count() < 20_000
+
+
+def _record(ts, lat, lon, mmsi=235000001, sog=10.0):
+    return CleanRecord(
+        mmsi=mmsi, ts=ts, lat=lat, lon=lon, sog=sog, cog=90.0,
+        heading=90, status=0, vessel_type="cargo", grt=20_000,
+    )
+
+
+def _synthetic_voyage(index, origin_id, dest_id, n_sea=10):
+    """Port-A stop (moored) → open-sea records → port-B stop (moored)."""
+    origin = port_by_id(origin_id)
+    dest = port_by_id(dest_id)
+    records = [_record(0.0, origin.lat, origin.lon, sog=0.2),
+               _record(600.0, origin.lat, origin.lon, sog=0.1)]
+    for i in range(n_sea):
+        frac = (i + 1) / (n_sea + 1)
+        lat = origin.lat + frac * (dest.lat - origin.lat)
+        lon = origin.lon + frac * (dest.lon - origin.lon)
+        records.append(_record(1200.0 + i * 600.0, lat, lon))
+    records.append(_record(1200.0 + n_sea * 600.0, dest.lat, dest.lon, sog=0.3))
+    records.append(_record(1800.0 + n_sea * 600.0, dest.lat, dest.lon, sog=0.1))
+    return records
+
+
+class TestTripAnnotation:
+    def test_basic_trip_extraction(self, index):
+        records = _synthetic_voyage(index, "PLGDN", "SESTO")
+        trips = annotate_trips(records, index)
+        assert trips
+        assert {t.origin for t in trips} == {"PLGDN"}
+        assert {t.destination for t in trips} == {"SESTO"}
+        assert len({t.trip_id for t in trips}) == 1
+        # Only the open-sea records are annotated.
+        assert len(trips) <= 10
+
+    def test_eto_and_ata_are_complementary(self, index):
+        records = _synthetic_voyage(index, "PLGDN", "SESTO")
+        trips = annotate_trips(records, index)
+        duration = trips[-1].ts - trips[0].ts
+        for trip in trips:
+            assert trip.eto_s >= 0.0
+            assert trip.ata_s >= 0.0
+            assert trip.eto_s + trip.ata_s == pytest.approx(duration)
+
+    def test_two_consecutive_trips(self, index):
+        leg1 = _synthetic_voyage(index, "PLGDN", "SESTO")
+        offset = leg1[-1].ts + 600.0
+        leg2 = [
+            CleanRecord(
+                mmsi=r.mmsi, ts=r.ts + offset, lat=r.lat, lon=r.lon, sog=r.sog,
+                cog=r.cog, heading=r.heading, status=r.status,
+                vessel_type=r.vessel_type, grt=r.grt,
+            )
+            for r in _synthetic_voyage(index, "SESTO", "FIHEL")
+        ]
+        trips = annotate_trips(leg1 + leg2, index)
+        trip_ids = sorted({t.trip_id for t in trips})
+        assert len(trip_ids) == 2
+        destinations = {t.trip_id: t.destination for t in trips}
+        assert sorted(destinations.values()) == ["FIHEL", "SESTO"]
+
+    def test_leading_gap_without_origin_excluded(self, index):
+        records = _synthetic_voyage(index, "PLGDN", "SESTO")
+        # Drop the initial port visit: the gap has no known origin.
+        no_origin = records[2:]
+        trips = annotate_trips(no_origin, index)
+        assert trips == []
+
+    def test_trailing_gap_without_destination_excluded(self, index):
+        records = _synthetic_voyage(index, "PLGDN", "SESTO")
+        no_destination = records[:-2]
+        trips = annotate_trips(no_destination, index)
+        assert trips == []
+
+    def test_same_port_return_is_not_a_trip(self, index):
+        port = port_by_id("PLGDN")
+        records = [
+            _record(0.0, port.lat, port.lon, sog=0.1),
+            _record(600.0, port.lat + 0.5, port.lon),  # brief excursion
+            _record(1200.0, port.lat, port.lon, sog=0.1),
+        ]
+        assert annotate_trips(records, index) == []
+
+    def test_vessel_never_leaving_port_has_no_trips(self, index):
+        port = port_by_id("SGSIN")
+        records = [
+            _record(i * 600.0, port.lat, port.lon, sog=0.1) for i in range(10)
+        ]
+        assert annotate_trips(records, index) == []
+
+    def test_transit_through_geofence_is_not_a_stop(self, index):
+        # Port Said sits on the Suez approach: a vessel steaming through
+        # its geofence at 12 kn must NOT have its trip split there.
+        records = _synthetic_voyage(index, "GRPIR", "SAJED")
+        said = port_by_id("EGPSD")
+        # Inject an at-speed pass through the Port Said geofence mid-trip.
+        mid_ts = records[len(records) // 2].ts + 1.0
+        transit = _record(mid_ts, said.lat, said.lon, sog=12.0)
+        with_transit = sorted(records + [transit], key=lambda r: r.ts)
+        trips = annotate_trips(with_transit, index)
+        assert trips
+        assert {t.destination for t in trips} == {"SAJED"}
+        assert len({t.trip_id for t in trips}) == 1
+        # The transit record itself belongs to the trip.
+        assert any(t.ts == mid_ts for t in trips)
+
+    def test_stop_speed_threshold_is_configurable(self, index):
+        port = port_by_id("PLGDN")
+        crawl = [
+            _record(0.0, port.lat, port.lon, sog=3.0),
+            _record(600.0, port.lat + 1.5, port.lon),
+            _record(1200.0, 59.35, 18.14, sog=3.0),  # Stockholm, crawling
+        ]
+        # At the default 2 kn threshold a 3-kn crawl is not a stop.
+        assert annotate_trips(crawl, index) == []
+        # Raising the threshold turns the crawls into stops.
+        trips = annotate_trips(crawl, index, stop_speed_kn=4.0)
+        assert trips and trips[0].origin == "PLGDN"
+
+    def test_empty_input(self, index):
+        assert annotate_trips([], index) == []
+
+    def test_trip_id_embeds_mmsi(self, index):
+        records = _synthetic_voyage(index, "PLGDN", "SESTO")
+        trips = annotate_trips(records, index)
+        assert all(t.trip_id.startswith("235000001-") for t in trips)

@@ -1,0 +1,138 @@
+"""Tests for spatial projection, transitions and feature fan-out."""
+
+import pytest
+
+from repro.hexgrid import are_neighbor_cells, cell_to_latlng, latlng_to_cell
+from repro.inventory.keys import GroupingSet, GroupKey
+from repro.inventory.summary import SummaryConfig
+from repro.pipeline.features import fan_out, make_create, make_update, merge_summaries
+from repro.pipeline.projection import project_trip
+from repro.pipeline.records import TripRecord
+
+
+def _trip_record(ts, lat, lon, mmsi=235000001):
+    return TripRecord(
+        mmsi=mmsi, ts=ts, lat=lat, lon=lon, sog=12.0, cog=90.0, heading=89,
+        status=0, vessel_type="container", grt=50_000,
+        trip_id=f"{mmsi}-0001", origin="CNSHA", destination="NLRTM",
+        depart_ts=0.0, arrive_ts=36_000.0,
+    )
+
+
+def _eastbound_trip(n=10, step_deg=0.12):
+    return [_trip_record(i * 600.0, 1.0, 100.0 + i * step_deg) for i in range(n)]
+
+
+class TestProjection:
+    def test_cells_match_positions(self):
+        records = _eastbound_trip()
+        projected = project_trip(records, resolution=6)
+        assert len(projected) == len(records)
+        for record, cell_record in zip(records, projected):
+            assert cell_record.cell == latlng_to_cell(record.lat, record.lon, 6)
+
+    def test_next_cell_is_next_different(self):
+        records = _eastbound_trip(step_deg=0.001)  # many reports per cell
+        projected = project_trip(records, resolution=6)
+        for cell_record in projected:
+            if cell_record.next_cell is not None:
+                assert cell_record.next_cell != cell_record.cell
+
+    def test_last_record_has_no_next(self):
+        projected = project_trip(_eastbound_trip(), resolution=6)
+        assert projected[-1].next_cell is None
+
+    def test_trip_metadata_propagates(self):
+        projected = project_trip(_eastbound_trip(), resolution=6)
+        for cell_record in projected:
+            assert cell_record.origin == "CNSHA"
+            assert cell_record.destination == "NLRTM"
+            assert cell_record.eto_s >= 0.0
+            assert cell_record.ata_s >= 0.0
+
+    def test_densify_makes_transitions_adjacent(self):
+        # Coarse reporting: consecutive cells far apart at resolution 7.
+        records = _eastbound_trip(n=5, step_deg=0.5)
+        sparse = project_trip(records, resolution=7, densify=False)
+        jumps = [
+            (r.cell, r.next_cell) for r in sparse if r.next_cell is not None
+        ]
+        assert any(not are_neighbor_cells(a, b) for a, b in jumps)
+
+        dense = project_trip(records, resolution=7, densify=True)
+        for record in dense:
+            if record.next_cell is not None:
+                assert are_neighbor_cells(record.cell, record.next_cell)
+        assert len(dense) > len(sparse)
+
+    def test_empty_trip(self):
+        assert project_trip([], resolution=6) == []
+
+
+class TestFanOut:
+    def test_record_with_trip_feeds_three_sets(self):
+        projected = project_trip(_eastbound_trip(), resolution=6)
+        keys = [GroupKey.from_tuple(k) for k, _ in fan_out(projected[0])]
+        sets = {key.grouping_set for key in keys}
+        assert sets == {
+            GroupingSet.CELL, GroupingSet.CELL_TYPE, GroupingSet.CELL_OD_TYPE
+        }
+        assert all(key.cell == projected[0].cell for key in keys)
+
+    def test_fan_out_key_values(self):
+        projected = project_trip(_eastbound_trip(), resolution=6)
+        keys = [GroupKey.from_tuple(k) for k, _ in fan_out(projected[0])]
+        od_key = next(
+            key for key in keys if key.grouping_set is GroupingSet.CELL_OD_TYPE
+        )
+        assert od_key.vessel_type == "container"
+        assert od_key.origin == "CNSHA"
+        assert od_key.destination == "NLRTM"
+
+
+class TestSummaryAggregation:
+    def test_create_update_merge_roundtrip(self):
+        config = SummaryConfig()
+        create = make_create(config)
+        update = make_update(config)
+        projected = project_trip(_eastbound_trip(), resolution=2)
+        # All records in one res-2 cell: aggregate them two ways.
+        single = create(projected[0])
+        for record in projected[1:]:
+            single = update(single, record)
+
+        left = create(projected[0])
+        for record in projected[1:5]:
+            left = update(left, record)
+        right = create(projected[5])
+        for record in projected[6:]:
+            right = update(right, record)
+        merged = merge_summaries(left, right)
+
+        assert merged.records == single.records == len(projected)
+        assert merged.speed.mean == pytest.approx(single.speed.mean)
+        assert merged.ships.cardinality() == single.ships.cardinality() == 1
+        assert merged.trips.cardinality() == 1
+        assert merged.destinations.top(1)[0].value == "NLRTM"
+
+    def test_transitions_recorded(self):
+        config = SummaryConfig()
+        create = make_create(config)
+        update = make_update(config)
+        projected = project_trip(_eastbound_trip(), resolution=6)
+        by_cell: dict = {}
+        for record in projected:
+            if record.cell in by_cell:
+                by_cell[record.cell] = update(by_cell[record.cell], record)
+            else:
+                by_cell[record.cell] = create(record)
+        transitions = [
+            summary.top_transitions() for summary in by_cell.values()
+        ]
+        assert any(transitions)
+        # Eastbound: every transition's target center is east of the source.
+        for cell, summary in by_cell.items():
+            for next_cell, _count in summary.top_transitions():
+                lon_src = cell_to_latlng(cell)[1]
+                lon_dst = cell_to_latlng(next_cell)[1]
+                assert lon_dst > lon_src

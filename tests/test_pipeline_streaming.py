@@ -1,0 +1,123 @@
+"""Tests for the streaming inventory builder, including batch equivalence."""
+
+import pytest
+
+from repro import PipelineConfig, WorldConfig, build_inventory, generate_dataset
+from repro.pipeline.streaming import StreamingInventoryBuilder
+
+
+@pytest.fixture(scope="module")
+def clean_world():
+    """A defect-free world: streaming and batch must agree exactly."""
+    return generate_dataset(
+        WorldConfig(seed=555, n_vessels=14, days=12.0,
+                    report_interval_s=900.0, clean=True)
+    )
+
+
+@pytest.fixture(scope="module")
+def stream_result(clean_world):
+    builder = StreamingInventoryBuilder(
+        clean_world.fleet, clean_world.ports, PipelineConfig()
+    )
+    builder.ingest_many(clean_world.positions)
+    return builder
+
+
+@pytest.fixture(scope="module")
+def batch_result(clean_world):
+    return build_inventory(
+        clean_world.positions, clean_world.fleet, clean_world.ports,
+        PipelineConfig(),
+    )
+
+
+class TestBatchEquivalence:
+    def test_same_group_keys(self, stream_result, batch_result):
+        stream_keys = {key for key, _ in stream_result.inventory.items()}
+        batch_keys = {key for key, _ in batch_result.inventory.items()}
+        assert stream_keys == batch_keys
+
+    def test_same_record_counts_per_group(self, stream_result, batch_result):
+        batch = {
+            key: summary.records for key, summary in batch_result.inventory.items()
+        }
+        for key, summary in stream_result.inventory.items():
+            assert summary.records == batch[key], key
+
+    def test_same_statistics(self, stream_result, batch_result):
+        batch = dict(batch_result.inventory.items())
+        for key, summary in stream_result.inventory.items():
+            reference = batch[key]
+            assert summary.speed.mean == pytest.approx(reference.speed.mean)
+            assert summary.ships.cardinality() == reference.ships.cardinality()
+            assert summary.course_bins.counts == reference.course_bins.counts
+            assert [t.value for t in summary.transitions.top(3)] == [
+                t.value for t in reference.transitions.top(3)
+            ]
+
+    def test_trip_count_matches_funnel(self, stream_result, batch_result):
+        assert (
+            stream_result.inventory.total_records()
+            == batch_result.funnel["with_trip_semantics"]
+        )
+
+
+class TestStreamBehaviour:
+    def test_stats_account_for_every_report(self, stream_result, clean_world):
+        stats = stream_result.stats
+        assert stats.ingested == len(clean_world.positions)
+        assert stats.invalid == 0  # clean world
+        assert stats.trips_completed > 0
+
+    def test_completed_trip_records_are_returned(self, clean_world):
+        builder = StreamingInventoryBuilder(
+            clean_world.fleet, clean_world.ports, PipelineConfig()
+        )
+        completions = []
+        for report in clean_world.positions:
+            completed = builder.ingest(report)
+            if completed:
+                completions.append(completed)
+        assert len(completions) == builder.stats.trips_completed
+        first = completions[0]
+        assert first[0].origin != first[0].destination
+        assert all(record.trip_id == first[0].trip_id for record in first)
+
+    def test_dirty_stream_drops_are_counted(self):
+        dirty = generate_dataset(
+            WorldConfig(seed=556, n_vessels=8, days=6.0,
+                        report_interval_s=900.0)
+        )
+        builder = StreamingInventoryBuilder(
+            dirty.fleet, dirty.ports, PipelineConfig()
+        )
+        builder.ingest_many(dirty.positions)
+        stats = builder.stats
+        assert stats.invalid >= dirty.defects.bad_field
+        assert stats.stale_or_duplicate > 0  # duplicates + late arrivals
+        assert stats.ingested == len(dirty.positions)
+
+    def test_non_commercial_reports_counted(self, clean_world):
+        from repro.ais.messages import PositionReport
+
+        builder = StreamingInventoryBuilder(
+            clean_world.fleet, clean_world.ports, PipelineConfig()
+        )
+        ghost = PositionReport(
+            mmsi=999_999_999, epoch_ts=0.0, lat=0.0, lon=0.0, sog=10.0,
+            cog=10.0, heading=10, status=0,
+        )
+        assert builder.ingest(ghost) == []
+        assert builder.stats.non_commercial == 1
+
+    def test_incremental_queries_between_ingests(self, clean_world):
+        """The inventory is queryable at any point mid-stream."""
+        builder = StreamingInventoryBuilder(
+            clean_world.fleet, clean_world.ports, PipelineConfig()
+        )
+        half = len(clean_world.positions) // 2
+        builder.ingest_many(clean_world.positions[:half])
+        mid_size = len(builder.inventory)
+        builder.ingest_many(clean_world.positions[half:])
+        assert len(builder.inventory) >= mid_size

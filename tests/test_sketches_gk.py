@@ -1,0 +1,93 @@
+"""Tests for the Greenwald–Khanna quantile summary."""
+
+import bisect
+import random
+
+import pytest
+
+from repro.sketches import GKQuantiles
+
+
+def _rank_error(values_sorted, answer, q):
+    rank = bisect.bisect_left(values_sorted, answer)
+    return abs(rank - q * len(values_sorted)) / len(values_sorted)
+
+
+def test_epsilon_validation():
+    with pytest.raises(ValueError):
+        GKQuantiles(0.0)
+    with pytest.raises(ValueError):
+        GKQuantiles(0.6)
+
+
+def test_empty_raises():
+    with pytest.raises(ValueError):
+        GKQuantiles().quantile(0.5)
+
+
+def test_quantile_range_validation():
+    summary = GKQuantiles()
+    summary.update(1.0)
+    with pytest.raises(ValueError):
+        summary.quantile(-0.1)
+
+
+def test_single_value():
+    summary = GKQuantiles()
+    summary.update(3.0)
+    assert summary.quantile(0.5) == 3.0
+
+
+@pytest.mark.parametrize("q", [0.1, 0.5, 0.9])
+def test_rank_error_within_epsilon(q):
+    rng = random.Random(7)
+    values = [rng.lognormvariate(0, 1) for _ in range(20000)]
+    summary = GKQuantiles(epsilon=0.01)
+    for value in values:
+        summary.update(value)
+    answer = summary.quantile(q)
+    assert _rank_error(sorted(values), answer, q) <= 0.03
+
+
+def test_min_max_exact():
+    rng = random.Random(9)
+    values = [rng.gauss(0, 5) for _ in range(5000)]
+    summary = GKQuantiles(epsilon=0.02)
+    for value in values:
+        summary.update(value)
+    assert summary.quantile(0.0) == min(values)
+    assert summary.quantile(1.0) == max(values)
+
+
+def test_summary_is_sublinear():
+    summary = GKQuantiles(epsilon=0.01)
+    for i in range(50000):
+        summary.update(float(i % 977))
+    assert summary.tuple_count() < 2000
+
+
+def test_merge_rank_error_stays_reasonable():
+    rng = random.Random(13)
+    values = [rng.uniform(0, 1000) for _ in range(20000)]
+    left = GKQuantiles(epsilon=0.01)
+    right = GKQuantiles(epsilon=0.01)
+    for value in values[:10000]:
+        left.update(value)
+    for value in values[10000:]:
+        right.update(value)
+    left.merge(right)
+    assert left.count == 20000
+    values_sorted = sorted(values)
+    for q in (0.1, 0.5, 0.9):
+        assert _rank_error(values_sorted, left.quantile(q), q) <= 0.05
+
+
+def test_dict_roundtrip():
+    rng = random.Random(21)
+    summary = GKQuantiles(epsilon=0.02)
+    for _ in range(3000):
+        summary.update(rng.expovariate(1.0))
+    restored = GKQuantiles.from_dict(summary.to_dict())
+    assert restored.count == summary.count
+    for q in (0.25, 0.5, 0.75):
+        assert restored.quantile(q) == summary.quantile(q)

@@ -1,0 +1,91 @@
+"""Tests for the fixed-width direction histogram."""
+
+import pytest
+
+from repro.sketches import DirectionHistogram
+
+
+def test_width_must_divide_360():
+    with pytest.raises(ValueError):
+        DirectionHistogram(bin_width_deg=50.0)
+    with pytest.raises(ValueError):
+        DirectionHistogram(bin_width_deg=0.0)
+
+
+def test_default_is_paper_thirty_degree_bins():
+    assert DirectionHistogram().num_bins == 12
+
+
+def test_bin_boundaries():
+    histogram = DirectionHistogram(30.0)
+    assert histogram.bin_index(0.0) == 0
+    assert histogram.bin_index(29.999) == 0
+    assert histogram.bin_index(30.0) == 1
+    assert histogram.bin_index(359.999) == 11
+    assert histogram.bin_index(360.0) == 0  # wraps
+
+
+def test_negative_angles_normalise():
+    histogram = DirectionHistogram(30.0)
+    assert histogram.bin_index(-10.0) == 11
+
+
+def test_update_and_shares():
+    histogram = DirectionHistogram(90.0)
+    for angle in [10.0, 20.0, 100.0, 200.0]:
+        histogram.update(angle)
+    assert histogram.counts == [2, 1, 1, 0]
+    assert histogram.share(0) == pytest.approx(0.5)
+    assert histogram.share(3) == 0.0
+
+
+def test_mode_bin_and_tiebreak():
+    histogram = DirectionHistogram(90.0)
+    assert histogram.mode_bin() is None
+    histogram.update(50.0)
+    histogram.update(100.0)
+    assert histogram.mode_bin() == 0  # tie → lowest index
+
+
+def test_bin_range():
+    histogram = DirectionHistogram(30.0)
+    assert histogram.bin_range(0) == (0.0, 30.0)
+    assert histogram.bin_range(11) == (330.0, 360.0)
+    with pytest.raises(ValueError):
+        histogram.bin_range(12)
+
+
+def test_merge_requires_same_width():
+    with pytest.raises(ValueError):
+        DirectionHistogram(30.0).merge(DirectionHistogram(90.0))
+
+
+def test_merge_adds_binwise():
+    a = DirectionHistogram(90.0)
+    b = DirectionHistogram(90.0)
+    a.update(45.0)
+    b.update(45.0)
+    b.update(135.0)
+    a.merge(b)
+    assert a.counts == [2, 1, 0, 0]
+    assert a.total == 3
+
+
+def test_weighted_update():
+    histogram = DirectionHistogram(90.0)
+    histogram.update(10.0, weight=5)
+    assert histogram.counts[0] == 5
+
+
+def test_dict_roundtrip():
+    histogram = DirectionHistogram(30.0)
+    for angle in range(0, 360, 7):
+        histogram.update(float(angle))
+    restored = DirectionHistogram.from_dict(histogram.to_dict())
+    assert restored.counts == histogram.counts
+    assert restored.total == histogram.total
+
+
+def test_from_dict_validates_bin_count():
+    with pytest.raises(ValueError):
+        DirectionHistogram.from_dict({"width": 30.0, "counts": [1, 2]})

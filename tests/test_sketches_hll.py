@@ -1,0 +1,136 @@
+"""Tests for HyperLogLog (sparse and dense modes)."""
+
+import random
+
+import pytest
+
+from repro.sketches import HyperLogLog
+
+
+def test_precision_validation():
+    with pytest.raises(ValueError):
+        HyperLogLog(3)
+    with pytest.raises(ValueError):
+        HyperLogLog(17)
+
+
+def test_empty_cardinality_is_zero():
+    assert HyperLogLog().cardinality() == 0
+
+
+def test_small_cardinalities_near_exact():
+    sketch = HyperLogLog(10)
+    for i in range(25):
+        sketch.update(f"vessel-{i}")
+    assert sketch.is_sparse
+    assert abs(sketch.cardinality() - 25) <= 2
+
+
+def test_duplicates_do_not_inflate():
+    sketch = HyperLogLog(10)
+    for _ in range(10000):
+        sketch.update("same-ship")
+    assert sketch.cardinality() == 1
+
+
+@pytest.mark.parametrize("n", [100, 1000, 20000])
+def test_relative_error_within_bounds(n):
+    sketch = HyperLogLog(10)
+    for i in range(n):
+        sketch.update(i)
+    estimate = sketch.cardinality()
+    assert abs(estimate - n) / n < 0.12  # 3.3% stderr → 12% is > 3 sigma
+
+
+def test_mixed_value_types():
+    sketch = HyperLogLog(10)
+    sketch.update(1)
+    sketch.update("1")
+    sketch.update(1.0)
+    sketch.update((1, "a"))
+    sketch.update(b"1")
+    assert sketch.cardinality() == 5
+
+
+def test_unhashable_type_raises():
+    with pytest.raises(TypeError):
+        HyperLogLog().update([1, 2, 3])
+
+
+def test_densification_threshold():
+    sketch = HyperLogLog(8)  # m=256, sparse limit 32
+    i = 0
+    while sketch.is_sparse:
+        sketch.update(i)
+        i += 1
+        assert i < 10000
+    estimate = sketch.cardinality()
+    assert abs(estimate - i) / i < 0.3
+
+
+def test_merge_disjoint_sets():
+    a = HyperLogLog(10)
+    b = HyperLogLog(10)
+    for i in range(3000):
+        a.update(f"a{i}")
+        b.update(f"b{i}")
+    a.merge(b)
+    assert abs(a.cardinality() - 6000) / 6000 < 0.12
+
+
+def test_merge_is_idempotent_for_same_data():
+    a = HyperLogLog(10)
+    b = HyperLogLog(10)
+    for i in range(2000):
+        a.update(i)
+        b.update(i)
+    before = a.cardinality()
+    a.merge(b)
+    assert a.cardinality() == before
+
+
+def test_merge_sparse_into_dense_and_reverse():
+    dense = HyperLogLog(8)
+    for i in range(5000):
+        dense.update(i)
+    sparse = HyperLogLog(8)
+    for i in range(4990, 5010):
+        sparse.update(i)
+    dense.merge(sparse)
+    assert abs(dense.cardinality() - 5010) / 5010 < 0.3
+
+    sparse2 = HyperLogLog(8)
+    sparse2.update("x")
+    sparse2.merge(dense)
+    assert not sparse2.is_sparse
+    assert abs(sparse2.cardinality() - 5011) / 5011 < 0.3
+
+
+def test_merge_rejects_mixed_precision():
+    with pytest.raises(ValueError):
+        HyperLogLog(10).merge(HyperLogLog(11))
+
+
+def test_dict_roundtrip_sparse_and_dense():
+    sparse = HyperLogLog(10)
+    for i in range(20):
+        sparse.update(i)
+    restored = HyperLogLog.from_dict(sparse.to_dict())
+    assert restored.cardinality() == sparse.cardinality()
+
+    dense = HyperLogLog(8)
+    for i in range(10000):
+        dense.update(i)
+    restored = HyperLogLog.from_dict(dense.to_dict())
+    assert restored.cardinality() == dense.cardinality()
+
+
+def test_estimates_are_deterministic_across_instances():
+    a = HyperLogLog(10)
+    b = HyperLogLog(10)
+    values = [random.Random(1).randrange(10**9) for _ in range(1000)]
+    for value in values:
+        a.update(value)
+    for value in reversed(values):
+        b.update(value)
+    assert a.cardinality() == b.cardinality()

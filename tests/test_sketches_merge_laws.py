@@ -1,0 +1,114 @@
+"""Property-based merge laws shared by every sketch.
+
+The reduce phase requires each statistic to behave as a commutative
+monoid *on the estimates it reports*: merging in any grouping must give
+the same answer as a single pass (exactly for the exact sketches,
+identically-deterministic for the hash-based ones).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sketches import (
+    CircularMoments,
+    DirectionHistogram,
+    HyperLogLog,
+    MomentsSketch,
+    SpaceSaving,
+    TDigest,
+)
+
+FLOATS = st.floats(min_value=-1e5, max_value=1e5, allow_nan=False)
+ANGLES = st.floats(min_value=0.0, max_value=359.99)
+IDS = st.integers(min_value=0, max_value=200)
+
+
+def _three_way(factory, update, values, cut1, cut2):
+    """Build ((a+b)+c) and (a+(b+c)) and a single pass, return all three."""
+    cut1, cut2 = sorted((min(cut1, len(values)), min(cut2, len(values))))
+    parts = [values[:cut1], values[cut1:cut2], values[cut2:]]
+    sketches = []
+    for part in parts:
+        sketch = factory()
+        for value in part:
+            update(sketch, value)
+        sketches.append(sketch)
+    left = factory()
+    for value in values:
+        update(left, value)
+
+    ab_c = factory()
+    for part in parts:
+        tmp = factory()
+        for value in part:
+            update(tmp, value)
+        ab_c.merge(tmp)
+    return left, ab_c
+
+
+@given(values=st.lists(FLOATS, min_size=0, max_size=120),
+       cut1=st.integers(0, 120), cut2=st.integers(0, 120))
+def test_moments_merge_associative(values, cut1, cut2):
+    whole, merged = _three_way(
+        MomentsSketch, lambda s, v: s.update(v), values, cut1, cut2
+    )
+    assert merged.count == whole.count
+    if whole.count:
+        assert merged.mean == pytest.approx(whole.mean, rel=1e-9, abs=1e-9)
+        assert merged.std == pytest.approx(whole.std, rel=1e-6, abs=1e-6)
+
+
+@given(values=st.lists(ANGLES, min_size=0, max_size=120),
+       cut1=st.integers(0, 120), cut2=st.integers(0, 120))
+def test_circular_merge_exact(values, cut1, cut2):
+    whole, merged = _three_way(
+        CircularMoments, lambda s, v: s.update(v), values, cut1, cut2
+    )
+    assert merged.count == whole.count
+    assert merged.sum_cos == pytest.approx(whole.sum_cos, abs=1e-9)
+    assert merged.sum_sin == pytest.approx(whole.sum_sin, abs=1e-9)
+
+
+@given(values=st.lists(IDS, min_size=0, max_size=150),
+       cut1=st.integers(0, 150), cut2=st.integers(0, 150))
+def test_hll_merge_identical_to_single_pass(values, cut1, cut2):
+    whole, merged = _three_way(
+        lambda: HyperLogLog(8), lambda s, v: s.update(v), values, cut1, cut2
+    )
+    # Register-max merging is exactly order-independent, so estimates match
+    # bit for bit, not just approximately.
+    assert merged.cardinality() == whole.cardinality()
+
+
+@given(values=st.lists(ANGLES, min_size=0, max_size=120),
+       cut1=st.integers(0, 120), cut2=st.integers(0, 120))
+def test_histogram_merge_exact(values, cut1, cut2):
+    whole, merged = _three_way(
+        DirectionHistogram, lambda s, v: s.update(v), values, cut1, cut2
+    )
+    assert merged.counts == whole.counts
+
+
+@settings(max_examples=30)
+@given(values=st.lists(FLOATS, min_size=1, max_size=300),
+       cut1=st.integers(0, 300), cut2=st.integers(0, 300))
+def test_tdigest_merge_close_to_single_pass(values, cut1, cut2):
+    whole, merged = _three_way(
+        lambda: TDigest(50.0), lambda s, v: s.update(v), values, cut1, cut2
+    )
+    assert merged.count == pytest.approx(whole.count)
+    spread = max(values) - min(values)
+    for q in (0.1, 0.5, 0.9):
+        assert abs(merged.quantile(q) - whole.quantile(q)) <= 0.15 * spread + 1e-6
+
+
+@given(values=st.lists(st.sampled_from("abcdefgh"), min_size=0, max_size=150),
+       cut1=st.integers(0, 150), cut2=st.integers(0, 150))
+def test_spacesaving_merge_exact_under_capacity(values, cut1, cut2):
+    whole, merged = _three_way(
+        lambda: SpaceSaving(16), lambda s, v: s.update(v), values, cut1, cut2
+    )
+    # Domain (8) < capacity (16): Space-Saving is exact and so is its merge.
+    assert merged.total == whole.total
+    for item in "abcdefgh":
+        assert merged.count(item) == whole.count(item)

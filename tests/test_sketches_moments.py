@@ -1,0 +1,96 @@
+"""Tests for MomentsSketch against exact references."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sketches import MomentsSketch
+
+VALUES = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=200
+)
+
+
+def _fill(values):
+    sketch = MomentsSketch()
+    for value in values:
+        sketch.update(value)
+    return sketch
+
+
+def test_empty_sketch_defaults():
+    sketch = MomentsSketch()
+    assert sketch.count == 0
+    assert sketch.variance == 0.0
+    assert sketch.std == 0.0
+
+
+def test_single_value():
+    sketch = _fill([42.0])
+    assert sketch.mean == 42.0
+    assert sketch.std == 0.0
+    assert sketch.min_value == sketch.max_value == 42.0
+
+
+@given(values=VALUES)
+def test_mean_matches_exact(values):
+    sketch = _fill(values)
+    assert sketch.mean == pytest.approx(statistics.fmean(values), rel=1e-9, abs=1e-6)
+
+
+@given(values=VALUES)
+def test_std_matches_exact(values):
+    sketch = _fill(values)
+    exact = statistics.pstdev(values)
+    assert sketch.std == pytest.approx(exact, rel=1e-6, abs=1e-5)
+
+
+@given(values=VALUES)
+def test_extrema_match(values):
+    sketch = _fill(values)
+    assert sketch.min_value == min(values)
+    assert sketch.max_value == max(values)
+
+
+@given(values=VALUES, split=st.integers(min_value=0, max_value=200))
+def test_split_merge_equals_whole(values, split):
+    split = min(split, len(values))
+    left = _fill(values[:split])
+    right = _fill(values[split:])
+    left.merge(right)
+    whole = _fill(values)
+    assert left.count == whole.count
+    assert left.mean == pytest.approx(whole.mean, rel=1e-9, abs=1e-6)
+    assert left.std == pytest.approx(whole.std, rel=1e-6, abs=1e-5)
+
+
+def test_merge_empty_into_nonempty_and_back():
+    full = _fill([1.0, 2.0, 3.0])
+    empty = MomentsSketch()
+    full.merge(MomentsSketch())
+    assert full.count == 3
+    empty.merge(full)
+    assert empty.count == 3
+    assert empty.mean == pytest.approx(2.0)
+
+
+@given(values=VALUES)
+def test_dict_roundtrip(values):
+    sketch = _fill(values)
+    restored = MomentsSketch.from_dict(sketch.to_dict())
+    assert restored.count == sketch.count
+    assert restored.mean == pytest.approx(sketch.mean, rel=1e-12)
+    assert restored.min_value == sketch.min_value
+
+
+def test_empty_dict_roundtrip():
+    restored = MomentsSketch.from_dict(MomentsSketch().to_dict())
+    assert restored.count == 0
+    assert restored.min_value == math.inf
+
+
+def test_variance_never_negative_under_cancellation():
+    sketch = _fill([1e8, 1e8 + 1e-4, 1e8 - 1e-4])
+    assert sketch.variance >= 0.0

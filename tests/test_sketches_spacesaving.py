@@ -1,0 +1,126 @@
+"""Tests for the Space-Saving heavy-hitters sketch."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.sketches import SpaceSaving
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        SpaceSaving(0)
+
+
+def test_weight_validation():
+    with pytest.raises(ValueError):
+        SpaceSaving(4).update("x", weight=0)
+
+
+def test_exact_below_capacity():
+    sketch = SpaceSaving(16)
+    data = ["a"] * 5 + ["b"] * 3 + ["c"]
+    for item in data:
+        sketch.update(item)
+    top = sketch.top()
+    assert [(t.value, t.count, t.error) for t in top] == [
+        ("a", 5, 0), ("b", 3, 0), ("c", 1, 0)
+    ]
+    assert sketch.total == 9
+
+
+def test_top_n_limit_and_tiebreak():
+    sketch = SpaceSaving(16)
+    for item in ["x", "y", "z"]:
+        sketch.update(item, weight=2)
+    top2 = sketch.top(2)
+    assert len(top2) == 2
+    assert [t.value for t in top2] == ["x", "y"]  # repr tiebreak
+
+
+def test_eviction_overestimates_within_error():
+    sketch = SpaceSaving(2)
+    sketch.update("a", weight=10)
+    sketch.update("b", weight=5)
+    sketch.update("c")  # evicts b (count 5) → c reported 6, error 5
+    item = next(t for t in sketch.top() if t.value == "c")
+    assert item.count == 6
+    assert item.error == 5
+    assert item.count - item.error <= 1  # true count bounded
+
+
+def test_heavy_hitters_survive_on_zipf():
+    rng = random.Random(99)
+    truth = Counter()
+    sketch = SpaceSaving(32)
+    for _ in range(50000):
+        value = int(rng.paretovariate(1.1)) % 500
+        truth[value] += 1
+        sketch.update(value)
+    true_top = [v for v, _ in truth.most_common(5)]
+    sketch_top = [t.value for t in sketch.top(10)]
+    for heavy in true_top:
+        assert heavy in sketch_top
+
+
+def test_guarantee_frequency_above_n_over_k_present():
+    sketch = SpaceSaving(10)
+    n = 10000
+    rng = random.Random(5)
+    for i in range(n):
+        if i % 5 == 0:
+            sketch.update("frequent")  # 2000 > n/k = 1000
+        else:
+            sketch.update(f"noise-{rng.randrange(2000)}")
+    assert sketch.count("frequent") >= 2000
+
+
+def test_merge_exact_when_under_capacity():
+    a = SpaceSaving(32)
+    b = SpaceSaving(32)
+    for item in ["x"] * 4 + ["y"] * 2:
+        a.update(item)
+    for item in ["y"] * 3 + ["z"]:
+        b.update(item)
+    a.merge(b)
+    assert a.count("x") == 4
+    assert a.count("y") == 5
+    assert a.count("z") == 1
+    assert a.total == 10
+
+
+def test_merge_truncates_to_capacity_with_valid_bounds():
+    true_counts = {}
+    a = SpaceSaving(4)
+    b = SpaceSaving(4)
+    for i in range(4):
+        a.update(f"a{i}", weight=10 - i)
+        true_counts[f"a{i}"] = 10 - i
+        b.update(f"b{i}", weight=20 - i)
+        true_counts[f"b{i}"] = 20 - i
+    a.merge(b)
+    assert len(a) == 4
+    for item in a.top():
+        # Space-Saving invariant: reported count overestimates the true
+        # frequency by at most the recorded error.
+        true = true_counts[item.value]
+        assert item.count >= true
+        assert item.count - item.error <= true
+    # The overall heaviest item always survives a merge.
+    assert a.count("b0") >= 20
+
+
+def test_dict_roundtrip():
+    sketch = SpaceSaving(8)
+    for item in ["p"] * 7 + ["q"] * 2:
+        sketch.update(item)
+    restored = SpaceSaving.from_dict(sketch.to_dict())
+    assert restored.total == sketch.total
+    assert [(t.value, t.count) for t in restored.top()] == [
+        (t.value, t.count) for t in sketch.top()
+    ]
+
+
+def test_count_for_untracked_value():
+    assert SpaceSaving(4).count("ghost") == 0

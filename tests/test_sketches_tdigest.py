@@ -1,0 +1,122 @@
+"""Tests for the merging t-digest."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sketches import TDigest
+
+
+def _fill(values, compression=100.0):
+    digest = TDigest(compression)
+    for value in values:
+        digest.update(value)
+    return digest
+
+
+def test_empty_quantile_raises():
+    with pytest.raises(ValueError):
+        TDigest().quantile(0.5)
+
+
+def test_quantile_range_validation():
+    digest = _fill([1.0, 2.0])
+    with pytest.raises(ValueError):
+        digest.quantile(1.5)
+
+
+def test_rejects_nan_and_bad_weight():
+    digest = TDigest()
+    with pytest.raises(ValueError):
+        digest.update(float("nan"))
+    with pytest.raises(ValueError):
+        digest.update(1.0, weight=0.0)
+
+
+def test_compression_validation():
+    with pytest.raises(ValueError):
+        TDigest(compression=1.0)
+
+
+def test_single_value_all_quantiles():
+    digest = _fill([7.5])
+    for q in (0.0, 0.1, 0.5, 0.9, 1.0):
+        assert digest.quantile(q) == 7.5
+
+
+def test_extreme_quantiles_are_exact_min_max():
+    rng = random.Random(5)
+    values = [rng.gauss(0, 10) for _ in range(5000)]
+    digest = _fill(values)
+    assert digest.quantile(0.0) == pytest.approx(min(values))
+    assert digest.quantile(1.0) == pytest.approx(max(values))
+
+
+@pytest.mark.parametrize("q", [0.1, 0.25, 0.5, 0.75, 0.9])
+def test_quantiles_on_lognormal(q):
+    rng = random.Random(17)
+    values = [rng.lognormvariate(1.0, 0.7) for _ in range(20000)]
+    digest = _fill(values)
+    exact = float(np.quantile(values, q))
+    assert digest.quantile(q) == pytest.approx(exact, rel=0.03)
+
+
+def test_quantiles_on_uniform_grid():
+    values = [float(i) for i in range(10001)]
+    digest = _fill(values)
+    for q in (0.1, 0.5, 0.9):
+        assert digest.quantile(q) == pytest.approx(q * 10000, rel=0.02)
+
+
+def test_merge_matches_whole():
+    rng = random.Random(3)
+    values = [rng.expovariate(0.2) for _ in range(20000)]
+    left = _fill(values[:9000])
+    right = _fill(values[9000:])
+    left.merge(right)
+    whole = _fill(values)
+    for q in (0.1, 0.5, 0.9):
+        assert left.quantile(q) == pytest.approx(whole.quantile(q), rel=0.05)
+        assert left.quantile(q) == pytest.approx(float(np.quantile(values, q)), rel=0.05)
+
+
+def test_centroid_count_is_bounded():
+    rng = random.Random(11)
+    digest = _fill([rng.random() for _ in range(50000)], compression=100.0)
+    assert digest.centroid_count() < 220
+
+
+def test_cdf_monotone_and_bounded():
+    rng = random.Random(23)
+    values = sorted(rng.gauss(0, 1) for _ in range(5000))
+    digest = _fill(values)
+    probes = [values[i] for i in range(0, 5000, 500)]
+    cdfs = [digest.cdf(p) for p in probes]
+    assert all(0.0 <= c <= 1.0 for c in cdfs)
+    assert cdfs == sorted(cdfs)
+
+
+def test_cdf_quantile_inverse_consistency():
+    rng = random.Random(29)
+    values = [rng.gauss(50, 10) for _ in range(10000)]
+    digest = _fill(values)
+    for q in (0.2, 0.5, 0.8):
+        assert digest.cdf(digest.quantile(q)) == pytest.approx(q, abs=0.03)
+
+
+@settings(max_examples=25)
+@given(values=st.lists(st.floats(min_value=-1e4, max_value=1e4), min_size=1, max_size=500))
+def test_dict_roundtrip_preserves_quantiles(values):
+    digest = _fill(values)
+    restored = TDigest.from_dict(digest.to_dict())
+    for q in (0.1, 0.5, 0.9):
+        assert restored.quantile(q) == pytest.approx(digest.quantile(q), rel=1e-9, abs=1e-9)
+
+
+def test_weighted_updates():
+    digest = TDigest()
+    digest.update(1.0, weight=99.0)
+    digest.update(100.0, weight=1.0)
+    assert digest.quantile(0.5) == pytest.approx(1.0, abs=2.0)

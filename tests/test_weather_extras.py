@@ -1,0 +1,165 @@
+"""Tests for the synthetic wind field and fused extra features (§5)."""
+
+import pytest
+
+from repro import PipelineConfig, build_inventory
+from repro.inventory.keys import GroupingSet
+from repro.inventory.summary import CellSummary, SummaryConfig
+from repro.pipeline.extras import ExtraFeature, wind_features
+from repro.world.weather import WindField
+
+
+class TestWindField:
+    def test_determinism(self):
+        field = WindField(seed=3)
+        a = field.wind_at(40.0, -30.0, 1_000_000.0)
+        b = WindField(seed=3).wind_at(40.0, -30.0, 1_000_000.0)
+        assert a == b
+
+    def test_seeds_differ(self):
+        a = WindField(seed=1).wind_at(40.0, -30.0)
+        b = WindField(seed=2).wind_at(40.0, -30.0)
+        assert a != b
+
+    def test_speed_range_everywhere(self):
+        field = WindField(seed=5)
+        for lat in range(-88, 89, 11):
+            for lon in range(-180, 180, 37):
+                sample = field.wind_at(float(lat), float(lon), 3600.0)
+                assert 0.0 < sample.speed_ms < 30.0
+                assert 0.0 <= sample.direction_deg < 360.0
+
+    def test_storm_tracks_windier_than_doldrums(self):
+        import statistics
+
+        field = WindField(seed=7)
+        forties = [
+            field.wind_at(-45.0, lon, 0.0).speed_ms for lon in range(-180, 180, 10)
+        ]
+        doldrums = [
+            field.wind_at(2.0, lon, 0.0).speed_ms for lon in range(-180, 180, 10)
+        ]
+        assert statistics.fmean(forties) > 1.5 * statistics.fmean(doldrums)
+
+    def test_trade_winds_blow_from_the_east(self):
+        field = WindField(seed=9)
+        directions = [
+            field.wind_at(15.0, lon, 0.0).direction_deg
+            for lon in range(-180, 180, 15)
+        ]
+        from repro.geo import angular_difference_deg
+
+        easterly = sum(
+            1 for d in directions if angular_difference_deg(d, 100.0) < 60.0
+        )
+        assert easterly / len(directions) > 0.7
+
+    def test_pattern_drifts_with_time(self):
+        field = WindField(seed=11)
+        now = field.wind_at(40.0, 0.0, 0.0)
+        later = field.wind_at(40.0, 0.0, 10 * 86_400.0)
+        assert now != later
+
+    def test_speed_kn_conversion(self):
+        sample = WindField().wind_at(45.0, 0.0)
+        assert sample.speed_kn == pytest.approx(sample.speed_ms / 0.514444)
+
+
+class TestExtraFeatures:
+    def test_name_validation(self):
+        with pytest.raises(ValueError):
+            ExtraFeature("", lambda lat, lon, ts: 1.0)
+        with pytest.raises(ValueError):
+            ExtraFeature("a/b", lambda lat, lon, ts: 1.0)
+
+    def test_wind_features_sample(self):
+        speed, northerly = wind_features(seed=1)
+        value = speed.fn(40.0, -30.0, 0.0)
+        assert 0.0 < value < 30.0
+        component = northerly.fn(40.0, -30.0, 0.0)
+        assert abs(component) <= value + 1e-9
+
+    def test_summary_config_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            SummaryConfig(extra_names=("wind", "wind"))
+
+    def test_summary_update_merge_and_roundtrip(self):
+        config = SummaryConfig(extra_names=("wind", "waves"))
+        left = CellSummary(config)
+        right = CellSummary(config)
+        left.update(mmsi=1, sog=10.0, cog=0.0, heading=0, extras=(5.0, 1.0))
+        left.update(mmsi=1, sog=10.0, cog=0.0, heading=0, extras=(7.0, None))
+        right.update(mmsi=2, sog=10.0, cog=0.0, heading=0, extras=(9.0, 3.0))
+        left.merge(right)
+        assert left.extras["wind"].count == 3
+        assert left.extras["wind"].mean == pytest.approx(7.0)
+        assert left.extras["waves"].count == 2
+        restored = CellSummary.from_dict(left.to_dict())
+        assert restored.extras["wind"].mean == pytest.approx(7.0)
+        assert restored.config.extra_names == ("wind", "waves")
+
+    def test_legacy_payload_without_extras_loads(self):
+        plain = CellSummary()
+        plain.update(mmsi=1, sog=10.0, cog=0.0, heading=0)
+        payload = plain.to_dict()
+        payload["config"].pop("extra_names")
+        payload.pop("extras")
+        restored = CellSummary.from_dict(payload)
+        assert restored.records == 1
+        assert restored.extras == {}
+
+
+class TestPipelineFusion:
+    def test_wind_statistics_reach_the_inventory(self, small_world):
+        config = PipelineConfig(
+            resolution=5, extra_features=wind_features(seed=4)
+        )
+        result = build_inventory(
+            small_world.positions, small_world.fleet, small_world.ports,
+            config,
+        )
+        inventory = result.inventory
+        assert inventory.config.extra_names == (
+            "wind_speed_ms", "wind_northerly_ms",
+        )
+        populated = 0
+        for key, summary in inventory.items():
+            if key.grouping_set is not GroupingSet.CELL:
+                continue
+            wind = summary.extras["wind_speed_ms"]
+            assert wind.count == summary.records
+            if wind.count:
+                assert 0.0 < wind.mean < 30.0
+                populated += 1
+        assert populated > 0
+
+    def test_windier_waters_show_higher_means(self, small_world):
+        """Mid-latitude cells must report stronger wind than tropics —
+        the fused statistic reflects the underlying field."""
+        import statistics
+
+        from repro.hexgrid import cell_to_latlng
+
+        config = PipelineConfig(
+            resolution=5, extra_features=wind_features(seed=4)
+        )
+        inventory = build_inventory(
+            small_world.positions, small_world.fleet, small_world.ports,
+            config,
+        ).inventory
+        tropics = []
+        midlat = []
+        for key, summary in inventory.items():
+            if key.grouping_set is not GroupingSet.CELL:
+                continue
+            wind = summary.extras["wind_speed_ms"]
+            if not wind.count:
+                continue
+            lat = cell_to_latlng(key.cell)[0]
+            if abs(lat) < 25.0:
+                tropics.append(wind.mean)
+            elif 35.0 < abs(lat) < 60.0:
+                midlat.append(wind.mean)
+        if not tropics or not midlat:
+            pytest.skip("fixture traffic misses one latitude band")
+        assert statistics.fmean(midlat) > statistics.fmean(tropics)
