@@ -15,7 +15,7 @@ from __future__ import annotations
 from benchmarks.conftest import write_report
 from repro.inventory.keys import GroupingSet
 from repro.inventory.summary import SummaryConfig
-from repro.pipeline.features import fan_out, make_create, make_update, merge_summaries
+from repro.pipeline.features import fan_out, make_create, make_update
 
 
 def _aggregate(records):

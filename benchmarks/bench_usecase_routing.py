@@ -15,7 +15,7 @@ import statistics
 
 from benchmarks.conftest import write_report
 from repro.apps import RouteForecaster, TransitionGraph
-from repro.hexgrid import cell_to_latlng, grid_distance
+from repro.hexgrid import grid_distance
 from repro.inventory.keys import GroupingSet
 from repro.world.routing import SeaRouter
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 import random
 
 from repro import PipelineConfig, WorldConfig, build_inventory, generate_dataset
-from repro.ais import decode_sentences, encode_message
+from repro.ais import encode_message
 from repro.ais.messages import StaticVoyageData
 
 

@@ -31,7 +31,13 @@ Subsystems (each documented in its own subpackage):
 
 from repro.world import WorldConfig, generate_dataset
 from repro.pipeline import PipelineConfig, build_inventory
-from repro.inventory import Inventory, GroupKey, GroupingSet
+from repro.inventory import (
+    GroupKey,
+    GroupingSet,
+    Inventory,
+    QueryableInventory,
+    SSTableInventory,
+)
 from repro.engine import Engine, EngineConfig
 
 __version__ = "1.0.0"
@@ -42,6 +48,8 @@ __all__ = [
     "PipelineConfig",
     "build_inventory",
     "Inventory",
+    "QueryableInventory",
+    "SSTableInventory",
     "GroupKey",
     "GroupingSet",
     "Engine",

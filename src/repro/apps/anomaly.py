@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 from repro.geo.circular import angular_difference_deg
 from repro.hexgrid import grid_disk, latlng_to_cell
-from repro.inventory.store import Inventory
+from repro.inventory.backend import QueryableInventory
 
 
 @dataclass(frozen=True, slots=True)
@@ -44,7 +44,7 @@ class AnomalyDetector:
 
     def __init__(
         self,
-        inventory: Inventory,
+        inventory: QueryableInventory,
         speed_z_threshold: float = 3.5,
         course_deviation_threshold: float = 3.0,
         min_history: int = 5,

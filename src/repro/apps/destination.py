@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.inventory.store import Inventory
+from repro.inventory.backend import QueryableInventory
 
 
 @dataclass
@@ -47,7 +47,7 @@ class PredictionState:
 class DestinationPredictor:
     """Online voting over the inventory's top-N destination statistics."""
 
-    def __init__(self, inventory: Inventory, top_n: int = 5) -> None:
+    def __init__(self, inventory: QueryableInventory, top_n: int = 5) -> None:
         self.inventory = inventory
         self.top_n = top_n
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.geo.distance import haversine_m
-from repro.inventory.store import Inventory
+from repro.inventory.backend import QueryableInventory
 
 _KNOT_MS = 0.514444
 
@@ -54,9 +54,9 @@ class EtaEstimate:
 
 
 class EtaEstimator:
-    """ETA lookups against a built inventory."""
+    """ETA lookups against any :class:`QueryableInventory` backend."""
 
-    def __init__(self, inventory: Inventory, min_samples: int = 3) -> None:
+    def __init__(self, inventory: QueryableInventory, min_samples: int = 3) -> None:
         self.inventory = inventory
         self.min_samples = min_samples
 

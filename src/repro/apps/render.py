@@ -21,7 +21,7 @@ from pathlib import Path
 from repro.geo.polygon import BoundingBox
 from repro.hexgrid import latlng_to_cell
 from repro.inventory.keys import GroupKey
-from repro.inventory.store import Inventory
+from repro.inventory.backend import QueryableInventory
 from repro.inventory.summary import CellSummary
 
 
@@ -49,7 +49,7 @@ class RasterGrid:
 
 
 def raster_from_inventory(
-    inventory: Inventory,
+    inventory: QueryableInventory,
     accessor: Callable[[CellSummary], float | None],
     bbox: BoundingBox,
     width: int = 360,

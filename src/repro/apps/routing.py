@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 from repro.geo.distance import haversine_m
 from repro.hexgrid import cell_to_latlng, latlng_to_cell
-from repro.inventory.store import Inventory
+from repro.inventory.backend import QueryableInventory
 
 
 class TransitionGraph:
@@ -33,7 +33,11 @@ class TransitionGraph:
 
     @classmethod
     def from_inventory(
-        cls, inventory: Inventory, origin: str, destination: str, vessel_type: str
+        cls,
+        inventory: QueryableInventory,
+        origin: str,
+        destination: str,
+        vessel_type: str,
     ) -> "TransitionGraph":
         """Build the per-key graph from the route's cells and their
         transition top-N statistics."""
@@ -139,7 +143,7 @@ def _reconstruct(came_from: dict[int, int], current: int) -> list[int]:
 class RouteForecaster:
     """Forecast a vessel's remaining route from its latest position."""
 
-    inventory: Inventory
+    inventory: QueryableInventory
 
     def forecast(
         self,

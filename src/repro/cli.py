@@ -4,13 +4,17 @@
 
     python -m repro generate --vessels 24 --days 14 --out archive.csv
     python -m repro build    --archive archive.csv --resolution 6 --out inv.sst
+    python -m repro compact  --inputs day1.sst day2.sst --out week.sst
     python -m repro query    --inventory inv.sst --lat 1.2 --lon 103.8
     python -m repro render   --inventory inv.sst --feature speed --out map.ppm
     python -m repro info     --inventory inv.sst
 
 ``generate`` writes a NOAA-style CSV archive plus sidecar fleet/port CSVs;
-``build`` runs the pipeline and persists the inventory as an SSTable;
-``query`` and ``render`` read the SSTable directly.
+``build`` runs the pipeline and persists the inventory as windowed,
+compacted SSTables; ``compact`` k-way merges tables; ``query`` and
+``render`` serve straight from a table through the block-cached
+:class:`~repro.inventory.backend.SSTableInventory` — no command ever
+materializes the whole store in memory.
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ from repro.ais import read_csv, write_csv
 from repro.ais.vesseltypes import MarketSegment
 from repro.apps import raster_from_inventory, write_ppm
 from repro.geo.polygon import BoundingBox
-from repro.inventory import Inventory, open_inventory, write_inventory
+from repro.inventory import SSTableInventory, merge_tables, open_inventory
 from repro.world.fleet import Vessel
 from repro.world.ports import PORTS
 
@@ -69,21 +73,39 @@ def _build_parser() -> argparse.ArgumentParser:
     build.add_argument("--fleet", type=Path, default=None,
                        help="fleet sidecar CSV (default: <archive>.fleet.csv)")
     build.add_argument("--resolution", type=int, default=6)
+    build.add_argument("--windows", type=int, default=1,
+                       help="ingestion windows: one SSTable per window, "
+                            "compacted into --out")
     build.add_argument("--out", type=Path, required=True,
                        help="inventory SSTable path")
     build.set_defaults(handler=_cmd_build)
+
+    compact = commands.add_parser(
+        "compact", help="k-way merge inventory tables into one"
+    )
+    compact.add_argument("--inputs", type=Path, nargs="+", required=True,
+                         help="input SSTable paths")
+    compact.add_argument("--out", type=Path, required=True,
+                         help="compacted SSTable path (must not be an input)")
+    compact.add_argument("--block-size", type=int, default=16 * 1024)
+    compact.set_defaults(handler=_cmd_compact)
 
     query = commands.add_parser("query", help="point-query an inventory")
     query.add_argument("--inventory", type=Path, required=True)
     query.add_argument("--lat", type=float, required=True)
     query.add_argument("--lon", type=float, required=True)
-    query.add_argument("--resolution", type=int, default=6)
+    query.add_argument("--resolution", type=int, default=None,
+                       help="grid resolution (default: inferred from the "
+                            "table's keys)")
     query.add_argument("--vessel-type", default=None)
+    query.add_argument("--origin", default=None)
+    query.add_argument("--destination", default=None)
     query.set_defaults(handler=_cmd_query)
 
     render = commands.add_parser("render", help="render a feature map (PPM)")
     render.add_argument("--inventory", type=Path, required=True)
-    render.add_argument("--resolution", type=int, default=6)
+    render.add_argument("--resolution", type=int, default=None,
+                        help="grid resolution (default: inferred)")
     render.add_argument("--feature", choices=("speed", "course", "count", "ata"),
                         default="speed")
     render.add_argument("--bbox", default="-65,72,-180,180",
@@ -135,19 +157,44 @@ def _cmd_build(args) -> int:
     positions = list(read_csv(args.archive))
     print(f"loaded {len(positions):,} reports and {len(fleet)} vessels")
     result = build_inventory(
-        positions, fleet, PORTS, PipelineConfig(resolution=args.resolution)
+        positions,
+        fleet,
+        PORTS,
+        PipelineConfig(resolution=args.resolution),
+        output=args.out,
+        windows=args.windows,
     )
     for stage, count in result.funnel.items():
         print(f"  {stage:<22} {count:>10,}")
-    entries = write_inventory(result.inventory, args.out)
-    print(f"wrote {entries:,} groups to {args.out}")
+    window_note = f" ({args.windows} windows)" if args.windows > 1 else ""
+    print(f"wrote {result.entries:,} groups to {args.out}{window_note}")
+    return 0
+
+
+def _cmd_compact(args) -> int:
+    entries = merge_tables(args.inputs, args.out, block_size=args.block_size)
+    print(
+        f"compacted {len(args.inputs)} tables "
+        f"({', '.join(str(p) for p in args.inputs)}) into {args.out}: "
+        f"{entries:,} groups"
+    )
     return 0
 
 
 def _cmd_query(args) -> int:
-    inventory = _load_inventory(args.inventory, args.resolution)
+    with SSTableInventory(
+        args.inventory, resolution=args.resolution
+    ) as inventory:
+        return _print_summary(inventory, args)
+
+
+def _print_summary(inventory: SSTableInventory, args) -> int:
     summary = inventory.summary_at(
-        args.lat, args.lon, vessel_type=args.vessel_type
+        args.lat,
+        args.lon,
+        vessel_type=args.vessel_type,
+        origin=args.origin,
+        destination=args.destination,
     )
     if summary is None:
         print("no data for this cell")
@@ -169,7 +216,6 @@ def _cmd_query(args) -> int:
 
 
 def _cmd_render(args) -> int:
-    inventory = _load_inventory(args.inventory, args.resolution)
     lat_min, lat_max, lon_min, lon_max = (
         float(part) for part in args.bbox.split(",")
     )
@@ -179,11 +225,16 @@ def _cmd_render(args) -> int:
         "count": lambda s: float(s.records),
         "ata": lambda s: (s.mean_ata_s() or 0.0) / 3600.0,
     }
-    raster = raster_from_inventory(
-        inventory, accessors[args.feature],
-        BoundingBox(lat_min, lat_max, lon_min, lon_max),
-        width=args.width, height=args.height,
-    )
+    # Rendering walks pixels row by row, so neighbouring samples hit the
+    # same block: a generous cache turns the raster into ~one table read.
+    with SSTableInventory(
+        args.inventory, resolution=args.resolution, cache_blocks=256
+    ) as inventory:
+        raster = raster_from_inventory(
+            inventory, accessors[args.feature],
+            BoundingBox(lat_min, lat_max, lon_min, lon_max),
+            width=args.width, height=args.height,
+        )
     write_ppm(raster, args.out, colormap=args.feature)
     print(f"wrote {args.out} ({raster.coverage():.2%} coverage)")
     return 0
@@ -230,14 +281,6 @@ def _read_fleet(path: Path) -> list[Vessel]:
                 )
             )
     return fleet
-
-
-def _load_inventory(path: Path, resolution: int) -> Inventory:
-    inventory = Inventory(resolution=resolution)
-    with open_inventory(path) as reader:
-        for key, summary in reader.scan():
-            inventory.put(key, summary)
-    return inventory
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

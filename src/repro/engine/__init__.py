@@ -30,7 +30,7 @@ broadcast variables (closures capture small tables directly).
 from repro.engine.context import Engine, EngineConfig
 from repro.engine.dataset import Dataset
 from repro.engine.hashing import stable_hash
-from repro.engine.metrics import MetricsRecorder, StageMetric
+from repro.engine.metrics import CounterSet, MetricsRecorder, StageMetric
 from repro.engine.partitioner import HashPartitioner, RangePartitioner
 
 __all__ = [
@@ -41,5 +41,6 @@ __all__ = [
     "RangePartitioner",
     "stable_hash",
     "MetricsRecorder",
+    "CounterSet",
     "StageMetric",
 ]

@@ -5,6 +5,10 @@ transformation: operator name, wall time, rows in and rows out.  The
 Figure 3 benchmark (execution-flow timing) reads these to print the
 pipeline's stage breakdown, and the stage-funnel benchmark (Figure 2)
 reads the row counts.
+
+:class:`CounterSet` is the companion for event counting: named monotonic
+counters (cache hits/misses, evictions, bytes read) that subsystems
+increment on their hot paths and surface in one dict for reports.
 """
 
 from __future__ import annotations
@@ -50,6 +54,38 @@ class MetricsRecorder:
     def clear(self) -> None:
         """Drop all recorded stages."""
         self.stages.clear()
+
+
+@dataclass
+class CounterSet:
+    """Named monotonic event counters.
+
+    The serving-side twin of :class:`MetricsRecorder`: stages record wall
+    time, counters record discrete events (block-cache hits and misses,
+    evictions, bytes read from disk).  Counters only ever go up; callers
+    snapshot them with :meth:`as_dict` and diff snapshots to attribute
+    events to a window.
+    """
+
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to one counter."""
+        if amount < 0:
+            raise ValueError(f"counters are monotonic, got amount {amount}")
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def value(self, name: str) -> int:
+        """Current value of one counter (0 if never incremented)."""
+        return self.counters.get(name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        """Snapshot of all counters, insertion-ordered."""
+        return dict(self.counters)
+
+    def clear(self) -> None:
+        """Reset every counter to zero."""
+        self.counters.clear()
 
 
 class StageTimer:

@@ -7,6 +7,10 @@ statistical sketches).  This package provides:
 - :mod:`repro.inventory.keys` — grouping sets and group-identifier keys.
 - :mod:`repro.inventory.summary` — :class:`CellSummary`, the mergeable
   product of sketches that a reduce builds per group.
+- :mod:`repro.inventory.backend` — the :class:`QueryableInventory`
+  protocol the apps consume, the LRU block cache, and the
+  :class:`SSTableInventory` backend that serves queries straight from a
+  persisted table.
 - :mod:`repro.inventory.store` — the in-memory inventory with the query
   API the use cases consume (point lookups, top destinations, transition
   sets per route key).
@@ -19,6 +23,12 @@ statistical sketches).  This package provides:
 
 from repro.inventory.keys import GroupKey, GroupingSet, keys_for_record
 from repro.inventory.summary import CellSummary, SummaryConfig
+from repro.inventory.backend import (
+    BlockCache,
+    QueryableInventory,
+    SSTableInventory,
+    open_backend,
+)
 from repro.inventory.store import Inventory
 from repro.inventory.sstable import SSTableWriter, SSTableReader, write_inventory, open_inventory
 from repro.inventory.adaptive import AdaptiveInventory, build_adaptive
@@ -31,6 +41,10 @@ __all__ = [
     "keys_for_record",
     "CellSummary",
     "SummaryConfig",
+    "QueryableInventory",
+    "BlockCache",
+    "SSTableInventory",
+    "open_backend",
     "Inventory",
     "SSTableWriter",
     "SSTableReader",

@@ -8,7 +8,10 @@ over the union.
 
 :func:`merge_tables` streams the inputs through a k-way heap merge in key
 order, merging summaries of equal keys, so peak memory is one entry per
-input table regardless of table sizes.
+input table regardless of table sizes.  The output gets its route-index
+sidecar for free (the writer emits it), so a compacted table is
+immediately servable by
+:class:`~repro.inventory.backend.SSTableInventory`.
 """
 
 from __future__ import annotations
@@ -27,12 +30,23 @@ def merge_tables(
     """Compact several inventory tables into one; returns the entry count.
 
     Keys appearing in several inputs have their summaries merged (the
-    summary monoid); each input must itself be a valid table.
+    summary monoid); each input must itself be a valid table.  The output
+    path must not name any input: the output file is opened for writing
+    up front, so compacting a table onto itself would silently destroy it.
     """
     if not inputs:
         raise ValueError("need at least one input table")
-    readers = [SSTableReader(path) for path in inputs]
+    output_resolved = Path(output).resolve()
+    for path in inputs:
+        if Path(path).resolve() == output_resolved:
+            raise ValueError(
+                f"output table {output} is also an input; compaction would "
+                "overwrite it mid-read"
+            )
+    readers: list[SSTableReader] = []
     try:
+        for path in inputs:
+            readers.append(SSTableReader(path))
         heap = []
         scans = [reader.scan() for reader in readers]
         for index, scan in enumerate(scans):

@@ -19,35 +19,57 @@ A point lookup binary-searches the in-memory index (one entry per block),
 reads one block, and scans at most one block's entries — ~10 entries
 for the default 16 KiB blocks, versus millions of raw records.
 
-Keys are :class:`~repro.inventory.keys.GroupKey`, serialised to
-length-prefixed tuples that sort identically to ``GroupKey.sort_key``;
-values are codec-encoded summary payloads.
+Keys are :class:`~repro.inventory.keys.GroupKey`, serialised so that the
+raw-byte order agrees exactly with ``GroupKey.sort_key`` (the property
+test in ``tests/test_inventory_backend.py`` pins this; the sparse index's
+binary search silently corrupts lookups if they ever diverge); values are
+codec-encoded summary payloads.
+
+Next to each table the writer persists a **route-index sidecar**
+(``<table>.routes``): the (origin, destination, vessel type) → cells
+mapping that lets a disk-backed inventory answer ``route_cells`` without
+a full table scan.
 """
 
 from __future__ import annotations
 
 import struct
 from bisect import bisect_right
+from collections.abc import Iterator
 from pathlib import Path
+from typing import TYPE_CHECKING
 
-from repro.inventory.codec import decode, encode
-from repro.inventory.keys import GroupKey
-from repro.inventory.store import Inventory
+from repro.inventory.codec import CodecError, decode, encode
+from repro.inventory.keys import GroupKey, GroupingSet
 from repro.inventory.summary import CellSummary
 
-_MAGIC = b"POLINV1\n"
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.inventory.store import Inventory
+
+_MAGIC = b"POLINV2\n"
 _FOOTER_FMT = ">QQQ8s"  # index offset, entry count, block count, magic
 _FOOTER_SIZE = struct.calcsize(_FOOTER_FMT)
+
+_ROUTES_MAGIC = b"POLRIX1\n"
+_ROUTES_SUFFIX = ".routes"
+
+# Order-preserving string framing: NUL terminator, embedded NULs escaped
+# as 0x00 0xFF.  0xFF never occurs in valid UTF-8, so a terminator is
+# never confused with an escape, and because the terminator is the
+# smallest byte, prefixes sort first — exactly like Python strings.
+_TERMINATOR = b"\x00"
+_ESCAPED_NUL = b"\x00\xff"
 
 
 def _key_bytes(key: GroupKey) -> bytes:
     """Order-preserving key encoding: fixed-width cell, then the optional
-    dimensions as length-prefixed strings (empty for None)."""
+    dimensions as NUL-terminated strings (empty for None), so that raw
+    ``bytes`` comparison matches ``GroupKey.sort_key`` exactly."""
     parts = [struct.pack(">Q", key.cell)]
     for dim in (key.vessel_type, key.origin, key.destination):
         raw = (dim or "").encode("utf-8")
-        parts.append(struct.pack(">H", len(raw)))
-        parts.append(raw)
+        parts.append(raw.replace(_TERMINATOR, _ESCAPED_NUL))
+        parts.append(_TERMINATOR)
     return b"".join(parts)
 
 
@@ -56,27 +78,88 @@ def _key_from_bytes(raw: bytes) -> GroupKey:
     offset = 8
     dims: list[str | None] = []
     for _ in range(3):
-        (length,) = struct.unpack_from(">H", raw, offset)
-        offset += 2
-        text = raw[offset : offset + length].decode("utf-8")
-        offset += length
+        out = bytearray()
+        while True:
+            byte = raw[offset]
+            if byte == 0:
+                if offset + 1 < len(raw) and raw[offset + 1] == 0xFF:
+                    out.append(0)
+                    offset += 2
+                    continue
+                offset += 1
+                break
+            out.append(byte)
+            offset += 1
+        text = out.decode("utf-8")
         dims.append(text or None)
     return GroupKey(cell=cell, vessel_type=dims[0], origin=dims[1], destination=dims[2])
 
 
+def route_index_path(path: str | Path) -> Path:
+    """The sidecar path holding a table's persisted route index."""
+    path = Path(path)
+    return path.with_name(path.name + _ROUTES_SUFFIX)
+
+
+def write_route_index(
+    table_path: str | Path,
+    index: dict[tuple[str, str, str], set[int]],
+) -> Path:
+    """Persist a (origin, destination, type) → cells mapping next to a
+    table; returns the sidecar path."""
+    payload = encode(
+        [
+            [origin, destination, vessel_type, sorted(cells)]
+            for (origin, destination, vessel_type), cells in sorted(index.items())
+        ]
+    )
+    sidecar = route_index_path(table_path)
+    sidecar.write_bytes(_ROUTES_MAGIC + payload)
+    return sidecar
+
+
+def read_route_index(
+    table_path: str | Path,
+) -> dict[tuple[str, str, str], set[int]] | None:
+    """Load a table's route-index sidecar; ``None`` when it is missing or
+    unreadable (callers fall back to a scan)."""
+    sidecar = route_index_path(table_path)
+    try:
+        raw = sidecar.read_bytes()
+    except OSError:
+        return None
+    if not raw.startswith(_ROUTES_MAGIC):
+        return None
+    try:
+        rows = decode(raw[len(_ROUTES_MAGIC) :])
+    except CodecError:
+        return None
+    index: dict[tuple[str, str, str], set[int]] = {}
+    for origin, destination, vessel_type, cells in rows:
+        index[(origin, destination, vessel_type)] = set(cells)
+    return index
+
+
 class SSTableWriter:
     """Writes a sorted inventory table.  Entries must arrive in strictly
-    increasing key order (the writer enforces it)."""
+    increasing key order (the writer enforces it).
+
+    Alongside the table the writer accumulates the route index (which
+    cells each CELL_OD_TYPE key touches) and persists it as the
+    ``.routes`` sidecar on close.
+    """
 
     def __init__(self, path: str | Path, block_size: int = 16 * 1024) -> None:
         if block_size < 256:
             raise ValueError(f"block size too small: {block_size}")
+        self._path = Path(path)
         self._handle = open(path, "wb")
         self._handle.write(_MAGIC)
         self._block_size = block_size
         self._block = bytearray()
         self._block_first_key: bytes | None = None
         self._index: list[tuple[bytes, int, int]] = []  # first key, offset, length
+        self._route_index: dict[tuple[str, str, str], set[int]] = {}
         self._last_key: bytes | None = None
         self._entries = 0
         self._closed = False
@@ -87,6 +170,9 @@ class SSTableWriter:
         if self._last_key is not None and key_raw <= self._last_key:
             raise ValueError("SSTable entries must be added in increasing key order")
         self._last_key = key_raw
+        if key.grouping_set is GroupingSet.CELL_OD_TYPE:
+            route = (key.origin, key.destination, key.vessel_type)
+            self._route_index.setdefault(route, set()).add(key.cell)
         value_raw = encode(summary.to_dict())
         entry = (
             struct.pack(">HI", len(key_raw), len(value_raw)) + key_raw + value_raw
@@ -99,7 +185,7 @@ class SSTableWriter:
             self._flush_block()
 
     def close(self) -> None:
-        """Flush, write index and footer."""
+        """Flush, write index, footer and the route-index sidecar."""
         if self._closed:
             return
         self._flush_block()
@@ -118,6 +204,7 @@ class SSTableWriter:
             )
         )
         self._handle.close()
+        write_route_index(self._path, self._route_index)
         self._closed = True
 
     def __enter__(self) -> "SSTableWriter":
@@ -140,9 +227,16 @@ class SSTableWriter:
 
 
 class SSTableReader:
-    """Point lookups and ordered scans over a written table."""
+    """Point lookups and ordered scans over a written table.
+
+    Besides :meth:`get`/:meth:`scan`, the reader exposes the block layer
+    (:meth:`find_block`, :meth:`read_block`, :meth:`parse_entries`) so a
+    serving backend can interpose a block cache without re-implementing
+    the file format.
+    """
 
     def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
         self._handle = open(path, "rb")
         self._handle.seek(0, 2)
         size = self._handle.tell()
@@ -164,47 +258,66 @@ class SSTableReader:
         self._block_spans = [(entry[1], entry[2]) for entry in raw_index]
         #: Bytes touched by the last get(), for the query-vs-scan benchmark.
         self.last_read_bytes = 0
+        #: Bytes physically read from disk over the reader's lifetime.
+        self.total_read_bytes = 0
 
-    def get(self, key: GroupKey) -> CellSummary | None:
-        """Point lookup: reads one block."""
-        key_raw = _key_bytes(key)
+    @property
+    def path(self) -> Path:
+        """The table file this reader serves from."""
+        return self._path
+
+    def find_block(self, key_raw: bytes) -> int | None:
+        """Index of the single block that could hold a raw key, or
+        ``None`` when the key precedes the first block."""
         block_index = bisect_right(self._block_keys, key_raw) - 1
-        if block_index < 0:
-            return None
+        return None if block_index < 0 else block_index
+
+    def read_block(self, block_index: int) -> bytes:
+        """Read one data block from disk (no caching here — serving
+        backends layer their cache on top)."""
         offset, length = self._block_spans[block_index]
         self._handle.seek(offset)
         block = self._handle.read(length)
-        self.last_read_bytes = length
+        self.total_read_bytes += length
+        return block
+
+    @staticmethod
+    def parse_entries(block: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """Yield each (raw key, raw value) entry of one block."""
         position = 0
         while position < len(block):
             key_len, value_len = struct.unpack_from(">HI", block, position)
             position += 6
-            entry_key = block[position : position + key_len]
+            key_raw = block[position : position + key_len]
             position += key_len
+            value_raw = block[position : position + value_len]
+            position += value_len
+            yield key_raw, value_raw
+
+    def get(self, key: GroupKey) -> CellSummary | None:
+        """Point lookup: reads one block."""
+        key_raw = _key_bytes(key)
+        block_index = self.find_block(key_raw)
+        if block_index is None:
+            return None
+        block = self.read_block(block_index)
+        self.last_read_bytes = len(block)
+        for entry_key, value_raw in self.parse_entries(block):
             if entry_key == key_raw:
-                payload = block[position : position + value_len]
-                return CellSummary.from_dict(decode(payload))
+                return CellSummary.from_dict(decode(value_raw))
             if entry_key > key_raw:
                 return None
-            position += value_len
         return None
 
-    def scan(self):
+    def scan(self) -> Iterator[tuple[GroupKey, CellSummary]]:
         """Yield every (key, summary) in key order."""
-        for offset, length in self._block_spans:
-            self._handle.seek(offset)
-            block = self._handle.read(length)
-            position = 0
-            while position < len(block):
-                key_len, value_len = struct.unpack_from(">HI", block, position)
-                position += 6
-                key = _key_from_bytes(block[position : position + key_len])
-                position += key_len
-                summary = CellSummary.from_dict(
-                    decode(block[position : position + value_len])
+        for block_index in range(len(self._block_spans)):
+            block = self.read_block(block_index)
+            for key_raw, value_raw in self.parse_entries(block):
+                yield (
+                    _key_from_bytes(key_raw),
+                    CellSummary.from_dict(decode(value_raw)),
                 )
-                position += value_len
-                yield key, summary
 
     def close(self) -> None:
         """Close the underlying file."""
@@ -217,7 +330,7 @@ class SSTableReader:
         self.close()
 
 
-def write_inventory(inventory: Inventory, path: str | Path) -> int:
+def write_inventory(inventory: "Inventory", path: str | Path) -> int:
     """Persist a whole inventory; returns the number of entries written."""
     entries = sorted(inventory.items(), key=lambda kv: _key_bytes(kv[0]))
     with SSTableWriter(path) as writer:

@@ -1,4 +1,4 @@
-"""The queryable global inventory.
+"""The queryable global inventory (in-memory backend).
 
 "Stakeholders can retrieve the historical statistical summary for each
 cell area, as well as the most frequent direct cell transition per market
@@ -13,18 +13,24 @@ and port connections, by querying for a specific location" (§1).  The
   (origin, destination, type) key, the route-forecasting input;
 - :meth:`Inventory.merge` — inventories from disjoint time windows or
   regions combine exactly (the summary monoid lifts to the whole store).
+
+The position queries live in
+:class:`~repro.inventory.backend.InventoryQueryMixin`, shared with the
+disk-backed :class:`~repro.inventory.backend.SSTableInventory`; both
+satisfy the :class:`~repro.inventory.backend.QueryableInventory`
+protocol the apps consume.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterator
 
-from repro.hexgrid import latlng_to_cell
+from repro.inventory.backend import InventoryQueryMixin
 from repro.inventory.keys import GroupKey, GroupingSet
 from repro.inventory.summary import CellSummary, SummaryConfig, DEFAULT_SUMMARY_CONFIG
 
 
-class Inventory:
+class Inventory(InventoryQueryMixin):
     """A mapping of group identifiers to cell summaries, plus query sugar."""
 
     def __init__(
@@ -41,13 +47,23 @@ class Inventory:
     # -- building -----------------------------------------------------------------
 
     def put(self, key: GroupKey, summary: CellSummary) -> None:
-        """Insert or merge one group's summary."""
+        """Insert or merge one group's summary.
+
+        An existing route index is maintained incrementally — a stream of
+        puts (e.g. :meth:`merge`) must not force a full rebuild on the
+        next :meth:`route_cells` call.
+        """
         existing = self._groups.get(key)
         if existing is None:
             self._groups[key] = summary
+            if (
+                self._route_index is not None
+                and key.grouping_set is GroupingSet.CELL_OD_TYPE
+            ):
+                route = (key.origin, key.destination, key.vessel_type)
+                self._route_index.setdefault(route, set()).add(key.cell)
         else:
             existing.merge(summary)
-        self._route_index = None
 
     def merge(self, other: "Inventory") -> "Inventory":
         """Fold another inventory in (same resolution required)."""
@@ -96,58 +112,7 @@ class Inventory:
         )
 
     # -- queries ---------------------------------------------------------------------
-
-    def summary_at(
-        self,
-        lat: float,
-        lon: float,
-        vessel_type: str | None = None,
-        origin: str | None = None,
-        destination: str | None = None,
-    ) -> CellSummary | None:
-        """The summary for the cell containing a position.
-
-        Provide ``vessel_type`` for the per-market breakdown and both
-        ``origin`` and ``destination`` for the per-route breakdown.
-        """
-        if (origin is None) != (destination is None):
-            raise ValueError(
-                "origin and destination must be provided together"
-            )
-        if origin is not None and vessel_type is None:
-            raise ValueError("route breakdowns require a vessel type")
-        cell = latlng_to_cell(lat, lon, self.resolution)
-        return self._groups.get(
-            GroupKey(
-                cell=cell,
-                vessel_type=vessel_type,
-                origin=origin,
-                destination=destination,
-            )
-        )
-
-    def top_destinations_at(
-        self, lat: float, lon: float, vessel_type: str | None = None, n: int = 5
-    ) -> list[tuple[str, int]]:
-        """Most frequent historical destinations of vessels crossing the
-        cell at a position: the destination-prediction primitive."""
-        cell = latlng_to_cell(lat, lon, self.resolution)
-        best: list[tuple[str, int]] = []
-        if vessel_type is not None:
-            summary = self._groups.get(GroupKey(cell=cell, vessel_type=vessel_type))
-            if summary is not None:
-                best = [
-                    (item.value, item.count)
-                    for item in summary.destinations.top(n)
-                ]
-        if not best:
-            summary = self._groups.get(GroupKey(cell=cell))
-            if summary is not None:
-                best = [
-                    (item.value, item.count)
-                    for item in summary.destinations.top(n)
-                ]
-        return best
+    # summary_at / top_destinations_at come from InventoryQueryMixin.
 
     def route_cells(
         self, origin: str, destination: str, vessel_type: str

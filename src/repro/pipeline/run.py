@@ -4,15 +4,31 @@
 and materializes the global inventory, recording the per-stage record
 funnel (what Figure 2 depicts on the English Channel subset) and, when the
 engine collects metrics, the stage timings behind Figure 3.
+
+Two output modes:
+
+- **in-memory** (default): the result carries a fully materialized
+  :class:`~repro.inventory.store.Inventory` — right for notebooks, tests
+  and small archives;
+- **on-disk** (``output=path``): the archive is split into ingestion
+  windows, each window's inventory is persisted as an SSTable, and the
+  window tables are compacted with
+  :func:`~repro.inventory.compaction.merge_tables` into one servable
+  table (the LSM pattern §5 alludes to).  The result carries the output
+  path instead of a store; serve it with
+  :class:`~repro.inventory.backend.SSTableInventory`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.ais.messages import PositionReport
 from repro.engine import Engine
+from repro.inventory.compaction import merge_tables
 from repro.inventory.keys import GroupKey
+from repro.inventory.sstable import route_index_path, write_inventory
 from repro.inventory.store import Inventory
 from repro.pipeline import cleaning
 from repro.pipeline.config import PipelineConfig
@@ -26,11 +42,20 @@ from repro.world.ports import Port
 
 @dataclass
 class PipelineResult:
-    """The inventory plus everything needed to reproduce Figures 2 and 3."""
+    """The inventory plus everything needed to reproduce Figures 2 and 3.
 
-    inventory: Inventory
+    ``inventory`` is ``None`` for on-disk builds — the groups live in the
+    table at ``output`` (open it with
+    :class:`~repro.inventory.backend.SSTableInventory`).
+    """
+
+    inventory: Inventory | None
     funnel: dict[str, int] = field(default_factory=dict)
     stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: Compacted table path for on-disk builds, ``None`` otherwise.
+    output: Path | None = None
+    #: Entries in the compacted table for on-disk builds.
+    entries: int = 0
 
     def funnel_rows(self) -> list[tuple[str, int]]:
         """(stage, records) rows in pipeline order."""
@@ -43,6 +68,8 @@ def build_inventory(
     ports: tuple[Port, ...],
     config: PipelineConfig | None = None,
     engine: Engine | None = None,
+    output: str | Path | None = None,
+    windows: int = 1,
 ) -> PipelineResult:
     """Run the full methodology over a positional-report archive.
 
@@ -51,103 +78,190 @@ def build_inventory(
     :param ports: the external port database for geofencing.
     :param engine: an optional pre-configured engine (scheduler,
         partitions, spill, metrics); a default serial engine otherwise.
+    :param output: when given, persist the inventory as a compacted
+        SSTable at this path instead of returning an in-memory store.
+    :param windows: number of equal-duration ingestion windows for the
+        on-disk build (each window becomes one table before compaction).
+        Trips straddling a window boundary lose their cross-window
+        context, exactly as in a real windowed ingestion.
     """
     config = config or PipelineConfig()
     own_engine = engine is None
     engine = engine or Engine()
+    try:
+        if output is None:
+            if windows != 1:
+                raise ValueError("windowed builds require an output path")
+            inventory, funnel = _build_window(
+                positions, fleet, ports, config, engine
+            )
+            funnel["inventory_groups"] = len(inventory)
+            funnel["inventory_cells"] = len(inventory.cells())
+            return PipelineResult(
+                inventory=inventory,
+                funnel=funnel,
+                stage_seconds=_stage_seconds(engine),
+            )
+        return _build_to_table(
+            positions, fleet, ports, config, engine, Path(output), windows
+        )
+    finally:
+        if own_engine:
+            engine.close()
+
+
+def _build_to_table(
+    positions: list[PositionReport],
+    fleet: list[Vessel],
+    ports: tuple[Port, ...],
+    config: PipelineConfig,
+    engine: Engine,
+    output: Path,
+    windows: int,
+) -> PipelineResult:
+    """The on-disk mode: window → per-window table → compact."""
+    if windows < 1:
+        raise ValueError(f"need at least one window, got {windows}")
+    window_paths: list[Path] = []
+    funnel: dict[str, int] = {}
+    cells: set[int] = set()
+    try:
+        for position_window in _time_windows(positions, windows):
+            inventory, window_funnel = _build_window(
+                position_window, fleet, ports, config, engine
+            )
+            for stage, count in window_funnel.items():
+                funnel[stage] = funnel.get(stage, 0) + count
+            cells |= inventory.cells()
+            path = output.with_name(f"{output.name}.w{len(window_paths)}")
+            write_inventory(inventory, path)
+            window_paths.append(path)
+        entries = merge_tables(window_paths, output)
+    finally:
+        for path in window_paths:
+            path.unlink(missing_ok=True)
+            route_index_path(path).unlink(missing_ok=True)
+    funnel["inventory_groups"] = entries
+    funnel["inventory_cells"] = len(cells)
+    return PipelineResult(
+        inventory=None,
+        funnel=funnel,
+        stage_seconds=_stage_seconds(engine),
+        output=output,
+        entries=entries,
+    )
+
+
+def _build_window(
+    positions: list[PositionReport],
+    fleet: list[Vessel],
+    ports: tuple[Port, ...],
+    config: PipelineConfig,
+    engine: Engine,
+) -> tuple[Inventory, dict[str, int]]:
+    """One pipeline pass over one window; returns (inventory, funnel)."""
     static_by_mmsi = {vessel.mmsi: vessel for vessel in fleet}
     port_index = PortIndex(
         ports, index_resolution=config.geofence_index_resolution
     )
     funnel: dict[str, int] = {"raw": len(positions)}
 
-    try:
-        raw = engine.parallelize(positions)
-        valid = raw.filter(cleaning.validate).persist()
-        funnel["valid_fields"] = valid.count()
+    raw = engine.parallelize(positions)
+    valid = raw.filter(cleaning.validate).persist()
+    funnel["valid_fields"] = valid.count()
 
-        tracks = (
-            valid.map(cleaning.key_by_mmsi)
-            .group_by_key()
-            .map_values(cleaning.sort_and_dedupe)
-            .map_values(
-                lambda reports: cleaning.feasibility_filter(
-                    reports, config.max_transition_speed_kn
-                )
+    tracks = (
+        valid.map(cleaning.key_by_mmsi)
+        .group_by_key()
+        .map_values(cleaning.sort_and_dedupe)
+        .map_values(
+            lambda reports: cleaning.feasibility_filter(
+                reports, config.max_transition_speed_kn
             )
-            .persist()
         )
-        funnel["feasible"] = sum(
-            len(reports) for _, reports in tracks.collect()
-        )
+        .persist()
+    )
+    funnel["feasible"] = sum(
+        len(reports) for _, reports in tracks.collect()
+    )
 
-        enriched = (
-            tracks.map(
-                lambda kv: (
+    enriched = (
+        tracks.map(
+            lambda kv: (
+                kv[0],
+                cleaning.enrich_track(
                     kv[0],
-                    cleaning.enrich_track(
-                        kv[0],
-                        kv[1],
-                        static_by_mmsi,
-                        min_grt=config.min_grt,
-                        commercial_only=config.commercial_only,
-                    ),
-                )
+                    kv[1],
+                    static_by_mmsi,
+                    min_grt=config.min_grt,
+                    commercial_only=config.commercial_only,
+                ),
             )
-            .filter(lambda kv: kv[1] is not None)
-            .persist()
         )
-        funnel["commercial"] = sum(
-            len(records) for _, records in enriched.collect()
-        )
+        .filter(lambda kv: kv[1] is not None)
+        .persist()
+    )
+    funnel["commercial"] = sum(
+        len(records) for _, records in enriched.collect()
+    )
 
-        trip_records = (
-            enriched.map_values(
-                lambda records: annotate_trips(
-                    records, port_index, stop_speed_kn=config.stop_speed_kn
-                )
+    trip_records = (
+        enriched.map_values(
+            lambda records: annotate_trips(
+                records, port_index, stop_speed_kn=config.stop_speed_kn
             )
-            .flat_map_values(
-                lambda records: _split_by_trip(records)
-            )
-            .persist()
         )
-        funnel["with_trip_semantics"] = sum(
-            len(trip) for _, trip in trip_records.collect()
+        .flat_map_values(
+            lambda records: _split_by_trip(records)
         )
+        .persist()
+    )
+    funnel["with_trip_semantics"] = sum(
+        len(trip) for _, trip in trip_records.collect()
+    )
 
-        cell_records = trip_records.map_values(
-            lambda trip: project_trip(
-                trip,
-                config.resolution,
-                densify=config.densify_transitions,
-                extra_features=config.extra_features,
-            )
-        ).flat_map(lambda kv: kv[1])
-
-        summary_config = config.effective_summary
-        grouped = cell_records.flat_map(fan_out).combine_by_key(
-            create=make_create(summary_config),
-            merge_value=make_update(summary_config),
-            merge_combiners=merge_summaries,
-            label="aggregate_summaries",
+    cell_records = trip_records.map_values(
+        lambda trip: project_trip(
+            trip,
+            config.resolution,
+            densify=config.densify_transitions,
+            extra_features=config.extra_features,
         )
+    ).flat_map(lambda kv: kv[1])
 
-        inventory = Inventory(config.resolution, summary_config)
-        for key_tuple, summary in grouped.collect():
-            inventory.put(GroupKey.from_tuple(key_tuple), summary)
-        funnel["inventory_groups"] = len(inventory)
-        funnel["inventory_cells"] = len(inventory.cells())
+    summary_config = config.effective_summary
+    grouped = cell_records.flat_map(fan_out).combine_by_key(
+        create=make_create(summary_config),
+        merge_value=make_update(summary_config),
+        merge_combiners=merge_summaries,
+        label="aggregate_summaries",
+    )
 
-        stage_seconds = (
-            dict(engine.metrics.by_label()) if engine.metrics is not None else {}
-        )
-        return PipelineResult(
-            inventory=inventory, funnel=funnel, stage_seconds=stage_seconds
-        )
-    finally:
-        if own_engine:
-            engine.close()
+    inventory = Inventory(config.resolution, summary_config)
+    for key_tuple, summary in grouped.collect():
+        inventory.put(GroupKey.from_tuple(key_tuple), summary)
+    return inventory, funnel
+
+
+def _time_windows(
+    positions: list[PositionReport], windows: int
+) -> list[list[PositionReport]]:
+    """Split an archive into equal-duration ingestion windows by report
+    timestamp (window count is preserved even when some come out empty)."""
+    if windows == 1 or not positions:
+        return [positions]
+    start = min(report.epoch_ts for report in positions)
+    end = max(report.epoch_ts for report in positions)
+    span = (end - start) or 1.0
+    sliced: list[list[PositionReport]] = [[] for _ in range(windows)]
+    for report in positions:
+        index = min(int((report.epoch_ts - start) / span * windows), windows - 1)
+        sliced[index].append(report)
+    return sliced
+
+
+def _stage_seconds(engine: Engine) -> dict[str, float]:
+    return dict(engine.metrics.by_label()) if engine.metrics is not None else {}
 
 
 def _split_by_trip(records):

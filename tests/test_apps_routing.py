@@ -9,7 +9,7 @@ import pytest
 
 from repro.apps import RouteForecaster, TransitionGraph, astar
 from repro.apps.routing import _cell_distance_m
-from repro.hexgrid import grid_disk, latlng_to_cell
+from repro.hexgrid import latlng_to_cell
 from repro.inventory.keys import GroupingSet
 
 

@@ -100,6 +100,62 @@ def test_render_writes_ppm(inventory_table, tmp_path):
     assert out.read_bytes().startswith(b"P6\n90 45\n255\n")
 
 
+def test_windowed_build_creates_compacted_table(archive, tmp_path, capsys):
+    out = tmp_path / "windowed.sst"
+    code = main([
+        "build", "--archive", str(archive), "--out", str(out),
+        "--windows", "2",
+    ])
+    assert code == 0
+    assert out.exists()
+    assert not list(tmp_path.glob("windowed.sst.w*"))
+    assert "(2 windows)" in capsys.readouterr().out
+
+
+def test_compact_merges_tables(inventory_table, tmp_path, capsys):
+    out = tmp_path / "compacted.sst"
+    code = main([
+        "compact", "--inputs", str(inventory_table), "--out", str(out),
+    ])
+    assert code == 0
+    assert out.exists()
+    assert "groups" in capsys.readouterr().out
+    from repro.inventory import open_inventory
+
+    with open_inventory(inventory_table) as a, open_inventory(out) as b:
+        assert a.entry_count == b.entry_count
+
+
+def test_compact_onto_input_is_a_clean_error(inventory_table, capsys):
+    code = main([
+        "compact", "--inputs", str(inventory_table),
+        "--out", str(inventory_table),
+    ])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_query_with_route_breakdown(inventory_table, capsys):
+    from repro.hexgrid import cell_to_latlng
+    from repro.inventory import open_inventory
+    from repro.inventory.keys import GroupingSet
+
+    with open_inventory(inventory_table) as reader:
+        key = next(
+            key for key, _ in reader.scan()
+            if key.grouping_set is GroupingSet.CELL_OD_TYPE
+        )
+    lat, lon = cell_to_latlng(key.cell)
+    code = main([
+        "query", "--inventory", str(inventory_table),
+        "--lat", str(lat), "--lon", str(lon),
+        "--vessel-type", key.vessel_type,
+        "--origin", key.origin, "--destination", key.destination,
+    ])
+    assert code == 0
+    assert "records:" in capsys.readouterr().out
+
+
 def test_missing_archive_is_a_clean_error(tmp_path, capsys):
     code = main([
         "build", "--archive", str(tmp_path / "nope.csv"),

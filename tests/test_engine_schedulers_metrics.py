@@ -1,7 +1,6 @@
 """Scheduler equivalence and metrics instrumentation tests."""
 
 import operator
-import random
 
 import pytest
 

@@ -17,7 +17,6 @@ from repro.inventory import (
     GroupKey,
     Inventory,
     SSTableReader,
-    open_inventory,
     write_inventory,
 )
 from repro.inventory.codec import CodecError, decode

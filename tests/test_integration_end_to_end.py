@@ -5,7 +5,6 @@ feeding the pipeline, inventory persistence feeding the apps, split-window
 inventory merging, and the Suez disruption round trip.
 """
 
-import random
 
 import pytest
 
@@ -17,7 +16,7 @@ from repro import (
 )
 from repro.ais import decode_sentences, encode_message
 from repro.apps import AnomalyDetector
-from repro.inventory import GroupKey, open_inventory, write_inventory
+from repro.inventory import open_inventory, write_inventory
 from repro.inventory.keys import GroupingSet
 
 
@@ -101,7 +100,6 @@ def test_suez_scenario_detected_against_normalcy():
     """Build normalcy from undisrupted voyages, then verify a Cape-diverted
     voyage is flagged off-lane while a normal one is not."""
     from repro.world.routing import SeaRouter
-    from repro.world.voyages import VoyagePlan
 
     config = WorldConfig(seed=321, n_vessels=10, days=14.0,
                          report_interval_s=900.0, clean=True)

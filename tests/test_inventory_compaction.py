@@ -33,6 +33,47 @@ def test_merge_requires_inputs(tmp_path):
         merge_tables([], tmp_path / "out.sst")
 
 
+def test_merge_rejects_output_aliasing_an_input(tmp_path):
+    cell = latlng_to_cell(10.0, 10.0, 6)
+    table = _write(tmp_path, "a.sst", [(cell, 3)])
+    other = _write(tmp_path, "b.sst", [(cell, 2)])
+    before = table.read_bytes()
+    with pytest.raises(ValueError):
+        merge_tables([other, table], table)
+    # Relative-path alias of the same file is caught too.
+    with pytest.raises(ValueError):
+        merge_tables([other, table], tmp_path / "sub" / ".." / "a.sst")
+    assert table.read_bytes() == before  # input never clobbered
+
+
+def test_merge_closes_readers_when_an_input_is_invalid(tmp_path, monkeypatch):
+    """A bad input mid-list must not leak the readers opened before it."""
+    import repro.inventory.compaction as compaction
+
+    opened = []
+    real_reader = compaction.SSTableReader
+
+    class TrackingReader(real_reader):
+        def __init__(self, path):
+            super().__init__(path)
+            opened.append(self)
+            self.closed = False
+
+        def close(self):
+            self.closed = True
+            super().close()
+
+    monkeypatch.setattr(compaction, "SSTableReader", TrackingReader)
+    cell = latlng_to_cell(10.0, 10.0, 6)
+    good = _write(tmp_path, "good.sst", [(cell, 3)])
+    bad = tmp_path / "bad.sst"
+    bad.write_bytes(b"definitely not an inventory table..........")
+    with pytest.raises(ValueError):
+        merge_tables([good, bad], tmp_path / "out.sst")
+    assert len(opened) == 1
+    assert all(reader.closed for reader in opened)
+
+
 def test_disjoint_tables_concatenate(tmp_path):
     cell_a = latlng_to_cell(10.0, 10.0, 6)
     cell_b = latlng_to_cell(20.0, 20.0, 6)

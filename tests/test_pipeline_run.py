@@ -118,6 +118,61 @@ class TestEngineVariants:
         assert "aggregate_summaries" in result.stage_seconds
 
 
+class TestOnDiskBuild:
+    def test_single_window_table_matches_in_memory_build(
+        self, tmp_path, small_world, small_result
+    ):
+        from repro.inventory import SSTableInventory
+
+        out = tmp_path / "inv.sst"
+        result = build_inventory(
+            small_world.positions, small_world.fleet, small_world.ports,
+            PipelineConfig(), output=out,
+        )
+        assert result.inventory is None
+        assert result.output == out
+        assert result.entries == len(small_result.inventory)
+        assert result.funnel == small_result.funnel
+        with SSTableInventory(out) as backend:
+            for key, summary in small_result.inventory.items():
+                assert backend.get(key).records == summary.records
+
+    def test_windowed_build_compacts_and_cleans_up(
+        self, tmp_path, small_world, small_result
+    ):
+        from repro.inventory import SSTableInventory
+
+        out = tmp_path / "inv.sst"
+        result = build_inventory(
+            small_world.positions, small_world.fleet, small_world.ports,
+            PipelineConfig(), output=out, windows=3,
+        )
+        assert out.exists()
+        # Window staging tables are removed after compaction.
+        assert not list(tmp_path.glob("inv.sst.w*"))
+        # Raw record counts are window-invariant (cleaning is per record);
+        # trip statistics may differ at window boundaries by design.
+        assert result.funnel["raw"] == small_result.funnel["raw"]
+        assert result.funnel["valid_fields"] == small_result.funnel["valid_fields"]
+        with SSTableInventory(out) as backend:
+            assert len(backend) == result.entries > 0
+            assert backend.resolution == small_result.inventory.resolution
+
+    def test_windows_without_output_rejected(self, small_world):
+        with pytest.raises(ValueError):
+            build_inventory(
+                small_world.positions, small_world.fleet, small_world.ports,
+                PipelineConfig(), windows=2,
+            )
+
+    def test_zero_windows_rejected(self, tmp_path, small_world):
+        with pytest.raises(ValueError):
+            build_inventory(
+                small_world.positions, small_world.fleet, small_world.ports,
+                PipelineConfig(), output=tmp_path / "x.sst", windows=0,
+            )
+
+
 class TestConfigVariants:
     def test_coarser_resolution_fewer_cells(self, small_world, small_result):
         coarse = build_inventory(
