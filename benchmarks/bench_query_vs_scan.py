@@ -127,4 +127,9 @@ def test_query_vs_full_scan(benchmark, tmp_path_factory, bench_world,
 
     assert reduction > 0.99
     assert cold_seconds < scan_seconds / 100
-    assert warm_seconds <= cold_seconds
+    # The cache counters above already prove the mechanism (cold = one
+    # block miss per lookup, warm = zero); wall time only smoke-checks it
+    # with headroom, because with the OS page cache absorbing the cold
+    # read both paths sit at ~microseconds and raw jitter flips a strict
+    # comparison.
+    assert warm_seconds <= cold_seconds * 1.5

@@ -1,0 +1,152 @@
+"""Serving-layer benchmark — the ROADMAP's "serve heavy traffic" claim,
+measured.
+
+A closed-loop load generator: N client threads, each holding one TCP
+connection to a real :class:`~repro.server.InventoryServer`, each firing
+its next request the moment the previous answer lands.  The workload is
+the paper's online mix — cell summaries, top-destination lookups and ETA
+probes over the busiest cells of a built inventory.
+
+Two phases against the same server process:
+
+- **cold cache** — the backend's block cache starts empty, so early
+  lookups pay one disk block read each;
+- **warm cache** — the identical workload replayed once the hot blocks
+  are resident, the steady state a long-running server converges to.
+
+Reported per phase: sustained qps, client-side p50/p99 latency, and the
+server's own latency digest + counters (cross-checked against the number
+of requests issued, so lost or double-counted responses fail the run).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from benchmarks.conftest import QUICK, write_report
+from repro.hexgrid import cell_to_latlng
+from repro.inventory import SSTableInventory, write_inventory
+from repro.inventory.keys import GroupingSet
+from repro.server import (
+    InventoryClient,
+    InventoryService,
+    ServerConfig,
+    ServerThread,
+)
+
+N_CLIENTS = 16
+REQUESTS_PER_CLIENT = 40 if QUICK else 200
+
+
+def _probes(inventory, limit=64):
+    """(lat, lon, vessel_type) probes over the busiest plain cells."""
+    ranked = sorted(
+        (
+            (key, summary)
+            for key, summary in inventory.items()
+            if key.grouping_set is GroupingSet.CELL
+        ),
+        key=lambda pair: pair[1].records,
+        reverse=True,
+    )[:limit]
+    probes = []
+    for key, _ in ranked:
+        lat, lon = cell_to_latlng(key.cell)
+        probes.append((lat, lon))
+    return probes
+
+
+def _client_loop(host, port, probes, offset, latencies, failures):
+    """One closed-loop client: next request only after the last answer."""
+    requests = ("summary_at", "top_destinations_at", "eta")
+    with InventoryClient(host, port) as client:
+        for i in range(REQUESTS_PER_CLIENT):
+            lat, lon = probes[(offset + i) % len(probes)]
+            kind = requests[(offset + i) % len(requests)]
+            started = time.perf_counter()
+            try:
+                if kind == "summary_at":
+                    client.summary_at(lat, lon)
+                elif kind == "top_destinations_at":
+                    client.top_destinations_at(lat, lon)
+                else:
+                    client.eta(lat, lon)
+            except Exception as exc:  # noqa: BLE001 - tallied, then asserted
+                failures.append(exc)
+                return
+            latencies.append(time.perf_counter() - started)
+
+
+def _run_phase(host, port, probes):
+    latencies: list[float] = []
+    failures: list[Exception] = []
+    threads = [
+        threading.Thread(
+            target=_client_loop,
+            args=(host, port, probes, worker * 7, latencies, failures),
+        )
+        for worker in range(N_CLIENTS)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    assert not failures, f"client failures: {failures[:3]}"
+    assert len(latencies) == N_CLIENTS * REQUESTS_PER_CLIENT
+    ordered = sorted(latencies)
+    return {
+        "qps": len(latencies) / wall,
+        "wall_s": wall,
+        "p50_ms": ordered[len(ordered) // 2] * 1e3,
+        "p99_ms": ordered[int(len(ordered) * 0.99)] * 1e3,
+    }
+
+
+def test_serving_throughput(tmp_path_factory, bench_inventory):
+    path = tmp_path_factory.mktemp("serve") / "inventory.sst"
+    write_inventory(bench_inventory, path)
+    probes = _probes(bench_inventory)
+
+    with SSTableInventory(path, cache_blocks=256) as backend:
+        config = ServerConfig(max_concurrency=N_CLIENTS, request_timeout_s=30.0)
+        with ServerThread(InventoryService(backend), config) as handle:
+            host, port = handle.address
+            cold = _run_phase(host, port, probes)
+            cold_cache = backend.cache_stats()
+            warm = _run_phase(host, port, probes)
+
+            with InventoryClient(host, port) as client:
+                stats = client.stats()
+            served = stats["server"]["counters"]["server.requests"]
+            digest = stats["server"]["latency_ms"]
+
+    issued = 2 * N_CLIENTS * REQUESTS_PER_CLIENT
+    lines = [
+        "Serving throughput: closed-loop load against the query server",
+        f"({N_CLIENTS} concurrent clients x {REQUESTS_PER_CLIENT} requests "
+        f"per phase, summary/top-destinations/eta mix"
+        f"{', QUICK mode' if QUICK else ''})",
+        "",
+        f"{'Phase':<14} {'qps':>9} {'p50':>9} {'p99':>9}",
+        f"{'cold cache':<14} {cold['qps']:>9,.0f} {cold['p50_ms']:>7.2f}ms "
+        f"{cold['p99_ms']:>7.2f}ms",
+        f"{'warm cache':<14} {warm['qps']:>9,.0f} {warm['p50_ms']:>7.2f}ms "
+        f"{warm['p99_ms']:>7.2f}ms",
+        "",
+        f"Server-side: {served:,} requests, "
+        f"p50 {digest['p50_ms']:.2f}ms / p99 {digest['p99_ms']:.2f}ms, "
+        f"mean {digest['mean_ms']:.2f}ms",
+        f"Block cache after cold phase: {cold_cache}",
+    ]
+    write_report("serving_throughput", lines)
+
+    # The stats request snapshots its own metrics mid-flight, so the
+    # counters cover exactly the load phases.
+    assert served == issued
+    assert digest["count"] == issued
+    assert cold["qps"] > 0 and warm["qps"] > 0
+    assert cold["p50_ms"] <= cold["p99_ms"]
+    assert warm["p50_ms"] <= warm["p99_ms"]

@@ -11,6 +11,7 @@ EXPERIMENTS.md records paper-vs-measured side by side.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -19,6 +20,17 @@ from repro import PipelineConfig, WorldConfig, build_inventory, generate_dataset
 
 #: Where benchmark tables are written (versioned artefacts of a run).
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Quick mode (``REPRO_BENCH_QUICK=1``): CI's benchmark-smoke job runs
+#: every benchmark with reduced *measurement* effort (fewer requests per
+#: client in the serving benchmark, and so on) so the scripts cannot
+#: silently rot without paying the full measurement cost.  The shared
+#: world itself stays at full scale: every shape assertion (route-level
+#: ETA beating the baseline, raster coverage, course coherence) is
+#: calibrated against this world, and shrinking it along any axis —
+#: fewer vessels, fewer days, sparser reports — breaks a different one.
+#: Timing numbers from quick runs are not comparable to full runs.
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
 #: The shared benchmark scale.
 BENCH_CONFIG = WorldConfig(

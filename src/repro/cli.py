@@ -6,6 +6,7 @@
     python -m repro build    --archive archive.csv --resolution 6 --out inv.sst
     python -m repro compact  --inputs day1.sst day2.sst --out week.sst
     python -m repro query    --inventory inv.sst --lat 1.2 --lon 103.8
+    python -m repro serve    --inventory inv.sst --port 7077
     python -m repro render   --inventory inv.sst --feature speed --out map.ppm
     python -m repro info     --inventory inv.sst
 
@@ -14,7 +15,10 @@
 compacted SSTables; ``compact`` k-way merges tables; ``query`` and
 ``render`` serve straight from a table through the block-cached
 :class:`~repro.inventory.backend.SSTableInventory` — no command ever
-materializes the whole store in memory.
+materializes the whole store in memory.  ``serve`` exposes the same
+table over TCP through the concurrent query server
+(:mod:`repro.server`): bounded in-flight requests, per-request
+deadlines, graceful drain on Ctrl-C.
 """
 
 from __future__ import annotations
@@ -101,6 +105,26 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--origin", default=None)
     query.add_argument("--destination", default=None)
     query.set_defaults(handler=_cmd_query)
+
+    serve = commands.add_parser(
+        "serve", help="serve an inventory over TCP (length-prefixed JSON)"
+    )
+    serve.add_argument("--inventory", type=Path, required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7077,
+                       help="TCP port (0 = pick a free one and report it)")
+    serve.add_argument("--resolution", type=int, default=None,
+                       help="grid resolution (default: inferred)")
+    serve.add_argument("--cache-blocks", type=int, default=256,
+                       help="block-cache capacity shared by all connections")
+    serve.add_argument("--max-concurrency", type=int, default=16,
+                       help="in-flight request cap (excess requests queue "
+                            "against their deadline)")
+    serve.add_argument("--request-timeout", type=float, default=10.0,
+                       help="per-request deadline in seconds")
+    serve.add_argument("--idle-timeout", type=float, default=30.0,
+                       help="per-connection read timeout in seconds")
+    serve.set_defaults(handler=_cmd_serve)
 
     render = commands.add_parser("render", help="render a feature map (PPM)")
     render.add_argument("--inventory", type=Path, required=True)
@@ -212,6 +236,38 @@ def _print_summary(inventory: SSTableInventory, args) -> int:
     print(f"destinations: "
           + ", ".join(f"{t.value}×{t.count}"
                       for t in summary.destinations.top(5)))
+    return 0
+
+
+def _serve_config(args):
+    """The server limits for 'serve' (split out so tests can pin the
+    arg-to-config plumbing without binding a socket)."""
+    from repro.server import ServerConfig
+
+    return ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.max_concurrency,
+        request_timeout_s=args.request_timeout,
+        idle_timeout_s=args.idle_timeout,
+    )
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.server import InventoryService, serve
+
+    config = _serve_config(args)
+    with SSTableInventory(
+        args.inventory, resolution=args.resolution, cache_blocks=args.cache_blocks
+    ) as inventory:
+        print(f"inventory {args.inventory}: {len(inventory):,} groups "
+              f"at resolution {inventory.resolution}")
+        try:
+            asyncio.run(serve(InventoryService(inventory), config))
+        except KeyboardInterrupt:
+            print("interrupted: drained and closed")
     return 0
 
 

@@ -13,6 +13,7 @@ increment on their hot paths and surface in one dict for reports.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -65,27 +66,39 @@ class CounterSet:
     evictions, bytes read from disk).  Counters only ever go up; callers
     snapshot them with :meth:`as_dict` and diff snapshots to attribute
     events to a window.
+
+    Increments are guarded by a lock: one counter set is typically shared
+    by every thread serving a backend (block-cache counters under the
+    query server), and an unguarded read-modify-write on the dict drops
+    events under preemption.
     """
 
     counters: dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def increment(self, name: str, amount: int = 1) -> None:
-        """Add ``amount`` (default 1) to one counter."""
+        """Add ``amount`` (default 1) to one counter (thread-safe)."""
         if amount < 0:
             raise ValueError(f"counters are monotonic, got amount {amount}")
-        self.counters[name] = self.counters.get(name, 0) + amount
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
 
     def value(self, name: str) -> int:
         """Current value of one counter (0 if never incremented)."""
-        return self.counters.get(name, 0)
+        with self._lock:
+            return self.counters.get(name, 0)
 
     def as_dict(self) -> dict[str, int]:
         """Snapshot of all counters, insertion-ordered."""
-        return dict(self.counters)
+        with self._lock:
+            return dict(self.counters)
 
     def clear(self) -> None:
         """Reset every counter to zero."""
-        self.counters.clear()
+        with self._lock:
+            self.counters.clear()
 
 
 class StageTimer:

@@ -11,7 +11,7 @@ ablation benchmark measures exactly this trade-off.
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor, wait
 
 
 class SerialScheduler:
@@ -50,7 +50,17 @@ class ThreadScheduler:
         futures = [
             self._pool.submit(task, i, part) for i, part in enumerate(partitions)
         ]
-        return [future.result() for future in futures]
+        try:
+            return [future.result() for future in futures]
+        except BaseException:
+            # One partition failed: don't abandon the rest mid-flight.
+            # Cancel whatever has not started and wait out whatever has,
+            # so no task is still mutating shared state after we raise
+            # and the pool is reusable for the next run.
+            for future in futures:
+                future.cancel()
+            wait(futures)
+            raise
 
     def close(self) -> None:
         """Shut the pool down."""

@@ -30,10 +30,13 @@ def rhumb_distance_m(lat1: float, lon1: float, lat2: float, lon2: float) -> floa
     if abs(dlmb) > math.pi:
         dlmb = dlmb - math.copysign(2.0 * math.pi, dlmb)
     dpsi = _mercator_y(phi2) - _mercator_y(phi1)
-    if abs(dpsi) > 1e-12:
+    # dphi/dpsi → cos(φ) as dphi → 0, but the quotient is computed from a
+    # catastrophically cancelled dpsi well before dphi reaches zero, so
+    # switch to the (second-order accurate) midpoint cosine early.
+    if abs(dpsi) > 1e-6:
         q = dphi / dpsi
     else:
-        q = math.cos(phi1)
+        q = math.cos((phi1 + phi2) / 2.0)
     return math.hypot(dphi, q * dlmb) * EARTH_RADIUS_M
 
 
@@ -61,10 +64,10 @@ def rhumb_destination(
     # Clamp latitude if the track runs over a pole.
     phi2 = min(math.pi / 2, max(-math.pi / 2, phi2))
     dpsi = _mercator_y(phi2) - _mercator_y(phi1)
-    if abs(dpsi) > 1e-12:
+    if abs(dpsi) > 1e-6:
         q = dphi / dpsi
     else:
-        q = math.cos(phi1)
+        q = math.cos((phi1 + phi2) / 2.0)
     dlmb = delta * math.sin(theta) / q if q != 0.0 else 0.0
     lon2 = math.degrees(lmb1 + dlmb)
     lon2 = ((lon2 + 180.0) % 360.0) - 180.0

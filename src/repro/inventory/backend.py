@@ -28,6 +28,7 @@ cache counters.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Iterator
 from pathlib import Path
@@ -158,6 +159,11 @@ class BlockCache:
     memory ceiling is ``capacity × block_size`` regardless of table size.
     Hits, misses and evictions are surfaced through a
     :class:`~repro.engine.metrics.CounterSet` for benchmarks and tests.
+
+    ``get``/``put`` are thread-safe: under the query server one cache is
+    shared by every worker thread answering requests, and the LRU
+    reordering (``move_to_end``) corrupts the ``OrderedDict`` if two
+    threads interleave it.
     """
 
     HITS = "block_cache.hits"
@@ -170,27 +176,35 @@ class BlockCache:
         self.capacity = capacity
         self.counters = counters if counters is not None else CounterSet()
         self._blocks: OrderedDict[int, bytes] = OrderedDict()
+        self._lock = threading.Lock()
 
     def get(self, block_index: int) -> bytes | None:
         """The cached block, refreshed to most-recently-used, or ``None``."""
-        block = self._blocks.get(block_index)
+        with self._lock:
+            block = self._blocks.get(block_index)
+            if block is not None:
+                self._blocks.move_to_end(block_index)
         if block is None:
             self.counters.increment(self.MISSES)
             return None
-        self._blocks.move_to_end(block_index)
         self.counters.increment(self.HITS)
         return block
 
     def put(self, block_index: int, block: bytes) -> None:
         """Insert a block, evicting the least recently used at capacity."""
-        self._blocks[block_index] = block
-        self._blocks.move_to_end(block_index)
-        while len(self._blocks) > self.capacity:
-            self._blocks.popitem(last=False)
-            self.counters.increment(self.EVICTIONS)
+        evictions = 0
+        with self._lock:
+            self._blocks[block_index] = block
+            self._blocks.move_to_end(block_index)
+            while len(self._blocks) > self.capacity:
+                self._blocks.popitem(last=False)
+                evictions += 1
+        if evictions:
+            self.counters.increment(self.EVICTIONS, evictions)
 
     def __len__(self) -> int:
-        return len(self._blocks)
+        with self._lock:
+            return len(self._blocks)
 
     @property
     def hits(self) -> int:
@@ -206,7 +220,8 @@ class BlockCache:
 
     def clear(self) -> None:
         """Drop every cached block (counters are preserved)."""
-        self._blocks.clear()
+        with self._lock:
+            self._blocks.clear()
 
 
 class SSTableInventory(InventoryQueryMixin):
@@ -239,6 +254,7 @@ class SSTableInventory(InventoryQueryMixin):
         self._reader = sstable.SSTableReader(path)
         self.cache = BlockCache(cache_blocks, counters)
         self._route_index: dict[tuple[str, str, str], set[int]] | None = None
+        self._route_lock = threading.Lock()
         if resolution is None:
             resolution = self._infer_resolution()
         self.resolution = resolution
@@ -312,7 +328,9 @@ class SSTableInventory(InventoryQueryMixin):
         """All cells for which the (origin, destination, type) key exists,
         resolved via the persisted route index + cached point lookups."""
         if self._route_index is None:
-            self._load_route_index()
+            with self._route_lock:
+                if self._route_index is None:
+                    self._load_route_index()
         cells = self._route_index.get((origin, destination, vessel_type), set())
         result = {}
         for cell in sorted(cells):

@@ -34,6 +34,7 @@ a full table scan.
 from __future__ import annotations
 
 import struct
+import threading
 from bisect import bisect_right
 from collections.abc import Iterator
 from pathlib import Path
@@ -256,6 +257,9 @@ class SSTableReader:
         raw_index = decode(self._handle.read(index_length))
         self._block_keys = [entry[0] for entry in raw_index]
         self._block_spans = [(entry[1], entry[2]) for entry in raw_index]
+        # One reader may serve many threads (the query server's worker
+        # pool): seek+read on the shared handle must be atomic.
+        self._read_lock = threading.Lock()
         #: Bytes touched by the last get(), for the query-vs-scan benchmark.
         self.last_read_bytes = 0
         #: Bytes physically read from disk over the reader's lifetime.
@@ -276,9 +280,10 @@ class SSTableReader:
         """Read one data block from disk (no caching here — serving
         backends layer their cache on top)."""
         offset, length = self._block_spans[block_index]
-        self._handle.seek(offset)
-        block = self._handle.read(length)
-        self.total_read_bytes += length
+        with self._read_lock:
+            self._handle.seek(offset)
+            block = self._handle.read(length)
+            self.total_read_bytes += length
         return block
 
     @staticmethod

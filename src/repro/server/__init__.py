@@ -1,0 +1,53 @@
+"""The serving layer: the inventory as an online query service.
+
+The paper's inventory exists to be *queried* — MarineTraffic answers
+pattern, ETA and destination requests from the precomputed summaries.
+This package is that serving tier for any
+:class:`~repro.inventory.backend.QueryableInventory` backend:
+
+- :mod:`repro.server.protocol` — the length-prefixed JSON wire format,
+  frame limits and error codes;
+- :mod:`repro.server.service` — request dispatch onto the backend and
+  the reused ETA/destination apps (pure, socket-free, unit-testable);
+- :mod:`repro.server.server` — the asyncio TCP server: bounded
+  concurrency (semaphore backpressure), per-request deadlines,
+  per-connection idle timeouts, graceful drain;
+- :mod:`repro.server.metrics` — request/error counters and a latency
+  digest, served back through the ``stats`` request;
+- :mod:`repro.server.client` — the synchronous client whose query
+  methods mirror the in-process backend's.
+
+``python -m repro serve --inventory inv.sst`` stands the whole stack up
+from a persisted table.
+"""
+
+from repro.server.client import InventoryClient, ServerError
+from repro.server.metrics import ServerMetrics
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    FrameTooLargeError,
+    ProtocolError,
+    TruncatedFrameError,
+)
+from repro.server.server import (
+    InventoryServer,
+    ServerConfig,
+    ServerThread,
+    serve,
+)
+from repro.server.service import InventoryService
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "FrameTooLargeError",
+    "InventoryClient",
+    "InventoryServer",
+    "InventoryService",
+    "ProtocolError",
+    "ServerConfig",
+    "ServerError",
+    "ServerMetrics",
+    "ServerThread",
+    "TruncatedFrameError",
+    "serve",
+]

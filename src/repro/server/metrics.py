@@ -1,0 +1,73 @@
+"""Server-side observability: request counters + a latency digest.
+
+The same sketch machinery the inventory is built from instruments the
+thing serving it: request and error counts live in a
+:class:`~repro.engine.metrics.CounterSet`, latencies in a
+:class:`~repro.sketches.tdigest.TDigest` (for p50/p90/p99) next to a
+:class:`~repro.sketches.moments.MomentsSketch` (count/mean/max).  A
+``stats`` request returns :meth:`ServerMetrics.snapshot`, so a plain
+client doubles as a monitoring probe — no side channel to scrape.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.engine.metrics import CounterSet
+from repro.sketches import MomentsSketch, TDigest
+
+REQUESTS_TOTAL = "server.requests"
+ERRORS_TOTAL = "server.errors"
+CONNECTIONS_OPENED = "server.connections.opened"
+CONNECTIONS_CLOSED = "server.connections.closed"
+
+
+class ServerMetrics:
+    """Counters and latency sketches for one server instance."""
+
+    def __init__(self) -> None:
+        self.counters = CounterSet()
+        self._latency_q = TDigest()
+        self._latency = MomentsSketch()
+        self._lock = threading.Lock()
+
+    def record_request(self, request_type: str, seconds: float) -> None:
+        """Count one successfully answered request and its latency."""
+        self.counters.increment(REQUESTS_TOTAL)
+        self.counters.increment(f"server.requests.{request_type}")
+        with self._lock:
+            self._latency_q.update(seconds * 1e3)
+            self._latency.update(seconds * 1e3)
+
+    def record_error(self, request_type: str, code: str) -> None:
+        """Count one failed request by its error code."""
+        self.counters.increment(ERRORS_TOTAL)
+        self.counters.increment(f"server.errors.{code}")
+
+    def connection_opened(self) -> None:
+        self.counters.increment(CONNECTIONS_OPENED)
+
+    def connection_closed(self) -> None:
+        self.counters.increment(CONNECTIONS_CLOSED)
+
+    @property
+    def requests(self) -> int:
+        return self.counters.value(REQUESTS_TOTAL)
+
+    @property
+    def errors(self) -> int:
+        return self.counters.value(ERRORS_TOTAL)
+
+    def snapshot(self) -> dict:
+        """A JSON-ready view: all counters plus the latency distribution."""
+        with self._lock:
+            count = self._latency.count
+            latency = {
+                "count": count,
+                "mean_ms": self._latency.mean if count else None,
+                "max_ms": self._latency.max_value if count else None,
+                "p50_ms": self._latency_q.quantile(0.50) if count else None,
+                "p90_ms": self._latency_q.quantile(0.90) if count else None,
+                "p99_ms": self._latency_q.quantile(0.99) if count else None,
+            }
+        return {"counters": self.counters.as_dict(), "latency_ms": latency}

@@ -1,0 +1,325 @@
+"""The concurrent query server: asyncio framing around a threaded core.
+
+Architecture — one event loop, one worker pool, one shared backend:
+
+- the **event loop** owns all sockets.  Per connection it reads frames
+  (under an idle timeout), writes responses, and nothing else — so a
+  thousand mostly-idle clients cost a thousand coroutines, not threads;
+- each request is answered on a **worker thread**
+  (``run_in_executor``), because a point lookup is blocking file I/O.
+  The pool is sized to ``max_concurrency``, matching the semaphore;
+- a **semaphore** bounds in-flight requests.  Excess requests queue *in
+  the loop*, cheaply, and their wait counts against the same deadline as
+  their execution — under overload clients get fast ``deadline_exceeded``
+  errors instead of unbounded queueing (backpressure, not buffering);
+- **per-request deadlines** (``asyncio.wait_for``) and **per-connection
+  read timeouts** keep one slow consumer or one stalled/malformed writer
+  from pinning resources: a frame that stops arriving hits the idle
+  timeout, an oversized frame is rejected from its length prefix, and
+  in both cases only *that* connection is dropped;
+- **graceful drain**: shutdown stops accepting, lets every in-flight
+  request finish and flush its response (up to ``drain_timeout_s``),
+  then cancels idle readers.
+
+The fault-isolation tests in ``tests/test_server.py`` pin each of these
+properties with hostile clients.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.server import protocol
+from repro.server.metrics import ServerMetrics
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunable limits; the defaults suit tests and small deployments."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = let the kernel pick (the bound port is reported)
+    max_concurrency: int = 16
+    request_timeout_s: float = 10.0
+    idle_timeout_s: float = 30.0
+    max_frame_bytes: int = protocol.MAX_FRAME_BYTES
+    drain_timeout_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_concurrency < 1:
+            raise ValueError("max_concurrency must be at least 1")
+        if self.request_timeout_s <= 0 or self.idle_timeout_s <= 0:
+            raise ValueError("timeouts must be positive")
+
+
+class _Connection:
+    """Book-keeping for one client: its task and whether a request is
+    currently being answered (the unit graceful drain waits on)."""
+
+    __slots__ = ("task", "busy")
+
+    def __init__(self) -> None:
+        self.task: asyncio.Task | None = None
+        self.busy = False
+
+
+class InventoryServer:
+    """Serves an :class:`~repro.server.service.InventoryService` over TCP."""
+
+    def __init__(self, service, config: ServerConfig | None = None) -> None:
+        self.service = service
+        self.config = config or ServerConfig()
+        self.metrics = ServerMetrics()
+        self._server: asyncio.AbstractServer | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._connections: set[_Connection] = set()
+        self._draining = False
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._loop = asyncio.get_running_loop()
+        self._semaphore = asyncio.Semaphore(self.config.max_concurrency)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.max_concurrency,
+            thread_name_prefix="repro-serve",
+        )
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.config.host, self.config.port
+        )
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — authoritative when port 0 was asked."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def serve_forever(self) -> None:
+        """Block until the server is shut down."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._server.serve_forever()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight requests,
+        then drop idle connections."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = self._loop.time() + self.config.drain_timeout_s
+        while (
+            any(conn.busy for conn in self._connections)
+            and self._loop.time() < deadline
+        ):
+            await asyncio.sleep(0.01)
+        # Whatever is left is either idle (blocked reading the next
+        # frame) or past the drain deadline: cancel and reap.
+        tasks = [conn.task for conn in self._connections if conn.task is not None]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+
+    # -- connection handling -------------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection()
+        conn.task = asyncio.current_task()
+        self._connections.add(conn)
+        self.metrics.connection_opened()
+        try:
+            await self._connection_loop(conn, reader, writer)
+        except asyncio.CancelledError:
+            pass  # shutdown reaping an idle or overdue connection
+        except (ConnectionResetError, BrokenPipeError, TimeoutError):
+            pass  # peer vanished mid-write; nothing to tell it
+        finally:
+            self._connections.discard(conn)
+            self.metrics.connection_closed()
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _connection_loop(
+        self, conn: _Connection, reader: asyncio.StreamReader, writer
+    ) -> None:
+        while not self._draining:
+            try:
+                frame = await asyncio.wait_for(
+                    protocol.read_frame(reader, self.config.max_frame_bytes),
+                    self.config.idle_timeout_s,
+                )
+            except asyncio.TimeoutError:
+                break  # idle client: reclaim the connection
+            except protocol.ProtocolError as exc:
+                # Framing is broken (oversized/truncated/non-JSON): the
+                # stream cannot be resynchronised, so answer and close.
+                self.metrics.record_error("?", exc.code)
+                with contextlib.suppress(Exception):
+                    writer.write(
+                        protocol.encode_frame(
+                            protocol.error_response(None, exc.code, str(exc))
+                        )
+                    )
+                    await writer.drain()
+                break
+            if frame is None:
+                break  # clean EOF
+            conn.busy = True
+            try:
+                response = await self._respond(frame)
+                try:
+                    payload = protocol.encode_frame(
+                        response, self.config.max_frame_bytes
+                    )
+                except protocol.FrameTooLargeError as exc:
+                    # The *answer* blew the frame budget (a huge route):
+                    # tell the client cleanly rather than killing the task.
+                    self.metrics.record_error("?", exc.code)
+                    payload = protocol.encode_frame(
+                        protocol.error_response(frame.get("id"), exc.code, str(exc))
+                    )
+                writer.write(payload)
+                await writer.drain()
+            finally:
+                conn.busy = False
+
+    async def _respond(self, request: dict) -> dict:
+        request_id = request.get("id")
+        request_type = request.get("type")
+        label = request_type if isinstance(request_type, str) else "?"
+        started = time.perf_counter()
+        try:
+            result = await asyncio.wait_for(
+                self._process(request), self.config.request_timeout_s
+            )
+        except asyncio.TimeoutError:
+            self.metrics.record_error(label, protocol.ERR_DEADLINE)
+            return protocol.error_response(
+                request_id,
+                protocol.ERR_DEADLINE,
+                f"request exceeded the {self.config.request_timeout_s:g}s deadline",
+            )
+        except protocol.ProtocolError as exc:
+            self.metrics.record_error(label, exc.code)
+            return protocol.error_response(request_id, exc.code, str(exc))
+        except Exception as exc:  # noqa: BLE001 - the wire gets a clean error
+            self.metrics.record_error(label, protocol.ERR_INTERNAL)
+            return protocol.error_response(
+                request_id,
+                protocol.ERR_INTERNAL,
+                f"{type(exc).__name__}: {exc}",
+            )
+        self.metrics.record_request(label, time.perf_counter() - started)
+        return protocol.ok_response(request_id, result)
+
+    async def _process(self, request: dict) -> dict:
+        # The semaphore wait happens inside the request deadline: a
+        # request that cannot be *started* in time fails fast instead of
+        # queueing forever — that is the backpressure contract.
+        async with self._semaphore:
+            result = await self._loop.run_in_executor(
+                self._executor, self.service.handle, request
+            )
+        if request.get("type") == "stats":
+            result = dict(result)
+            result["server"] = self.metrics.snapshot()
+        return result
+
+
+async def serve(service, config: ServerConfig | None = None) -> None:
+    """Start a server and run it until cancelled (the CLI entry point)."""
+    server = InventoryServer(service, config)
+    await server.start()
+    host, port = server.address
+    print(f"serving on {host}:{port} "
+          f"(max {server.config.max_concurrency} in-flight, "
+          f"{server.config.request_timeout_s:g}s deadline)")
+    try:
+        await server.serve_forever()
+    finally:
+        await server.shutdown()
+
+
+class ServerThread:
+    """A server on a background event-loop thread, for sync callers.
+
+    Tests, benchmarks and notebooks use this to stand up a real TCP
+    server without touching asyncio::
+
+        with ServerThread(InventoryService(backend)) as handle:
+            client = InventoryClient(*handle.address)
+
+    Entering starts the loop and waits for the bound address; exiting
+    performs the same graceful drain as a signal-stopped CLI server.
+    """
+
+    def __init__(self, service, config: ServerConfig | None = None) -> None:
+        self.service = service
+        self.config = config or ServerConfig()
+        self.server: InventoryServer | None = None
+        self.address: tuple[str, int] | None = None
+        self._ready = threading.Event()
+        self._failure: BaseException | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="repro-server-loop",
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server thread failed to start in time")
+        if self._failure is not None:
+            self._thread.join()
+            raise self._failure
+        return self
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = InventoryServer(self.service, self.config)
+        try:
+            await server.start()
+        except BaseException as exc:
+            self._failure = exc
+            self._ready.set()
+            return
+        self.server = server
+        self.address = server.address
+        self._ready.set()
+        await self._stop.wait()
+        await server.shutdown()
+
+    def stop(self) -> None:
+        """Request a graceful drain and wait for the loop to finish."""
+        if self._loop is not None and self._stop is not None:
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

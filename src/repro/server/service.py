@@ -1,0 +1,198 @@
+"""Request dispatch: one :class:`QueryableInventory`, every query type.
+
+The service is the server's pure core — a dict in, a dict out, no I/O,
+no clocks — so the whole query surface is unit-testable without opening
+a socket, and the asyncio layer stays a thin shell of timeouts and
+framing.  The handlers deliberately reuse the *same* app classes the
+in-process callers use (:class:`~repro.apps.eta.EtaEstimator`,
+:class:`~repro.apps.destination.DestinationPredictor`): remote answers
+equal local answers because they run the same code against the same
+backend, not because two implementations happen to agree.
+
+Handlers run on the server's worker threads, many at a time, against one
+shared backend — the reason :class:`~repro.inventory.backend.BlockCache`,
+:class:`~repro.engine.metrics.CounterSet` and the table reader take
+locks.
+"""
+
+from __future__ import annotations
+
+from repro.apps.destination import DestinationPredictor
+from repro.apps.eta import EtaEstimator
+from repro.inventory.backend import QueryableInventory
+from repro.server.protocol import (
+    BadRequestError,
+    UnknownRequestError,
+    summary_to_wire,
+)
+
+
+class InventoryService:
+    """Answers decoded protocol requests from one inventory backend."""
+
+    def __init__(
+        self,
+        inventory: QueryableInventory,
+        min_eta_samples: int = 3,
+        top_n: int = 5,
+    ) -> None:
+        self.inventory = inventory
+        self.eta = EtaEstimator(inventory, min_samples=min_eta_samples)
+        self.predictor = DestinationPredictor(inventory, top_n=top_n)
+        self._handlers = {
+            "ping": self._ping,
+            "stats": self._stats,
+            "summary_at": self._summary_at,
+            "top_destinations_at": self._top_destinations_at,
+            "route_cells": self._route_cells,
+            "eta": self._eta,
+            "destination": self._destination,
+        }
+
+    def handle(self, request: dict) -> dict:
+        """Dispatch one request to its handler; returns the result payload.
+
+        Raises :class:`UnknownRequestError` / :class:`BadRequestError`
+        for requests the protocol layer turns into error responses.
+        """
+        handler = self._handlers.get(request.get("type"))
+        if handler is None:
+            raise UnknownRequestError(request.get("type"))
+        return handler(request)
+
+    # -- handlers ------------------------------------------------------------------
+
+    def _ping(self, request: dict) -> dict:
+        return {"pong": True}
+
+    def _stats(self, request: dict) -> dict:
+        inventory = self.inventory
+        stats: dict = {"resolution": inventory.resolution}
+        try:
+            stats["entries"] = len(inventory)  # type: ignore[arg-type]
+        except TypeError:
+            pass
+        cache_stats = getattr(inventory, "cache_stats", None)
+        if callable(cache_stats):
+            stats["cache"] = cache_stats()
+        return {"inventory": stats}
+
+    def _summary_at(self, request: dict) -> dict:
+        lat, lon = _position(request)
+        try:
+            summary = self.inventory.summary_at(
+                lat,
+                lon,
+                vessel_type=_string(request, "vessel_type"),
+                origin=_string(request, "origin"),
+                destination=_string(request, "destination"),
+            )
+        except ValueError as exc:
+            raise BadRequestError(str(exc))
+        return {"summary": None if summary is None else summary_to_wire(summary)}
+
+    def _top_destinations_at(self, request: dict) -> dict:
+        lat, lon = _position(request)
+        n = _int(request, "n", default=5, minimum=1)
+        top = self.inventory.top_destinations_at(
+            lat, lon, vessel_type=_string(request, "vessel_type"), n=n
+        )
+        return {"destinations": [[dest, count] for dest, count in top]}
+
+    def _route_cells(self, request: dict) -> dict:
+        origin = _string(request, "origin", required=True)
+        destination = _string(request, "destination", required=True)
+        vessel_type = _string(request, "vessel_type", required=True)
+        cells = self.inventory.route_cells(origin, destination, vessel_type)
+        # JSON object keys are strings; the client restores the int cells.
+        return {
+            "cells": {
+                str(cell): summary_to_wire(summary)
+                for cell, summary in cells.items()
+            }
+        }
+
+    def _eta(self, request: dict) -> dict:
+        lat, lon = _position(request)
+        try:
+            estimate = self.eta.estimate(
+                lat,
+                lon,
+                vessel_type=_string(request, "vessel_type"),
+                origin=_string(request, "origin"),
+                destination=_string(request, "destination"),
+            )
+        except ValueError as exc:
+            raise BadRequestError(str(exc))
+        if estimate is None:
+            return {"eta": None}
+        return {
+            "eta": {
+                "mean_s": estimate.mean_s,
+                "p10_s": estimate.p10_s,
+                "p50_s": estimate.p50_s,
+                "p90_s": estimate.p90_s,
+                "samples": estimate.samples,
+                "grouping": estimate.grouping,
+                "destination_matched": estimate.destination_matched,
+            }
+        }
+
+    def _destination(self, request: dict) -> dict:
+        track = request.get("track")
+        if not isinstance(track, list) or not track:
+            raise BadRequestError("destination requires a non-empty track")
+        points = []
+        for point in track:
+            if (
+                not isinstance(point, (list, tuple))
+                or len(point) != 2
+                or not all(isinstance(c, (int, float)) for c in point)
+            ):
+                raise BadRequestError(
+                    "track points must be [lat, lon] pairs of numbers"
+                )
+            points.append((float(point[0]), float(point[1])))
+        state = self.predictor.predict_track(
+            points, vessel_type=_string(request, "vessel_type")
+        )
+        return {
+            "best": state.best(),
+            "ranking": [[dest, share] for dest, share in state.ranking()],
+            "observations": state.observations,
+            "matched_observations": state.matched_observations,
+        }
+
+
+# -- parameter validation --------------------------------------------------------
+
+
+def _position(request: dict) -> tuple[float, float]:
+    return _float(request, "lat"), _float(request, "lon")
+
+
+def _float(request: dict, name: str) -> float:
+    value = request.get(name)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise BadRequestError(f"{name} must be a number, got {value!r}")
+    return float(value)
+
+
+def _int(request: dict, name: str, default: int, minimum: int) -> int:
+    value = request.get(name, default)
+    if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+        raise BadRequestError(f"{name} must be an integer >= {minimum}, got {value!r}")
+    return value
+
+
+def _string(
+    request: dict, name: str, required: bool = False
+) -> str | None:
+    value = request.get(name)
+    if value is None:
+        if required:
+            raise BadRequestError(f"{name} is required")
+        return None
+    if not isinstance(value, str) or not value:
+        raise BadRequestError(f"{name} must be a non-empty string, got {value!r}")
+    return value

@@ -1,0 +1,489 @@
+"""Tests for the concurrent query server (repro.server).
+
+Three layers of guarantees:
+
+- **protocol** — frames round-trip, summaries cross the wire
+  bit-identically, limits are enforced from the length prefix;
+- **equivalence** — every query type answered over TCP equals the
+  in-process backend's answer on the same build (the serving layer adds
+  transport, not interpretation);
+- **fault isolation** — a malformed, oversized, stalled or slow client
+  hurts only its own connection: concurrent clients keep their latency,
+  the server keeps serving, and shutdown drains in-flight requests
+  before closing.
+"""
+
+from __future__ import annotations
+
+import io
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.apps import DestinationPredictor, EtaEstimator
+from repro.inventory import (
+    GroupKey,
+    Inventory,
+    SSTableInventory,
+    write_inventory,
+)
+from repro.hexgrid import cell_to_latlng, latlng_to_cell
+from repro.inventory.keys import GroupingSet
+from repro.inventory.summary import CellSummary
+from repro.server import (
+    InventoryClient,
+    InventoryServer,
+    InventoryService,
+    ServerConfig,
+    ServerError,
+    ServerThread,
+)
+from repro.server import protocol
+
+
+# -- helpers ---------------------------------------------------------------------
+
+
+def _tiny_inventory() -> Inventory:
+    """A two-cell in-memory inventory for fault tests (no pipeline run)."""
+    inventory = Inventory(resolution=6)
+    for i, (lat, lon) in enumerate([(5.0, 100.0), (6.0, 101.0)]):
+        summary = CellSummary()
+        for j in range(3):
+            summary.update(
+                mmsi=100_000_000 + j, sog=8.0 + i + j, cog=45.0, heading=45,
+                trip_id=f"t{i}{j}", eto_s=60.0, ata_s=120.0,
+                origin="CNSHA", destination="NLRTM", next_cell=None,
+            )
+        inventory.put(
+            GroupKey(cell=latlng_to_cell(lat, lon, 6)), summary
+        )
+    return inventory
+
+
+class _SlowService:
+    """Wraps a service so chosen request types block for a while."""
+
+    def __init__(self, inner, delay_s: float, slow_types=("ping",)) -> None:
+        self.inner = inner
+        self.delay_s = delay_s
+        self.slow_types = slow_types
+
+    def handle(self, request: dict) -> dict:
+        if request.get("type") in self.slow_types:
+            time.sleep(self.delay_s)
+        return self.inner.handle(request)
+
+
+def _raw_exchange(address, payload: bytes, read_response: bool = True):
+    """Send raw bytes on a fresh socket; optionally read one frame back."""
+    with socket.create_connection(address, timeout=5.0) as sock:
+        sock.sendall(payload)
+        if not read_response:
+            return None
+        return protocol.read_frame_blocking(sock.makefile("rb").read)
+
+
+# -- protocol round-trips --------------------------------------------------------
+
+
+class TestProtocol:
+    def test_frame_round_trip(self):
+        message = {"id": 7, "type": "ping", "nested": {"a": [1, 2.5, None]}}
+        frame = protocol.encode_frame(message)
+        buffer = io.BytesIO(frame)
+        assert protocol.read_frame_blocking(buffer.read) == message
+        assert protocol.read_frame_blocking(buffer.read) is None  # clean EOF
+
+    def test_multiple_frames_in_one_stream(self):
+        frames = [{"id": i, "type": "ping"} for i in range(3)]
+        stream = io.BytesIO(b"".join(protocol.encode_frame(f) for f in frames))
+        assert [protocol.read_frame_blocking(stream.read) for _ in range(3)] == frames
+
+    def test_oversized_frame_rejected_at_encode_and_decode(self):
+        with pytest.raises(protocol.FrameTooLargeError):
+            protocol.encode_frame({"blob": "x" * 2048}, max_bytes=1024)
+        huge_header = struct.pack(">I", protocol.MAX_FRAME_BYTES + 1)
+        with pytest.raises(protocol.FrameTooLargeError):
+            protocol.read_frame_blocking(io.BytesIO(huge_header).read)
+
+    def test_truncated_frame_raises(self):
+        frame = protocol.encode_frame({"id": 1, "type": "ping"})
+        stream = io.BytesIO(frame[:-3])  # payload cut short
+        with pytest.raises(protocol.TruncatedFrameError):
+            protocol.read_frame_blocking(stream.read)
+
+    def test_truncated_header_raises(self):
+        stream = io.BytesIO(b"\x00\x00")
+        with pytest.raises(protocol.TruncatedFrameError):
+            protocol.read_frame_blocking(stream.read)
+
+    def test_non_json_payload_rejected(self):
+        payload = b"\xff\xfenot json"
+        frame = struct.pack(">I", len(payload)) + payload
+        with pytest.raises(protocol.ProtocolError) as excinfo:
+            protocol.read_frame_blocking(io.BytesIO(frame).read)
+        assert excinfo.value.code == protocol.ERR_BAD_FRAME
+
+    def test_non_object_payload_rejected(self):
+        frame = struct.pack(">I", 2) + b"[]"
+        with pytest.raises(protocol.ProtocolError):
+            protocol.read_frame_blocking(io.BytesIO(frame).read)
+
+    def test_summary_wire_round_trip(self):
+        inventory = _tiny_inventory()
+        _, summary = next(iter(inventory.items()))
+        wire = protocol.summary_to_wire(summary)
+        assert isinstance(wire, str)
+        restored = protocol.summary_from_wire(wire)
+        assert restored.to_dict() == summary.to_dict()
+
+    def test_undecodable_summary_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.summary_from_wire("AAAA")
+
+
+# -- equivalence against the in-process backend ----------------------------------
+
+
+@pytest.fixture(scope="module")
+def served_backend(small_inventory, tmp_path_factory):
+    """(address, disk backend) for a server over the small world's table."""
+    path = tmp_path_factory.mktemp("served") / "inventory.sst"
+    write_inventory(small_inventory, path)
+    with SSTableInventory(path, cache_blocks=128) as backend:
+        service = InventoryService(backend)
+        with ServerThread(service) as handle:
+            yield handle.address, backend
+
+
+@pytest.fixture()
+def client(served_backend):
+    address, _ = served_backend
+    with InventoryClient(*address) as connection:
+        yield connection
+
+
+@pytest.fixture(scope="module")
+def cell_probes(small_inventory):
+    """(lat, lon) probes over known cells plus one guaranteed miss."""
+    probes = []
+    for key, _ in small_inventory.items():
+        if key.grouping_set is GroupingSet.CELL:
+            probes.append(cell_to_latlng(key.cell))
+            if len(probes) >= 8:
+                break
+    probes.append((-55.0, -130.0))  # southern-ocean miss
+    return probes
+
+
+class TestEquivalence:
+    def test_ping(self, client):
+        assert client.ping() is True
+
+    def test_summary_at_matches_backend(self, served_backend, client, cell_probes):
+        _, backend = served_backend
+        for lat, lon in cell_probes:
+            local = backend.summary_at(lat, lon)
+            remote = client.summary_at(lat, lon)
+            if local is None:
+                assert remote is None
+            else:
+                assert remote.to_dict() == local.to_dict()
+
+    def test_top_destinations_matches_backend(
+        self, served_backend, client, cell_probes
+    ):
+        _, backend = served_backend
+        for lat, lon in cell_probes:
+            assert client.top_destinations_at(lat, lon) == (
+                backend.top_destinations_at(lat, lon)
+            )
+
+    def test_route_cells_matches_backend(self, served_backend, client,
+                                         small_inventory):
+        _, backend = served_backend
+        route_key = next(
+            (key for key, _ in small_inventory.items()
+             if key.grouping_set is GroupingSet.CELL_OD_TYPE),
+            None,
+        )
+        if route_key is None:
+            pytest.skip("small world produced no route groups")
+        local = backend.route_cells(
+            route_key.origin, route_key.destination, route_key.vessel_type
+        )
+        remote = client.route_cells(
+            route_key.origin, route_key.destination, route_key.vessel_type
+        )
+        assert sorted(remote) == sorted(local)
+        for cell, summary in local.items():
+            assert remote[cell].to_dict() == summary.to_dict()
+
+    def test_eta_matches_in_process_estimator(self, served_backend, client,
+                                              small_inventory):
+        _, backend = served_backend
+        estimator = EtaEstimator(backend)
+        sample = next(
+            ((key, summary) for key, summary in small_inventory.items()
+             if key.grouping_set is GroupingSet.CELL_OD_TYPE
+             and summary.ata.count >= 3),
+            None,
+        )
+        if sample is None:
+            pytest.skip("small world produced no dense route cells")
+        key, _ = sample
+        lat, lon = cell_to_latlng(key.cell)
+        local = estimator.estimate(
+            lat, lon, vessel_type=key.vessel_type,
+            origin=key.origin, destination=key.destination,
+        )
+        remote = client.eta(
+            lat, lon, vessel_type=key.vessel_type,
+            origin=key.origin, destination=key.destination,
+        )
+        assert local is not None and remote is not None
+        assert remote == local  # both frozen dataclasses, field-exact
+
+    def test_destination_matches_in_process_predictor(
+        self, served_backend, client, cell_probes
+    ):
+        _, backend = served_backend
+        track = cell_probes[:4]
+        local = DestinationPredictor(backend).predict_track(list(track))
+        remote = client.destination(list(track))
+        assert remote["best"] == local.best()
+        assert remote["observations"] == local.observations
+        assert remote["matched_observations"] == local.matched_observations
+        for (dest_r, share_r), (dest_l, share_l) in zip(
+            remote["ranking"], local.ranking()
+        ):
+            assert dest_r == dest_l
+            assert share_r == pytest.approx(share_l)
+
+    def test_stats_exposes_inventory_and_server_views(self, client):
+        stats = client.stats()
+        assert stats["inventory"]["entries"] > 0
+        assert "cache" in stats["inventory"]
+        counters = stats["server"]["counters"]
+        assert counters["server.requests"] >= 1
+        assert counters["server.connections.opened"] >= 1
+
+    def test_bad_request_reports_code(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.request("summary_at", lat="north", lon=3.0)
+        assert excinfo.value.code == protocol.ERR_BAD_REQUEST
+        # Position-query invariants surface as bad_request too.
+        with pytest.raises(ServerError) as excinfo:
+            client.request("summary_at", lat=1.0, lon=2.0, origin="CNSHA")
+        assert excinfo.value.code == protocol.ERR_BAD_REQUEST
+
+    def test_unknown_request_type_keeps_connection_alive(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.request("teleport")
+        assert excinfo.value.code == protocol.ERR_UNKNOWN_TYPE
+        assert client.ping() is True  # same connection still serves
+
+
+# -- fault isolation -------------------------------------------------------------
+
+
+class TestFaults:
+    @pytest.fixture()
+    def fault_server(self):
+        service = InventoryService(_tiny_inventory())
+        config = ServerConfig(
+            max_concurrency=4, request_timeout_s=2.0, idle_timeout_s=10.0,
+            max_frame_bytes=64 * 1024, drain_timeout_s=5.0,
+        )
+        with ServerThread(service, config) as handle:
+            yield handle
+
+    def test_oversized_frame_gets_error_then_close(self, fault_server):
+        huge = struct.pack(">I", 10 * 1024 * 1024)
+        response = _raw_exchange(fault_server.address, huge)
+        assert response is not None and response["ok"] is False
+        assert response["error"]["code"] == protocol.ERR_FRAME_TOO_LARGE
+        # The connection was dropped, but the server still serves.
+        with InventoryClient(*fault_server.address) as client:
+            assert client.ping() is True
+
+    def test_truncated_frame_drops_only_that_connection(self, fault_server):
+        frame = protocol.encode_frame({"id": 1, "type": "ping"})
+        _raw_exchange(fault_server.address, frame[:-2], read_response=False)
+        time.sleep(0.1)
+        with InventoryClient(*fault_server.address) as client:
+            assert client.ping() is True
+        counters = fault_server.server.metrics.counters
+        assert counters.value(f"server.errors.{protocol.ERR_TRUNCATED}") >= 1
+
+    def test_garbage_payload_rejected_cleanly(self, fault_server):
+        payload = b"\xff\xfe\xfd garbage"
+        frame = struct.pack(">I", len(payload)) + payload
+        response = _raw_exchange(fault_server.address, frame)
+        assert response is not None and response["ok"] is False
+        assert response["error"]["code"] == protocol.ERR_BAD_FRAME
+
+    def test_request_deadline_exceeded(self):
+        service = _SlowService(InventoryService(_tiny_inventory()), delay_s=1.5)
+        config = ServerConfig(request_timeout_s=0.2, drain_timeout_s=0.5)
+        with ServerThread(service, config) as handle:
+            with InventoryClient(*handle.address) as client:
+                started = time.perf_counter()
+                with pytest.raises(ServerError) as excinfo:
+                    client.ping()
+                elapsed = time.perf_counter() - started
+        assert excinfo.value.code == protocol.ERR_DEADLINE
+        assert elapsed < 1.0  # the answer was the deadline, not the sleep
+
+    def test_stalled_writer_does_not_delay_other_clients(self, fault_server):
+        """A connection that declares a frame and never finishes sending
+        it must not add latency to well-behaved clients."""
+        stalled = socket.create_connection(fault_server.address, timeout=5.0)
+        try:
+            stalled.sendall(struct.pack(">I", 512) + b"partial")
+            time.sleep(0.05)  # let the server start (and block) reading it
+            with InventoryClient(*fault_server.address) as client:
+                latencies = []
+                for _ in range(20):
+                    started = time.perf_counter()
+                    assert client.ping() is True
+                    latencies.append(time.perf_counter() - started)
+            assert max(latencies) < 0.5
+        finally:
+            stalled.close()
+
+    def test_slow_request_does_not_block_fast_client(self):
+        """One client stuck in a slow handler; another gets fast answers
+        concurrently (bounded concurrency > 1 really is concurrent)."""
+        service = _SlowService(
+            InventoryService(_tiny_inventory()), delay_s=1.0,
+            slow_types=("stats",),
+        )
+        config = ServerConfig(max_concurrency=4, request_timeout_s=5.0)
+        with ServerThread(service, config) as handle:
+            slow_done = threading.Event()
+
+            def slow_caller():
+                with InventoryClient(*handle.address) as slow_client:
+                    slow_client.stats()
+                slow_done.set()
+
+            slow_thread = threading.Thread(target=slow_caller)
+            slow_thread.start()
+            time.sleep(0.1)  # the slow request is now in a worker thread
+            with InventoryClient(*handle.address) as fast_client:
+                started = time.perf_counter()
+                for _ in range(5):
+                    assert fast_client.ping() is True
+                fast_elapsed = time.perf_counter() - started
+            slow_thread.join(timeout=10)
+        assert slow_done.is_set()
+        assert fast_elapsed < 0.5
+
+    def test_concurrent_clients_get_isolated_responses(self, served_backend):
+        """Many threads, each with its own connection and its own probe:
+        every response must match that client's request (no cross-talk)."""
+        address, backend = served_backend
+        probes = []
+        for key, _ in backend.items():
+            if key.grouping_set is GroupingSet.CELL:
+                probes.append(cell_to_latlng(key.cell))
+                if len(probes) >= 6:
+                    break
+        expected = [backend.summary_at(lat, lon) for lat, lon in probes]
+        failures: list[str] = []
+
+        def worker(index):
+            lat, lon = probes[index % len(probes)]
+            want = expected[index % len(probes)]
+            with InventoryClient(address[0], address[1]) as worker_client:
+                for _ in range(10):
+                    got = worker_client.summary_at(lat, lon)
+                    if (got is None) != (want is None) or (
+                        got is not None and got.to_dict() != want.to_dict()
+                    ):
+                        failures.append(f"client {index} got a foreign answer")
+                        return
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(12)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+
+    def test_graceful_shutdown_drains_in_flight_requests(self):
+        """A request already executing when shutdown starts still gets its
+        response; the connection closes afterwards."""
+        service = _SlowService(InventoryService(_tiny_inventory()), delay_s=0.4)
+        config = ServerConfig(request_timeout_s=5.0, drain_timeout_s=5.0)
+        handle = ServerThread(service, config).start()
+        results: dict = {}
+
+        def in_flight_caller():
+            try:
+                with InventoryClient(*handle.address) as draining_client:
+                    results["pong"] = draining_client.ping()
+            except Exception as exc:  # noqa: BLE001 - recorded for the assert
+                results["error"] = exc
+
+        caller = threading.Thread(target=in_flight_caller)
+        caller.start()
+        time.sleep(0.1)  # request is mid-handler now
+        started = time.perf_counter()
+        handle.stop()  # graceful drain
+        drained_in = time.perf_counter() - started
+        caller.join(timeout=10)
+        assert results.get("pong") is True, results.get("error")
+        assert drained_in < 4.0
+        # After shutdown nothing is listening anymore.
+        with pytest.raises(OSError):
+            socket.create_connection(handle.address, timeout=0.5)
+
+    def test_shutdown_with_idle_connections_is_prompt(self):
+        service = InventoryService(_tiny_inventory())
+        config = ServerConfig(idle_timeout_s=60.0, drain_timeout_s=5.0)
+        handle = ServerThread(service, config).start()
+        idle = socket.create_connection(handle.address, timeout=5.0)
+        try:
+            started = time.perf_counter()
+            handle.stop()
+            assert time.perf_counter() - started < 3.0
+        finally:
+            idle.close()
+
+
+# -- config plumbing -------------------------------------------------------------
+
+
+def test_server_config_validation():
+    with pytest.raises(ValueError):
+        ServerConfig(max_concurrency=0)
+    with pytest.raises(ValueError):
+        ServerConfig(request_timeout_s=0.0)
+
+
+def test_cli_serve_config_plumbing():
+    from repro.cli import _build_parser, _serve_config
+
+    parser = _build_parser()
+    args = parser.parse_args([
+        "serve", "--inventory", "inv.sst", "--host", "0.0.0.0",
+        "--port", "9000", "--max-concurrency", "8",
+        "--request-timeout", "2.5", "--idle-timeout", "7.5",
+    ])
+    config = _serve_config(args)
+    assert (config.host, config.port) == ("0.0.0.0", 9000)
+    assert config.max_concurrency == 8
+    assert config.request_timeout_s == 2.5
+    assert config.idle_timeout_s == 7.5
+    assert args.handler is not None
+
+
+def test_server_address_requires_start():
+    with pytest.raises(RuntimeError):
+        InventoryServer(InventoryService(_tiny_inventory())).address
