@@ -9,16 +9,19 @@
     python -m repro serve    --inventory inv.sst --port 7077
     python -m repro render   --inventory inv.sst --feature speed --out map.ppm
     python -m repro info     --inventory inv.sst
+    python -m repro fsck     --inventory inv.sst [--salvage fixed.sst]
 
 ``generate`` writes a NOAA-style CSV archive plus sidecar fleet/port CSVs;
 ``build`` runs the pipeline and persists the inventory as windowed,
-compacted SSTables; ``compact`` k-way merges tables; ``query`` and
+compacted SSTables (``--resume`` continues an interrupted windowed
+build from its manifest); ``compact`` k-way merges tables; ``query`` and
 ``render`` serve straight from a table through the block-cached
 :class:`~repro.inventory.backend.SSTableInventory` — no command ever
 materializes the whole store in memory.  ``serve`` exposes the same
 table over TCP through the concurrent query server
 (:mod:`repro.server`): bounded in-flight requests, per-request
-deadlines, graceful drain on Ctrl-C.
+deadlines, graceful drain on Ctrl-C.  ``fsck`` verifies every checksum
+in a table and can salvage the readable blocks of a damaged one.
 """
 
 from __future__ import annotations
@@ -33,7 +36,13 @@ from repro.ais import read_csv, write_csv
 from repro.ais.vesseltypes import MarketSegment
 from repro.apps import raster_from_inventory, write_ppm
 from repro.geo.polygon import BoundingBox
-from repro.inventory import SSTableInventory, merge_tables, open_inventory
+from repro.inventory import (
+    SSTableInventory,
+    merge_tables,
+    open_inventory,
+    salvage_table,
+    verify_table,
+)
 from repro.world.fleet import Vessel
 from repro.world.ports import PORTS
 
@@ -82,6 +91,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             "compacted into --out")
     build.add_argument("--out", type=Path, required=True,
                        help="inventory SSTable path")
+    build.add_argument("--resume", action="store_true",
+                       help="continue an interrupted windowed build: "
+                            "reuse completed windows verified against "
+                            "the build manifest")
     build.set_defaults(handler=_cmd_build)
 
     compact = commands.add_parser(
@@ -143,6 +156,16 @@ def _build_parser() -> argparse.ArgumentParser:
     info.add_argument("--inventory", type=Path, required=True)
     info.set_defaults(handler=_cmd_info)
 
+    fsck = commands.add_parser(
+        "fsck", help="verify a table's checksums; optionally salvage it"
+    )
+    fsck.add_argument("--inventory", type=Path, required=True,
+                      help="SSTable to verify")
+    fsck.add_argument("--salvage", type=Path, default=None,
+                      help="write the readable entries of a damaged table "
+                           "to this path (must differ from --inventory)")
+    fsck.set_defaults(handler=_cmd_fsck)
+
     return parser
 
 
@@ -187,6 +210,7 @@ def _cmd_build(args) -> int:
         PipelineConfig(resolution=args.resolution),
         output=args.out,
         windows=args.windows,
+        resume=args.resume,
     )
     for stage, count in result.funnel.items():
         print(f"  {stage:<22} {count:>10,}")
@@ -311,6 +335,22 @@ def _cmd_info(args) -> int:
             print(f"  {grouping_set.value:<14} {count:>10,} groups")
         print(f"records aggregated: {records:,}")
     return 0
+
+
+def _cmd_fsck(args) -> int:
+    check = verify_table(args.inventory)
+    for line in check.lines():
+        print(line)
+    if check.ok:
+        return 0
+    if args.salvage is not None:
+        report = salvage_table(args.inventory, args.salvage)
+        print(
+            f"salvaged {report.entries_recovered:,} entries to "
+            f"{report.output} ({report.entries_lost:,} lost, "
+            f"{len(report.blocks_skipped)} blocks skipped)"
+        )
+    return 1
 
 
 def _fleet_sidecar(archive: Path) -> Path:

@@ -32,6 +32,10 @@ class EngineConfig:
     :param num_partitions: default parallelism for sources and shuffles.
     :param scheduler: 'serial' (reference), 'threads' or 'processes'.
     :param max_workers: pool size for the parallel schedulers.
+    :param scheduler_retries: extra per-partition attempts for tasks
+        that raise (transient-fault tolerance; 0 = fail fast).
+    :param scheduler_backoff: seconds before the first retry, doubling
+        per attempt.
     :param spill_dir: when set, shuffle buckets larger than
         ``spill_threshold`` records spill to pickle files under this
         directory.
@@ -42,6 +46,8 @@ class EngineConfig:
     num_partitions: int = 8
     scheduler: str = "serial"
     max_workers: int = 4
+    scheduler_retries: int = 0
+    scheduler_backoff: float = 0.05
     spill_dir: str | Path | None = None
     spill_threshold: int = 100_000
     collect_metrics: bool = False
@@ -60,7 +66,10 @@ class Engine:
         self.config = config or EngineConfig()
         self.num_partitions = self.config.num_partitions
         self.scheduler = make_scheduler(
-            self.config.scheduler, self.config.max_workers
+            self.config.scheduler,
+            self.config.max_workers,
+            retries=self.config.scheduler_retries,
+            backoff=self.config.scheduler_backoff,
         )
         self.spill_dir = Path(self.config.spill_dir) if self.config.spill_dir else None
         if self.spill_dir is not None:

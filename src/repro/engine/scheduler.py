@@ -6,12 +6,66 @@ engine tests assert this).  Threads help when partition work releases the
 GIL (file I/O, hashing); processes help for pure-Python CPU work at the
 price of pickling partitions across the boundary — the engine-scaling
 ablation benchmark measures exactly this trade-off.
+
+All backends support **per-partition retries** with exponential backoff
+(``make_scheduler(..., retries=, backoff=)``): a partition whose task
+raises is re-run up to ``retries`` more times, sleeping ``backoff``,
+``2*backoff``, ``4*backoff``, ... seconds between attempts.  This is for
+transient faults (a flaky NFS read, an ``EIO`` that a re-read survives);
+the budget is per partition, so one poisoned partition cannot starve the
+rest, and a task that keeps failing raises its final exception
+unchanged.
 """
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor, wait
+
+#: Sleep indirection so retry/backoff tests can run without real delays.
+_sleep = time.sleep
+
+
+class WorkerError(RuntimeError):
+    """A forked worker failed.  ``tracebacks`` carries the workers' real
+    formatted tracebacks, which are also embedded in the message — the
+    parent re-raises the *information*, not a 'go reproduce it serially'
+    shrug."""
+
+    def __init__(self, message: str, tracebacks: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        self.tracebacks = tracebacks
+
+
+def _check_retry_policy(retries: int, backoff: float) -> None:
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if backoff < 0:
+        raise ValueError(f"backoff must be >= 0, got {backoff}")
+
+
+def _with_retries(
+    task: Callable[[int, list], list], retries: int, backoff: float
+) -> Callable[[int, list], list]:
+    """Wrap ``task`` with the per-partition retry/backoff policy."""
+    if retries == 0:
+        return task
+
+    def attempt(index: int, partition: list) -> list:
+        delay = backoff
+        for remaining in range(retries, -1, -1):
+            try:
+                return task(index, partition)
+            except Exception:
+                if remaining == 0:
+                    raise
+                if delay > 0:
+                    _sleep(delay)
+                delay *= 2
+        raise AssertionError("unreachable")
+
+    return attempt
 
 
 class SerialScheduler:
@@ -19,10 +73,16 @@ class SerialScheduler:
 
     name = "serial"
 
+    def __init__(self, retries: int = 0, backoff: float = 0.05) -> None:
+        _check_retry_policy(retries, backoff)
+        self.retries = retries
+        self.backoff = backoff
+
     def run(
         self, task: Callable[[int, list], list], partitions: Sequence[list]
     ) -> list[list]:
         """Apply ``task(index, partition)`` to every partition, in order."""
+        task = _with_retries(task, self.retries, self.backoff)
         return [task(i, part) for i, part in enumerate(partitions)]
 
     def close(self) -> None:
@@ -34,10 +94,15 @@ class ThreadScheduler:
 
     name = "threads"
 
-    def __init__(self, max_workers: int = 4) -> None:
+    def __init__(
+        self, max_workers: int = 4, retries: int = 0, backoff: float = 0.05
+    ) -> None:
         if max_workers < 1:
             raise ValueError(f"need at least one worker, got {max_workers}")
+        _check_retry_policy(retries, backoff)
         self.max_workers = max_workers
+        self.retries = retries
+        self.backoff = backoff
         self._pool: ThreadPoolExecutor | None = None
 
     def run(
@@ -47,6 +112,7 @@ class ThreadScheduler:
         partition order."""
         if self._pool is None:
             self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+        task = _with_retries(task, self.retries, self.backoff)
         futures = [
             self._pool.submit(task, i, part) for i, part in enumerate(partitions)
         ]
@@ -77,14 +143,25 @@ class ProcessScheduler:
     lambda-heavy jobs run), computes its results, and pickles only the
     results back through a pipe.  POSIX-only, like the fork start method
     itself.
+
+    A worker that raises sends ``("error", traceback_text)`` up the pipe
+    instead of results; the parent collects every worker's report, then
+    raises :class:`WorkerError` carrying the real tracebacks.  If
+    collection itself dies partway, the remaining pipe fds are closed
+    and the remaining children reaped — no fd leak, no zombies.
     """
 
     name = "processes"
 
-    def __init__(self, max_workers: int = 4) -> None:
+    def __init__(
+        self, max_workers: int = 4, retries: int = 0, backoff: float = 0.05
+    ) -> None:
         if max_workers < 1:
             raise ValueError(f"need at least one worker, got {max_workers}")
+        _check_retry_policy(retries, backoff)
         self.max_workers = max_workers
+        self.retries = retries
+        self.backoff = backoff
 
     def run(
         self, task: Callable[[int, list], list], partitions: Sequence[list]
@@ -93,10 +170,12 @@ class ProcessScheduler:
         keep partition order."""
         import os
         import pickle
+        import traceback
 
         count = len(partitions)
         if count == 0:
             return []
+        task = _with_retries(task, self.retries, self.backoff)
         workers = min(self.max_workers, count)
         if workers == 1:
             return [task(i, part) for i, part in enumerate(partitions)]
@@ -106,37 +185,70 @@ class ProcessScheduler:
             read_fd, write_fd = os.pipe()
             pid = os.fork()
             if pid == 0:
-                # Worker: compute the slice, stream pickled results, exit
-                # without running parent atexit/cleanup handlers.
+                # Worker: compute the slice, stream a pickled ("ok",
+                # results) or ("error", traceback) report, exit without
+                # running parent atexit/cleanup handlers.
                 os.close(read_fd)
                 status = 0
                 try:
-                    payload = pickle.dumps(
-                        [task(i, partitions[i]) for i in indices],
-                        protocol=pickle.HIGHEST_PROTOCOL,
-                    )
+                    try:
+                        report = (
+                            "ok",
+                            [task(i, partitions[i]) for i in indices],
+                        )
+                        payload = pickle.dumps(
+                            report, protocol=pickle.HIGHEST_PROTOCOL
+                        )
+                    except BaseException:
+                        status = 1
+                        payload = pickle.dumps(
+                            ("error", traceback.format_exc()),
+                            protocol=pickle.HIGHEST_PROTOCOL,
+                        )
                     with os.fdopen(write_fd, "wb") as pipe:
                         pipe.write(payload)
                 except BaseException:
-                    status = 1
+                    status = 1  # reporting itself failed: empty pipe
                 os._exit(status)
             os.close(write_fd)
             children.append((pid, read_fd, indices))
         results: list[list | None] = [None] * count
-        failure = False
-        for pid, read_fd, indices in children:
-            with os.fdopen(read_fd, "rb") as pipe:
-                payload = pipe.read()
-            _, status = os.waitpid(pid, 0)
-            if status != 0 or not payload:
-                failure = True
-                continue
-            for index, result in zip(indices, pickle.loads(payload)):
-                results[index] = result
-        if failure:
-            raise RuntimeError(
-                "a forked worker failed; re-run on the serial scheduler to "
-                "see the underlying exception"
+        errors: list[str] = []
+        collected = 0
+        try:
+            for pid, read_fd, indices in children:
+                with os.fdopen(read_fd, "rb") as pipe:
+                    payload = pipe.read()
+                os.waitpid(pid, 0)
+                collected += 1
+                if not payload:
+                    errors.append(
+                        f"worker pid {pid} died without reporting "
+                        f"(partitions {indices})"
+                    )
+                    continue
+                tag, value = pickle.loads(payload)
+                if tag == "error":
+                    errors.append(value)
+                    continue
+                for index, result in zip(indices, value):
+                    results[index] = result
+        finally:
+            # Collection died partway (bad pickle, interrupt): close the
+            # unread pipe ends and reap the remaining children.
+            for pid, read_fd, _ in children[collected:]:
+                try:
+                    os.close(read_fd)
+                except OSError:
+                    pass
+                try:
+                    os.waitpid(pid, 0)
+                except OSError:
+                    pass
+        if errors:
+            raise WorkerError(
+                "forked worker(s) failed:\n\n" + "\n".join(errors),
+                tracebacks=tuple(errors),
             )
         return results  # type: ignore[return-value]
 
@@ -144,12 +256,20 @@ class ProcessScheduler:
         """Fork-per-run keeps no pool; nothing to release."""
 
 
-def make_scheduler(name: str, max_workers: int = 4):
-    """Factory: 'serial', 'threads' or 'processes'."""
+def make_scheduler(
+    name: str, max_workers: int = 4, retries: int = 0, backoff: float = 0.05
+):
+    """Factory: 'serial', 'threads' or 'processes', with an optional
+    per-partition retry budget (``retries`` extra attempts, exponential
+    ``backoff`` seconds between them)."""
     if name == "serial":
-        return SerialScheduler()
+        return SerialScheduler(retries=retries, backoff=backoff)
     if name == "threads":
-        return ThreadScheduler(max_workers=max_workers)
+        return ThreadScheduler(
+            max_workers=max_workers, retries=retries, backoff=backoff
+        )
     if name == "processes":
-        return ProcessScheduler(max_workers=max_workers)
+        return ProcessScheduler(
+            max_workers=max_workers, retries=retries, backoff=backoff
+        )
     raise ValueError(f"unknown scheduler {name!r}")

@@ -30,7 +30,17 @@ from repro.inventory.backend import (
     open_backend,
 )
 from repro.inventory.store import Inventory
-from repro.inventory.sstable import SSTableWriter, SSTableReader, write_inventory, open_inventory
+from repro.inventory.sstable import (
+    FORMAT_VERSION,
+    CorruptionError,
+    SSTableError,
+    SSTableWriter,
+    SSTableReader,
+    write_inventory,
+    open_inventory,
+    verify_table,
+    salvage_table,
+)
 from repro.inventory.adaptive import AdaptiveInventory, build_adaptive
 from repro.inventory.compaction import merge_tables
 from repro.inventory.export import inventory_to_geojson, write_geojson
@@ -46,10 +56,15 @@ __all__ = [
     "SSTableInventory",
     "open_backend",
     "Inventory",
+    "FORMAT_VERSION",
+    "CorruptionError",
+    "SSTableError",
     "SSTableWriter",
     "SSTableReader",
     "write_inventory",
     "open_inventory",
+    "verify_table",
+    "salvage_table",
     "AdaptiveInventory",
     "build_adaptive",
     "merge_tables",

@@ -1,0 +1,105 @@
+"""The filesystem seam: every durable write goes through here.
+
+Crash safety is a *protocol*, not a property of any one call: write to a
+temporary file in the same directory, fsync the file, rename it into
+place, fsync the directory.  This module centralises that protocol so
+
+- the storage layer (:mod:`repro.inventory.sstable`, the pipeline's
+  windowed builds) cannot accidentally write a table in place, and
+- the deterministic fault harness (:mod:`repro.testing.faults`) has one
+  narrow surface to interpose on: ``hooks`` is a mutable indirection
+  table the harness patches to inject torn writes, ``ENOSPC``, read
+  ``EIO``, bit flips and crash-before-rename at exact operation indices.
+
+Production code calls the module-level functions; only the fault
+harness touches ``hooks``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import IO
+
+_real_open = open
+
+#: Suffix for in-flight temporary files (same directory as the target,
+#: so the final rename never crosses a filesystem boundary).
+TMP_SUFFIX = ".tmp"
+
+
+class _Hooks:
+    """The patchable syscall table (see :mod:`repro.testing.faults`)."""
+
+    __slots__ = ("open", "replace", "fsync", "unlink")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Restore the real filesystem operations."""
+        self.open = _real_open
+        self.replace = os.replace
+        self.fsync = os.fsync
+        self.unlink = os.unlink
+
+
+hooks = _Hooks()
+
+
+def temp_path(path: str | Path) -> Path:
+    """The staging path a durable write of ``path`` goes through."""
+    path = Path(path)
+    return path.with_name(path.name + TMP_SUFFIX)
+
+
+def open_file(path: str | Path, mode: str) -> IO[bytes]:
+    """Open a file through the (patchable) seam."""
+    return hooks.open(path, mode)
+
+
+def rename(src: str | Path, dst: str | Path) -> None:
+    """Atomically move ``src`` over ``dst`` (the commit point)."""
+    hooks.replace(str(src), str(dst))
+
+
+def fsync_file(handle: IO[bytes]) -> None:
+    """Flush user-space buffers and force the file to stable storage."""
+    handle.flush()
+    hooks.fsync(handle.fileno())
+
+
+def fsync_dir(path: str | Path) -> None:
+    """Force a directory entry (a rename) to stable storage."""
+    fd = os.open(str(path), os.O_RDONLY)
+    try:
+        hooks.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def unlink(path: str | Path) -> None:
+    """Remove a file, tolerating its absence."""
+    try:
+        hooks.unlink(str(path))
+    except FileNotFoundError:
+        pass
+
+
+def atomic_write_bytes(path: str | Path, payload: bytes) -> None:
+    """Durably replace ``path`` with ``payload``: temp → fsync → rename
+    → directory fsync.  On any error the temp file is removed and the
+    previous contents of ``path`` (if any) are untouched."""
+    path = Path(path)
+    temp = temp_path(path)
+    handle = open_file(temp, "wb")
+    try:
+        handle.write(payload)
+        fsync_file(handle)
+    except BaseException:
+        handle.close()
+        unlink(temp)
+        raise
+    handle.close()
+    rename(temp, path)
+    fsync_dir(path.parent)

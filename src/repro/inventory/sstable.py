@@ -12,12 +12,26 @@ classic SSTable layout:
 
 - **data blocks** hold consecutive ``(key, value)`` entries in key order,
   each entry length-prefixed; blocks close at ~``block_size`` bytes;
-- the **index** records each block's first key and file offset;
-- the **footer** locates the index and carries entry/block counts.
+- the **index** records each block's first key, file offset, length and
+  (format v3) checksum;
+- the **footer** locates the index and carries entry/block counts, the
+  checksum algorithm id, the index checksum and its own checksum.
 
 A point lookup binary-searches the in-memory index (one entry per block),
 reads one block, and scans at most one block's entries — ~10 entries
 for the default 16 KiB blocks, versus millions of raw records.
+
+**Format v3 (``POLINV3``)** is self-verifying: every data block, the
+index and the footer carry a CRC (see :mod:`repro.inventory.checksum`),
+so damage anywhere in a table surfaces as a typed
+:class:`CorruptionError` at block granularity — never a silently wrong
+summary.  v2 tables (``POLINV2``, no checksums) remain readable.
+
+**Writes are crash-safe**: the writer stages the table at
+``<path>.tmp`` in the same directory, fsyncs, renames into place and
+fsyncs the directory (see :mod:`repro.inventory.fsio`), so a crash at
+any instant leaves either the previous table or the new one at the
+final path — never a truncated hybrid.  Errors unlink the partials.
 
 Keys are :class:`~repro.inventory.keys.GroupKey`, serialised so that the
 raw-byte order agrees exactly with ``GroupKey.sort_key`` (the property
@@ -28,7 +42,9 @@ codec-encoded summary payloads.
 Next to each table the writer persists a **route-index sidecar**
 (``<table>.routes``): the (origin, destination, vessel type) → cells
 mapping that lets a disk-backed inventory answer ``route_cells`` without
-a full table scan.
+a full table scan.  The sidecar is checksummed (``POLRIX2``) and written
+with the same atomic protocol; a damaged sidecar degrades to a rebuild
+scan, never a wrong route.
 """
 
 from __future__ import annotations
@@ -37,9 +53,12 @@ import struct
 import threading
 from bisect import bisect_right
 from collections.abc import Iterator
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from repro.inventory import checksum as _checksum
+from repro.inventory import fsio
 from repro.inventory.codec import CodecError, decode, encode
 from repro.inventory.keys import GroupKey, GroupingSet
 from repro.inventory.summary import CellSummary
@@ -47,11 +66,24 @@ from repro.inventory.summary import CellSummary
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.inventory.store import Inventory
 
-_MAGIC = b"POLINV2\n"
-_FOOTER_FMT = ">QQQ8s"  # index offset, entry count, block count, magic
-_FOOTER_SIZE = struct.calcsize(_FOOTER_FMT)
+#: The format revision new tables are written with.
+FORMAT_VERSION = 3
 
-_ROUTES_MAGIC = b"POLRIX1\n"
+_MAGIC_V2 = b"POLINV2\n"
+_MAGIC_V3 = b"POLINV3\n"
+_MAGIC = _MAGIC_V3  # what new tables carry
+_MAGIC_LEN = 8
+
+_FOOTER_V2_FMT = ">QQQ8s"  # index offset, entry count, block count, magic
+_FOOTER_V2_SIZE = struct.calcsize(_FOOTER_V2_FMT)
+# index offset, entry count, block count, checksum algo, index crc,
+# footer crc, magic.  The footer crc covers every preceding field.
+_FOOTER_V3_FMT = ">QQQBII8s"
+_FOOTER_V3_SIZE = struct.calcsize(_FOOTER_V3_FMT)
+_FOOTER_V3_CRC_SCOPE = struct.calcsize(">QQQBI")
+
+_ROUTES_MAGIC_V1 = b"POLRIX1\n"
+_ROUTES_MAGIC_V2 = b"POLRIX2\n"
 _ROUTES_SUFFIX = ".routes"
 
 # Order-preserving string framing: NUL terminator, embedded NULs escaped
@@ -60,6 +92,45 @@ _ROUTES_SUFFIX = ".routes"
 # smallest byte, prefixes sort first — exactly like Python strings.
 _TERMINATOR = b"\x00"
 _ESCAPED_NUL = b"\x00\xff"
+
+#: Exceptions that mean "these bytes do not parse as what they claim to
+#: be" — the raw material :class:`CorruptionError` wraps.
+_PARSE_ERRORS = (
+    CodecError,
+    ValueError,
+    KeyError,
+    TypeError,
+    IndexError,
+    struct.error,
+    UnicodeDecodeError,
+)
+
+
+class SSTableError(ValueError):
+    """A structural problem with an inventory table: not a table at all,
+    truncated past recognition, or an I/O failure while reading one.
+    Subclasses :class:`ValueError` so pre-v3 callers keep working."""
+
+
+class CorruptionError(SSTableError):
+    """A table that *was* valid no longer decodes to what was written:
+    a checksum mismatch or unparseable block/index/footer.  Carries the
+    damaged path and, when the damage is block-granular, the block."""
+
+    def __init__(
+        self,
+        message: str,
+        path: str | Path | None = None,
+        block_index: int | None = None,
+    ) -> None:
+        detail = message
+        if block_index is not None:
+            detail = f"block {block_index}: {detail}"
+        if path is not None:
+            detail = f"{path}: {detail}"
+        super().__init__(detail)
+        self.path = None if path is None else Path(path)
+        self.block_index = block_index
 
 
 def _key_bytes(key: GroupKey) -> bytes:
@@ -102,68 +173,150 @@ def route_index_path(path: str | Path) -> Path:
     return path.with_name(path.name + _ROUTES_SUFFIX)
 
 
+def _table_tag(table_path: Path) -> bytes:
+    """A 12-byte identity of the table file a sidecar belongs to: file
+    size + (v3) footer checksum.  A sidecar whose tag does not match its
+    table — e.g. the table rename was lost to a crash after the sidecar
+    landed — is treated as missing and rebuilt, never trusted."""
+    try:
+        size = table_path.stat().st_size
+        with open(table_path, "rb") as handle:
+            magic = handle.read(_MAGIC_LEN)
+            footer_crc = 0
+            if magic == _MAGIC_V3 and size >= _FOOTER_V3_SIZE:
+                handle.seek(size - _MAGIC_LEN - 4)
+                (footer_crc,) = struct.unpack(">I", handle.read(4))
+    except (OSError, struct.error):
+        return b"\x00" * 12
+    return struct.pack(">QI", size, footer_crc)
+
+
 def write_route_index(
     table_path: str | Path,
     index: dict[tuple[str, str, str], set[int]],
+    table_tag: bytes | None = None,
 ) -> Path:
-    """Persist a (origin, destination, type) → cells mapping next to a
-    table; returns the sidecar path."""
-    payload = encode(
+    """Durably persist a (origin, destination, type) → cells mapping next
+    to a table (checksummed, written atomically, tagged with the table's
+    identity); returns the sidecar path."""
+    table_path = Path(table_path)
+    if table_tag is None:
+        table_tag = _table_tag(table_path)
+    payload = table_tag + encode(
         [
             [origin, destination, vessel_type, sorted(cells)]
             for (origin, destination, vessel_type), cells in sorted(index.items())
         ]
     )
+    crc = _checksum.checksum_fn(_checksum.DEFAULT_ALGO)(payload)
     sidecar = route_index_path(table_path)
-    sidecar.write_bytes(_ROUTES_MAGIC + payload)
+    fsio.atomic_write_bytes(
+        sidecar,
+        _ROUTES_MAGIC_V2
+        + struct.pack(">BI", _checksum.DEFAULT_ALGO, crc)
+        + payload,
+    )
     return sidecar
 
 
 def read_route_index(
     table_path: str | Path,
 ) -> dict[tuple[str, str, str], set[int]] | None:
-    """Load a table's route-index sidecar; ``None`` when it is missing or
-    unreadable (callers fall back to a scan)."""
+    """Load a table's route-index sidecar; ``None`` when it is missing,
+    unreadable, fails its checksum or was written for a different
+    incarnation of the table (callers fall back to a scan — a damaged
+    or stale sidecar can cost a rebuild, never a wrong answer)."""
+    table_path = Path(table_path)
     sidecar = route_index_path(table_path)
     try:
         raw = sidecar.read_bytes()
     except OSError:
         return None
-    if not raw.startswith(_ROUTES_MAGIC):
+    if raw.startswith(_ROUTES_MAGIC_V2):
+        header_len = len(_ROUTES_MAGIC_V2) + struct.calcsize(">BI")
+        if len(raw) < header_len + 12:
+            return None
+        algo, crc = struct.unpack_from(">BI", raw, len(_ROUTES_MAGIC_V2))
+        tagged = raw[header_len:]
+        try:
+            if _checksum.checksum_fn(algo)(tagged) != crc:
+                return None
+        except ValueError:
+            return None
+        if tagged[:12] != _table_tag(table_path):
+            return None  # sidecar of a table that never (or no longer) exists
+        payload = tagged[12:]
+    elif raw.startswith(_ROUTES_MAGIC_V1):
+        payload = raw[len(_ROUTES_MAGIC_V1) :]
+    else:
         return None
     try:
-        rows = decode(raw[len(_ROUTES_MAGIC) :])
-    except CodecError:
+        rows = decode(payload)
+        index: dict[tuple[str, str, str], set[int]] = {}
+        for origin, destination, vessel_type, cells in rows:
+            index[(origin, destination, vessel_type)] = set(cells)
+    except _PARSE_ERRORS:
         return None
-    index: dict[tuple[str, str, str], set[int]] = {}
-    for origin, destination, vessel_type, cells in rows:
-        index[(origin, destination, vessel_type)] = set(cells)
     return index
 
 
 class SSTableWriter:
-    """Writes a sorted inventory table.  Entries must arrive in strictly
-    increasing key order (the writer enforces it).
+    """Writes a sorted inventory table, durably and atomically.
+
+    Entries must arrive in strictly increasing key order (the writer
+    enforces it).  The table is staged at ``<path>.tmp``; :meth:`close`
+    fsyncs it, publishes the route-index sidecar, then renames the
+    table into place and fsyncs the directory — so the final path only
+    ever holds a complete, verified table.  On error (including an
+    exception inside a ``with`` body) the partial staging files are
+    unlinked and the final path is untouched.
 
     Alongside the table the writer accumulates the route index (which
     cells each CELL_OD_TYPE key touches) and persists it as the
-    ``.routes`` sidecar on close.
+    ``.routes`` sidecar.
     """
 
-    def __init__(self, path: str | Path, block_size: int = 16 * 1024) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        block_size: int = 16 * 1024,
+        version: int = FORMAT_VERSION,
+        checksum_algo: int | None = None,
+    ) -> None:
         if block_size < 256:
             raise ValueError(f"block size too small: {block_size}")
+        if version not in (2, 3):
+            raise ValueError(f"unsupported table format version {version}")
         self._path = Path(path)
-        self._handle = open(path, "wb")
-        self._handle.write(_MAGIC)
+        self._temp = fsio.temp_path(self._path)
+        self._version = version
+        self._algo = (
+            _checksum.DEFAULT_ALGO if checksum_algo is None else checksum_algo
+        )
+        self._crc = _checksum.checksum_fn(self._algo)  # validates the id
+        self._handle = fsio.open_file(self._temp, "wb")
+        try:
+            self._handle.write(_MAGIC_V3 if version == 3 else _MAGIC_V2)
+        except BaseException:
+            # The constructor failed after staging was opened: clean up
+            # here, because __exit__ will never run for this object.
+            self._handle.close()
+            fsio.unlink(self._temp)
+            raise
         self._block_size = block_size
         self._block = bytearray()
         self._block_first_key: bytes | None = None
-        self._index: list[tuple[bytes, int, int]] = []  # first key, offset, length
+        # first key, offset, length, crc (crc unused for v2)
+        self._index: list[tuple[bytes, int, int, int]] = []
         self._route_index: dict[tuple[str, str, str], set[int]] = {}
         self._last_key: bytes | None = None
         self._entries = 0
         self._closed = False
+
+    @property
+    def path(self) -> Path:
+        """The final table path (only populated once :meth:`close` ran)."""
+        return self._path
 
     def add(self, key: GroupKey, summary: CellSummary) -> None:
         """Append one entry (keys must be strictly increasing)."""
@@ -186,27 +339,78 @@ class SSTableWriter:
             self._flush_block()
 
     def close(self) -> None:
-        """Flush, write index, footer and the route-index sidecar."""
+        """Flush, write index and footer, fsync, publish sidecar and
+        table (in that order: the table rename is the commit point)."""
         if self._closed:
             return
-        self._flush_block()
-        index_offset = self._handle.tell()
-        index_payload = encode(
-            [
-                [first_key, offset, length]
-                for first_key, offset, length in self._index
-            ]
-        )
-        self._handle.write(struct.pack(">I", len(index_payload)))
-        self._handle.write(index_payload)
-        self._handle.write(
-            struct.pack(
-                _FOOTER_FMT, index_offset, self._entries, len(self._index), _MAGIC
+        try:
+            self._flush_block()
+            index_offset = self._handle.tell()
+            if self._version == 3:
+                index_payload = encode(
+                    [list(entry) for entry in self._index]
+                )
+            else:
+                index_payload = encode(
+                    [[first, offset, length] for first, offset, length, _ in self._index]
+                )
+            self._handle.write(struct.pack(">I", len(index_payload)))
+            self._handle.write(index_payload)
+            footer_crc = 0
+            if self._version == 3:
+                fields = struct.pack(
+                    ">QQQBI",
+                    index_offset,
+                    self._entries,
+                    len(self._index),
+                    self._algo,
+                    self._crc(index_payload),
+                )
+                footer_crc = self._crc(fields)
+                self._handle.write(
+                    fields + struct.pack(">I", footer_crc) + _MAGIC_V3
+                )
+            else:
+                self._handle.write(
+                    struct.pack(
+                        _FOOTER_V2_FMT,
+                        index_offset,
+                        self._entries,
+                        len(self._index),
+                        _MAGIC_V2,
+                    )
+                )
+            table_size = self._handle.tell()
+            fsio.fsync_file(self._handle)
+            self._handle.close()
+            # Sidecar first (tagged with the not-yet-published table's
+            # identity), then the table rename as the commit point: a
+            # crash in between leaves a sidecar whose tag matches no
+            # table, which readers treat as missing.
+            write_route_index(
+                self._path,
+                self._route_index,
+                table_tag=struct.pack(">QI", table_size, footer_crc),
             )
-        )
-        self._handle.close()
-        write_route_index(self._path, self._route_index)
+            fsio.rename(self._temp, self._path)
+            fsio.fsync_dir(self._path.parent)
+        except BaseException:
+            self.abort()
+            raise
         self._closed = True
+
+    def abort(self) -> None:
+        """Discard the in-flight table: close the handle and unlink the
+        staging files, leaving the final path exactly as it was."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._handle.close()
+        except Exception:
+            pass
+        fsio.unlink(self._temp)
+        fsio.unlink(fsio.temp_path(route_index_path(self._path)))
 
     def __enter__(self) -> "SSTableWriter":
         return self
@@ -215,14 +419,18 @@ class SSTableWriter:
         if exc_type is None:
             self.close()
         else:
-            self._handle.close()
+            # The body raised: leave no partial table or orphan sidecar.
+            self.abort()
 
     def _flush_block(self) -> None:
         if not self._block:
             return
         offset = self._handle.tell()
-        self._handle.write(self._block)
-        self._index.append((bytes(self._block_first_key), offset, len(self._block)))
+        block = bytes(self._block)
+        self._handle.write(block)
+        self._index.append(
+            (bytes(self._block_first_key), offset, len(block), self._crc(block))
+        )
         self._block = bytearray()
         self._block_first_key = None
 
@@ -230,33 +438,37 @@ class SSTableWriter:
 class SSTableReader:
     """Point lookups and ordered scans over a written table.
 
+    Reads both format v3 (checksummed; every block read is verified and
+    damage raises :class:`CorruptionError` naming the block) and legacy
+    v2 tables (no checksums; parse failures still surface as
+    :class:`CorruptionError`, but a bit flip that happens to decode can
+    go undetected — rebuild v2 tables to v3 via ``repro compact``).
+
     Besides :meth:`get`/:meth:`scan`, the reader exposes the block layer
     (:meth:`find_block`, :meth:`read_block`, :meth:`parse_entries`) so a
     serving backend can interpose a block cache without re-implementing
-    the file format.
+    the file format.  Blocks returned by :meth:`read_block` are already
+    verified, so cached blocks never need re-checking.
     """
 
     def __init__(self, path: str | Path) -> None:
         self._path = Path(path)
-        self._handle = open(path, "rb")
-        self._handle.seek(0, 2)
-        size = self._handle.tell()
-        if size < len(_MAGIC) + _FOOTER_SIZE:
-            raise ValueError(f"not an inventory table: {path}")
-        self._handle.seek(0)
-        if self._handle.read(len(_MAGIC)) != _MAGIC:
-            raise ValueError(f"bad magic in inventory table: {path}")
-        self._handle.seek(size - _FOOTER_SIZE)
-        index_offset, self.entry_count, self.block_count, magic = struct.unpack(
-            _FOOTER_FMT, self._handle.read(_FOOTER_SIZE)
-        )
-        if magic != _MAGIC:
-            raise ValueError(f"bad footer magic in inventory table: {path}")
-        self._handle.seek(index_offset)
-        (index_length,) = struct.unpack(">I", self._handle.read(4))
-        raw_index = decode(self._handle.read(index_length))
-        self._block_keys = [entry[0] for entry in raw_index]
-        self._block_spans = [(entry[1], entry[2]) for entry in raw_index]
+        self._handle = fsio.open_file(path, "rb")
+        try:
+            self._open()
+        except SSTableError:
+            self._handle.close()
+            raise
+        except _PARSE_ERRORS as exc:
+            self._handle.close()
+            raise CorruptionError(
+                f"unreadable table metadata: {exc}", path=self._path
+            ) from exc
+        except OSError as exc:
+            self._handle.close()
+            raise SSTableError(
+                f"I/O error opening inventory table {self._path}: {exc}"
+            ) from exc
         # One reader may serve many threads (the query server's worker
         # pool): seek+read on the shared handle must be atomic.
         self._read_lock = threading.Lock()
@@ -264,6 +476,95 @@ class SSTableReader:
         self.last_read_bytes = 0
         #: Bytes physically read from disk over the reader's lifetime.
         self.total_read_bytes = 0
+
+    def _open(self) -> None:
+        self._handle.seek(0, 2)
+        size = self._handle.tell()
+        if size < _MAGIC_LEN + _FOOTER_V2_SIZE:
+            raise SSTableError(f"not an inventory table: {self._path}")
+        self._handle.seek(0)
+        magic = self._handle.read(_MAGIC_LEN)
+        if magic == _MAGIC_V3:
+            self.version = 3
+        elif magic == _MAGIC_V2:
+            self.version = 2
+        else:
+            raise SSTableError(f"bad magic in inventory table: {self._path}")
+        if self.version == 3:
+            self._open_v3(size)
+        else:
+            self._open_v2(size)
+
+    def _open_v3(self, size: int) -> None:
+        if size < _MAGIC_LEN + _FOOTER_V3_SIZE:
+            raise CorruptionError("truncated v3 footer", path=self._path)
+        self._handle.seek(size - _FOOTER_V3_SIZE)
+        footer = self._handle.read(_FOOTER_V3_SIZE)
+        (
+            index_offset,
+            self.entry_count,
+            self.block_count,
+            self.checksum_algo,
+            index_crc,
+            footer_crc,
+            magic,
+        ) = struct.unpack(_FOOTER_V3_FMT, footer)
+        if magic != _MAGIC_V3:
+            raise SSTableError(
+                f"bad footer magic in inventory table: {self._path}"
+            )
+        try:
+            self._crc = _checksum.checksum_fn(self.checksum_algo)
+        except ValueError as exc:
+            raise CorruptionError(str(exc), path=self._path) from exc
+        if self._crc(footer[:_FOOTER_V3_CRC_SCOPE]) != footer_crc:
+            raise CorruptionError("footer checksum mismatch", path=self._path)
+        self._handle.seek(index_offset)
+        (index_length,) = struct.unpack(">I", self._handle.read(4))
+        index_payload = self._handle.read(index_length)
+        if (
+            len(index_payload) != index_length
+            or self._crc(index_payload) != index_crc
+        ):
+            raise CorruptionError("index checksum mismatch", path=self._path)
+        raw_index = decode(index_payload)
+        self._load_index(raw_index, with_crc=True)
+
+    def _open_v2(self, size: int) -> None:
+        self.checksum_algo = None
+        self._crc = None
+        self._handle.seek(size - _FOOTER_V2_SIZE)
+        index_offset, self.entry_count, self.block_count, magic = struct.unpack(
+            _FOOTER_V2_FMT, self._handle.read(_FOOTER_V2_SIZE)
+        )
+        if magic != _MAGIC_V2:
+            raise SSTableError(
+                f"bad footer magic in inventory table: {self._path}"
+            )
+        self._handle.seek(index_offset)
+        (index_length,) = struct.unpack(">I", self._handle.read(4))
+        raw_index = decode(self._handle.read(index_length))
+        self._load_index(raw_index, with_crc=False)
+
+    def _load_index(self, raw_index: object, with_crc: bool) -> None:
+        width = 4 if with_crc else 3
+        if not isinstance(raw_index, list) or any(
+            not isinstance(entry, list)
+            or len(entry) != width
+            or not isinstance(entry[0], bytes)
+            or not all(
+                isinstance(value, int) and value >= 0 for value in entry[1:]
+            )
+            for entry in raw_index
+        ):
+            raise CorruptionError("malformed block index", path=self._path)
+        self._block_keys = [entry[0] for entry in raw_index]
+        self._block_spans = [(entry[1], entry[2]) for entry in raw_index]
+        self._block_crcs = (
+            [entry[3] for entry in raw_index]
+            if with_crc
+            else [None] * len(raw_index)
+        )
 
     @property
     def path(self) -> Path:
@@ -277,22 +578,55 @@ class SSTableReader:
         return None if block_index < 0 else block_index
 
     def read_block(self, block_index: int) -> bytes:
-        """Read one data block from disk (no caching here — serving
-        backends layer their cache on top)."""
+        """Read one data block from disk and verify its checksum (no
+        caching here — serving backends layer their cache on top, and
+        only ever cache verified blocks)."""
         offset, length = self._block_spans[block_index]
-        with self._read_lock:
-            self._handle.seek(offset)
-            block = self._handle.read(length)
-            self.total_read_bytes += length
+        try:
+            with self._read_lock:
+                self._handle.seek(offset)
+                block = self._handle.read(length)
+                self.total_read_bytes += length
+        except OSError as exc:
+            raise SSTableError(
+                f"I/O error reading block {block_index} of {self._path}: {exc}"
+            ) from exc
+        if len(block) != length:
+            raise CorruptionError(
+                f"short read ({len(block)} of {length} bytes)",
+                path=self._path,
+                block_index=block_index,
+            )
+        expected = self._block_crcs[block_index]
+        if expected is not None and self._crc(block) != expected:
+            raise CorruptionError(
+                "block checksum mismatch",
+                path=self._path,
+                block_index=block_index,
+            )
         return block
 
     @staticmethod
     def parse_entries(block: bytes) -> Iterator[tuple[bytes, bytes]]:
-        """Yield each (raw key, raw value) entry of one block."""
+        """Yield each (raw key, raw value) entry of one block.
+
+        Malformed framing raises :class:`CorruptionError` — for v3
+        blocks the checksum makes that unreachable, for v2 blocks it is
+        the only line of defence.
+        """
         position = 0
-        while position < len(block):
-            key_len, value_len = struct.unpack_from(">HI", block, position)
+        length = len(block)
+        while position < length:
+            try:
+                key_len, value_len = struct.unpack_from(">HI", block, position)
+            except struct.error as exc:
+                raise CorruptionError(f"truncated entry header: {exc}") from exc
             position += 6
+            if position + key_len + value_len > length:
+                raise CorruptionError(
+                    f"entry overruns its block by "
+                    f"{position + key_len + value_len - length} bytes"
+                )
             key_raw = block[position : position + key_len]
             position += key_len
             value_raw = block[position : position + value_len]
@@ -300,7 +634,7 @@ class SSTableReader:
             yield key_raw, value_raw
 
     def get(self, key: GroupKey) -> CellSummary | None:
-        """Point lookup: reads one block."""
+        """Point lookup: reads (and verifies) one block."""
         key_raw = _key_bytes(key)
         block_index = self.find_block(key_raw)
         if block_index is None:
@@ -309,7 +643,7 @@ class SSTableReader:
         self.last_read_bytes = len(block)
         for entry_key, value_raw in self.parse_entries(block):
             if entry_key == key_raw:
-                return CellSummary.from_dict(decode(value_raw))
+                return _decode_summary(value_raw, self._path, block_index)
             if entry_key > key_raw:
                 return None
         return None
@@ -320,8 +654,8 @@ class SSTableReader:
             block = self.read_block(block_index)
             for key_raw, value_raw in self.parse_entries(block):
                 yield (
-                    _key_from_bytes(key_raw),
-                    CellSummary.from_dict(decode(value_raw)),
+                    _decode_key(key_raw, self._path, block_index),
+                    _decode_summary(value_raw, self._path, block_index),
                 )
 
     def close(self) -> None:
@@ -335,10 +669,196 @@ class SSTableReader:
         self.close()
 
 
-def write_inventory(inventory: "Inventory", path: str | Path) -> int:
+def _decode_key(key_raw: bytes, path: Path, block_index: int) -> GroupKey:
+    try:
+        return _key_from_bytes(key_raw)
+    except _PARSE_ERRORS as exc:
+        raise CorruptionError(
+            f"undecodable key: {exc}", path=path, block_index=block_index
+        ) from exc
+
+
+def _decode_summary(value_raw: bytes, path: Path, block_index: int) -> CellSummary:
+    try:
+        return CellSummary.from_dict(decode(value_raw))
+    except _PARSE_ERRORS as exc:
+        raise CorruptionError(
+            f"undecodable summary: {exc}", path=path, block_index=block_index
+        ) from exc
+
+
+# -- verification and salvage ----------------------------------------------------
+
+
+@dataclass
+class TableCheck:
+    """The result of :func:`verify_table` (what ``repro fsck`` prints)."""
+
+    path: Path
+    ok: bool
+    version: int | None = None
+    checksum: str | None = None
+    entry_count: int = 0
+    entries_readable: int = 0
+    block_count: int = 0
+    bad_blocks: list[int] = field(default_factory=list)
+    route_sidecar: str = "missing"  # "ok" | "missing" | "unreadable"
+    errors: list[str] = field(default_factory=list)
+
+    def lines(self) -> list[str]:
+        """A human-readable report."""
+        status = "ok" if self.ok else "CORRUPT"
+        out = [f"{self.path}: {status}"]
+        if self.version is not None:
+            out.append(
+                f"  format v{self.version}"
+                + (f" ({self.checksum})" if self.checksum else " (no checksums)")
+            )
+            out.append(
+                f"  entries {self.entries_readable:,}/{self.entry_count:,} "
+                f"readable, blocks "
+                f"{self.block_count - len(self.bad_blocks)}/{self.block_count} good"
+            )
+            out.append(f"  route sidecar: {self.route_sidecar}")
+        for error in self.errors:
+            out.append(f"  error: {error}")
+        return out
+
+
+def verify_table(path: str | Path) -> TableCheck:
+    """Verify a table end to end: footer, index, every block checksum,
+    every entry decode, global key order, entry-count agreement.  Never
+    raises for damage — it is the thing that *reports* damage."""
+    path = Path(path)
+    check = TableCheck(path=path, ok=False)
+    try:
+        reader = SSTableReader(path)
+    except (SSTableError, OSError) as exc:
+        check.errors.append(str(exc))
+        return check
+    try:
+        check.version = reader.version
+        if reader.checksum_algo is not None:
+            check.checksum = _checksum.algo_name(reader.checksum_algo)
+        check.entry_count = reader.entry_count
+        check.block_count = reader.block_count
+        last_key: bytes | None = None
+        for block_index in range(len(reader._block_spans)):
+            try:
+                block = reader.read_block(block_index)
+                for key_raw, value_raw in reader.parse_entries(block):
+                    _decode_key(key_raw, path, block_index)
+                    _decode_summary(value_raw, path, block_index)
+                    if last_key is not None and key_raw <= last_key:
+                        raise CorruptionError(
+                            "keys out of order", path=path, block_index=block_index
+                        )
+                    last_key = key_raw
+                    check.entries_readable += 1
+            except SSTableError as exc:
+                check.bad_blocks.append(block_index)
+                check.errors.append(str(exc))
+        if check.entries_readable != check.entry_count and not check.bad_blocks:
+            check.errors.append(
+                f"footer claims {check.entry_count} entries, "
+                f"found {check.entries_readable}"
+            )
+        check.route_sidecar = (
+            "ok"
+            if read_route_index(path) is not None
+            else ("unreadable" if route_index_path(path).exists() else "missing")
+        )
+        check.ok = (
+            not check.bad_blocks
+            and not check.errors
+            and check.entries_readable == check.entry_count
+        )
+    finally:
+        reader.close()
+    return check
+
+
+@dataclass
+class SalvageReport:
+    """What :func:`salvage_table` recovered."""
+
+    output: Path
+    entries_recovered: int
+    entries_lost: int
+    blocks_skipped: list[int]
+
+
+def salvage_table(path: str | Path, output: str | Path) -> SalvageReport:
+    """Copy every readable entry of a damaged table into a fresh v3
+    table at ``output``, skipping blocks that fail their checksum or do
+    not parse.  Routes recorded in the damaged table's sidecar are
+    merged into the salvaged sidecar (stale cells are harmless: route
+    lookups drop cells whose summaries no longer exist).
+
+    Requires the footer and index to be intact (they locate the blocks);
+    raises :class:`SSTableError`/:class:`CorruptionError` otherwise.
+    """
+    path = Path(path)
+    output = Path(output)
+    if output.resolve() == path.resolve():
+        raise ValueError("salvage output must not be the damaged table itself")
+    recovered = 0
+    skipped: list[int] = []
+    with SSTableReader(path) as reader:
+        lost_total = reader.entry_count
+        with SSTableWriter(output) as writer:
+            for block_index in range(len(reader._block_spans)):
+                entries: list[tuple[GroupKey, CellSummary]] = []
+                try:
+                    block = reader.read_block(block_index)
+                    for key_raw, value_raw in reader.parse_entries(block):
+                        entries.append(
+                            (
+                                _decode_key(key_raw, path, block_index),
+                                _decode_summary(value_raw, path, block_index),
+                            )
+                        )
+                except SSTableError:
+                    skipped.append(block_index)
+                    continue
+                for key, summary in entries:
+                    writer.add(key, summary)
+                    recovered += 1
+    old_routes = read_route_index(path)
+    if old_routes:
+        merged = read_route_index(output) or {}
+        for route, cells in old_routes.items():
+            merged.setdefault(route, set()).update(cells)
+        write_route_index(output, merged)
+    return SalvageReport(
+        output=output,
+        entries_recovered=recovered,
+        entries_lost=max(0, lost_total - recovered),
+        blocks_skipped=skipped,
+    )
+
+
+def file_checksum(path: str | Path, algo: int | None = None) -> int:
+    """Whole-file checksum (streamed), used by the build manifest to
+    verify a window table byte-for-byte before resuming past it."""
+    crc_fn = _checksum.checksum_fn(
+        _checksum.DEFAULT_ALGO if algo is None else algo
+    )
+    value = 0
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(1 << 20)
+            if not chunk:
+                return value
+            value = crc_fn(chunk, value)
+
+
+def write_inventory(
+    inventory: "Inventory", path: str | Path, version: int = FORMAT_VERSION
+) -> int:
     """Persist a whole inventory; returns the number of entries written."""
     entries = sorted(inventory.items(), key=lambda kv: _key_bytes(kv[0]))
-    with SSTableWriter(path) as writer:
+    with SSTableWriter(path, version=version) as writer:
         for key, summary in entries:
             writer.add(key, summary)
     return len(entries)

@@ -1,0 +1,160 @@
+"""The build manifest: what makes a killed windowed build resumable.
+
+A windowed on-disk build (:func:`repro.pipeline.run.build_inventory`
+with ``output=``) persists one SSTable per ingestion window before
+compacting them.  Each window is expensive — a full pipeline pass — so
+a build killed after window *k* should not redo windows ``0..k``.
+
+The manifest (``<output>.manifest``, JSON) records, per completed
+window: its staging-table checksum (whole file, so resume trusts bytes
+not timestamps), its entry count, its funnel counts and its cell set —
+everything needed to *reuse* the window without re-running it and still
+produce a byte-identical final table and an identical funnel.
+
+A **fingerprint** of the inputs (archive digest, pipeline config,
+window count, format version) guards against resuming across a changed
+world: a stale manifest is silently discarded and the build starts
+clean.  The manifest itself is written atomically after every window
+(:func:`repro.inventory.fsio.atomic_write_bytes`) and deleted on
+success, so its very existence means "an interrupted build left
+reusable work here".
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.inventory import fsio
+from repro.inventory.sstable import FORMAT_VERSION, file_checksum
+
+MANIFEST_SUFFIX = ".manifest"
+_MANIFEST_FORMAT = 1
+
+
+def manifest_path(output: str | Path) -> Path:
+    """Where the manifest of a windowed build to ``output`` lives."""
+    output = Path(output)
+    return output.with_name(output.name + MANIFEST_SUFFIX)
+
+
+def archive_digest(positions) -> dict:
+    """A cheap, order-sensitive digest of a positional-report archive
+    (count + CRC over (mmsi, timestamp) pairs): enough to notice the
+    archive a resume was asked to continue is not the one the manifest
+    was written for."""
+    crc = 0
+    for report in positions:
+        crc = zlib.crc32(
+            struct.pack(">qd", report.mmsi, report.epoch_ts), crc
+        )
+    return {"count": len(positions), "crc": crc & 0xFFFFFFFF}
+
+
+def build_fingerprint(positions, config, windows: int) -> dict:
+    """The identity of one build: same fingerprint ⇒ same bytes out."""
+    return {
+        "archive": archive_digest(positions),
+        "config": repr(config),
+        "windows": windows,
+        "table_format": FORMAT_VERSION,
+        "manifest_format": _MANIFEST_FORMAT,
+    }
+
+
+@dataclass
+class WindowRecord:
+    """One completed window's reusable state."""
+
+    index: int
+    table_name: str  # staging table filename, relative to the output dir
+    entries: int
+    table_crc: int  # whole-file checksum of the staging table
+    funnel: dict[str, int] = field(default_factory=dict)
+    cells: list[int] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "table_name": self.table_name,
+            "entries": self.entries,
+            "table_crc": self.table_crc,
+            "funnel": self.funnel,
+            "cells": self.cells,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "WindowRecord":
+        return cls(
+            index=int(raw["index"]),
+            table_name=str(raw["table_name"]),
+            entries=int(raw["entries"]),
+            table_crc=int(raw["table_crc"]),
+            funnel={str(k): int(v) for k, v in raw["funnel"].items()},
+            cells=[int(cell) for cell in raw["cells"]],
+        )
+
+
+@dataclass
+class BuildManifest:
+    """The resumable state of one windowed build."""
+
+    fingerprint: dict
+    windows: dict[int, WindowRecord] = field(default_factory=dict)
+
+    def record_window(self, record: WindowRecord) -> None:
+        self.windows[record.index] = record
+
+    def verified_window(
+        self, index: int, table_path: Path
+    ) -> WindowRecord | None:
+        """The window's record iff its staging table is still on disk
+        and byte-identical to what the manifest saw; ``None`` otherwise
+        (the window is then rebuilt — resume never trusts blindly)."""
+        record = self.windows.get(index)
+        if record is None or record.table_name != table_path.name:
+            return None
+        try:
+            if file_checksum(table_path) != record.table_crc:
+                return None
+        except OSError:
+            return None
+        return record
+
+
+def save_manifest(path: str | Path, manifest: BuildManifest) -> None:
+    """Atomically persist the manifest (called after every window, so a
+    kill at any point loses at most the window in flight)."""
+    payload = json.dumps(
+        {
+            "fingerprint": manifest.fingerprint,
+            "windows": [
+                record.to_dict()
+                for _, record in sorted(manifest.windows.items())
+            ],
+        },
+        sort_keys=True,
+    ).encode("utf-8")
+    fsio.atomic_write_bytes(path, payload)
+
+
+def load_manifest(path: str | Path) -> BuildManifest | None:
+    """Read a manifest back; ``None`` when absent or damaged (a damaged
+    manifest costs a clean rebuild, never a wrong resume)."""
+    try:
+        raw = json.loads(Path(path).read_text())
+        windows = [WindowRecord.from_dict(entry) for entry in raw["windows"]]
+        return BuildManifest(
+            fingerprint=raw["fingerprint"],
+            windows={record.index: record for record in windows},
+        )
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def delete_manifest(path: str | Path) -> None:
+    """Remove the manifest (the build committed; nothing left to resume)."""
+    fsio.unlink(path)

@@ -17,6 +17,15 @@ Two output modes:
   table (the LSM pattern §5 alludes to).  The result carries the output
   path instead of a store; serve it with
   :class:`~repro.inventory.backend.SSTableInventory`.
+
+On-disk builds are **resumable**: a build manifest
+(:mod:`repro.pipeline.manifest`) is written atomically after every
+completed window, and staging tables are kept when a build dies.
+Re-running with ``resume=True`` verifies each surviving window table
+against its recorded checksum, reuses the verified ones (funnel counts
+and cell sets included) and rebuilds only what is missing or damaged —
+producing output byte-identical to an uninterrupted build.  On success
+the staging tables and the manifest are removed.
 """
 
 from __future__ import annotations
@@ -28,9 +37,14 @@ from repro.ais.messages import PositionReport
 from repro.engine import Engine
 from repro.inventory.compaction import merge_tables
 from repro.inventory.keys import GroupKey
-from repro.inventory.sstable import route_index_path, write_inventory
+from repro.inventory.sstable import (
+    file_checksum,
+    route_index_path,
+    write_inventory,
+)
 from repro.inventory.store import Inventory
 from repro.pipeline import cleaning
+from repro.pipeline import manifest as build_manifests
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.features import fan_out, make_create, make_update, merge_summaries
 from repro.pipeline.geofence import PortIndex
@@ -70,6 +84,7 @@ def build_inventory(
     engine: Engine | None = None,
     output: str | Path | None = None,
     windows: int = 1,
+    resume: bool = False,
 ) -> PipelineResult:
     """Run the full methodology over a positional-report archive.
 
@@ -84,8 +99,15 @@ def build_inventory(
         on-disk build (each window becomes one table before compaction).
         Trips straddling a window boundary lose their cross-window
         context, exactly as in a real windowed ingestion.
+    :param resume: continue an interrupted on-disk build: windows whose
+        staging tables survive and verify against the build manifest are
+        reused instead of re-run.  A manifest from different inputs (or
+        a damaged one) is discarded and the build starts clean, so
+        ``resume=True`` is always safe to pass.
     """
     config = config or PipelineConfig()
+    if resume and output is None:
+        raise ValueError("resume=True requires an output path")
     own_engine = engine is None
     engine = engine or Engine()
     try:
@@ -103,7 +125,8 @@ def build_inventory(
                 stage_seconds=_stage_seconds(engine),
             )
         return _build_to_table(
-            positions, fleet, ports, config, engine, Path(output), windows
+            positions, fleet, ports, config, engine, Path(output), windows,
+            resume=resume,
         )
     finally:
         if own_engine:
@@ -118,29 +141,62 @@ def _build_to_table(
     engine: Engine,
     output: Path,
     windows: int,
+    resume: bool = False,
 ) -> PipelineResult:
-    """The on-disk mode: window → per-window table → compact."""
+    """The on-disk mode: window → per-window table → compact.
+
+    A manifest checkpoints every completed window; on failure the
+    staging tables and the manifest are *kept* so a later ``resume=True``
+    run picks up where this one died.  Only a successful compaction
+    cleans them up.
+    """
     if windows < 1:
         raise ValueError(f"need at least one window, got {windows}")
+    manifest_file = build_manifests.manifest_path(output)
+    fingerprint = build_manifests.build_fingerprint(positions, config, windows)
+    manifest = None
+    if resume:
+        manifest = build_manifests.load_manifest(manifest_file)
+        if manifest is not None and manifest.fingerprint != fingerprint:
+            manifest = None  # different archive/config/window split: rebuild
+    if manifest is None:
+        manifest = build_manifests.BuildManifest(fingerprint=fingerprint)
+
     window_paths: list[Path] = []
     funnel: dict[str, int] = {}
     cells: set[int] = set()
+    completed = False
     try:
-        for position_window in _time_windows(positions, windows):
-            inventory, window_funnel = _build_window(
-                position_window, fleet, ports, config, engine
-            )
-            for stage, count in window_funnel.items():
+        for index, position_window in enumerate(_time_windows(positions, windows)):
+            path = output.with_name(f"{output.name}.w{index}")
+            record = manifest.verified_window(index, path)
+            if record is None:
+                inventory, window_funnel = _build_window(
+                    position_window, fleet, ports, config, engine
+                )
+                write_inventory(inventory, path)
+                record = build_manifests.WindowRecord(
+                    index=index,
+                    table_name=path.name,
+                    entries=len(inventory),
+                    table_crc=file_checksum(path),
+                    funnel=dict(window_funnel),
+                    cells=sorted(inventory.cells()),
+                )
+                manifest.record_window(record)
+                build_manifests.save_manifest(manifest_file, manifest)
+            for stage, count in record.funnel.items():
                 funnel[stage] = funnel.get(stage, 0) + count
-            cells |= inventory.cells()
-            path = output.with_name(f"{output.name}.w{len(window_paths)}")
-            write_inventory(inventory, path)
+            cells.update(record.cells)
             window_paths.append(path)
         entries = merge_tables(window_paths, output)
+        completed = True
     finally:
-        for path in window_paths:
-            path.unlink(missing_ok=True)
-            route_index_path(path).unlink(missing_ok=True)
+        if completed:
+            for path in window_paths:
+                path.unlink(missing_ok=True)
+                route_index_path(path).unlink(missing_ok=True)
+            build_manifests.delete_manifest(manifest_file)
     funnel["inventory_groups"] = entries
     funnel["inventory_cells"] = len(cells)
     return PipelineResult(

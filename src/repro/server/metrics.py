@@ -20,6 +20,9 @@ REQUESTS_TOTAL = "server.requests"
 ERRORS_TOTAL = "server.errors"
 CONNECTIONS_OPENED = "server.connections.opened"
 CONNECTIONS_CLOSED = "server.connections.closed"
+#: Queries that hit storage-level corruption (checksum failures).  Any
+#: nonzero value is an operator page: the table needs ``repro fsck``.
+CORRUPTION_TOTAL = "server.corruption"
 
 
 class ServerMetrics:
@@ -43,6 +46,14 @@ class ServerMetrics:
         """Count one failed request by its error code."""
         self.counters.increment(ERRORS_TOTAL)
         self.counters.increment(f"server.errors.{code}")
+
+    def record_corruption(self, request_type: str) -> None:
+        """Count one query answered with a storage-corruption error."""
+        self.counters.increment(CORRUPTION_TOTAL)
+
+    @property
+    def corruption_errors(self) -> int:
+        return self.counters.value(CORRUPTION_TOTAL)
 
     def connection_opened(self) -> None:
         self.counters.increment(CONNECTIONS_OPENED)

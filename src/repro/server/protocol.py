@@ -59,6 +59,10 @@ ERR_BAD_REQUEST = "bad_request"
 ERR_UNKNOWN_TYPE = "unknown_type"
 ERR_DEADLINE = "deadline_exceeded"
 ERR_INTERNAL = "internal"
+#: The stored table under the backend failed its checksums mid-query.
+#: Clients get this typed error (and a live connection), never a wrong
+#: answer and never a silently dropped socket.
+ERR_CORRUPTION = "data_corruption"
 
 
 class ProtocolError(Exception):

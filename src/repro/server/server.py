@@ -34,6 +34,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from repro.inventory.sstable import CorruptionError
 from repro.server import protocol
 from repro.server.metrics import ServerMetrics
 
@@ -218,6 +219,16 @@ class InventoryServer:
         except protocol.ProtocolError as exc:
             self.metrics.record_error(label, exc.code)
             return protocol.error_response(request_id, exc.code, str(exc))
+        except CorruptionError as exc:
+            # The stored table failed a checksum under this query.  The
+            # client gets a typed error on a live connection — never a
+            # wrong answer, never a dead socket — and the corruption
+            # counter flags the table for `repro fsck`.
+            self.metrics.record_error(label, protocol.ERR_CORRUPTION)
+            self.metrics.record_corruption(label)
+            return protocol.error_response(
+                request_id, protocol.ERR_CORRUPTION, str(exc)
+            )
         except Exception as exc:  # noqa: BLE001 - the wire gets a clean error
             self.metrics.record_error(label, protocol.ERR_INTERNAL)
             return protocol.error_response(

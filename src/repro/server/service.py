@@ -20,6 +20,7 @@ from __future__ import annotations
 from repro.apps.destination import DestinationPredictor
 from repro.apps.eta import EtaEstimator
 from repro.inventory.backend import QueryableInventory
+from repro.inventory.sstable import SSTableError
 from repro.server.protocol import (
     BadRequestError,
     UnknownRequestError,
@@ -87,6 +88,8 @@ class InventoryService:
                 origin=_string(request, "origin"),
                 destination=_string(request, "destination"),
             )
+        except SSTableError:
+            raise  # storage fault, not a bad request: keep it typed
         except ValueError as exc:
             raise BadRequestError(str(exc))
         return {"summary": None if summary is None else summary_to_wire(summary)}
@@ -122,6 +125,8 @@ class InventoryService:
                 origin=_string(request, "origin"),
                 destination=_string(request, "destination"),
             )
+        except SSTableError:
+            raise  # storage fault, not a bad request: keep it typed
         except ValueError as exc:
             raise BadRequestError(str(exc))
         if estimate is None:

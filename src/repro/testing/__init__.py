@@ -1,0 +1,26 @@
+"""Test-support machinery that ships with the package.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection
+harness: it interposes on the storage layer's filesystem seam
+(:mod:`repro.inventory.fsio`) to inject torn writes, ``ENOSPC``, read
+``EIO``, single-bit flips and crash-before-rename at exact, replayable
+operation indices.  It lives in the package (not under ``tests/``) so
+benchmarks, examples and downstream users can drive the same campaigns
+the fault-matrix suite runs in CI.
+"""
+
+from repro.testing.faults import (
+    Fault,
+    FaultPlan,
+    FaultInjector,
+    SimulatedCrash,
+    record_ops,
+)
+
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "FaultInjector",
+    "SimulatedCrash",
+    "record_ops",
+]

@@ -163,3 +163,40 @@ def test_missing_archive_is_a_clean_error(tmp_path, capsys):
     ])
     assert code == 2
     assert "error:" in capsys.readouterr().err
+
+
+def test_fsck_clean_table(inventory_table, capsys):
+    code = main(["fsck", "--inventory", str(inventory_table)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "ok" in out
+    assert "format v3" in out
+
+
+def test_fsck_corrupt_table_salvages(inventory_table, tmp_path, capsys):
+    damaged = tmp_path / "damaged.sst"
+    payload = bytearray(inventory_table.read_bytes())
+    for offset in range(40, 80):
+        payload[offset] ^= 0xFF
+    damaged.write_bytes(bytes(payload))
+    salvaged = tmp_path / "salvaged.sst"
+    code = main([
+        "fsck", "--inventory", str(damaged), "--salvage", str(salvaged),
+    ])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "CORRUPT" in out
+    assert "salvaged" in out
+    # The salvaged table must itself pass fsck.
+    assert main(["fsck", "--inventory", str(salvaged)]) == 0
+
+
+def test_build_resume_flag(archive, tmp_path, capsys):
+    out_table = tmp_path / "resumed.sst"
+    code = main([
+        "build", "--archive", str(archive), "--out", str(out_table),
+        "--windows", "2", "--resume",
+    ])
+    assert code == 0
+    assert out_table.exists()
+    assert not (tmp_path / "resumed.sst.manifest").exists()

@@ -9,6 +9,7 @@ from repro.engine.scheduler import (
     ProcessScheduler,
     SerialScheduler,
     ThreadScheduler,
+    WorkerError,
     make_scheduler,
 )
 
@@ -80,6 +81,119 @@ def test_process_scheduler_surfaces_worker_failure():
 
     with pytest.raises(RuntimeError):
         scheduler.run(boom, [[1], [2]])
+
+
+def test_process_scheduler_carries_worker_traceback():
+    """The parent's WorkerError must contain the worker's *real*
+    traceback — exception type, message and the raising line — not a
+    'go reproduce it serially' shrug."""
+    scheduler = ProcessScheduler(max_workers=2)
+
+    def boom(index, part):
+        raise KeyError(f"missing-key-{index}")
+
+    with pytest.raises(WorkerError) as exc_info:
+        scheduler.run(boom, [[1], [2], [3]])
+    message = str(exc_info.value)
+    assert "KeyError" in message
+    assert "missing-key-" in message
+    assert "Traceback" in message
+    assert exc_info.value.tracebacks
+    assert any("boom" in tb for tb in exc_info.value.tracebacks)
+
+
+def test_process_scheduler_reports_unpicklable_results_with_traceback():
+    scheduler = ProcessScheduler(max_workers=2)
+
+    def unpicklable(index, part):
+        return [lambda: index]  # lambdas don't pickle
+
+    with pytest.raises(WorkerError) as exc_info:
+        scheduler.run(unpicklable, [[1], [2]])
+    assert "pickle" in str(exc_info.value).lower()
+
+
+class TestRetries:
+    def test_retry_policy_validation(self):
+        with pytest.raises(ValueError):
+            SerialScheduler(retries=-1)
+        with pytest.raises(ValueError):
+            ThreadScheduler(retries=0, backoff=-0.5)
+
+    def test_factory_passes_retry_policy_through(self):
+        scheduler = make_scheduler("threads", retries=3, backoff=0.25)
+        assert scheduler.retries == 3
+        assert scheduler.backoff == 0.25
+
+    def test_engine_config_passes_retry_policy_through(self):
+        with Engine(
+            EngineConfig(scheduler="threads", scheduler_retries=2,
+                         scheduler_backoff=0.0)
+        ) as engine:
+            assert engine.scheduler.retries == 2
+
+    @pytest.mark.parametrize("name", ["serial", "threads"])
+    def test_transient_failures_are_retried(self, name):
+        import threading
+
+        scheduler = make_scheduler(name, max_workers=2, retries=2, backoff=0.0)
+        lock = threading.Lock()
+        attempts: dict[int, int] = {}
+
+        def flaky(index, part):
+            with lock:
+                attempts[index] = attempts.get(index, 0) + 1
+                if attempts[index] <= 2:
+                    raise OSError("transient")
+            return [value * 2 for value in part]
+
+        try:
+            result = scheduler.run(flaky, [[1], [2], [3]])
+        finally:
+            scheduler.close()
+        assert result == [[2], [4], [6]]
+        assert all(count == 3 for count in attempts.values())
+
+    def test_process_scheduler_retries_inside_workers(self, tmp_path):
+        # Worker processes don't share memory: count attempts on disk.
+        scheduler = ProcessScheduler(max_workers=2, retries=2, backoff=0.0)
+
+        def flaky(index, part):
+            marker = tmp_path / f"attempts-{index}"
+            seen = len(marker.read_bytes()) if marker.exists() else 0
+            marker.write_bytes(b"x" * (seen + 1))
+            if seen < 2:
+                raise OSError("transient")
+            return [value + 10 for value in part]
+
+        result = scheduler.run(flaky, [[1], [2], [3]])
+        assert result == [[11], [12], [13]]
+
+    def test_attempt_budget_is_finite(self):
+        scheduler = SerialScheduler(retries=2, backoff=0.0)
+        attempts = []
+
+        def always_fails(index, part):
+            attempts.append(index)
+            raise RuntimeError("permanent")
+
+        with pytest.raises(RuntimeError, match="permanent"):
+            scheduler.run(always_fails, [[1]])
+        assert len(attempts) == 3  # 1 try + 2 retries, then give up
+
+    def test_backoff_doubles_between_attempts(self, monkeypatch):
+        from repro.engine import scheduler as scheduler_module
+
+        delays = []
+        monkeypatch.setattr(scheduler_module, "_sleep", delays.append)
+        scheduler = SerialScheduler(retries=3, backoff=0.1)
+
+        def always_fails(index, part):
+            raise RuntimeError("permanent")
+
+        with pytest.raises(RuntimeError):
+            scheduler.run(always_fails, [[1]])
+        assert delays == [0.1, 0.2, 0.4]
 
 
 def test_metrics_record_rows_and_stages():

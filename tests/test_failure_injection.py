@@ -10,12 +10,13 @@ exceptions (IndexError, UnicodeDecodeError leaking from internals).
 import random
 
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.hexgrid import latlng_to_cell
 from repro.inventory import (
     GroupKey,
     Inventory,
+    SSTableError,
     SSTableReader,
     write_inventory,
 )
@@ -84,6 +85,79 @@ class TestDamagedTables:
             for key in keys:
                 reader.get(key)
         reader.close()
+
+
+@pytest.fixture(scope="module")
+def flip_table(tmp_path_factory):
+    """A table, its pristine bytes, its keys and the baseline answers
+    (both point lookups and a full scan)."""
+    directory = tmp_path_factory.mktemp("byteflip")
+    path, inventory = _table(directory, cells=8)
+    keys = sorted(
+        (key for key, _ in inventory.items()), key=lambda key: key.sort_key()
+    )
+    baseline = _flip_campaign(path, keys)
+    return path, path.read_bytes(), keys, baseline
+
+
+def _flip_campaign(path, keys):
+    """Every lookup plus a full scan, reduced to comparable values."""
+    with SSTableReader(path) as reader:
+        point = [
+            None if summary is None else summary.records
+            for summary in (reader.get(key) for key in keys)
+        ]
+        full = [
+            (key.sort_key(), summary.records) for key, summary in reader.scan()
+        ]
+    return point, full
+
+
+class TestSingleByteFlips:
+    """The integrity contract, stated as a property: flipping any single
+    byte of a written table either raises the declared error types or
+    leaves every answer byte-identical — never a changed answer."""
+
+    @given(data=st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_random_single_byte_flip_is_error_or_identical(
+        self, flip_table, data
+    ):
+        path, original, keys, baseline = flip_table
+        offset = data.draw(st.integers(0, len(original) - 1), label="offset")
+        bit = data.draw(st.integers(0, 7), label="bit")
+        mutated = bytearray(original)
+        mutated[offset] ^= 1 << bit
+        path.write_bytes(bytes(mutated))
+        try:
+            try:
+                result = _flip_campaign(path, keys)
+            except SSTableError:
+                return  # the declared failure mode (CorruptionError ⊂)
+            assert result == baseline, (
+                f"flip at byte {offset} bit {bit} changed an answer silently"
+            )
+        finally:
+            path.write_bytes(original)
+
+    def test_exhaustive_byte_sweep_is_error_or_identical(self, flip_table):
+        """Every byte position (one bit each): no offset hides a silent
+        wrong answer, not just the sampled ones."""
+        path, original, keys, baseline = flip_table
+        try:
+            for offset in range(len(original)):
+                mutated = bytearray(original)
+                mutated[offset] ^= 1 << (offset % 8)
+                path.write_bytes(bytes(mutated))
+                try:
+                    result = _flip_campaign(path, keys)
+                except SSTableError:
+                    continue
+                assert result == baseline, (
+                    f"flip at byte {offset} changed an answer silently"
+                )
+        finally:
+            path.write_bytes(original)
 
 
 class TestHostileCodecInputs:

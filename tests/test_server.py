@@ -487,3 +487,56 @@ def test_cli_serve_config_plumbing():
 def test_server_address_requires_start():
     with pytest.raises(RuntimeError):
         InventoryServer(InventoryService(_tiny_inventory())).address
+
+
+# -- storage corruption under a live server --------------------------------------
+
+
+class TestCorruptionResponses:
+    """A checksum failure under a query becomes a typed ``data_corruption``
+    error response on a live connection — never a wrong answer, never a
+    dead socket — and is counted for operators."""
+
+    @pytest.fixture()
+    def corrupt_served(self, tmp_path):
+        inventory = _tiny_inventory()
+        path = tmp_path / "inventory.sst"
+        write_inventory(inventory, path)
+        payload = bytearray(path.read_bytes())
+        # Scribble over the first data block (footer and index intact,
+        # so the backend opens cleanly and fails only when a query
+        # actually reads the damaged block).
+        for offset in range(40, 90):
+            payload[offset] ^= 0xFF
+        path.write_bytes(bytes(payload))
+        probe = cell_to_latlng(
+            next(key for key, _ in inventory.items()).cell
+        )
+        with SSTableInventory(path, resolution=6, cache_blocks=8) as backend:
+            service = InventoryService(backend)
+            with ServerThread(service) as handle:
+                yield handle, probe
+
+    def test_corruption_is_typed_and_connection_survives(self, corrupt_served):
+        handle, (lat, lon) = corrupt_served
+        with InventoryClient(*handle.address) as client:
+            with pytest.raises(ServerError) as exc_info:
+                client.summary_at(lat, lon)
+            assert exc_info.value.code == protocol.ERR_CORRUPTION
+            # Same connection, next request: still alive, still typed.
+            assert client.ping() is True
+            with pytest.raises(ServerError) as exc_info:
+                client.summary_at(lat, lon)
+            assert exc_info.value.code == protocol.ERR_CORRUPTION
+
+    def test_corruption_is_counted(self, corrupt_served):
+        from repro.server.metrics import CORRUPTION_TOTAL
+
+        handle, (lat, lon) = corrupt_served
+        with InventoryClient(*handle.address) as client:
+            with pytest.raises(ServerError):
+                client.summary_at(lat, lon)
+            counters = client.stats()["server"]["counters"]
+        assert counters[CORRUPTION_TOTAL] == 1
+        assert counters[f"server.errors.{protocol.ERR_CORRUPTION}"] == 1
+        assert handle.server.metrics.corruption_errors == 1
