@@ -10,6 +10,7 @@
     python -m repro render   --inventory inv.sst --feature speed --out map.ppm
     python -m repro info     --inventory inv.sst
     python -m repro fsck     --inventory inv.sst [--salvage fixed.sst]
+    python -m repro trace    --trace build.trace
 
 ``generate`` writes a NOAA-style CSV archive plus sidecar fleet/port CSVs;
 ``build`` runs the pipeline and persists the inventory as windowed,
@@ -22,6 +23,13 @@ table over TCP through the concurrent query server
 (:mod:`repro.server`): bounded in-flight requests, per-request
 deadlines, graceful drain on Ctrl-C.  ``fsck`` verifies every checksum
 in a table and can salvage the readable blocks of a damaged one.
+
+Tracing (``repro.obs``): ``build --trace spans.jsonl`` records a span
+per pipeline stage (the paper's Fig. 3 funnel) and ``repro trace``
+renders the recorded file as a per-stage profile table;
+``serve --trace`` does the same for requests, ``serve --trace-ring``
+keeps the last N spans queryable live via the ``trace`` request, and
+``serve --metrics-port`` exposes Prometheus-style ``GET /metrics``.
 """
 
 from __future__ import annotations
@@ -95,6 +103,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="continue an interrupted windowed build: "
                             "reuse completed windows verified against "
                             "the build manifest")
+    build.add_argument("--trace", type=Path, default=None,
+                       help="record a span per pipeline stage to this "
+                            "JSONL file (render with 'repro trace')")
     build.set_defaults(handler=_cmd_build)
 
     compact = commands.add_parser(
@@ -137,7 +148,29 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="per-request deadline in seconds")
     serve.add_argument("--idle-timeout", type=float, default=30.0,
                        help="per-connection read timeout in seconds")
+    serve.add_argument("--trace", type=Path, default=None,
+                       help="record request/handler/storage spans to "
+                            "this JSONL file")
+    serve.add_argument("--trace-ring", type=int, default=0, metavar="N",
+                       help="keep the last N spans in memory, served "
+                            "live via the 'trace' request (0 = off)")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       help="also expose Prometheus-style GET /metrics "
+                            "on this port (0 = pick a free one)")
+    serve.add_argument("--slow-request-ms", type=float, default=None,
+                       help="log (repro.server.slowlog) and count "
+                            "successful requests slower than this")
     serve.set_defaults(handler=_cmd_serve)
+
+    trace = commands.add_parser(
+        "trace", help="render a recorded JSONL trace as a per-span profile"
+    )
+    trace.add_argument("--trace", type=Path, required=True,
+                       help="JSONL trace recorded by 'build --trace' or "
+                            "'serve --trace'")
+    trace.add_argument("--limit", type=int, default=None,
+                       help="show only the top N span names by total time")
+    trace.set_defaults(handler=_cmd_trace)
 
     render = commands.add_parser("render", help="render a feature map (PPM)")
     render.add_argument("--inventory", type=Path, required=True)
@@ -203,15 +236,31 @@ def _cmd_build(args) -> int:
     fleet = _read_fleet(fleet_path)
     positions = list(read_csv(args.archive))
     print(f"loaded {len(positions):,} reports and {len(fleet)} vessels")
-    result = build_inventory(
-        positions,
-        fleet,
-        PORTS,
-        PipelineConfig(resolution=args.resolution),
-        output=args.out,
-        windows=args.windows,
-        resume=args.resume,
-    )
+    trace_sink = None
+    if args.trace is not None:
+        from repro.obs import JsonlSink
+        from repro.obs import trace as obs
+
+        trace_sink = JsonlSink(args.trace)
+        obs.configure(trace_sink)
+    try:
+        result = build_inventory(
+            positions,
+            fleet,
+            PORTS,
+            PipelineConfig(resolution=args.resolution),
+            output=args.out,
+            windows=args.windows,
+            resume=args.resume,
+        )
+    finally:
+        if trace_sink is not None:
+            from repro.obs import trace as obs
+
+            obs.disable()
+            trace_sink.close()
+            print(f"wrote trace to {args.trace} (render: repro trace "
+                  f"--trace {args.trace})")
     for stage, count in result.funnel.items():
         print(f"  {stage:<22} {count:>10,}")
     window_note = f" ({args.windows} windows)" if args.windows > 1 else ""
@@ -268,30 +317,73 @@ def _serve_config(args):
     arg-to-config plumbing without binding a socket)."""
     from repro.server import ServerConfig
 
+    slow_ms = getattr(args, "slow_request_ms", None)
     return ServerConfig(
         host=args.host,
         port=args.port,
         max_concurrency=args.max_concurrency,
         request_timeout_s=args.request_timeout,
         idle_timeout_s=args.idle_timeout,
+        slow_request_s=None if slow_ms is None else slow_ms / 1e3,
     )
+
+
+def _serve_sinks(args) -> list:
+    """The trace sinks 'serve' installs (JSONL file and/or live ring)."""
+    from repro.obs import JsonlSink, RingBufferSink
+
+    sinks: list = []
+    if getattr(args, "trace", None) is not None:
+        sinks.append(JsonlSink(args.trace))
+    if getattr(args, "trace_ring", 0) > 0:
+        sinks.append(RingBufferSink(args.trace_ring))
+    return sinks
 
 
 def _cmd_serve(args) -> int:
     import asyncio
 
+    from repro.obs import trace as obs
     from repro.server import InventoryService, serve
 
     config = _serve_config(args)
+    sinks = _serve_sinks(args)
+    if sinks:
+        obs.configure(*sinks)
     with SSTableInventory(
         args.inventory, resolution=args.resolution, cache_blocks=args.cache_blocks
     ) as inventory:
         print(f"inventory {args.inventory}: {len(inventory):,} groups "
               f"at resolution {inventory.resolution}")
         try:
-            asyncio.run(serve(InventoryService(inventory), config))
+            asyncio.run(
+                serve(
+                    InventoryService(inventory),
+                    config,
+                    metrics_port=args.metrics_port,
+                )
+            )
         except KeyboardInterrupt:
             print("interrupted: drained and closed")
+        finally:
+            if sinks:
+                obs.disable()
+                for sink in sinks:
+                    close = getattr(sink, "close", None)
+                    if callable(close):
+                        close()
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import profile_records, read_trace, render_profile
+
+    rows = profile_records(read_trace(args.trace))
+    if not rows:
+        print(f"no spans recorded in {args.trace}")
+        return 1
+    for line in render_profile(rows, limit=args.limit):
+        print(line)
     return 0
 
 

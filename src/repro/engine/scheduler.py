@@ -19,12 +19,36 @@ unchanged.
 
 from __future__ import annotations
 
+import contextvars
 import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor, wait
 
+from repro.engine.metrics import CounterSet
+from repro.obs import registry
+from repro.obs import trace as obs
+
 #: Sleep indirection so retry/backoff tests can run without real delays.
 _sleep = time.sleep
+
+#: One attempt at one partition's task (every scheduler emits these; the
+#: ``attempt`` attribute distinguishes retries, and a failing attempt
+#: closes with status ``error``).
+SPAN_PARTITION = registry.register_span(
+    "engine.partition",
+    "one attempt at one partition's task, on any scheduler "
+    "(attrs: partition index, attempt number, scheduler name)",
+)
+#: Cross-scheduler retry count (shared CounterSet, see :data:`COUNTERS`).
+RETRIES_TOTAL = registry.register_counter(
+    "engine.retries",
+    "partition task attempts that failed and were retried "
+    "(transient-fault re-runs across all schedulers)",
+)
+
+#: Process-wide scheduler counters (retries).  Shared across scheduler
+#: instances on purpose: retries are a host-level health signal.
+COUNTERS = CounterSet()
 
 
 class WorkerError(RuntimeError):
@@ -46,20 +70,27 @@ def _check_retry_policy(retries: int, backoff: float) -> None:
 
 
 def _with_retries(
-    task: Callable[[int, list], list], retries: int, backoff: float
+    task: Callable[[int, list], list],
+    retries: int,
+    backoff: float,
+    scheduler: str,
 ) -> Callable[[int, list], list]:
-    """Wrap ``task`` with the per-partition retry/backoff policy."""
-    if retries == 0:
-        return task
+    """Wrap ``task`` with the per-partition retry/backoff policy and a
+    per-attempt trace span (a failed attempt closes with status
+    ``error``; the retry itself bumps :data:`RETRIES_TOTAL`)."""
 
     def attempt(index: int, partition: list) -> list:
         delay = backoff
-        for remaining in range(retries, -1, -1):
+        for n in range(retries + 1):
             try:
-                return task(index, partition)
+                with obs.span(
+                    SPAN_PARTITION, index=index, attempt=n, scheduler=scheduler
+                ):
+                    return task(index, partition)
             except Exception:
-                if remaining == 0:
+                if n == retries:
                     raise
+                COUNTERS.increment(RETRIES_TOTAL)
                 if delay > 0:
                     _sleep(delay)
                 delay *= 2
@@ -82,7 +113,7 @@ class SerialScheduler:
         self, task: Callable[[int, list], list], partitions: Sequence[list]
     ) -> list[list]:
         """Apply ``task(index, partition)`` to every partition, in order."""
-        task = _with_retries(task, self.retries, self.backoff)
+        task = _with_retries(task, self.retries, self.backoff, self.name)
         return [task(i, part) for i, part in enumerate(partitions)]
 
     def close(self) -> None:
@@ -112,10 +143,20 @@ class ThreadScheduler:
         partition order."""
         if self._pool is None:
             self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
-        task = _with_retries(task, self.retries, self.backoff)
-        futures = [
-            self._pool.submit(task, i, part) for i, part in enumerate(partitions)
-        ]
+        task = _with_retries(task, self.retries, self.backoff, self.name)
+        if obs.enabled():
+            # Pool threads do not inherit contextvars; copy the caller's
+            # context per submit so worker-side spans nest under the
+            # span that was active when run() was called.
+            futures = [
+                self._pool.submit(contextvars.copy_context().run, task, i, part)
+                for i, part in enumerate(partitions)
+            ]
+        else:
+            futures = [
+                self._pool.submit(task, i, part)
+                for i, part in enumerate(partitions)
+            ]
         try:
             return [future.result() for future in futures]
         except BaseException:
@@ -144,9 +185,12 @@ class ProcessScheduler:
     results back through a pipe.  POSIX-only, like the fork start method
     itself.
 
-    A worker that raises sends ``("error", traceback_text)`` up the pipe
-    instead of results; the parent collects every worker's report, then
-    raises :class:`WorkerError` carrying the real tracebacks.  If
+    A worker that raises sends ``("error", traceback_text, spans)`` up
+    the pipe instead of results; the parent collects every worker's
+    report, then raises :class:`WorkerError` carrying the real
+    tracebacks.  Trace spans recorded inside a worker ride the same pipe
+    and are replayed into the parent's sinks, so a traced run sees its
+    forked partitions nested under the right parent span.  If
     collection itself dies partway, the remaining pipe fds are closed
     and the remaining children reaped — no fd leak, no zombies.
     """
@@ -175,7 +219,7 @@ class ProcessScheduler:
         count = len(partitions)
         if count == 0:
             return []
-        task = _with_retries(task, self.retries, self.backoff)
+        task = _with_retries(task, self.retries, self.backoff, self.name)
         workers = min(self.max_workers, count)
         if workers == 1:
             return [task(i, part) for i, part in enumerate(partitions)]
@@ -186,15 +230,21 @@ class ProcessScheduler:
             pid = os.fork()
             if pid == 0:
                 # Worker: compute the slice, stream a pickled ("ok",
-                # results) or ("error", traceback) report, exit without
-                # running parent atexit/cleanup handlers.
+                # results, spans) or ("error", traceback, spans) report,
+                # exit without running parent atexit/cleanup handlers.
+                # The fork inherits the active trace context, so child
+                # spans parent correctly; they are buffered here (the
+                # parent's sinks must not be written from the child) and
+                # replayed by the parent after collection.
                 os.close(read_fd)
                 status = 0
                 try:
+                    span_buffer = obs.begin_collect()
                     try:
                         report = (
                             "ok",
                             [task(i, partitions[i]) for i in indices],
+                            obs.end_collect(span_buffer),
                         )
                         payload = pickle.dumps(
                             report, protocol=pickle.HIGHEST_PROTOCOL
@@ -202,7 +252,11 @@ class ProcessScheduler:
                     except BaseException:
                         status = 1
                         payload = pickle.dumps(
-                            ("error", traceback.format_exc()),
+                            (
+                                "error",
+                                traceback.format_exc(),
+                                obs.end_collect(span_buffer),
+                            ),
                             protocol=pickle.HIGHEST_PROTOCOL,
                         )
                     with os.fdopen(write_fd, "wb") as pipe:
@@ -227,7 +281,8 @@ class ProcessScheduler:
                         f"(partitions {indices})"
                     )
                     continue
-                tag, value = pickle.loads(payload)
+                tag, value, spans = pickle.loads(payload)
+                obs.replay(spans)
                 if tag == "error":
                     errors.append(value)
                     continue

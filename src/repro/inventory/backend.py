@@ -40,6 +40,15 @@ from repro.inventory import sstable
 from repro.inventory.codec import decode
 from repro.inventory.keys import GroupKey, GroupingSet
 from repro.inventory.summary import CellSummary
+from repro.obs import registry
+from repro.obs import trace as obs
+
+#: One disk-backed point lookup (find block, load via cache, scan entries).
+SPAN_GET = registry.register_span(
+    "inventory.get",
+    "one disk-backed point lookup through the block cache "
+    "(attrs: found; counter deltas: block_cache.hits / block_cache.misses)",
+)
 
 
 @runtime_checkable
@@ -97,6 +106,7 @@ class InventoryQueryMixin:
     resolution: int
 
     def get(self, key: GroupKey) -> CellSummary | None:  # pragma: no cover
+        """Exact-key point lookup (each backend provides its own)."""
         raise NotImplementedError
 
     def summary_at(
@@ -166,9 +176,18 @@ class BlockCache:
     threads interleave it.
     """
 
-    HITS = "block_cache.hits"
-    MISSES = "block_cache.misses"
-    EVICTIONS = "block_cache.evictions"
+    HITS = registry.register_counter(
+        "block_cache.hits",
+        "point lookups answered from a cached SSTable block (zero disk I/O)",
+    )
+    MISSES = registry.register_counter(
+        "block_cache.misses",
+        "point lookups that had to read (and verify) a block from disk",
+    )
+    EVICTIONS = registry.register_counter(
+        "block_cache.evictions",
+        "cached blocks dropped because the LRU cache was at capacity",
+    )
 
     def __init__(self, capacity: int = 64, counters: CounterSet | None = None) -> None:
         if capacity < 1:
@@ -208,14 +227,17 @@ class BlockCache:
 
     @property
     def hits(self) -> int:
+        """Lookups answered from cache so far."""
         return self.counters.value(self.HITS)
 
     @property
     def misses(self) -> int:
+        """Lookups that went to disk so far."""
         return self.counters.value(self.MISSES)
 
     @property
     def evictions(self) -> int:
+        """Blocks evicted by the LRU policy so far."""
         return self.counters.value(self.EVICTIONS)
 
     def clear(self) -> None:
@@ -310,17 +332,21 @@ class SSTableInventory(InventoryQueryMixin):
 
     def get(self, key: GroupKey) -> CellSummary | None:
         """Point lookup through the block cache: at most one block read."""
-        key_raw = sstable._key_bytes(key)
-        block_index = self._reader.find_block(key_raw)
-        if block_index is None:
-            return None
-        block = self._load_block(block_index)
-        for entry_key, value_raw in self._reader.parse_entries(block):
-            if entry_key == key_raw:
-                return CellSummary.from_dict(decode(value_raw))
-            if entry_key > key_raw:
+        with obs.span(SPAN_GET) as sp:
+            key_raw = sstable._key_bytes(key)
+            block_index = self._reader.find_block(key_raw)
+            if block_index is None:
+                sp.set("found", False)
                 return None
-        return None
+            block = self._load_block(block_index, sp)
+            for entry_key, value_raw in self._reader.parse_entries(block):
+                if entry_key == key_raw:
+                    sp.set("found", True)
+                    return CellSummary.from_dict(decode(value_raw))
+                if entry_key > key_raw:
+                    break
+            sp.set("found", False)
+            return None
 
     def route_cells(
         self, origin: str, destination: str, vessel_type: str
@@ -348,11 +374,14 @@ class SSTableInventory(InventoryQueryMixin):
 
     # -- internals -----------------------------------------------------------------
 
-    def _load_block(self, block_index: int) -> bytes:
+    def _load_block(self, block_index: int, sp=obs.NOOP_SPAN) -> bytes:
         block = self.cache.get(block_index)
         if block is None:
+            sp.add(BlockCache.MISSES)
             block = self._reader.read_block(block_index)
             self.cache.put(block_index, block)
+        else:
+            sp.add(BlockCache.HITS)
         return block
 
     def _load_route_index(self) -> None:

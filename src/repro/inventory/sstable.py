@@ -62,9 +62,18 @@ from repro.inventory import fsio
 from repro.inventory.codec import CodecError, decode, encode
 from repro.inventory.keys import GroupKey, GroupingSet
 from repro.inventory.summary import CellSummary
+from repro.obs import registry
+from repro.obs import trace as obs
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.inventory.store import Inventory
+
+#: Every physical block read (cache misses land here; hits never do).
+SPAN_READ_BLOCK = registry.register_span(
+    "sstable.read_block",
+    "one physical data-block read + checksum verify "
+    "(attrs: block index, bytes; cache hits never reach this)",
+)
 
 #: The format revision new tables are written with.
 FORMAT_VERSION = 3
@@ -582,29 +591,31 @@ class SSTableReader:
         caching here — serving backends layer their cache on top, and
         only ever cache verified blocks)."""
         offset, length = self._block_spans[block_index]
-        try:
-            with self._read_lock:
-                self._handle.seek(offset)
-                block = self._handle.read(length)
-                self.total_read_bytes += length
-        except OSError as exc:
-            raise SSTableError(
-                f"I/O error reading block {block_index} of {self._path}: {exc}"
-            ) from exc
-        if len(block) != length:
-            raise CorruptionError(
-                f"short read ({len(block)} of {length} bytes)",
-                path=self._path,
-                block_index=block_index,
-            )
-        expected = self._block_crcs[block_index]
-        if expected is not None and self._crc(block) != expected:
-            raise CorruptionError(
-                "block checksum mismatch",
-                path=self._path,
-                block_index=block_index,
-            )
-        return block
+        with obs.span(SPAN_READ_BLOCK, block=block_index, bytes=length):
+            try:
+                with self._read_lock:
+                    self._handle.seek(offset)
+                    block = self._handle.read(length)
+                    self.total_read_bytes += length
+            except OSError as exc:
+                raise SSTableError(
+                    f"I/O error reading block {block_index} of "
+                    f"{self._path}: {exc}"
+                ) from exc
+            if len(block) != length:
+                raise CorruptionError(
+                    f"short read ({len(block)} of {length} bytes)",
+                    path=self._path,
+                    block_index=block_index,
+                )
+            expected = self._block_crcs[block_index]
+            if expected is not None and self._crc(block) != expected:
+                raise CorruptionError(
+                    "block checksum mismatch",
+                    path=self._path,
+                    block_index=block_index,
+                )
+            return block
 
     @staticmethod
     def parse_entries(block: bytes) -> Iterator[tuple[bytes, bytes]]:

@@ -1,0 +1,104 @@
+"""End-to-end tracing & profiling: where did this request/build spend its time?
+
+The paper's system is operated as a service — its Figure 3 is literally
+a stage-cost breakdown of the production pipeline — and every perf claim
+this repo makes needs a seam that can prove it.  ``repro.obs`` is that
+seam, stdlib only:
+
+- :mod:`repro.obs.trace` — the contextvars span tracer.  ``span(name)``
+  as context manager or ``@traced`` decorator; thread-, fork- and
+  asyncio-safe propagation; per-span wall and thread-CPU time; counters
+  attached at close.  Disabled by default, and the disabled path is a
+  no-op (one attribute read, a shared inert object — asserted by
+  benchmark).
+- :mod:`repro.obs.sinks` — where spans go: a JSONL trace file, an
+  in-memory ring buffer (served live via the server's ``trace``
+  request), and an aggregating profile (count/total/p50/p99 per stage,
+  via the repo's t-digest) that ``repro trace`` renders.
+- :mod:`repro.obs.registry` — the declared universe of span and counter
+  names; ``docs/METRICS.md`` is generated from it and a sync test keeps
+  the two from drifting.
+- :mod:`repro.obs.exposition` — Prometheus-style text exposition of all
+  counters/latency gauges (``repro serve --metrics-port``).
+
+Instrumented hot paths: every pipeline stage (the Fig. 3 funnel),
+scheduler partition execution and retries, SSTable block reads and
+block-cache hits/misses, and every server request with its queue-wait
+vs. handler-time split.
+"""
+
+from repro.obs.exposition import (
+    MetricsExporter,
+    render_text,
+    server_exposition,
+)
+from repro.obs.registry import (
+    generate_metrics_doc,
+    register_counter,
+    register_span,
+    registered_counters,
+    registered_spans,
+)
+from repro.obs.sinks import (
+    JsonlSink,
+    ProfileRow,
+    ProfileSink,
+    RingBufferSink,
+    profile_records,
+    read_trace,
+    render_profile,
+)
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Span,
+    TraceContext,
+    Tracer,
+    activate,
+    add_sink,
+    begin_collect,
+    configure,
+    current_context,
+    deactivate,
+    disable,
+    enabled,
+    end_collect,
+    find_sink,
+    replay,
+    span,
+    traced,
+)
+
+__all__ = [
+    "MetricsExporter",
+    "NOOP_SPAN",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "JsonlSink",
+    "ProfileRow",
+    "ProfileSink",
+    "RingBufferSink",
+    "activate",
+    "add_sink",
+    "begin_collect",
+    "configure",
+    "current_context",
+    "deactivate",
+    "disable",
+    "enabled",
+    "end_collect",
+    "find_sink",
+    "generate_metrics_doc",
+    "profile_records",
+    "read_trace",
+    "register_counter",
+    "register_span",
+    "registered_counters",
+    "registered_spans",
+    "render_profile",
+    "render_text",
+    "replay",
+    "server_exposition",
+    "span",
+    "traced",
+]

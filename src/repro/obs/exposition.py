@@ -1,0 +1,159 @@
+"""Prometheus-style text exposition of counters and latency gauges.
+
+``repro serve --metrics-port N`` stands a plain stdlib HTTP server next
+to the query server; ``GET /metrics`` returns every
+:class:`~repro.engine.metrics.CounterSet` counter and every
+:class:`~repro.server.metrics.ServerMetrics` latency/queue-wait gauge in
+the Prometheus text format (version 0.0.4), so standard scrapers — or
+``curl`` — can watch a serving process without speaking the query
+protocol.  The renderer works on plain dicts, so anything that can
+snapshot itself (server metrics, block-cache counters, a profile sink)
+can be exposed.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: The Prometheus text-format content type.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def metric_name(name: str, prefix: str = "repro") -> str:
+    """A counter/gauge name sanitized to the Prometheus grammar."""
+    return _NAME_OK.sub("_", f"{prefix}_{name}")
+
+
+def render_text(
+    counters: dict[str, int],
+    gauges: dict[str, float | None] | None = None,
+    prefix: str = "repro",
+) -> str:
+    """Counters (``…_total``) and gauges as Prometheus text lines.
+
+    ``None``-valued gauges (an empty latency digest) are skipped, names
+    are sorted so the output is diffable, and dots become underscores.
+    """
+    lines: list[str] = []
+    for name in sorted(counters):
+        metric = metric_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {counters[name]}")
+    for name in sorted(gauges or {}):
+        value = (gauges or {})[name]
+        if value is None:
+            continue
+        metric = metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value:g}")
+    return "\n".join(lines) + "\n"
+
+
+def server_exposition(
+    snapshot: dict, cache_counters: dict[str, int] | None = None
+) -> str:
+    """Render a :meth:`ServerMetrics.snapshot` (plus optional block-cache
+    counters) as the ``/metrics`` payload."""
+    counters = dict(snapshot.get("counters", {}))
+    if cache_counters:
+        counters.update(cache_counters)
+    gauges: dict[str, float | None] = {}
+    for group in ("latency_ms", "queue_wait_ms"):
+        for stat, value in (snapshot.get(group) or {}).items():
+            if stat == "count":
+                continue
+            gauges[f"server.{group}.{stat}"] = value
+    return render_text(counters, gauges)
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """Serves ``GET /metrics`` from the exporter's collect callable."""
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """Answer one scrape; anything but ``/metrics`` is a 404."""
+        if self.path.split("?", 1)[0] != "/metrics":
+            self.send_error(404, "only /metrics is served here")
+            return
+        try:
+            body = self.server.collect().encode("utf-8")  # type: ignore[attr-defined]
+        except Exception as exc:  # noqa: BLE001 - a scrape must not kill the server
+            self.send_error(500, f"collect failed: {type(exc).__name__}")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence per-request access logging (scrapes are periodic)."""
+
+
+class MetricsExporter:
+    """A background HTTP endpoint exposing one collect() callable.
+
+    ::
+
+        exporter = MetricsExporter(lambda: server_exposition(metrics.snapshot()))
+        host, port = exporter.start()
+        ...
+        exporter.stop()
+
+    Port 0 asks the kernel for a free port (reported by :meth:`start`);
+    the serving thread is a daemon, so a crashed process never hangs on
+    it.
+    """
+
+    def __init__(
+        self, collect, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self._collect = collect
+        self._host = host
+        self._port = port
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> tuple[str, int]:
+        """Bind, start serving on a daemon thread, return (host, port)."""
+        if self._httpd is not None:
+            raise RuntimeError("exporter is already started")
+        self._httpd = ThreadingHTTPServer(
+            (self._host, self._port), _MetricsHandler
+        )
+        self._httpd.collect = self._collect  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-exporter",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port)."""
+        if self._httpd is None:
+            raise RuntimeError("exporter is not started")
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    def stop(self) -> None:
+        """Stop serving and release the port."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsExporter":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

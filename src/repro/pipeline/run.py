@@ -43,6 +43,8 @@ from repro.inventory.sstable import (
     write_inventory,
 )
 from repro.inventory.store import Inventory
+from repro.obs import registry
+from repro.obs import trace as obs
 from repro.pipeline import cleaning
 from repro.pipeline import manifest as build_manifests
 from repro.pipeline.config import PipelineConfig
@@ -52,6 +54,41 @@ from repro.pipeline.projection import project_trip
 from repro.pipeline.trips import annotate_trips
 from repro.world.fleet import Vessel
 from repro.world.ports import Port
+
+# The paper's Figure-3 execution funnel, one span per stage.  ``repro
+# trace`` over a traced build renders exactly this stage set; the CLI
+# test pins it.
+SPAN_BUILD = registry.register_span(
+    "pipeline.build", "one whole build_inventory run (root of a build trace)"
+)
+SPAN_WINDOW = registry.register_span(
+    "pipeline.window",
+    "one ingestion window of an on-disk build (attrs: window index, reused)",
+)
+SPAN_CLEAN = registry.register_span(
+    "pipeline.clean",
+    "cleaning: field validation, per-vessel dedupe/sort, feasibility filter",
+)
+SPAN_ENRICH = registry.register_span(
+    "pipeline.enrich",
+    "enrichment: static-report join, GRT/commercial filters",
+)
+SPAN_TRIPS = registry.register_span(
+    "pipeline.trips",
+    "trip extraction: geofenced port calls, trip identity, O/D annotation",
+)
+SPAN_PROJECT = registry.register_span(
+    "pipeline.project",
+    "grid projection: trips densified onto hexagonal cells "
+    "(forced eagerly only while tracing; lazy inside aggregation otherwise)",
+)
+SPAN_AGGREGATE = registry.register_span(
+    "pipeline.aggregate",
+    "feature extraction: grouping-set fan-out and combine_by_key reduce",
+)
+SPAN_COMPACT = registry.register_span(
+    "pipeline.compact", "k-way merge of window tables into the output table"
+)
 
 
 @dataclass
@@ -111,23 +148,29 @@ def build_inventory(
     own_engine = engine is None
     engine = engine or Engine()
     try:
-        if output is None:
-            if windows != 1:
-                raise ValueError("windowed builds require an output path")
-            inventory, funnel = _build_window(
-                positions, fleet, ports, config, engine
+        with obs.span(
+            SPAN_BUILD,
+            raw=len(positions),
+            windows=windows,
+            on_disk=output is not None,
+        ):
+            if output is None:
+                if windows != 1:
+                    raise ValueError("windowed builds require an output path")
+                inventory, funnel = _build_window(
+                    positions, fleet, ports, config, engine
+                )
+                funnel["inventory_groups"] = len(inventory)
+                funnel["inventory_cells"] = len(inventory.cells())
+                return PipelineResult(
+                    inventory=inventory,
+                    funnel=funnel,
+                    stage_seconds=_stage_seconds(engine),
+                )
+            return _build_to_table(
+                positions, fleet, ports, config, engine, Path(output), windows,
+                resume=resume,
             )
-            funnel["inventory_groups"] = len(inventory)
-            funnel["inventory_cells"] = len(inventory.cells())
-            return PipelineResult(
-                inventory=inventory,
-                funnel=funnel,
-                stage_seconds=_stage_seconds(engine),
-            )
-        return _build_to_table(
-            positions, fleet, ports, config, engine, Path(output), windows,
-            resume=resume,
-        )
     finally:
         if own_engine:
             engine.close()
@@ -169,27 +212,30 @@ def _build_to_table(
     try:
         for index, position_window in enumerate(_time_windows(positions, windows)):
             path = output.with_name(f"{output.name}.w{index}")
-            record = manifest.verified_window(index, path)
-            if record is None:
-                inventory, window_funnel = _build_window(
-                    position_window, fleet, ports, config, engine
-                )
-                write_inventory(inventory, path)
-                record = build_manifests.WindowRecord(
-                    index=index,
-                    table_name=path.name,
-                    entries=len(inventory),
-                    table_crc=file_checksum(path),
-                    funnel=dict(window_funnel),
-                    cells=sorted(inventory.cells()),
-                )
-                manifest.record_window(record)
-                build_manifests.save_manifest(manifest_file, manifest)
+            with obs.span(SPAN_WINDOW, index=index) as window_span:
+                record = manifest.verified_window(index, path)
+                window_span.set("reused", record is not None)
+                if record is None:
+                    inventory, window_funnel = _build_window(
+                        position_window, fleet, ports, config, engine
+                    )
+                    write_inventory(inventory, path)
+                    record = build_manifests.WindowRecord(
+                        index=index,
+                        table_name=path.name,
+                        entries=len(inventory),
+                        table_crc=file_checksum(path),
+                        funnel=dict(window_funnel),
+                        cells=sorted(inventory.cells()),
+                    )
+                    manifest.record_window(record)
+                    build_manifests.save_manifest(manifest_file, manifest)
             for stage, count in record.funnel.items():
                 funnel[stage] = funnel.get(stage, 0) + count
             cells.update(record.cells)
             window_paths.append(path)
-        entries = merge_tables(window_paths, output)
+        with obs.span(SPAN_COMPACT, tables=len(window_paths)):
+            entries = merge_tables(window_paths, output)
         completed = True
     finally:
         if completed:
@@ -222,80 +268,96 @@ def _build_window(
     )
     funnel: dict[str, int] = {"raw": len(positions)}
 
-    raw = engine.parallelize(positions)
-    valid = raw.filter(cleaning.validate).persist()
-    funnel["valid_fields"] = valid.count()
+    with obs.span(SPAN_CLEAN, rows_in=len(positions)) as clean_span:
+        raw = engine.parallelize(positions)
+        valid = raw.filter(cleaning.validate).persist()
+        funnel["valid_fields"] = valid.count()
 
-    tracks = (
-        valid.map(cleaning.key_by_mmsi)
-        .group_by_key()
-        .map_values(cleaning.sort_and_dedupe)
-        .map_values(
-            lambda reports: cleaning.feasibility_filter(
-                reports, config.max_transition_speed_kn
+        tracks = (
+            valid.map(cleaning.key_by_mmsi)
+            .group_by_key()
+            .map_values(cleaning.sort_and_dedupe)
+            .map_values(
+                lambda reports: cleaning.feasibility_filter(
+                    reports, config.max_transition_speed_kn
+                )
             )
+            .persist()
         )
-        .persist()
-    )
-    funnel["feasible"] = sum(
-        len(reports) for _, reports in tracks.collect()
-    )
+        funnel["feasible"] = sum(
+            len(reports) for _, reports in tracks.collect()
+        )
+        clean_span.set("rows_out", funnel["feasible"])
 
-    enriched = (
-        tracks.map(
-            lambda kv: (
-                kv[0],
-                cleaning.enrich_track(
+    with obs.span(SPAN_ENRICH, rows_in=funnel["feasible"]) as enrich_span:
+        enriched = (
+            tracks.map(
+                lambda kv: (
                     kv[0],
-                    kv[1],
-                    static_by_mmsi,
-                    min_grt=config.min_grt,
-                    commercial_only=config.commercial_only,
-                ),
+                    cleaning.enrich_track(
+                        kv[0],
+                        kv[1],
+                        static_by_mmsi,
+                        min_grt=config.min_grt,
+                        commercial_only=config.commercial_only,
+                    ),
+                )
             )
+            .filter(lambda kv: kv[1] is not None)
+            .persist()
         )
-        .filter(lambda kv: kv[1] is not None)
-        .persist()
-    )
-    funnel["commercial"] = sum(
-        len(records) for _, records in enriched.collect()
-    )
+        funnel["commercial"] = sum(
+            len(records) for _, records in enriched.collect()
+        )
+        enrich_span.set("rows_out", funnel["commercial"])
 
-    trip_records = (
-        enriched.map_values(
-            lambda records: annotate_trips(
-                records, port_index, stop_speed_kn=config.stop_speed_kn
+    with obs.span(SPAN_TRIPS, rows_in=funnel["commercial"]) as trips_span:
+        trip_records = (
+            enriched.map_values(
+                lambda records: annotate_trips(
+                    records, port_index, stop_speed_kn=config.stop_speed_kn
+                )
             )
+            .flat_map_values(
+                lambda records: _split_by_trip(records)
+            )
+            .persist()
         )
-        .flat_map_values(
-            lambda records: _split_by_trip(records)
+        funnel["with_trip_semantics"] = sum(
+            len(trip) for _, trip in trip_records.collect()
         )
-        .persist()
-    )
-    funnel["with_trip_semantics"] = sum(
-        len(trip) for _, trip in trip_records.collect()
-    )
+        trips_span.set("rows_out", funnel["with_trip_semantics"])
 
-    cell_records = trip_records.map_values(
-        lambda trip: project_trip(
-            trip,
-            config.resolution,
-            densify=config.densify_transitions,
-            extra_features=config.extra_features,
+    with obs.span(SPAN_PROJECT):
+        cell_records = trip_records.map_values(
+            lambda trip: project_trip(
+                trip,
+                config.resolution,
+                densify=config.densify_transitions,
+                extra_features=config.extra_features,
+            )
+        ).flat_map(lambda kv: kv[1])
+        if obs.enabled():
+            # Projection is lazy — it would otherwise run (and be billed)
+            # inside the aggregation span.  Force it here while tracing so
+            # the Fig. 3 profile attributes its cost to the right stage;
+            # untraced builds keep the fused lazy plan.
+            cell_records = cell_records.persist()
+            cell_records.count()
+
+    with obs.span(SPAN_AGGREGATE) as agg_span:
+        summary_config = config.effective_summary
+        grouped = cell_records.flat_map(fan_out).combine_by_key(
+            create=make_create(summary_config),
+            merge_value=make_update(summary_config),
+            merge_combiners=merge_summaries,
+            label="aggregate_summaries",
         )
-    ).flat_map(lambda kv: kv[1])
 
-    summary_config = config.effective_summary
-    grouped = cell_records.flat_map(fan_out).combine_by_key(
-        create=make_create(summary_config),
-        merge_value=make_update(summary_config),
-        merge_combiners=merge_summaries,
-        label="aggregate_summaries",
-    )
-
-    inventory = Inventory(config.resolution, summary_config)
-    for key_tuple, summary in grouped.collect():
-        inventory.put(GroupKey.from_tuple(key_tuple), summary)
+        inventory = Inventory(config.resolution, summary_config)
+        for key_tuple, summary in grouped.collect():
+            inventory.put(GroupKey.from_tuple(key_tuple), summary)
+        agg_span.set("groups", len(inventory))
     return inventory, funnel
 
 

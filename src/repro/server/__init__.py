@@ -12,10 +12,13 @@ This package is that serving tier for any
 - :mod:`repro.server.server` — the asyncio TCP server: bounded
   concurrency (semaphore backpressure), per-request deadlines,
   per-connection idle timeouts, graceful drain;
-- :mod:`repro.server.metrics` — request/error counters and a latency
-  digest, served back through the ``stats`` request;
+- :mod:`repro.server.metrics` — request/error counters and
+  latency/queue-wait digests, served back through the ``stats`` request
+  and exposed in Prometheus text form via ``--metrics-port``
+  (:mod:`repro.obs.exposition`);
 - :mod:`repro.server.client` — the synchronous client whose query
-  methods mirror the in-process backend's.
+  methods mirror the in-process backend's (plus ``trace`` for the live
+  span ring buffer).
 
 ``python -m repro serve --inventory inv.sst`` stands the whole stack up
 from a persisted table.

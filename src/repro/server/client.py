@@ -109,6 +109,14 @@ class InventoryClient:
         """Inventory + server observability snapshot."""
         return self.request("stats")
 
+    def trace(self, n: int = 50) -> dict:
+        """The live tail of the server's trace ring buffer.
+
+        Returns ``{"enabled": bool, "spans": [span records]}`` — empty
+        spans (not an error) when the server runs without tracing.
+        """
+        return self.request("trace", n=n)
+
     def summary_at(
         self,
         lat: float,

@@ -49,6 +49,7 @@ REQUEST_TYPES = (
     "route_cells",
     "eta",
     "destination",
+    "trace",
 )
 
 # Error codes carried in failure responses.

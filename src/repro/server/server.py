@@ -29,14 +29,36 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import contextvars
+import logging
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.inventory.sstable import CorruptionError
+from repro.obs import registry
+from repro.obs import trace as obs
+from repro.obs.exposition import MetricsExporter, server_exposition
 from repro.server import protocol
 from repro.server.metrics import ServerMetrics
+
+#: One request end-to-end on the server; queue wait + handler + encoding.
+SPAN_REQUEST = registry.register_span(
+    "server.request",
+    "one request end-to-end on the server: semaphore queue wait + handler "
+    "+ response assembly (attrs: type, queue_wait_ms, status code on error)",
+)
+#: Just the handler body, on a worker thread — subtract from
+#: ``server.request`` to see protocol/queueing overhead.
+SPAN_HANDLE = registry.register_span(
+    "server.handle",
+    "the handler body of one request, on a worker thread (attrs: type); "
+    "server.request minus server.handle is queueing + framing overhead",
+)
+
+#: One WARNING line per over-threshold request (``--slow-request-ms``).
+_slowlog = logging.getLogger("repro.server.slowlog")
 
 
 @dataclass(frozen=True)
@@ -50,12 +72,17 @@ class ServerConfig:
     idle_timeout_s: float = 30.0
     max_frame_bytes: int = protocol.MAX_FRAME_BYTES
     drain_timeout_s: float = 5.0
+    #: Successful requests slower than this are logged (one WARNING line
+    #: on ``repro.server.slowlog``) and counted; ``None`` disables.
+    slow_request_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_concurrency < 1:
             raise ValueError("max_concurrency must be at least 1")
         if self.request_timeout_s <= 0 or self.idle_timeout_s <= 0:
             raise ValueError("timeouts must be positive")
+        if self.slow_request_s is not None and self.slow_request_s < 0:
+            raise ValueError("slow_request_s must be >= 0 (or None)")
 
 
 class _Connection:
@@ -205,65 +232,129 @@ class InventoryServer:
         request_type = request.get("type")
         label = request_type if isinstance(request_type, str) else "?"
         started = time.perf_counter()
-        try:
-            result = await asyncio.wait_for(
-                self._process(request), self.config.request_timeout_s
-            )
-        except asyncio.TimeoutError:
-            self.metrics.record_error(label, protocol.ERR_DEADLINE)
-            return protocol.error_response(
-                request_id,
-                protocol.ERR_DEADLINE,
-                f"request exceeded the {self.config.request_timeout_s:g}s deadline",
-            )
-        except protocol.ProtocolError as exc:
-            self.metrics.record_error(label, exc.code)
-            return protocol.error_response(request_id, exc.code, str(exc))
-        except CorruptionError as exc:
-            # The stored table failed a checksum under this query.  The
-            # client gets a typed error on a live connection — never a
-            # wrong answer, never a dead socket — and the corruption
-            # counter flags the table for `repro fsck`.
-            self.metrics.record_error(label, protocol.ERR_CORRUPTION)
-            self.metrics.record_corruption(label)
-            return protocol.error_response(
-                request_id, protocol.ERR_CORRUPTION, str(exc)
-            )
-        except Exception as exc:  # noqa: BLE001 - the wire gets a clean error
-            self.metrics.record_error(label, protocol.ERR_INTERNAL)
-            return protocol.error_response(
-                request_id,
-                protocol.ERR_INTERNAL,
-                f"{type(exc).__name__}: {exc}",
-            )
-        self.metrics.record_request(label, time.perf_counter() - started)
-        return protocol.ok_response(request_id, result)
+        with obs.span(SPAN_REQUEST, type=label) as sp:
+            try:
+                result = await asyncio.wait_for(
+                    self._process(request, sp), self.config.request_timeout_s
+                )
+            except asyncio.TimeoutError:
+                sp.set("code", protocol.ERR_DEADLINE)
+                self.metrics.record_error(label, protocol.ERR_DEADLINE)
+                return protocol.error_response(
+                    request_id,
+                    protocol.ERR_DEADLINE,
+                    f"request exceeded the "
+                    f"{self.config.request_timeout_s:g}s deadline",
+                )
+            except protocol.ProtocolError as exc:
+                sp.set("code", exc.code)
+                self.metrics.record_error(label, exc.code)
+                return protocol.error_response(request_id, exc.code, str(exc))
+            except CorruptionError as exc:
+                # The stored table failed a checksum under this query.  The
+                # client gets a typed error on a live connection — never a
+                # wrong answer, never a dead socket — and the corruption
+                # counter flags the table for `repro fsck`.
+                sp.set("code", protocol.ERR_CORRUPTION)
+                self.metrics.record_error(label, protocol.ERR_CORRUPTION)
+                self.metrics.record_corruption(label)
+                return protocol.error_response(
+                    request_id, protocol.ERR_CORRUPTION, str(exc)
+                )
+            except Exception as exc:  # noqa: BLE001 - the wire gets a clean error
+                sp.set("code", protocol.ERR_INTERNAL)
+                self.metrics.record_error(label, protocol.ERR_INTERNAL)
+                return protocol.error_response(
+                    request_id,
+                    protocol.ERR_INTERNAL,
+                    f"{type(exc).__name__}: {exc}",
+                )
+            elapsed = time.perf_counter() - started
+            self.metrics.record_request(label, elapsed)
+            slow_after = self.config.slow_request_s
+            if slow_after is not None and elapsed >= slow_after:
+                self.metrics.record_slow(label)
+                _slowlog.warning(
+                    "slow request: type=%s id=%r took %.1fms (threshold %.1fms)",
+                    label, request_id, elapsed * 1e3, slow_after * 1e3,
+                )
+            return protocol.ok_response(request_id, result)
 
-    async def _process(self, request: dict) -> dict:
+    async def _process(self, request: dict, sp=obs.NOOP_SPAN) -> dict:
         # The semaphore wait happens inside the request deadline: a
         # request that cannot be *started* in time fails fast instead of
         # queueing forever — that is the backpressure contract.
+        queued = time.perf_counter()
         async with self._semaphore:
-            result = await self._loop.run_in_executor(
-                self._executor, self.service.handle, request
-            )
+            waited = time.perf_counter() - queued
+            self.metrics.record_queue_wait(waited)
+            sp.set("queue_wait_ms", round(waited * 1e3, 3))
+            if obs.enabled():
+                # Worker threads do not inherit this task's contextvars:
+                # carry the request span's context across the executor
+                # boundary so handler-side spans (inventory.get,
+                # sstable.read_block) nest under this request.
+                rtype = request.get("type")
+                label = rtype if isinstance(rtype, str) else "?"
+                context = contextvars.copy_context()
+
+                def _handle_traced() -> dict:
+                    with obs.span(SPAN_HANDLE, type=label):
+                        return self.service.handle(request)
+
+                result = await self._loop.run_in_executor(
+                    self._executor, context.run, _handle_traced
+                )
+            else:
+                result = await self._loop.run_in_executor(
+                    self._executor, self.service.handle, request
+                )
         if request.get("type") == "stats":
             result = dict(result)
             result["server"] = self.metrics.snapshot()
         return result
 
+    def exposition(self) -> str:
+        """The ``/metrics`` payload: server counters/latency gauges plus
+        the backend's block-cache counters when it has them."""
+        cache = None
+        cache_stats = getattr(
+            getattr(self.service, "inventory", None), "cache_stats", None
+        )
+        if callable(cache_stats):
+            cache = cache_stats()
+        return server_exposition(self.metrics.snapshot(), cache)
 
-async def serve(service, config: ServerConfig | None = None) -> None:
-    """Start a server and run it until cancelled (the CLI entry point)."""
+
+async def serve(
+    service,
+    config: ServerConfig | None = None,
+    metrics_port: int | None = None,
+) -> None:
+    """Start a server and run it until cancelled (the CLI entry point).
+
+    ``metrics_port`` additionally stands up a Prometheus-style
+    ``GET /metrics`` HTTP endpoint on that port (0 = kernel-assigned)
+    exposing the server's counters and latency/queue-wait gauges.
+    """
     server = InventoryServer(service, config)
     await server.start()
     host, port = server.address
     print(f"serving on {host}:{port} "
           f"(max {server.config.max_concurrency} in-flight, "
           f"{server.config.request_timeout_s:g}s deadline)")
+    exporter = None
+    if metrics_port is not None:
+        exporter = MetricsExporter(
+            server.exposition, host=server.config.host, port=metrics_port
+        )
+        metrics_host, bound = exporter.start()
+        print(f"metrics on http://{metrics_host}:{bound}/metrics")
     try:
         await server.serve_forever()
     finally:
+        if exporter is not None:
+            exporter.stop()
         await server.shutdown()
 
 
@@ -292,6 +383,7 @@ class ServerThread:
         self._thread: threading.Thread | None = None
 
     def start(self) -> "ServerThread":
+        """Start the loop thread and block until the server is bound."""
         self._thread = threading.Thread(
             target=lambda: asyncio.run(self._main()),
             name="repro-server-loop",

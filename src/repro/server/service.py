@@ -21,6 +21,8 @@ from repro.apps.destination import DestinationPredictor
 from repro.apps.eta import EtaEstimator
 from repro.inventory.backend import QueryableInventory
 from repro.inventory.sstable import SSTableError
+from repro.obs import trace as obs
+from repro.obs.sinks import RingBufferSink
 from repro.server.protocol import (
     BadRequestError,
     UnknownRequestError,
@@ -48,6 +50,7 @@ class InventoryService:
             "route_cells": self._route_cells,
             "eta": self._eta,
             "destination": self._destination,
+            "trace": self._trace,
         }
 
     def handle(self, request: dict) -> dict:
@@ -77,6 +80,18 @@ class InventoryService:
         if callable(cache_stats):
             stats["cache"] = cache_stats()
         return {"inventory": stats}
+
+    def _trace(self, request: dict) -> dict:
+        # The live tail of the tracer's ring buffer (``repro serve
+        # --trace-ring``).  With tracing off (or no ring installed) the
+        # answer is an empty, clearly-flagged tail — not an error, so
+        # probes can poll it unconditionally.
+        n = _int(request, "n", default=50, minimum=1)
+        ring = obs.find_sink(RingBufferSink)
+        return {
+            "enabled": obs.enabled(),
+            "spans": [] if ring is None else ring.spans(n),
+        }
 
     def _summary_at(self, request: dict) -> dict:
         lat, lon = _position(request)

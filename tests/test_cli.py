@@ -200,3 +200,109 @@ def test_build_resume_flag(archive, tmp_path, capsys):
     assert code == 0
     assert out_table.exists()
     assert not (tmp_path / "resumed.sst.manifest").exists()
+
+
+# -- tracing (repro build --trace / repro trace) ---------------------------------
+
+#: The paper's Fig. 3 funnel: every stage of a build must appear in a
+#: recorded trace, by exactly these span names.
+FIG3_FUNNEL_SPANS = {
+    "pipeline.clean",
+    "pipeline.enrich",
+    "pipeline.trips",
+    "pipeline.project",
+    "pipeline.aggregate",
+}
+
+
+@pytest.fixture(scope="module")
+def build_trace(archive):
+    """A fresh traced build: (trace path, table path)."""
+    directory = archive.parent
+    table = directory / "traced.sst"
+    trace_path = directory / "build.trace"
+    code = main([
+        "build", "--archive", str(archive), "--out", str(table),
+        "--windows", "2", "--trace", str(trace_path),
+    ])
+    assert code == 0
+    return trace_path, table
+
+
+def test_build_trace_records_the_fig3_funnel(build_trace):
+    import json
+
+    trace_path, _ = build_trace
+    names = {
+        json.loads(line)["name"]
+        for line in trace_path.read_text().splitlines() if line.strip()
+    }
+    assert FIG3_FUNNEL_SPANS <= names, (
+        f"missing funnel stages: {FIG3_FUNNEL_SPANS - names}"
+    )
+    # the build skeleton is traced too
+    assert {"pipeline.build", "pipeline.window", "pipeline.compact"} <= names
+    assert "engine.partition" in names
+
+
+def test_trace_command_renders_the_per_stage_profile(build_trace, capsys):
+    trace_path, _ = build_trace
+    code = main(["trace", "--trace", str(trace_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    lines = out.splitlines()
+    assert lines[0].split()[:3] == ["span", "count", "errors"]
+    rendered_spans = {line.split()[0] for line in lines[1:] if line.strip()}
+    assert FIG3_FUNNEL_SPANS <= rendered_spans, (
+        f"profile is missing funnel stages: {FIG3_FUNNEL_SPANS - rendered_spans}"
+    )
+    for line in lines[1:]:
+        if line.split() and line.split()[0] in FIG3_FUNNEL_SPANS:
+            assert "ms" in line and "%" in line  # timed, with a share
+
+
+def test_trace_command_limit_truncates(build_trace, capsys):
+    trace_path, _ = build_trace
+    code = main(["trace", "--trace", str(trace_path), "--limit", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "more span names" in out
+
+
+def test_trace_command_empty_file_fails_cleanly(tmp_path, capsys):
+    empty = tmp_path / "empty.trace"
+    empty.write_text("")
+    code = main(["trace", "--trace", str(empty)])
+    assert code == 1
+    assert "no spans recorded" in capsys.readouterr().out
+
+
+def test_build_leaves_tracing_disabled(build_trace):
+    from repro.obs import trace as obs
+
+    assert not obs.enabled()
+
+
+def test_serve_sinks_and_config_plumbing(tmp_path):
+    """The serve CLI flags map onto sinks and ServerConfig correctly."""
+    import argparse
+
+    from repro.cli import _serve_config, _serve_sinks
+    from repro.obs import JsonlSink, RingBufferSink
+
+    args = argparse.Namespace(
+        host="127.0.0.1", port=0, max_concurrency=4,
+        request_timeout=5.0, idle_timeout=10.0,
+        trace=tmp_path / "s.trace", trace_ring=32,
+        slow_request_ms=250.0,
+    )
+    sinks = _serve_sinks(args)
+    assert [type(s) for s in sinks] == [JsonlSink, RingBufferSink]
+    assert sinks[1].capacity == 32
+    config = _serve_config(args)
+    assert config.slow_request_s == pytest.approx(0.25)
+    args.trace = None
+    args.trace_ring = 0
+    args.slow_request_ms = None
+    assert _serve_sinks(args) == []
+    assert _serve_config(args).slow_request_s is None

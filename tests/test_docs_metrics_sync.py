@@ -1,0 +1,58 @@
+"""docs/METRICS.md must equal what the registry generates — exactly.
+
+The reference is generated (``python -m repro.obs.registry``), so any
+new counter/span registration, renamed metric or edited description
+must be accompanied by a regenerated file; this test fails on drift in
+either direction.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs import registry
+
+DOC = Path(__file__).resolve().parents[1] / "docs" / "METRICS.md"
+
+
+def test_metrics_doc_matches_registry_exactly():
+    generated = registry.generate_metrics_doc()
+    committed = DOC.read_text(encoding="utf-8")
+    assert generated == committed, (
+        "docs/METRICS.md is out of date with the registry; regenerate it:\n"
+        "  PYTHONPATH=src python -m repro.obs.registry > docs/METRICS.md"
+    )
+
+
+def test_registry_is_nonempty_and_covers_the_tentpole_names():
+    registry.import_instrumented()
+    spans = registry.registered_spans()
+    counters = registry.registered_counters()
+    # the names the operator docs and the CLI lean on must stay registered
+    for span in (
+        "pipeline.clean", "pipeline.enrich", "pipeline.trips",
+        "pipeline.project", "pipeline.aggregate", "pipeline.build",
+        "engine.partition", "sstable.read_block", "inventory.get",
+        "server.request", "server.handle",
+    ):
+        assert span in spans, f"span {span!r} vanished from the registry"
+    for counter in (
+        "block_cache.hits", "block_cache.misses", "engine.retries",
+        "server.requests", "server.errors", "server.requests.slow",
+    ):
+        assert counter in counters, f"counter {counter!r} vanished"
+    # every registered name has a real description
+    assert all(desc.strip() for desc in spans.values())
+    assert all(desc.strip() for desc in counters.values())
+
+
+def test_duplicate_registration_with_conflicting_description_raises():
+    import pytest
+
+    name = registry.register_span("test.dup", "one meaning")
+    assert name == "test.dup"
+    # idempotent with the same description
+    registry.register_span("test.dup", "one meaning")
+    with pytest.raises(ValueError):
+        registry.register_span("test.dup", "a different meaning")
+    registry._SPANS.pop("test.dup", None)  # leave the registry clean

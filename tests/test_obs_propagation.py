@@ -1,0 +1,267 @@
+"""Trace-context propagation across threads, forks and asyncio tasks.
+
+The tracer's value is that one trace follows a request or a build across
+execution boundaries.  These tests pin the three boundaries the repo
+actually crosses:
+
+- **thread pools** (ThreadScheduler, the server's executor) — worker-side
+  spans must parent under the span active at submit time;
+- **forked workers** (ProcessScheduler) — child spans ride the result
+  pipe and replay into the parent's sinks with correct lineage;
+- **asyncio tasks** — concurrent tasks each keep their own context and
+  never interleave trace ids, even across await points.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.engine import scheduler as sched
+from repro.obs import trace as obs
+
+
+class ListSink:
+    """Thread-safe record collector."""
+
+    def __init__(self):
+        self.records = []
+        self._lock = threading.Lock()
+
+    def record(self, record):
+        with self._lock:
+            self.records.append(record)
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _partition_spans(sink):
+    return [r for r in sink.records if r["name"] == "engine.partition"]
+
+
+# -- thread pools ----------------------------------------------------------------
+
+
+def test_thread_scheduler_spans_nest_under_caller():
+    sink = ListSink()
+    obs.configure(sink)
+    scheduler = sched.ThreadScheduler(max_workers=4)
+    try:
+        with obs.span("job") as job:
+            results = scheduler.run(
+                lambda i, part: [x * 2 for x in part],
+                [[1], [2], [3], [4], [5], [6]],
+            )
+            job_span_id = obs.current_context().span_id
+    finally:
+        scheduler.close()
+    assert results == [[2], [4], [6], [8], [10], [12]]
+    partitions = _partition_spans(sink)
+    assert len(partitions) == 6
+    (job_record,) = [r for r in sink.records if r["name"] == "job"]
+    for record in partitions:
+        assert record["trace"] == job_record["trace"]
+        assert record["parent"] == job_span_id == job_record["span"]
+    ids = [r["span"] for r in partitions]
+    assert len(set(ids)) == len(ids)
+
+
+def test_thread_scheduler_two_jobs_never_share_a_trace():
+    sink = ListSink()
+    obs.configure(sink)
+    scheduler = sched.ThreadScheduler(max_workers=4)
+    try:
+        traces = []
+        for _ in range(2):
+            with obs.span("job"):
+                scheduler.run(lambda i, part: part, [[1], [2], [3]])
+                traces.append(obs.current_context().trace_id)
+    finally:
+        scheduler.close()
+    assert traces[0] != traces[1]
+    by_trace = {}
+    for record in _partition_spans(sink):
+        by_trace.setdefault(record["trace"], []).append(record)
+    assert set(by_trace) == set(traces)
+    assert all(len(records) == 3 for records in by_trace.values())
+
+
+def test_retry_closes_an_error_span_per_failed_attempt():
+    sink = ListSink()
+    obs.configure(sink)
+    attempts = {"n": 0}
+
+    def flaky(index, partition):
+        attempts["n"] += 1
+        if attempts["n"] == 1:
+            raise OSError("transient")
+        return partition
+
+    scheduler = sched.SerialScheduler(retries=2, backoff=0.0)
+    before = sched.COUNTERS.value(sched.RETRIES_TOTAL)
+    assert scheduler.run(flaky, [[7]]) == [[7]]
+    assert sched.COUNTERS.value(sched.RETRIES_TOTAL) == before + 1
+    partitions = _partition_spans(sink)
+    assert [r["status"] for r in partitions] == ["error", "ok"]
+    assert partitions[0]["attrs"]["attempt"] == 0
+    assert partitions[1]["attrs"]["attempt"] == 1
+
+
+# -- forked workers --------------------------------------------------------------
+
+
+def test_process_scheduler_replays_child_spans_with_lineage():
+    sink = ListSink()
+    obs.configure(sink)
+    scheduler = sched.ProcessScheduler(max_workers=2)
+    with obs.span("forked.job") as job:
+        results = scheduler.run(
+            lambda i, part: [x + 100 for x in part], [[1], [2], [3], [4]]
+        )
+        job_ctx = obs.current_context()
+    assert results == [[101], [102], [103], [104]]
+    partitions = _partition_spans(sink)
+    assert len(partitions) == 4
+    for record in partitions:
+        assert record["trace"] == job_ctx.trace_id
+        assert record["parent"] == job_ctx.span_id
+    ids = [r["span"] for r in partitions]
+    assert len(set(ids)) == len(ids), "span ids must stay unique across forks"
+
+
+def test_process_scheduler_failed_worker_still_ships_spans():
+    sink = ListSink()
+    obs.configure(sink)
+    scheduler = sched.ProcessScheduler(max_workers=2)
+
+    def poisoned(index, partition):
+        if index == 1:
+            raise RuntimeError("partition 1 is bad")
+        return partition
+
+    with pytest.raises(sched.WorkerError):
+        with obs.span("doomed.job"):
+            scheduler.run(poisoned, [[1], [2], [3], [4]])
+    partitions = _partition_spans(sink)
+    # every *attempted* partition reported a span, including the failed
+    # one (the failing worker abandons the rest of its slice, so its
+    # trailing partition is never attempted: slices are [0,2] and [1,3])
+    assert len(partitions) == 3
+    by_index = {r["attrs"]["index"]: r["status"] for r in partitions}
+    assert by_index == {0: "ok", 1: "error", 2: "ok"}
+
+
+def test_process_scheduler_untraced_run_stays_silent():
+    scheduler = sched.ProcessScheduler(max_workers=2)
+    assert scheduler.run(lambda i, p: p, [[1], [2], [3]]) == [[1], [2], [3]]
+    assert not obs.enabled()
+
+
+# -- threads without a pool (raw propagation) ------------------------------------
+
+
+def test_threads_do_not_leak_context_between_each_other():
+    sink = ListSink()
+    obs.configure(sink)
+    barrier = threading.Barrier(4)
+
+    def work(tag):
+        barrier.wait()
+        with obs.span("thread.root", tag=tag):
+            with obs.span("thread.child", tag=tag):
+                pass
+
+    threads = [
+        threading.Thread(target=work, args=(f"t{i}",)) for i in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    roots = [r for r in sink.records if r["name"] == "thread.root"]
+    children = [r for r in sink.records if r["name"] == "thread.child"]
+    assert len(roots) == len(children) == 4
+    root_by_tag = {r["attrs"]["tag"]: r for r in roots}
+    assert len({r["trace"] for r in roots}) == 4, "each thread is its own trace"
+    for child in children:
+        root = root_by_tag[child["attrs"]["tag"]]
+        assert child["trace"] == root["trace"]
+        assert child["parent"] == root["span"]
+
+
+# -- asyncio tasks ---------------------------------------------------------------
+
+
+def test_asyncio_tasks_keep_independent_traces():
+    sink = ListSink()
+    obs.configure(sink)
+
+    async def request(tag):
+        with obs.span("aio.request", tag=tag):
+            await asyncio.sleep(0)  # force interleaving
+            with obs.span("aio.step", tag=tag):
+                await asyncio.sleep(0)
+            await asyncio.sleep(0)
+            with obs.span("aio.step2", tag=tag):
+                pass
+
+    async def main():
+        await asyncio.gather(*(request(f"r{i}") for i in range(8)))
+
+    asyncio.run(main())
+    requests = [r for r in sink.records if r["name"] == "aio.request"]
+    assert len(requests) == 8
+    assert len({r["trace"] for r in requests}) == 8
+    request_by_tag = {r["attrs"]["tag"]: r for r in requests}
+    for name in ("aio.step", "aio.step2"):
+        steps = [r for r in sink.records if r["name"] == name]
+        assert len(steps) == 8
+        for step in steps:
+            parent = request_by_tag[step["attrs"]["tag"]]
+            assert step["trace"] == parent["trace"], "no cross-task bleed"
+            assert step["parent"] == parent["span"]
+
+
+def test_asyncio_stress_with_thread_handoff():
+    """Tasks that hop to worker threads (the server's shape) keep lineage."""
+    import contextvars
+    from concurrent.futures import ThreadPoolExecutor
+
+    sink = ListSink()
+    obs.configure(sink)
+    executor = ThreadPoolExecutor(max_workers=4)
+
+    async def request(tag):
+        loop = asyncio.get_running_loop()
+        with obs.span("hop.request", tag=tag):
+            context = contextvars.copy_context()
+
+            def handler():
+                with obs.span("hop.handler", tag=tag):
+                    return tag
+
+            result = await loop.run_in_executor(executor, context.run, handler)
+            assert result == tag
+
+    async def main():
+        await asyncio.gather(*(request(f"h{i}") for i in range(12)))
+
+    try:
+        asyncio.run(main())
+    finally:
+        executor.shutdown()
+    requests = {r["attrs"]["tag"]: r
+                for r in sink.records if r["name"] == "hop.request"}
+    handlers = [r for r in sink.records if r["name"] == "hop.handler"]
+    assert len(requests) == len(handlers) == 12
+    for handler in handlers:
+        parent = requests[handler["attrs"]["tag"]]
+        assert handler["trace"] == parent["trace"]
+        assert handler["parent"] == parent["span"]

@@ -1,0 +1,248 @@
+"""Server-side observability: the ``trace`` request, the Prometheus
+endpoint, the slow-query log and trace lineage under concurrency.
+
+Runs a real TCP server (``ServerThread``) like the rest of the server
+suite — these are the observability guarantees an operator leans on in
+``docs/OPERATIONS.md``.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.hexgrid import latlng_to_cell
+from repro.inventory import GroupKey, Inventory
+from repro.inventory.summary import CellSummary
+from repro.obs import trace as obs
+from repro.obs.exposition import CONTENT_TYPE, MetricsExporter, server_exposition
+from repro.obs.sinks import RingBufferSink
+from repro.server import (
+    InventoryClient,
+    InventoryService,
+    ServerConfig,
+    ServerThread,
+)
+
+LAT, LON = 5.0, 100.0
+
+
+def _tiny_inventory() -> Inventory:
+    inventory = Inventory(resolution=6)
+    summary = CellSummary()
+    for j in range(3):
+        summary.update(
+            mmsi=100_000_000 + j, sog=8.0 + j, cog=45.0, heading=45,
+            trip_id=f"t{j}", eto_s=60.0, ata_s=120.0,
+            origin="CNSHA", destination="NLRTM", next_cell=None,
+        )
+    inventory.put(GroupKey(cell=latlng_to_cell(LAT, LON, 6)), summary)
+    return inventory
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+@pytest.fixture()
+def service():
+    return InventoryService(_tiny_inventory())
+
+
+# -- the trace request -----------------------------------------------------------
+
+
+def test_trace_request_without_tracing_is_empty_not_an_error(service):
+    with ServerThread(service) as handle:
+        with InventoryClient(*handle.address) as client:
+            answer = client.trace()
+    assert answer == {"enabled": False, "spans": []}
+
+
+def test_trace_request_serves_the_ring_tail(service):
+    ring = RingBufferSink(capacity=64)
+    obs.configure(ring)
+    with ServerThread(service) as handle:
+        with InventoryClient(*handle.address) as client:
+            client.ping()
+            client.summary_at(LAT, LON)
+            answer = client.trace(n=50)
+    assert answer["enabled"] is True
+    names = [span["name"] for span in answer["spans"]]
+    assert "server.request" in names
+    assert "server.handle" in names
+    # the handler span nests under its request span, same trace
+    requests = {s["span"]: s for s in answer["spans"]
+                if s["name"] == "server.request"}
+    handlers = [s for s in answer["spans"] if s["name"] == "server.handle"]
+    assert handlers, "handler spans must reach the ring"
+    for handler in handlers:
+        parent = requests.get(handler["parent"])
+        assert parent is not None, "server.handle must parent under server.request"
+        assert handler["trace"] == parent["trace"]
+    # request spans carry the queue-wait split
+    for request_span in requests.values():
+        assert "queue_wait_ms" in request_span["attrs"]
+
+
+def test_trace_request_respects_n(service):
+    ring = RingBufferSink(capacity=64)
+    obs.configure(ring)
+    with ServerThread(service) as handle:
+        with InventoryClient(*handle.address) as client:
+            for _ in range(5):
+                client.ping()
+            answer = client.trace(n=3)
+    assert len(answer["spans"]) == 3
+
+
+def test_concurrent_connections_never_interleave_trace_ids(service):
+    ring = RingBufferSink(capacity=4096)
+    obs.configure(ring)
+    errors: list[BaseException] = []
+
+    def client_loop(address):
+        try:
+            with InventoryClient(*address) as client:
+                for _ in range(10):
+                    client.summary_at(LAT, LON)
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    with ServerThread(service, ServerConfig(max_concurrency=8)) as handle:
+        threads = [
+            threading.Thread(target=client_loop, args=(handle.address,))
+            for _ in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    assert not errors
+    spans = ring.spans()
+    requests = [s for s in spans
+                if s["name"] == "server.request"
+                and s["attrs"].get("type") == "summary_at"]
+    assert len(requests) == 60
+    # every request is its own trace: ids never collide across connections
+    assert len({s["trace"] for s in requests}) == 60
+    request_by_id = {s["span"]: s for s in requests}
+    handlers = [s for s in spans if s["name"] == "server.handle"]
+    for handler in handlers:
+        parent = request_by_id.get(handler["parent"])
+        if parent is not None:  # ping/stats handlers aside
+            assert handler["trace"] == parent["trace"]
+    # within one trace there is exactly one request span and its handler
+    by_trace: dict = {}
+    for span in spans:
+        by_trace.setdefault(span["trace"], []).append(span)
+    for trace_spans in by_trace.values():
+        roots = [s for s in trace_spans if s["parent"] is None]
+        assert len(roots) == 1, "one root (the request) per trace"
+
+
+# -- the Prometheus endpoint -----------------------------------------------------
+
+
+def _scrape(host: str, port: int) -> tuple[str, str]:
+    with urllib.request.urlopen(f"http://{host}:{port}/metrics") as response:
+        return response.read().decode("utf-8"), response.headers["Content-Type"]
+
+
+def _metric_value(body: str, metric: str) -> float:
+    for line in body.splitlines():
+        if line.startswith(metric + " "):
+            return float(line.split()[1])
+    raise AssertionError(f"{metric} not found in exposition:\n{body}")
+
+
+def test_metrics_endpoint_matches_stats(service):
+    with ServerThread(service) as handle:
+        exporter = MetricsExporter(handle.server.exposition, port=0)
+        host, port = exporter.start()
+        try:
+            with InventoryClient(*handle.address) as client:
+                client.ping()
+                client.ping()
+                client.summary_at(LAT, LON)
+                stats = client.stats()["server"]
+            body, content_type = _scrape(host, port)
+        finally:
+            exporter.stop()
+    assert content_type == CONTENT_TYPE
+    counters = stats["counters"]
+    assert _metric_value(body, "repro_server_requests_total") >= counters[
+        "server.requests"
+    ] - 1  # the stats request itself may land either side of the scrape
+    assert _metric_value(body, "repro_server_requests_ping_total") == 2.0
+    assert "repro_server_latency_ms_p50" in body
+    assert "repro_server_queue_wait_ms_p50" in body
+    # block-cache counters appear when the backend has them (in-memory
+    # backend has none; the exposition must still render)
+    assert body.endswith("\n")
+
+
+def test_metrics_endpoint_404_off_path(service):
+    with ServerThread(service) as handle:
+        exporter = MetricsExporter(handle.server.exposition, port=0)
+        host, port = exporter.start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"http://{host}:{port}/other")
+            assert excinfo.value.code == 404
+        finally:
+            exporter.stop()
+
+
+def test_server_exposition_renders_counters_and_gauges():
+    snapshot = {
+        "counters": {"server.requests": 4, "server.errors": 1},
+        "latency_ms": {"count": 4, "p50_ms": 1.5, "p99_ms": 9.0,
+                       "mean_ms": 2.0, "max_ms": 9.0},
+        "queue_wait_ms": {"count": 4, "p50_ms": None, "p99_ms": None,
+                          "mean_ms": None, "max_ms": None},
+    }
+    body = server_exposition(snapshot, {"block_cache.hits": 7})
+    assert "repro_server_requests_total 4" in body
+    assert "repro_block_cache_hits_total 7" in body
+    assert "repro_server_latency_ms_p50_ms 1.5" in body
+    # None gauges (empty digests) are skipped, not rendered as "None"
+    assert "queue_wait_ms_p50" not in body
+    assert "None" not in body
+
+
+# -- the slow-query log ----------------------------------------------------------
+
+
+def test_slow_requests_are_logged_and_counted(service, caplog):
+    config = ServerConfig(slow_request_s=0.0)  # everything is "slow"
+    with caplog.at_level(logging.WARNING, logger="repro.server.slowlog"):
+        with ServerThread(service, config) as handle:
+            with InventoryClient(*handle.address) as client:
+                client.ping()
+                stats = client.stats()["server"]
+    assert stats["counters"]["server.requests.slow"] >= 1
+    slow_lines = [r for r in caplog.records if "slow request" in r.getMessage()]
+    assert slow_lines
+    assert "type=ping" in slow_lines[0].getMessage()
+
+
+def test_fast_requests_are_not_flagged_slow(service):
+    config = ServerConfig(slow_request_s=30.0)
+    with ServerThread(service, config) as handle:
+        with InventoryClient(*handle.address) as client:
+            client.ping()
+            stats = client.stats()["server"]
+    assert stats["counters"].get("server.requests.slow", 0) == 0
+
+
+def test_slow_threshold_validation():
+    with pytest.raises(ValueError):
+        ServerConfig(slow_request_s=-1.0)
