@@ -1,0 +1,42 @@
+"""``repro.analysis`` — the project-invariant static checker.
+
+A stdlib-only (``ast`` + ``symtable``) analysis framework that turns the
+repo's system-wide contracts into machine-checked invariants:
+
+=======  ==============================================================
+REP001   durable writes go through the ``inventory/fsio`` atomic seam
+REP002   lock-guarded attributes are mutated under their lock everywhere
+REP003   span/counter names and ``obs/registry.py`` agree, both ways
+REP004   ``world``/``pipeline`` stay seeded and wall-clock-free
+REP005   ``CorruptionError``/``SSTableError`` are never swallowed
+REP006   ``async def`` server code never blocks the event loop
+=======  ==============================================================
+
+Run it as ``repro lint`` or ``python -m repro.analysis``; the committed
+``lint-baseline.json`` ratchet means counts can only ever go down.  Rule
+catalogue, pragma workflow and how to write a new rule: ``docs/ANALYSIS.md``.
+"""
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ImportMap, Module, Project
+from repro.analysis.runner import (
+    DEFAULT_RULES,
+    analyze,
+    lint,
+    main,
+    rule_titles,
+)
+from repro.analysis.rules.base import Rule
+
+__all__ = [
+    "Finding",
+    "Module",
+    "Project",
+    "ImportMap",
+    "Rule",
+    "DEFAULT_RULES",
+    "analyze",
+    "lint",
+    "main",
+    "rule_titles",
+]

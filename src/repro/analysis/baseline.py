@@ -1,0 +1,114 @@
+"""The ratchet: a committed baseline that can only shrink.
+
+Legacy violations are not fixed by wishing; they are *frozen* in a
+committed JSON file counting findings per (rule, file) and then ratcheted
+down.  Enforcement compares the current run against the baseline:
+
+- a (rule, file) pair exceeding its recorded count ⇒ **new violations**
+  (all of that pair's findings are reported — static analysis cannot
+  tell the old ones from the new one, so the author sees the full list);
+- a pair *under* its recorded count ⇒ **stale baseline**: the fix must
+  be banked by committing the smaller file (``repro lint
+  --update-baseline``), so the count can never silently float back up;
+- equal counts pass silently.
+
+With an empty baseline — this repo's steady state — every finding is
+new and the gate is simply "clean".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+#: Baseline counts: rule id → root-relative path → finding count.
+Counts = dict[str, dict[str, int]]
+
+_VERSION = 1
+
+
+def counts_of(findings: list[Finding]) -> Counts:
+    """Fold findings into the per-(rule, file) count table."""
+    table: Counts = {}
+    for finding in findings:
+        per_rule = table.setdefault(finding.rule, {})
+        per_rule[finding.path] = per_rule.get(finding.path, 0) + 1
+    return table
+
+
+@dataclass(slots=True)
+class Ratchet:
+    """The comparison of one run against the baseline."""
+
+    #: Findings not covered by the baseline (must be fixed or baselined).
+    new: list[Finding] = field(default_factory=list)
+    #: (rule, path, recorded, current) pairs where reality improved past
+    #: the baseline — commit the shrunk file to bank the fix.
+    stale: list[tuple[str, str, int, int]] = field(default_factory=list)
+    #: Findings tolerated by the baseline this run.
+    baselined: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the ratchet passes (nothing new, nothing stale)."""
+        return not self.new and not self.stale
+
+
+def load(path: str | Path) -> Counts:
+    """Read a baseline file; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported baseline format in {path}; regenerate with "
+            "`repro lint --update-baseline`"
+        )
+    counts = data.get("counts", {})
+    return {
+        rule: {str(p): int(n) for p, n in files.items()}
+        for rule, files in counts.items()
+    }
+
+
+def save(path: str | Path, counts: Counts) -> None:
+    """Write the baseline (sorted, so diffs are meaningful)."""
+    payload = {
+        "version": _VERSION,
+        "counts": {
+            rule: dict(sorted(files.items()))
+            for rule, files in sorted(counts.items())
+            if files
+        },
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+
+
+def apply(findings: list[Finding], baseline: Counts) -> Ratchet:
+    """Split findings into new/baselined and detect stale entries."""
+    ratchet = Ratchet()
+    current = counts_of(findings)
+    by_pair: dict[tuple[str, str], list[Finding]] = {}
+    for finding in findings:
+        by_pair.setdefault((finding.rule, finding.path), []).append(finding)
+    for (rule, path), group in sorted(by_pair.items()):
+        recorded = baseline.get(rule, {}).get(path, 0)
+        if len(group) > recorded:
+            ratchet.new.extend(group)
+        elif len(group) < recorded:
+            ratchet.stale.append((rule, path, recorded, len(group)))
+            ratchet.baselined.extend(group)
+        else:
+            ratchet.baselined.extend(group)
+    # baseline entries for files that are now completely clean
+    for rule, files in sorted(baseline.items()):
+        for path, recorded in sorted(files.items()):
+            if recorded and current.get(rule, {}).get(path, 0) == 0:
+                ratchet.stale.append((rule, path, recorded, 0))
+    return ratchet

@@ -1,0 +1,84 @@
+"""Rendering lint results: one line per finding, or machine JSON.
+
+Text mode is for humans at a terminal (and reads like a compiler:
+``path:line: RULE message``); JSON mode is for CI — the
+``lint-invariants`` job archives it, and its shape is stable:
+``{root, ok, findings: [{rule, path, line, message, baselined}], counts,
+stale, summary}``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.baseline import Ratchet, counts_of
+from repro.analysis.findings import Finding
+
+
+def render_text(ratchet: Ratchet, rule_titles: dict[str, str]) -> list[str]:
+    """Human-readable report lines for one run."""
+    lines: list[str] = []
+    for finding in sorted(ratchet.new):
+        lines.append(finding.render())
+    for rule, path, recorded, current in ratchet.stale:
+        lines.append(
+            f"{path}: {rule} baseline is stale ({recorded} recorded, "
+            f"{current} found) — bank the fix with `repro lint --update-baseline`"
+        )
+    if ratchet.ok:
+        tolerated = len(ratchet.baselined)
+        suffix = f" ({tolerated} baselined)" if tolerated else ""
+        lines.append(f"invariants clean{suffix}")
+    else:
+        by_rule: dict[str, int] = {}
+        for finding in ratchet.new:
+            by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+        parts = [f"{rule} ×{count}" for rule, count in sorted(by_rule.items())]
+        if ratchet.stale:
+            parts.append(f"stale baseline ×{len(ratchet.stale)}")
+        summary = ", ".join(parts)
+        lines.append(f"invariant violations: {summary}")
+        for rule in sorted(by_rule):
+            title = rule_titles.get(rule)
+            if title:
+                lines.append(f"  {rule}: {title} (docs/ANALYSIS.md)")
+    return lines
+
+
+def render_json(root: str, ratchet: Ratchet) -> str:
+    """The stable machine-readable report for CI."""
+    findings: list[dict[str, object]] = []
+    for finding in sorted(ratchet.new):
+        entry = finding.as_dict()
+        entry["baselined"] = False
+        findings.append(entry)
+    for finding in sorted(ratchet.baselined):
+        entry = finding.as_dict()
+        entry["baselined"] = True
+        findings.append(entry)
+    payload = {
+        "root": root,
+        "ok": ratchet.ok,
+        "findings": findings,
+        "counts": counts_of(ratchet.new + ratchet.baselined),
+        "stale": [
+            {"rule": rule, "path": path, "recorded": recorded, "current": current}
+            for rule, path, recorded, current in ratchet.stale
+        ],
+        "summary": {
+            "new": len(ratchet.new),
+            "baselined": len(ratchet.baselined),
+            "stale": len(ratchet.stale),
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def one_line_summary(ratchet: Ratchet) -> str:
+    """A single status line (used by the CLI exit path)."""
+    if ratchet.ok:
+        return "ok"
+    return f"{len(ratchet.new)} new finding(s), {len(ratchet.stale)} stale baseline entr(ies)"
+
+
+__all__ = ["render_text", "render_json", "one_line_summary", "Finding"]

@@ -1,0 +1,88 @@
+"""REP005 — storage corruption is never silently swallowed.
+
+PR 3's fault matrix asserts "typed-error-or-recovered, never silent":
+when a checksum fails, the caller gets a :class:`CorruptionError` (or
+its :class:`SSTableError` parent), a typed wire error, or an explicit
+recovery decision — never a quietly dropped exception that turns disk
+rot into wrong answers.  This rule finds ``except`` clauses that catch
+either type and then *discard* it.
+
+A handler catching ``CorruptionError``/``SSTableError`` is compliant
+when it does at least one of:
+
+- re-raise (bare ``raise`` or raising a new typed error),
+- ``return`` (it answered with something deliberate),
+- *use the bound exception* (``except SSTableError as exc:`` where
+  ``exc`` is read — recording ``str(exc)`` into a report object counts:
+  the information survived).
+
+Everything else — ``pass``, logging-free ``continue``, catch-and-fall-
+through — is a violation.  Deliberate skip-and-continue loops (salvage)
+carry a ``# repro: allow[REP005] <reason>`` pragma so the decision is
+visible at the catch site.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Module, Project
+from repro.analysis.rules.base import Rule, terminal_name, walk_excluding_nested_defs
+
+_CORRUPTION_TYPES = {"CorruptionError", "SSTableError"}
+
+
+def _caught_types(handler: ast.ExceptHandler) -> set[str]:
+    """The corruption-taxonomy names this handler catches, if any."""
+    node = handler.type
+    if node is None:
+        return set()
+    exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+    caught = set()
+    for expr in exprs:
+        name = terminal_name(expr)
+        if name in _CORRUPTION_TYPES:
+            caught.add(name)
+    return caught
+
+
+class SwallowedCorruptionRule(Rule):
+    """``except CorruptionError/SSTableError`` that discards the error."""
+
+    id = "REP005"
+    title = "corruption errors must be re-raised, returned or recorded"
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        """Yield this rule's findings for one module."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = _caught_types(node)
+            if not caught:
+                continue
+            if self._handles_deliberately(node):
+                continue
+            names = "/".join(sorted(caught))
+            yield self.finding(
+                module, node,
+                f"{names} caught and discarded — re-raise it, return a "
+                "typed error, or record the bound exception "
+                "(fault contract: typed-error-or-recovered, never silent)",
+            )
+
+    @staticmethod
+    def _handles_deliberately(handler: ast.ExceptHandler) -> bool:
+        uses_binding = False
+        for node in walk_excluding_nested_defs(handler.body):
+            if isinstance(node, (ast.Raise, ast.Return)):
+                return True
+            if (
+                handler.name is not None
+                and isinstance(node, ast.Name)
+                and node.id == handler.name
+                and isinstance(node.ctx, ast.Load)
+            ):
+                uses_binding = True
+        return uses_binding

@@ -1,0 +1,147 @@
+"""REP004 — the synthetic world and the pipeline stay deterministic.
+
+The whole test and benchmark story rests on ``generate_dataset(seed)``
+being a pure function of its config: byte-identical archives, resumable
+builds verified by checksums, cross-backend equivalence suites.  One
+``time.time()`` or module-level ``random.random()`` in ``world/`` or
+``pipeline/`` silently breaks reproducibility *sometimes* — the worst
+kind of bug.  The contract: randomness comes from seeded
+``random.Random(seed)`` instances threaded through call signatures;
+wall-clock time comes from the simulated timeline, never the host.
+
+Flagged inside ``world/`` and ``pipeline/``:
+
+- wall/CPU clocks: ``time.time``/``time_ns``/``monotonic``/
+  ``perf_counter`` (+ ``_ns`` forms), ``datetime.now``/``utcnow``,
+  ``date.today``;
+- calls through the ``random`` *module* (the hidden shared global
+  ``Random``): ``random.random()``, ``random.shuffle()``, … —
+  constructing a seeded ``random.Random(...)``/instance is the fix, so
+  ``random.Random``/``random.getrandbits`` on an *instance* are fine.
+
+The module's ``symtable`` backs the name resolution: a call through a
+local variable or parameter that merely shadows the name ``random`` or
+``time`` (e.g. ``def sample(random: Random)``) is not a violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import symtable
+from collections.abc import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ImportMap, Module, Project
+from repro.analysis.rules.base import Rule
+
+_CLOCKS = {
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+#: ``random.Random`` / ``random.SystemRandom`` *construction* sites: the
+#: class object itself is deterministic to reference; an unseeded
+#: ``SystemRandom`` instance is still caught by its method calls if one
+#: is ever used inline.
+_RANDOM_OK = {"random.Random"}
+
+
+class _ScopeIndex:
+    """Maps a function's (name, lineno) to its locally-bound names."""
+
+    def __init__(self, module: Module) -> None:
+        self._locals: dict[tuple[str, int], frozenset[str]] = {}
+        self._collect(module.table())
+
+    def _collect(self, table: symtable.SymbolTable) -> None:
+        if table.get_type() == "function":
+            bound = frozenset(
+                symbol.get_name()
+                for symbol in table.get_symbols()
+                if symbol.is_local() and not symbol.is_imported()
+            )
+            self._locals[(table.get_name(), table.get_lineno())] = bound
+        for child in table.get_children():
+            self._collect(child)
+
+    def shadows(self, stack: list[ast.AST], name: str) -> bool:
+        """Whether the innermost enclosing function rebinds ``name``."""
+        for node in reversed(stack):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                bound = self._locals.get((node.name, node.lineno), frozenset())
+                return name in bound
+        return False
+
+
+class DeterminismRule(Rule):
+    """Wall clocks and the global ``random`` module in deterministic code."""
+
+    id = "REP004"
+    title = "world/pipeline code must stay seeded and clock-free"
+
+    SCOPE = ("world/", "pipeline/")
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        """Yield this rule's findings for one module."""
+        if not module.rel.startswith(self.SCOPE):
+            return
+        imports = ImportMap.of(module)
+        scopes = _ScopeIndex(module)
+        yield from self._visit(module, imports, scopes, module.tree.body, [])
+
+    def _visit(
+        self,
+        module: Module,
+        imports: ImportMap,
+        scopes: _ScopeIndex,
+        body: list[ast.stmt],
+        stack: list[ast.AST],
+    ) -> Iterator[Finding]:
+        pending: list[ast.AST] = list(body)
+        while pending:
+            node = pending.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # The body is a new scope (shadowing applies there);
+                # decorators and defaults evaluate in the current one.
+                yield from self._visit(
+                    module, imports, scopes, node.body, stack + [node]
+                )
+                pending.extend(node.decorator_list)
+                pending.extend(node.args.defaults)
+                pending.extend(d for d in node.args.kw_defaults if d is not None)
+                continue
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, imports, scopes, node, stack)
+            pending.extend(ast.iter_child_nodes(node))
+
+    def _check_call(
+        self,
+        module: Module,
+        imports: ImportMap,
+        scopes: _ScopeIndex,
+        node: ast.Call,
+        stack: list[ast.AST],
+    ) -> Iterator[Finding]:
+        dotted = imports.resolve(node.func)
+        if dotted is None:
+            return
+        root = dotted.partition(".")[0]
+        if dotted in _CLOCKS and not scopes.shadows(stack, root):
+            yield self.finding(
+                module, node,
+                f"{dotted}() reads the host clock; deterministic code takes "
+                "its timeline from the simulation inputs",
+            )
+        elif (
+            root == "random"
+            and dotted.count(".") == 1
+            and dotted not in _RANDOM_OK
+            and not scopes.shadows(stack, "random")
+        ):
+            yield self.finding(
+                module, node,
+                f"{dotted}() uses the process-global Random; thread a seeded "
+                "random.Random(seed) instance through instead",
+            )

@@ -1,0 +1,104 @@
+"""REP001 — every durable write goes through the ``fsio`` seam.
+
+PR 3 made crash safety a protocol (temp → fsync → rename → dir fsync)
+and centralised it in :mod:`repro.inventory.fsio`; the fault-injection
+harness interposes on that one seam.  A raw ``open(path, "w")`` or
+``os.replace`` in the storage or pipeline layers therefore re-opens the
+exact torn-write/partial-rename windows the seam closed — *and* hides
+the write from the fault matrix, so no test would ever catch it.
+
+Scope: ``inventory/`` and ``pipeline/`` modules, minus ``fsio.py``
+itself (the seam is where the raw calls are supposed to live).  Flagged:
+
+- ``open(..., mode)`` with a writing mode (``w``/``a``/``x``/``+``) or a
+  mode the rule cannot prove is read-only;
+- ``os.rename`` / ``os.replace`` / ``os.link`` — rename is the commit
+  point of the protocol and must come with its fsyncs;
+- ``Path.write_text`` / ``Path.write_bytes`` / ``.open(...)`` in a
+  writing mode.
+
+Reads (``open(path, "rb")``) are untouched.  A deliberate non-durable
+write (scratch/spill files) is allowlisted in place with
+``# repro: allow[REP001] <reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ImportMap, Module, Project
+from repro.analysis.rules.base import Rule, string_literal, terminal_name
+
+_RENAMES = {"os.rename", "os.replace", "os.link"}
+_WRITE_METHODS = {"write_text", "write_bytes"}
+_FIX = "route it through repro.inventory.fsio (atomic temp→fsync→rename)"
+
+
+def _mode_writes(call: ast.Call) -> bool | None:
+    """Whether the ``open``-style call's mode writes.
+
+    ``True``/``False`` when the mode is a literal; ``None`` when there is
+    a mode argument the rule cannot read statically (treated as writing —
+    the seam exists precisely so callers do not have to be trusted).
+    """
+    mode: ast.expr | None = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return False  # default mode "r"
+    literal = string_literal(mode)
+    if literal is None:
+        return None
+    return any(flag in literal for flag in "wax+")
+
+
+class DurableWriteRule(Rule):
+    """Raw filesystem writes outside the ``fsio`` seam in storage code."""
+
+    id = "REP001"
+    title = "durable writes must go through the fsio seam"
+
+    SCOPE = ("inventory/", "pipeline/")
+    EXEMPT = ("inventory/fsio.py",)
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        """Yield this rule's findings for one module."""
+        if not module.rel.startswith(self.SCOPE) or module.rel in self.EXEMPT:
+            return
+        imports = ImportMap.of(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = imports.resolve(node.func)
+            name = terminal_name(node.func)
+            if dotted in ("open", "io.open", "builtins.open") or (
+                name == "open" and isinstance(node.func, ast.Attribute)
+            ):
+                writes = _mode_writes(node)
+                if writes is None:
+                    yield self.finding(
+                        module,
+                        node,
+                        "file opened with a mode the rule cannot prove is "
+                        f"read-only; {_FIX} or pass a literal read mode",
+                    )
+                elif writes:
+                    yield self.finding(
+                        module, node,
+                        f"raw writing open() outside the fsio seam; {_FIX}",
+                    )
+            elif dotted in _RENAMES:
+                yield self.finding(
+                    module, node,
+                    f"raw {dotted}() is a commit point without its fsyncs; {_FIX}",
+                )
+            elif name in _WRITE_METHODS and isinstance(node.func, ast.Attribute):
+                yield self.finding(
+                    module, node,
+                    f".{name}() writes in place, not crash-safely; {_FIX}",
+                )

@@ -1,0 +1,183 @@
+"""REP002 — attributes guarded by a lock somewhere are guarded everywhere.
+
+PR 2's thread-safety hardening established the repo's locking
+convention: shared mutable state on a class is paired with a
+``threading.Lock`` attribute whose name contains ``lock``, and every
+mutation happens inside ``with self._lock:``.  The static race
+heuristic: if **any** method of a class mutates ``self.attr`` under a
+lock, a lock-free mutation of the same attribute in a **different**
+method is almost certainly a data race — the author already decided the
+attribute is shared, then forgot one site.
+
+What counts as a mutation of ``self.attr``:
+
+- assignment / augmented assignment / deletion (including through
+  subscripts: ``self._blocks[k] = v``);
+- calls to known container mutators on it (``append``, ``update``,
+  ``popitem``, ``move_to_end``, …).
+
+Exemptions: ``__init__``/``__new__``/``__post_init__`` (the object is
+not shared while it is being constructed) and the method that holds the
+locked mutation itself (a method may intentionally mutate before
+exposing, e.g. building a value it then publishes under its lock).
+Nested functions and classes are not attributed to the enclosing
+method's lock context.  False positives (single-threaded-by-contract
+paths) are allowlisted with ``# repro: allow[REP002] <reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Module, Project
+from repro.analysis.rules.base import Rule, attribute_base
+
+_MUTATORS = {
+    "append", "appendleft", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "popleft", "remove", "discard", "clear", "sort",
+    "reverse", "move_to_end",
+}
+_EXEMPT_METHODS = {"__init__", "__new__", "__post_init__"}
+
+#: ``record(attr, line, locked)`` — one mutation site observed.
+_Record = Callable[[str, int, bool], None]
+#: ``visit(body, depth)`` — recurse into a statement list.
+_Visit = Callable[[list[ast.stmt], int], None]
+
+
+def _is_lock_item(item: ast.withitem) -> bool:
+    """``with self.<something containing 'lock'>:`` (optionally called)."""
+    expr = item.context_expr
+    if isinstance(expr, ast.Call):
+        expr = expr.func
+    return (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and "lock" in expr.attr.lower()
+    )
+
+
+@dataclass
+class _AttrSites:
+    """Where one ``self.`` attribute is mutated across a class."""
+
+    locked_methods: set[str] = field(default_factory=set)
+    unlocked: list[tuple[str, int]] = field(default_factory=list)  # (method, line)
+
+
+class LockDisciplineRule(Rule):
+    """Lock-free mutation of an attribute that is locked elsewhere."""
+
+    id = "REP002"
+    title = "lock-guarded attributes must be mutated under their lock everywhere"
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        """Yield this rule's findings for one module."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(self, module: Module, cls: ast.ClassDef) -> Iterator[Finding]:
+        sites: dict[str, _AttrSites] = {}
+        for stmt in cls.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._scan_method(stmt, sites)
+        for attr, attr_sites in sorted(sites.items()):
+            if not attr_sites.locked_methods:
+                continue
+            for method, line in attr_sites.unlocked:
+                if method in attr_sites.locked_methods or method in _EXEMPT_METHODS:
+                    continue
+                locked_in = ", ".join(sorted(attr_sites.locked_methods))
+                yield self.finding(
+                    module,
+                    line,
+                    f"self.{attr} is mutated without its lock in {method}() "
+                    f"but under a lock in {locked_in}() — a data race; "
+                    "take the same lock here",
+                )
+
+    def _scan_method(
+        self,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+        sites: dict[str, _AttrSites],
+    ) -> None:
+        def _record(attr: str, line: int, locked: bool) -> None:
+            attr_sites = sites.setdefault(attr, _AttrSites())
+            if locked:
+                attr_sites.locked_methods.add(method.name)
+            else:
+                attr_sites.unlocked.append((method.name, line))
+
+        def _visit(body: list[ast.stmt], depth: int) -> None:
+            for stmt in body:
+                self._scan_statement(stmt, depth, _record, _visit)
+
+        _visit(method.body, 0)
+
+    def _scan_statement(
+        self, stmt: ast.stmt, depth: int, record: _Record, visit: _Visit
+    ) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # a nested scope: its body does not run under our locks
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            held = any(_is_lock_item(item) for item in stmt.items)
+            for item in stmt.items:
+                self._scan_expr(item.context_expr, depth, record)
+            visit(stmt.body, depth + 1 if held else depth)
+            return
+        locked = depth > 0
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Delete)):
+            targets: list[ast.expr]
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.Delete):
+                targets = stmt.targets
+            else:
+                targets = [stmt.target]
+            for target in targets:
+                for element in self._flatten_target(target):
+                    attr = attribute_base(element)
+                    if attr is not None:
+                        record(attr, element.lineno, locked)
+        # mutator calls + nested statements anywhere inside this statement
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                self._scan_statement(child, depth, record, visit)
+            elif isinstance(child, ast.expr):
+                self._scan_expr(child, depth, record)
+            elif hasattr(child, "body") or isinstance(
+                child, (ast.excepthandler, ast.match_case)
+            ):
+                for grandchild in ast.iter_child_nodes(child):
+                    if isinstance(grandchild, ast.stmt):
+                        self._scan_statement(grandchild, depth, record, visit)
+                    elif isinstance(grandchild, ast.expr):
+                        self._scan_expr(grandchild, depth, record)
+
+    def _scan_expr(self, expr: ast.expr, depth: int, record: _Record) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, (ast.Lambda,)):
+                continue
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATORS
+            ):
+                attr = attribute_base(node.func.value)
+                if attr is not None:
+                    record(attr, node.lineno, depth > 0)
+
+    @staticmethod
+    def _flatten_target(target: ast.expr) -> Iterator[ast.expr]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from LockDisciplineRule._flatten_target(element)
+        elif isinstance(target, ast.Starred):
+            yield from LockDisciplineRule._flatten_target(target.value)
+        else:
+            yield target

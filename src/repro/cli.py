@@ -199,6 +199,16 @@ def _build_parser() -> argparse.ArgumentParser:
                            "to this path (must differ from --inventory)")
     fsck.set_defaults(handler=_cmd_fsck)
 
+    from repro.analysis.runner import build_arg_parser as _lint_flags
+
+    lint = commands.add_parser(
+        "lint",
+        help="check repro's source invariants (durability, locking, "
+             "determinism, observability) with the static analyzer",
+    )
+    _lint_flags(lint)
+    lint.set_defaults(handler=_cmd_lint)
+
     return parser
 
 
@@ -443,6 +453,12 @@ def _cmd_fsck(args) -> int:
             f"{len(report.blocks_skipped)} blocks skipped)"
         )
     return 1
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis.runner import run_from_args
+
+    return run_from_args(args)
 
 
 def _fleet_sidecar(archive: Path) -> Path:

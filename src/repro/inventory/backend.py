@@ -32,6 +32,7 @@ import threading
 from collections import OrderedDict
 from collections.abc import Iterator
 from pathlib import Path
+from types import TracebackType
 from typing import Protocol, runtime_checkable
 
 from repro.engine.metrics import CounterSet
@@ -300,7 +301,12 @@ class SSTableInventory(InventoryQueryMixin):
     def __enter__(self) -> "SSTableInventory":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.close()
 
     def cache_stats(self) -> dict[str, int]:
@@ -374,7 +380,9 @@ class SSTableInventory(InventoryQueryMixin):
 
     # -- internals -----------------------------------------------------------------
 
-    def _load_block(self, block_index: int, sp=obs.NOOP_SPAN) -> bytes:
+    def _load_block(
+        self, block_index: int, sp: obs.SpanLike = obs.NOOP_SPAN
+    ) -> bytes:
         block = self.cache.get(block_index)
         if block is None:
             sp.add(BlockCache.MISSES)

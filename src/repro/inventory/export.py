@@ -16,6 +16,7 @@ from collections.abc import Callable
 from pathlib import Path
 
 from repro.hexgrid import cell_to_boundary
+from repro.inventory import fsio
 from repro.inventory.keys import GroupingSet
 from repro.inventory.store import Inventory
 from repro.inventory.summary import CellSummary
@@ -99,8 +100,11 @@ def write_geojson(
         predicate=predicate,
         max_features=max_features,
     )
-    with open(path, "w") as handle:
-        json.dump(collection, handle, separators=(",", ":"))
+    # A GeoJSON export is a durable artifact like any table: publish it
+    # atomically so a crash mid-export never leaves a half-written file
+    # where a consumer (QGIS, a dashboard job) expects a previous one.
+    payload = json.dumps(collection, separators=(",", ":")).encode("utf-8")
+    fsio.atomic_write_bytes(path, payload)
     return len(collection["features"])
 
 

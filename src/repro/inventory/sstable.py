@@ -55,6 +55,7 @@ from bisect import bisect_right
 from collections.abc import Iterator
 from dataclasses import dataclass, field
 from pathlib import Path
+from types import TracebackType
 from typing import TYPE_CHECKING
 
 from repro.inventory import checksum as _checksum
@@ -424,7 +425,12 @@ class SSTableWriter:
     def __enter__(self) -> "SSTableWriter":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         if exc_type is None:
             self.close()
         else:
@@ -676,7 +682,12 @@ class SSTableReader:
     def __enter__(self) -> "SSTableReader":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.close()
 
 
@@ -829,6 +840,7 @@ def salvage_table(path: str | Path, output: str | Path) -> SalvageReport:
                                 _decode_summary(value_raw, path, block_index),
                             )
                         )
+                # repro: allow[REP005] salvage exists to skip unreadable blocks; each skip is recorded in the report
                 except SSTableError:
                     skipped.append(block_index)
                     continue

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import re
 import threading
+from collections.abc import Callable
+from types import TracebackType
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 _NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
@@ -89,7 +91,7 @@ class _MetricsHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def log_message(self, format: str, *args) -> None:  # noqa: A002
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
         """Silence per-request access logging (scrapes are periodic)."""
 
 
@@ -109,7 +111,10 @@ class MetricsExporter:
     """
 
     def __init__(
-        self, collect, host: str = "127.0.0.1", port: int = 0
+        self,
+        collect: Callable[[], str],
+        host: str = "127.0.0.1",
+        port: int = 0,
     ) -> None:
         self._collect = collect
         self._host = host
@@ -155,5 +160,10 @@ class MetricsExporter:
         self.start()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.stop()

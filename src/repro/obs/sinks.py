@@ -22,6 +22,8 @@ from __future__ import annotations
 import json
 import threading
 from collections import deque
+from collections.abc import Iterable, Iterator
+from types import TracebackType
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -54,11 +56,16 @@ class JsonlSink:
     def __enter__(self) -> "JsonlSink":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.close()
 
 
-def read_trace(path: str | Path):
+def read_trace(path: str | Path) -> Iterator[dict]:
     """Yield the span records of a JSONL trace file, in file order."""
     with open(path, encoding="utf-8") as handle:
         for line in handle:
@@ -162,7 +169,7 @@ class ProfileSink:
             self._aggregates.clear()
 
 
-def profile_records(records) -> list[ProfileRow]:
+def profile_records(records: Iterable[dict]) -> list[ProfileRow]:
     """Aggregate an iterable of span records into profile rows."""
     sink = ProfileSink()
     for record in records:

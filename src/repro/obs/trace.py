@@ -36,8 +36,22 @@ import functools
 import os
 import threading
 import time
-from contextvars import ContextVar
+from collections.abc import Callable
+from contextvars import ContextVar, Token
 from dataclasses import dataclass
+from types import TracebackType
+from typing import Any, Protocol, TypeVar
+
+
+class SpanSink(Protocol):
+    """Anything that can receive finished span records."""
+
+    def record(self, record: dict) -> None:
+        """Consume one span record (a plain dict)."""
+        ...
+
+
+_S = TypeVar("_S")
 
 
 @dataclass(frozen=True, slots=True)
@@ -72,7 +86,7 @@ class Span:
         self.status = "ok"
         self.error: str | None = None
 
-    def set(self, key: str, value) -> None:
+    def set(self, key: str, value: object) -> None:
         """Attach one attribute (overwrites)."""
         self.attrs[key] = value
 
@@ -95,7 +109,12 @@ class Span:
         self._wall0 = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         wall = time.perf_counter() - self._wall0
         cpu = time.thread_time() - self._cpu0
         _ACTIVE.reset(self._token)
@@ -133,10 +152,15 @@ class _NoopSpan:
     def __enter__(self) -> "_NoopSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         return None
 
-    def set(self, key: str, value) -> None:
+    def set(self, key: str, value: object) -> None:
         """Discard an attribute (tracing is off)."""
 
     def add(self, counter: str, amount: int = 1) -> None:
@@ -145,22 +169,26 @@ class _NoopSpan:
 
 NOOP_SPAN = _NoopSpan()
 
+#: What :func:`span` hands out — accepted anywhere a span is threaded
+#: through as an argument (e.g. cache-miss accounting in the backend).
+SpanLike = Span | _NoopSpan
+
 
 class Tracer:
     """Holds the sink list and the enabled flag; one global instance."""
 
     def __init__(self) -> None:
         self.enabled = False
-        self._sinks: tuple = ()
+        self._sinks: tuple[SpanSink, ...] = ()
         self._lock = threading.Lock()
 
-    def configure(self, *sinks) -> None:
+    def configure(self, *sinks: SpanSink) -> None:
         """Install sinks and enable tracing (replaces existing sinks)."""
         with self._lock:
             self._sinks = tuple(sinks)
             self.enabled = bool(sinks)
 
-    def add_sink(self, sink) -> None:
+    def add_sink(self, sink: SpanSink) -> None:
         """Append one sink (enables tracing)."""
         with self._lock:
             self._sinks = self._sinks + (sink,)
@@ -172,11 +200,11 @@ class Tracer:
             self._sinks = ()
             self.enabled = False
 
-    def sinks(self) -> tuple:
+    def sinks(self) -> tuple[SpanSink, ...]:
         """The currently installed sinks."""
         return self._sinks
 
-    def find_sink(self, sink_type: type):
+    def find_sink(self, sink_type: type[_S]) -> _S | None:
         """The first installed sink of a given type, or ``None``."""
         for sink in self._sinks:
             if isinstance(sink, sink_type):
@@ -192,7 +220,7 @@ class Tracer:
 _TRACER = Tracer()
 
 
-def span(name: str, **attrs):
+def span(name: str, **attrs: object) -> Span | _NoopSpan:
     """Open a span (context manager).  Near-free when tracing is off."""
     tracer = _TRACER
     if not tracer.enabled:
@@ -200,13 +228,15 @@ def span(name: str, **attrs):
     return Span(tracer, name, attrs)
 
 
-def traced(name: str | None = None, **attrs):
+def traced(
+    name: str | Callable[..., Any] | None = None, **attrs: object
+) -> Callable[..., Any]:
     """Decorator form of :func:`span`; default name is the qualname."""
-    def _decorate(fn):
+    def _decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
         label = name or f"{fn.__module__}.{fn.__qualname__}"
 
         @functools.wraps(fn)
-        def _wrapper(*args, **kwargs):
+        def _wrapper(*args: Any, **kwargs: Any) -> Any:
             with span(label, **attrs):
                 return fn(*args, **kwargs)
 
@@ -223,12 +253,12 @@ def enabled() -> bool:
     return _TRACER.enabled
 
 
-def configure(*sinks) -> None:
+def configure(*sinks: SpanSink) -> None:
     """Install sinks on the global tracer and enable it."""
     _TRACER.configure(*sinks)
 
 
-def add_sink(sink) -> None:
+def add_sink(sink: SpanSink) -> None:
     """Append one sink to the global tracer."""
     _TRACER.add_sink(sink)
 
@@ -238,7 +268,7 @@ def disable() -> None:
     _TRACER.disable()
 
 
-def find_sink(sink_type: type):
+def find_sink(sink_type: type[_S]) -> _S | None:
     """The first installed sink of a type on the global tracer."""
     return _TRACER.find_sink(sink_type)
 
@@ -248,14 +278,14 @@ def current_context() -> TraceContext | None:
     return _ACTIVE.get()
 
 
-def activate(context: TraceContext | None):
+def activate(context: TraceContext | None) -> Token[TraceContext | None]:
     """Adopt a propagated context in this thread/task; returns the reset
     token for :func:`deactivate` (used when ``copy_context`` cannot be,
     e.g. adopting a context shipped across a process boundary)."""
     return _ACTIVE.set(context)
 
 
-def deactivate(token) -> None:
+def deactivate(token: Token[TraceContext | None]) -> None:
     """Undo :func:`activate`."""
     _ACTIVE.reset(token)
 

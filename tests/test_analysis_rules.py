@@ -1,0 +1,530 @@
+"""Per-rule fixtures: each invariant rule sees its true positive at the
+expected line and stays silent on the matching negative.
+
+Fixtures are tiny on-disk trees (the rules scope on root-relative paths
+like ``inventory/`` and ``server/``), analyzed with exactly one rule so
+a failure names the rule under test.  Expected lines are located by a
+marker substring in the fixture source rather than hard-coded ints, so
+editing a fixture cannot silently shift an assertion.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis.findings import Finding
+from repro.analysis.runner import analyze
+from repro.analysis.rules.async_blocking import AsyncBlockingRule
+from repro.analysis.rules.corruption import SwallowedCorruptionRule
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.durability import DurableWriteRule
+from repro.analysis.rules.locks import LockDisciplineRule
+from repro.analysis.rules.registry_sync import RegistrySyncRule
+
+
+def make_tree(tmp_path, files: dict[str, str]):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return tmp_path
+
+
+def line_of(source: str, marker: str) -> int:
+    for index, line in enumerate(textwrap.dedent(source).splitlines(), start=1):
+        if marker in line:
+            return index
+    raise AssertionError(f"marker {marker!r} not in fixture")
+
+
+def hits(findings: list[Finding], rule: str) -> list[tuple[str, int]]:
+    return [(f.path, f.line) for f in findings if f.rule == rule]
+
+
+# ---------------------------------------------------------------- REP001
+
+
+RAW_WRITER = """\
+    import os
+
+
+    def publish(path, payload):
+        with open(path, "w") as handle:  # raw-open
+            handle.write(payload)
+        os.replace(path, path + ".bak")  # raw-replace
+"""
+
+ALIASED_WRITER = """\
+    import os as osmod
+    from os import rename as mv
+
+
+    def shuffle(a, b):
+        osmod.replace(a, b)  # aliased-replace
+        mv(a, b)  # from-imported-rename
+"""
+
+
+def test_rep001_flags_raw_write_and_rename(tmp_path):
+    root = make_tree(tmp_path, {"inventory/writer.py": RAW_WRITER})
+    findings = analyze(root, [DurableWriteRule])
+    assert hits(findings, "REP001") == [
+        ("inventory/writer.py", line_of(RAW_WRITER, "raw-open")),
+        ("inventory/writer.py", line_of(RAW_WRITER, "raw-replace")),
+    ]
+
+
+def test_rep001_aliasing_cannot_hide_the_call(tmp_path):
+    root = make_tree(tmp_path, {"pipeline/stage.py": ALIASED_WRITER})
+    findings = analyze(root, [DurableWriteRule])
+    assert hits(findings, "REP001") == [
+        ("pipeline/stage.py", line_of(ALIASED_WRITER, "aliased-replace")),
+        ("pipeline/stage.py", line_of(ALIASED_WRITER, "from-imported-rename")),
+    ]
+
+
+def test_rep001_unprovable_mode_is_flagged(tmp_path):
+    source = """\
+        def reopen(path, mode):
+            return open(path, mode)  # opaque-mode
+    """
+    root = make_tree(tmp_path, {"inventory/io.py": source})
+    findings = analyze(root, [DurableWriteRule])
+    assert hits(findings, "REP001") == [
+        ("inventory/io.py", line_of(source, "opaque-mode"))
+    ]
+
+
+def test_rep001_negatives(tmp_path):
+    root = make_tree(
+        tmp_path,
+        {
+            # reads are fine
+            "inventory/reader.py": """\
+                def load(path):
+                    with open(path, "rb") as handle:
+                        return handle.read()
+            """,
+            # the seam itself is exempt — raw calls are supposed to live here
+            "inventory/fsio.py": """\
+                import os
+
+
+                def atomic_write(path, payload):
+                    with open(path, "wb") as handle:
+                        handle.write(payload)
+                    os.replace(path, path)
+            """,
+            # out of scope: the world generator is not storage code
+            "world/dump.py": """\
+                def dump(path, text):
+                    with open(path, "w") as handle:
+                        handle.write(text)
+            """,
+        },
+    )
+    assert analyze(root, [DurableWriteRule]) == []
+
+
+# ---------------------------------------------------------------- REP002
+
+
+RACY_CACHE = """\
+    import threading
+
+
+    class Cache:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._items = {}
+
+        def put(self, key, value):
+            with self._lock:
+                self._items[key] = value
+
+        def evict(self, key):
+            self._items.pop(key, None)  # unlocked-pop
+"""
+
+
+def test_rep002_flags_lock_free_mutation(tmp_path):
+    root = make_tree(tmp_path, {"cache.py": RACY_CACHE})
+    findings = analyze(root, [LockDisciplineRule])
+    assert hits(findings, "REP002") == [
+        ("cache.py", line_of(RACY_CACHE, "unlocked-pop"))
+    ]
+    (finding,) = findings
+    assert "_items" in finding.message and "evict" in finding.message
+
+
+def test_rep002_negatives(tmp_path):
+    root = make_tree(
+        tmp_path,
+        {
+            # every mutation locked; __init__ is exempt by construction
+            "clean.py": """\
+                import threading
+
+
+                class Cache:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._items = {}
+
+                    def put(self, key, value):
+                        with self._lock:
+                            self._items[key] = value
+
+                    def drop(self, key):
+                        with self._lock:
+                            self._items.pop(key, None)
+            """,
+            # never locked anywhere: no evidence the attribute is shared
+            "plain.py": """\
+                class Bag:
+                    def __init__(self):
+                        self.values = []
+
+                    def push(self, v):
+                        self.values.append(v)
+            """,
+            # nested function bodies don't inherit the lock context
+            "nested.py": """\
+                import threading
+
+
+                class Q:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._pending = []
+
+                    def flush(self):
+                        with self._lock:
+                            self._pending.clear()
+
+                    def deferred(self):
+                        def later():
+                            return None
+                        return later
+            """,
+        },
+    )
+    assert analyze(root, [LockDisciplineRule]) == []
+
+
+# ---------------------------------------------------------------- REP003
+
+
+def test_rep003_used_but_not_declared(tmp_path):
+    source = """\
+        from repro.obs.trace import span
+
+
+        def handle():
+            with span("repro.not.registered"):  # rogue-span
+                pass
+    """
+    registry = """\
+        def register_span(name, meaning):
+            return name
+
+
+        SPAN_OK = register_span("repro.ok", "declared and used")
+    """
+    user = """\
+        from repro.obs.trace import span
+
+
+        def ok():
+            with span("repro.ok"):
+                pass
+    """
+    root = make_tree(
+        tmp_path,
+        {
+            "server/handlers.py": source,
+            "obs/registry.py": registry,
+            "obs/user.py": user,
+        },
+    )
+    findings = analyze(root, [RegistrySyncRule])
+    assert hits(findings, "REP003") == [
+        ("server/handlers.py", line_of(source, "rogue-span"))
+    ]
+    (finding,) = findings
+    assert "repro.not.registered" in finding.message
+
+
+def test_rep003_declared_but_never_used(tmp_path):
+    registry = """\
+        def register_counter(name, meaning):
+            return name
+
+
+        register_counter("repro.dead.counter", "nobody bumps this")  # dead-decl
+    """
+    root = make_tree(tmp_path, {"obs/registry.py": registry})
+    findings = analyze(root, [RegistrySyncRule])
+    assert hits(findings, "REP003") == [
+        ("obs/registry.py", line_of(registry, "dead-decl"))
+    ]
+
+
+def test_rep003_negatives_literal_symbol_and_dynamic_family(tmp_path):
+    root = make_tree(
+        tmp_path,
+        {
+            "obs/registry.py": """\
+                def register_span(name, meaning):
+                    return name
+
+
+                def register_counter(name, meaning):
+                    return name
+
+
+                SPAN_BUILD = register_span("repro.build", "used via its constant")
+                register_counter("repro.cells.flushed", "used as a literal")
+                KIND = "x"
+                register_counter(f"repro.requests.{KIND}", "a dynamic family")
+            """,
+            "pipeline/run.py": """\
+                from repro.obs.trace import span
+                from repro.obs.registry import SPAN_BUILD
+
+
+                def build(metrics, kind):
+                    with span(SPAN_BUILD):
+                        metrics.increment("repro.cells.flushed")
+                        metrics.increment(f"repro.requests.{kind}")
+                        seen = set()
+                        seen.add("not-a-metric")
+            """,
+        },
+    )
+    assert analyze(root, [RegistrySyncRule]) == []
+
+
+# ---------------------------------------------------------------- REP004
+
+
+NONDETERMINISTIC = """\
+    import random
+    import time
+
+
+    def jitter():
+        return random.random() + time.time()  # global-random-and-clock
+"""
+
+
+def test_rep004_flags_global_random_and_wall_clock(tmp_path):
+    root = make_tree(tmp_path, {"world/gen.py": NONDETERMINISTIC})
+    findings = analyze(root, [DeterminismRule])
+    line = line_of(NONDETERMINISTIC, "global-random-and-clock")
+    assert hits(findings, "REP004") == [
+        ("world/gen.py", line),
+        ("world/gen.py", line),
+    ]
+    messages = " ".join(f.message for f in findings)
+    assert "random.random" in messages and "time.time" in messages
+
+
+def test_rep004_alias_import_is_still_caught(tmp_path):
+    source = """\
+        import random as rnd
+
+
+        def pick(items):
+            return rnd.choice(items)  # aliased-choice
+    """
+    root = make_tree(tmp_path, {"pipeline/sample.py": source})
+    findings = analyze(root, [DeterminismRule])
+    assert hits(findings, "REP004") == [
+        ("pipeline/sample.py", line_of(source, "aliased-choice"))
+    ]
+
+
+def test_rep004_negatives(tmp_path):
+    root = make_tree(
+        tmp_path,
+        {
+            # the sanctioned pattern: a seeded instance threaded through
+            "world/seeded.py": """\
+                import random
+
+
+                def make_rng(seed):
+                    return random.Random(seed)
+
+
+                def sample(rng, items):
+                    return rng.choice(items)
+            """,
+            # a parameter shadowing the module name is not the global
+            "world/shadow.py": """\
+                def sample(random):
+                    return random.random()
+            """,
+            # out of scope: benchmarks may time things
+            "obs/bench.py": """\
+                import time
+
+
+                def stamp():
+                    return time.time()
+            """,
+        },
+    )
+    assert analyze(root, [DeterminismRule]) == []
+
+
+# ---------------------------------------------------------------- REP005
+
+
+SWALLOWED = """\
+    class SSTableError(Exception):
+        pass
+
+
+    def read_all(blocks):
+        out = []
+        for block in blocks:
+            try:
+                out.append(block.load())
+            except SSTableError:  # swallowed-handler
+                pass
+        return out
+"""
+
+
+def test_rep005_flags_discarded_corruption(tmp_path):
+    root = make_tree(tmp_path, {"inventory/reader.py": SWALLOWED})
+    findings = analyze(root, [SwallowedCorruptionRule])
+    assert hits(findings, "REP005") == [
+        ("inventory/reader.py", line_of(SWALLOWED, "swallowed-handler"))
+    ]
+
+
+@pytest.mark.parametrize(
+    "body",
+    [
+        # re-raised
+        "        raise",
+        # wrapped in a typed error
+        "        raise RuntimeError('table is damaged')",
+        # answered deliberately
+        "        return None",
+    ],
+)
+def test_rep005_reraise_and_return_are_compliant(tmp_path, body):
+    source = (
+        "class CorruptionError(Exception):\n"
+        "    pass\n"
+        "\n"
+        "\n"
+        "def load(block):\n"
+        "    try:\n"
+        "        return block.read()\n"
+        "    except CorruptionError:\n"
+        f"{body}\n"
+    )
+    root = make_tree(tmp_path, {"inventory/load.py": source})
+    assert analyze(root, [SwallowedCorruptionRule]) == []
+
+
+def test_rep005_recording_the_bound_exception_is_compliant(tmp_path):
+    source = """\
+        class SSTableError(Exception):
+            pass
+
+
+        def salvage(blocks, report):
+            for block in blocks:
+                try:
+                    block.load()
+                except SSTableError as exc:
+                    report.append(str(exc))
+    """
+    root = make_tree(tmp_path, {"inventory/salvage.py": source})
+    assert analyze(root, [SwallowedCorruptionRule]) == []
+
+
+def test_rep005_other_exceptions_are_not_this_rules_business(tmp_path):
+    source = """\
+        def best_effort(action):
+            try:
+                action()
+            except ValueError:
+                pass
+    """
+    root = make_tree(tmp_path, {"inventory/misc.py": source})
+    assert analyze(root, [SwallowedCorruptionRule]) == []
+
+
+# ---------------------------------------------------------------- REP006
+
+
+BLOCKING_HANDLER = """\
+    import time
+
+
+    async def handle(request):
+        time.sleep(0.1)  # blocking-sleep
+        with open("spool.bin") as handle:  # blocking-open
+            return handle.read()
+
+
+    async def lookup(addr, key):
+        client = InventoryClient(addr)  # sync-client
+        return client.get(key)
+"""
+
+
+def test_rep006_flags_blocking_calls_in_async_defs(tmp_path):
+    root = make_tree(tmp_path, {"server/handlers.py": BLOCKING_HANDLER})
+    findings = analyze(root, [AsyncBlockingRule])
+    assert hits(findings, "REP006") == [
+        ("server/handlers.py", line_of(BLOCKING_HANDLER, "blocking-sleep")),
+        ("server/handlers.py", line_of(BLOCKING_HANDLER, "blocking-open")),
+        ("server/handlers.py", line_of(BLOCKING_HANDLER, "sync-client")),
+    ]
+
+
+def test_rep006_negatives(tmp_path):
+    root = make_tree(
+        tmp_path,
+        {
+            # the sanctioned patterns: await sleep, work on the executor,
+            # blocking code confined to nested (executor-bound) defs
+            "server/clean.py": """\
+                import asyncio
+                import time
+
+
+                async def handle(loop, path):
+                    await asyncio.sleep(0.1)
+
+                    def blocking_read():
+                        with open(path, "rb") as handle:
+                            return handle.read()
+
+                    return await loop.run_in_executor(None, blocking_read)
+
+
+                def sync_helper():
+                    time.sleep(0.1)
+            """,
+            # out of scope: async code outside server/ is not the loop
+            "pipeline/feeder.py": """\
+                import time
+
+
+                async def feed():
+                    time.sleep(1)
+            """,
+        },
+    )
+    assert analyze(root, [AsyncBlockingRule]) == []

@@ -10,6 +10,9 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.analysis.project import Project
+from repro.analysis.rules.registry_sync import collect_declarations
+from repro.analysis.runner import default_root
 from repro.obs import registry
 
 DOC = Path(__file__).resolve().parents[1] / "docs" / "METRICS.md"
@@ -24,23 +27,52 @@ def test_metrics_doc_matches_registry_exactly():
     )
 
 
-def test_registry_is_nonempty_and_covers_the_tentpole_names():
+def test_runtime_registry_matches_static_declarations():
+    """The runtime registry and the REP003 static collector agree.
+
+    The analyzer's declaration collector (``repro.analysis``) discovers
+    every ``register_span``/``register_counter`` call site without
+    importing anything; the runtime registry is what actually imports.
+    Requiring them to coincide replaces the hand-maintained name list
+    this test used to carry — a new registration is covered the moment
+    it is written, and a vanished one fails in both directions.
+    """
     registry.import_instrumented()
     spans = registry.registered_spans()
     counters = registry.registered_counters()
-    # the names the operator docs and the CLI lean on must stay registered
-    for span in (
-        "pipeline.clean", "pipeline.enrich", "pipeline.trips",
-        "pipeline.project", "pipeline.aggregate", "pipeline.build",
-        "engine.partition", "sstable.read_block", "inventory.get",
-        "server.request", "server.handle",
-    ):
-        assert span in spans, f"span {span!r} vanished from the registry"
-    for counter in (
-        "block_cache.hits", "block_cache.misses", "engine.retries",
-        "server.requests", "server.errors", "server.requests.slow",
-    ):
-        assert counter in counters, f"counter {counter!r} vanished"
+
+    declarations = collect_declarations(Project.load(default_root()))
+    static = {
+        kind: {d.name for d in declarations if d.kind == kind and not d.dynamic}
+        for kind in ("span", "counter")
+    }
+    heads = {
+        kind: {d.name for d in declarations if d.kind == kind and d.dynamic}
+        for kind in ("span", "counter")
+    }
+    assert static["span"] and static["counter"], (
+        "the static collector found no registrations — the analyzer and "
+        "the registry have drifted apart"
+    )
+
+    # statically declared ⇒ registered at import time
+    assert static["span"] <= set(spans)
+    assert static["counter"] <= set(counters)
+
+    # registered at import time ⇒ statically visible (a literal, or an
+    # instance of a declared dynamic f-string family)
+    def covered(name: str, kind: str) -> bool:
+        return name in static[kind] or any(
+            name.startswith(head) for head in heads[kind]
+        )
+
+    rogue_spans = sorted(n for n in spans if not covered(n, "span"))
+    rogue_counters = sorted(n for n in counters if not covered(n, "counter"))
+    assert not rogue_spans, f"spans registered only dynamically: {rogue_spans}"
+    assert not rogue_counters, (
+        f"counters registered only dynamically: {rogue_counters}"
+    )
+
     # every registered name has a real description
     assert all(desc.strip() for desc in spans.values())
     assert all(desc.strip() for desc in counters.values())
