@@ -101,6 +101,50 @@ def _client_loop(host, port, probes, offset, latencies, failures):
             latencies.append(time.perf_counter() - started)
 
 
+#: The multi_get comparison: one batch of this many point lookups per
+#: round trip, against the same lookups as individual summary_at calls.
+MULTI_BATCH = 16
+MULTI_ROUNDS = 10 if QUICK else 50
+
+
+def _multi_vs_singles(host, port, probes):
+    """Warm-cache p50 of one ``multi_get`` frame vs the same lookups as
+    N sequential ``summary_at`` calls on one connection.
+
+    Both sides resolve the identical keys against the identical warm
+    backend, so the difference is pure protocol cost: N round trips and
+    N frame encodings collapse into one.
+    """
+    keys = [
+        {"lat": lat, "lon": lon}
+        for lat, lon in (probes * MULTI_BATCH)[:MULTI_BATCH]
+    ]
+    singles: list[float] = []
+    multis: list[float] = []
+    with InventoryClient(host, port) as client:
+        # One untimed pass of each shape warms caches and code paths.
+        for key in keys:
+            client.summary_at(key["lat"], key["lon"])
+        client.multi_get(keys)
+        for _ in range(MULTI_ROUNDS):
+            started = time.perf_counter()
+            for key in keys:
+                client.summary_at(key["lat"], key["lon"])
+            singles.append(time.perf_counter() - started)
+            started = time.perf_counter()
+            batched = client.multi_get(keys)
+            multis.append(time.perf_counter() - started)
+            assert len(batched) == MULTI_BATCH
+    singles.sort()
+    multis.sort()
+    return {
+        "batch": MULTI_BATCH,
+        "rounds": MULTI_ROUNDS,
+        "singles_p50_ms": singles[len(singles) // 2] * 1e3,
+        "multi_p50_ms": multis[len(multis) // 2] * 1e3,
+    }
+
+
 def _run_phase(host, port, probes):
     latencies: list[float] = []
     failures: list[Exception] = []
@@ -140,6 +184,7 @@ def test_serving_throughput(tmp_path_factory, bench_inventory):
             cold = _run_phase(host, port, probes)
             cold_cache = backend.cache_stats()
             warm = _run_phase(host, port, probes)
+            multi = _multi_vs_singles(host, port, probes)
 
             with InventoryClient(host, port) as client:
                 stats = client.stats()
@@ -170,13 +215,31 @@ def test_serving_throughput(tmp_path_factory, bench_inventory):
         f"Tracing disabled: {span_cost * 1e9:,.0f}ns per span() x "
         f"{SPANS_PER_REQUEST} spans/request = "
         f"{overhead * 1e6:.2f}us ({overhead_share:.3%} of warm p50)",
+        "",
+        f"multi_get vs {MULTI_BATCH} singles (warm, p50 of "
+        f"{MULTI_ROUNDS} rounds):",
+        f"{'  N x summary_at':<18} {multi['singles_p50_ms']:>8.2f}ms",
+        f"{'  one multi_get':<18} {multi['multi_p50_ms']:>8.2f}ms  "
+        f"({multi['singles_p50_ms'] / multi['multi_p50_ms']:.1f}x)",
     ]
-    write_report("serving_throughput", lines)
+    write_report(
+        "serving_throughput",
+        lines,
+        data={
+            "cold": cold,
+            "warm": warm,
+            "multi_get_vs_singles": multi,
+            "server_latency_ms": digest,
+            "disabled_span_cost_ns": span_cost * 1e9,
+        },
+    )
 
     # The stats request snapshots its own metrics mid-flight, so the
-    # counters cover exactly the load phases.
-    assert served == issued
-    assert digest["count"] == issued
+    # counters cover exactly the load phases plus the multi comparison
+    # (each multi_get frame counts once; its warm-up pass included).
+    multi_issued = (MULTI_ROUNDS + 1) * (MULTI_BATCH + 1)
+    assert served == issued + multi_issued
+    assert digest["count"] == issued + multi_issued
     assert cold["qps"] > 0 and warm["qps"] > 0
     assert cold["p50_ms"] <= cold["p99_ms"]
     assert warm["p50_ms"] <= warm["p99_ms"]
@@ -185,4 +248,10 @@ def test_serving_throughput(tmp_path_factory, bench_inventory):
     assert overhead_share < 0.03, (
         f"disabled tracing would cost {overhead_share:.2%} of warm p50 "
         f"({span_cost * 1e9:.0f}ns per span)"
+    )
+    # One multi_get frame must beat the same lookups as N round trips —
+    # the reason the client docs steer batch-heavy callers to it.
+    assert multi["multi_p50_ms"] < multi["singles_p50_ms"], (
+        f"multi_get p50 {multi['multi_p50_ms']:.2f}ms did not beat "
+        f"{MULTI_BATCH} singles at {multi['singles_p50_ms']:.2f}ms"
     )

@@ -11,6 +11,7 @@ EXPERIMENTS.md records paper-vs-measured side by side.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -38,13 +39,30 @@ BENCH_CONFIG = WorldConfig(
 )
 
 
-def write_report(name: str, lines: list[str]) -> None:
+def write_report(
+    name: str, lines: list[str], data: dict | None = None
+) -> None:
     """Print a benchmark's paper-style table and persist it under
-    benchmarks/results/."""
+    benchmarks/results/ — the human table as ``<name>.txt`` and a
+    machine-readable twin as ``<name>.json`` (CI's benchmark-smoke job
+    uploads the whole directory as a build artifact, so runs can be
+    diffed without parsing tables).
+
+    ``data`` adds structured measurements to the JSON payload; the
+    rendered lines ride along either way, plus whether the run was a
+    quick-mode (CI smoke) pass — quick timings are not comparable to
+    full runs.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     text = "\n".join(lines)
     print(f"\n{text}")
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    payload: dict = {"benchmark": name, "quick_mode": QUICK, "lines": lines}
+    if data is not None:
+        payload["data"] = data
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
 
 
 @pytest.fixture(scope="session")

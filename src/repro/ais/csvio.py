@@ -87,5 +87,7 @@ def read_csv(path: str | Path) -> Iterator[PositionReport]:
                     heading=int(row["Heading"]),
                     status=int(row["Status"]),
                 )
-            except (KeyError, ValueError):
+            except (KeyError, TypeError, ValueError):
+                # TypeError covers short rows, where DictReader fills the
+                # missing trailing fields with None.
                 continue

@@ -20,7 +20,33 @@ def stable_hash(value: object) -> int:
     return int.from_bytes(_digest(value), "big")
 
 
+# Scalar digests are memoised: shuffle keys are tuples whose elements
+# (cell ids, vessel segments, port names) repeat across hundreds of
+# thousands of keys, so the per-element BLAKE2b collapses to a dict hit.
+# Keys pair the element with its class so ``True``/``1`` and ``1``/``1.0``
+# (equal, hash-equal, differently encoded) never share an entry.  The
+# cache is capped, after which misses are simply recomputed — values are
+# identical either way.
+_SCALAR_TYPES = (bool, int, str, bytes, float)
+_CACHE_LIMIT = 1 << 17
+_scalar_digests: dict[tuple, bytes] = {}
+
+
 def _digest(value: object) -> bytes:
+    if isinstance(value, tuple):
+        hasher = blake2b(digest_size=8)
+        hasher.update(b"t")
+        for item in value:
+            hasher.update(_digest(item))
+        return hasher.digest()
+    if value is not None and not isinstance(value, _SCALAR_TYPES):
+        raise TypeError(
+            f"unhashable key type for stable_hash: {type(value).__name__}"
+        )
+    cache_key = (value.__class__, value)
+    cached = _scalar_digests.get(cache_key)
+    if cached is not None:
+        return cached
     if isinstance(value, bool):
         payload = b"o" + bytes([value])
     elif isinstance(value, int):
@@ -31,16 +57,9 @@ def _digest(value: object) -> bytes:
         payload = b"b" + value
     elif isinstance(value, float):
         payload = b"f" + repr(value).encode("ascii")
-    elif value is None:
-        payload = b"n"
-    elif isinstance(value, tuple):
-        hasher = blake2b(digest_size=8)
-        hasher.update(b"t")
-        for item in value:
-            hasher.update(_digest(item))
-        return hasher.digest()
     else:
-        raise TypeError(
-            f"unhashable key type for stable_hash: {type(value).__name__}"
-        )
-    return blake2b(payload, digest_size=8).digest()
+        payload = b"n"
+    digest = blake2b(payload, digest_size=8).digest()
+    if len(_scalar_digests) < _CACHE_LIMIT:
+        _scalar_digests[cache_key] = digest
+    return digest

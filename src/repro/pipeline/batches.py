@@ -1,0 +1,218 @@
+"""Columnar record batches: struct-of-arrays twins of the record models.
+
+The scalar pipeline moves one frozen dataclass per record between
+stages; at archive scale the boxing (attribute access, per-record tuple
+fan-out, kwargs calls) dominates the funnel's wall time.  A
+:class:`RecordBatch` keeps the *same fields* as its record class but
+stores each as one column — ``array('d')``/``array('q')`` for numerics
+(zero-copy views via :meth:`RecordBatch.memoryview_of`), plain lists for
+strings and tuples — so the batch kernels in
+:mod:`repro.pipeline.vectorized` iterate tight local-variable loops
+instead of object graphs.
+
+Three concrete batches mirror the three record shapes:
+
+==================  ==========================================  =================
+:class:`CleanBatch`   :class:`~repro.pipeline.records.CleanRecord`  post-enrichment
+:class:`TripBatch`    :class:`~repro.pipeline.records.TripRecord`   post trip-annotation
+:class:`CellBatch`    :class:`~repro.pipeline.records.CellRecord`   post projection
+==================  ==========================================  =================
+
+``from_records``/``to_records`` are exact inverses (the round-trip
+property test pins this): optional integer columns (``heading``,
+``next_cell``) encode ``None`` as :data:`NULL_INT`, which is safe
+because both fields are non-negative in every valid record — a negative
+input is rejected rather than silently aliased.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Iterable, Sequence
+from typing import ClassVar
+
+from repro.pipeline.records import CellRecord, CleanRecord, TripRecord
+
+#: Sentinel for ``None`` in optional integer columns.  Headings are
+#: 0–510 degrees and cell ids are positive, so -1 never collides.
+NULL_INT = -1
+
+#: Column kinds: 64-bit float, 64-bit int, optional 64-bit int
+#: (``None`` ↔ :data:`NULL_INT`), and arbitrary objects (strings,
+#: extras tuples) in a plain list.
+FLOAT = "f8"
+INT = "i8"
+OPT_INT = "i8?"
+OBJ = "obj"
+
+
+class RecordBatch:
+    """Base struct-of-arrays batch; subclasses declare ``SPEC``/``RECORD``.
+
+    ``SPEC`` lists ``(field_name, kind)`` pairs in the record class's
+    field order, so ``RECORD(*row)`` reconstructs a record positionally.
+    """
+
+    #: (field, kind) pairs in record-field order.
+    SPEC: ClassVar[tuple[tuple[str, str], ...]] = ()
+    #: The frozen dataclass a row of this batch round-trips to.
+    RECORD: ClassVar[type] = object
+
+    __slots__ = ("_length",)
+
+    def __init__(self, **columns: Sequence) -> None:
+        length: int | None = None
+        for name, _kind in self.SPEC:
+            column = columns.pop(name)
+            if length is None:
+                length = len(column)
+            elif len(column) != length:
+                raise ValueError(
+                    f"column {name!r} has {len(column)} rows, expected {length}"
+                )
+            setattr(self, name, column)
+        if columns:
+            raise ValueError(f"unknown columns: {sorted(columns)}")
+        self._length = length or 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    @classmethod
+    def from_records(cls, records: Iterable) -> "RecordBatch":
+        """Build a batch from record instances (columnar transpose)."""
+        records = list(records)
+        columns: dict[str, Sequence] = {}
+        for name, kind in cls.SPEC:
+            if kind == FLOAT:
+                columns[name] = array(
+                    "d", (getattr(r, name) for r in records)
+                )
+            elif kind == INT:
+                columns[name] = array(
+                    "q", (getattr(r, name) for r in records)
+                )
+            elif kind == OPT_INT:
+                columns[name] = array(
+                    "q", (_encode_opt(getattr(r, name), name) for r in records)
+                )
+            else:
+                columns[name] = [getattr(r, name) for r in records]
+        return cls(**columns)
+
+    def to_records(self) -> list:
+        """The rows as record instances (inverse of :meth:`from_records`)."""
+        columns = []
+        for name, kind in self.SPEC:
+            column = getattr(self, name)
+            if kind == OPT_INT:
+                column = [None if v == NULL_INT else v for v in column]
+            columns.append(column)
+        record = self.RECORD
+        return [record(*row) for row in zip(*columns)] if self._length else []
+
+    def column(self, name: str) -> Sequence:
+        """The raw column storage for a field (array or list)."""
+        if name not in {field for field, _ in self.SPEC}:
+            raise KeyError(f"no column {name!r} in {type(self).__name__}")
+        return getattr(self, name)
+
+    def memoryview_of(self, name: str) -> memoryview:
+        """A zero-copy :class:`memoryview` over a numeric column."""
+        column = self.column(name)
+        if not isinstance(column, array):
+            raise TypeError(f"column {name!r} is not numeric")
+        return memoryview(column)
+
+    def slice(self, start: int, stop: int) -> "RecordBatch":
+        """A new batch over rows ``[start, stop)`` (columns are copied —
+        ``array`` slicing has no view form)."""
+        columns = {
+            name: getattr(self, name)[start:stop] for name, _ in self.SPEC
+        }
+        return type(self)(**columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(rows={self._length})"
+
+
+def _encode_opt(value: int | None, name: str) -> int:
+    if value is None:
+        return NULL_INT
+    if value < 0:
+        raise ValueError(
+            f"optional column {name!r} cannot store negative value {value}"
+        )
+    return value
+
+
+class CleanBatch(RecordBatch):
+    """Columnar :class:`~repro.pipeline.records.CleanRecord` rows."""
+
+    SPEC = (
+        ("mmsi", INT),
+        ("ts", FLOAT),
+        ("lat", FLOAT),
+        ("lon", FLOAT),
+        ("sog", FLOAT),
+        ("cog", FLOAT),
+        ("heading", OPT_INT),
+        ("status", INT),
+        ("vessel_type", OBJ),
+        ("grt", INT),
+    )
+    RECORD = CleanRecord
+    __slots__ = tuple(name for name, _ in SPEC)
+
+
+class TripBatch(RecordBatch):
+    """Columnar :class:`~repro.pipeline.records.TripRecord` rows.
+
+    The pipeline produces one ``TripBatch`` per trip, so ``trip_id``,
+    ``origin``, ``destination``, ``depart_ts`` and ``arrive_ts`` are
+    constant columns there — but the layout does not *require* it, and
+    ``from_records`` accepts arbitrary row mixes.
+    """
+
+    SPEC = (
+        ("mmsi", INT),
+        ("ts", FLOAT),
+        ("lat", FLOAT),
+        ("lon", FLOAT),
+        ("sog", FLOAT),
+        ("cog", FLOAT),
+        ("heading", OPT_INT),
+        ("status", INT),
+        ("vessel_type", OBJ),
+        ("grt", INT),
+        ("trip_id", OBJ),
+        ("origin", OBJ),
+        ("destination", OBJ),
+        ("depart_ts", FLOAT),
+        ("arrive_ts", FLOAT),
+    )
+    RECORD = TripRecord
+    __slots__ = tuple(name for name, _ in SPEC)
+
+
+class CellBatch(RecordBatch):
+    """Columnar :class:`~repro.pipeline.records.CellRecord` rows."""
+
+    SPEC = (
+        ("mmsi", INT),
+        ("ts", FLOAT),
+        ("sog", FLOAT),
+        ("cog", FLOAT),
+        ("heading", OPT_INT),
+        ("vessel_type", OBJ),
+        ("trip_id", OBJ),
+        ("origin", OBJ),
+        ("destination", OBJ),
+        ("eto_s", FLOAT),
+        ("ata_s", FLOAT),
+        ("cell", INT),
+        ("next_cell", OPT_INT),
+        ("extras", OBJ),
+    )
+    RECORD = CellRecord
+    __slots__ = tuple(name for name, _ in SPEC)

@@ -65,6 +65,28 @@ def feasibility_filter(
     return accepted
 
 
+def commercial_vessel(
+    mmsi: int,
+    static_by_mmsi: dict[int, Vessel],
+    min_grt: int = 5_000,
+    commercial_only: bool = True,
+) -> Vessel | None:
+    """The fleet filter shared by the scalar and batch enrichment paths.
+
+    Returns the vessel's static record, or ``None`` when the vessel is
+    filtered out (unknown MMSI, non-commercial segment, or below the
+    tonnage threshold).
+    """
+    vessel = static_by_mmsi.get(mmsi)
+    if vessel is None:
+        return None
+    if commercial_only and vessel.segment not in COMMERCIAL_SEGMENTS:
+        return None
+    if vessel.grt < min_grt:
+        return None
+    return vessel
+
+
 def enrich_track(
     mmsi: int,
     reports: list[PositionReport],
@@ -77,12 +99,10 @@ def enrich_track(
     Returns ``None`` when the whole vessel is filtered out (unknown MMSI,
     non-commercial segment, or below the tonnage threshold).
     """
-    vessel = static_by_mmsi.get(mmsi)
+    vessel = commercial_vessel(
+        mmsi, static_by_mmsi, min_grt=min_grt, commercial_only=commercial_only
+    )
     if vessel is None:
-        return None
-    if commercial_only and vessel.segment not in COMMERCIAL_SEGMENTS:
-        return None
-    if vessel.grt < min_grt:
         return None
     segment = vessel.segment.value
     return [

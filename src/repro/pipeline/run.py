@@ -35,6 +35,7 @@ from pathlib import Path
 
 from repro.ais.messages import PositionReport
 from repro.engine import Engine
+from repro.engine.memory import gc_paused
 from repro.inventory.compaction import merge_tables
 from repro.inventory.keys import GroupKey
 from repro.inventory.sstable import (
@@ -45,7 +46,7 @@ from repro.inventory.sstable import (
 from repro.inventory.store import Inventory
 from repro.obs import registry
 from repro.obs import trace as obs
-from repro.pipeline import cleaning
+from repro.pipeline import cleaning, vectorized
 from repro.pipeline import manifest as build_manifests
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.features import fan_out, make_create, make_update, merge_summaries
@@ -261,13 +262,24 @@ def _build_window(
     config: PipelineConfig,
     engine: Engine,
 ) -> tuple[Inventory, dict[str, int]]:
-    """One pipeline pass over one window; returns (inventory, funnel)."""
-    static_by_mmsi = {vessel.mmsi: vessel for vessel in fleet}
-    port_index = PortIndex(
-        ports, index_resolution=config.geofence_index_resolution
-    )
-    funnel: dict[str, int] = {"raw": len(positions)}
+    """One pipeline pass over one window; returns (inventory, funnel).
 
+    Dispatches between the columnar (default) and scalar funnels — same
+    stages, same spans, same funnel keys, bit-identical inventories
+    (the equivalence suite pins it); only the record representation
+    between stages differs.
+    """
+    build = _build_window_batched if config.vectorized else _build_window_scalar
+    return build(positions, fleet, ports, config, engine)
+
+
+def _clean_stage(
+    positions: list[PositionReport],
+    config: PipelineConfig,
+    engine: Engine,
+    funnel: dict[str, int],
+):
+    """§3.3.1 up to per-vessel feasible tracks (shared by both funnels)."""
     with obs.span(SPAN_CLEAN, rows_in=len(positions)) as clean_span:
         raw = engine.parallelize(positions)
         valid = raw.filter(cleaning.validate).persist()
@@ -288,6 +300,23 @@ def _build_window(
             len(reports) for _, reports in tracks.collect()
         )
         clean_span.set("rows_out", funnel["feasible"])
+    return tracks
+
+
+def _build_window_scalar(
+    positions: list[PositionReport],
+    fleet: list[Vessel],
+    ports: tuple[Port, ...],
+    config: PipelineConfig,
+    engine: Engine,
+) -> tuple[Inventory, dict[str, int]]:
+    """The scalar reference funnel: one frozen record per report."""
+    static_by_mmsi = {vessel.mmsi: vessel for vessel in fleet}
+    port_index = PortIndex(
+        ports, index_resolution=config.geofence_index_resolution
+    )
+    funnel: dict[str, int] = {"raw": len(positions)}
+    tracks = _clean_stage(positions, config, engine, funnel)
 
     with obs.span(SPAN_ENRICH, rows_in=funnel["feasible"]) as enrich_span:
         enriched = (
@@ -357,6 +386,106 @@ def _build_window(
         inventory = Inventory(config.resolution, summary_config)
         for key_tuple, summary in grouped.collect():
             inventory.put(GroupKey.from_tuple(key_tuple), summary)
+        agg_span.set("groups", len(inventory))
+    return inventory, funnel
+
+
+def _build_window_batched(
+    positions: list[PositionReport],
+    fleet: list[Vessel],
+    ports: tuple[Port, ...],
+    config: PipelineConfig,
+    engine: Engine,
+) -> tuple[Inventory, dict[str, int]]:
+    """The columnar funnel: record batches between stages.
+
+    Stage for stage the same plan as the scalar funnel over the same
+    persisted ``tracks`` — enrichment emits one :class:`CleanBatch` per
+    vessel, trips one :class:`TripBatch` per trip, projection runs
+    batch-at-a-time on the engine's ``map_batches`` path, and
+    aggregation folds whole partitions of :class:`CellBatch` es into
+    partial summaries (:func:`~repro.pipeline.vectorized
+    .aggregate_partition`) before the usual combine shuffle.
+    """
+    static_by_mmsi = {vessel.mmsi: vessel for vessel in fleet}
+    port_index = PortIndex(
+        ports, index_resolution=config.geofence_index_resolution
+    )
+    funnel: dict[str, int] = {"raw": len(positions)}
+    tracks = _clean_stage(positions, config, engine, funnel)
+
+    with obs.span(SPAN_ENRICH, rows_in=funnel["feasible"]) as enrich_span:
+        enriched = (
+            tracks.map(
+                lambda kv: vectorized.enrich_track_batch(
+                    kv[0],
+                    kv[1],
+                    static_by_mmsi,
+                    min_grt=config.min_grt,
+                    commercial_only=config.commercial_only,
+                )
+            )
+            .filter(lambda batch: batch is not None)
+            .persist()
+        )
+        funnel["commercial"] = sum(len(batch) for batch in enriched.collect())
+        enrich_span.set("rows_out", funnel["commercial"])
+
+    with obs.span(SPAN_TRIPS, rows_in=funnel["commercial"]) as trips_span:
+        trip_batches = enriched.flat_map(
+            lambda batch: vectorized.annotate_trips_batch(
+                batch, port_index, stop_speed_kn=config.stop_speed_kn
+            )
+        ).persist()
+        funnel["with_trip_semantics"] = sum(
+            len(trip) for trip in trip_batches.collect()
+        )
+        trips_span.set("rows_out", funnel["with_trip_semantics"])
+
+    with obs.span(SPAN_PROJECT):
+        cell_batches = trip_batches.map_batches(
+            lambda trip: vectorized.project_batch(
+                trip,
+                config.resolution,
+                densify=config.densify_transitions,
+                extra_features=config.extra_features,
+            ),
+            label="project_batches",
+        )
+        if obs.enabled():
+            # Same eager-while-tracing rule as the scalar funnel: keep
+            # the Fig. 3 attribution honest.
+            cell_batches = cell_batches.persist()
+            cell_batches.count()
+
+    with obs.span(SPAN_AGGREGATE) as agg_span:
+        summary_config = config.effective_summary
+        partials = cell_batches.map_partitions(
+            lambda _index, batches: vectorized.aggregate_partition(
+                batches, summary_config
+            ),
+            label="aggregate_kernel",
+        )
+        # Partition-local keys are already unique, so map-side combine
+        # is a pass-through; the shuffle + reduce-side merge is shared
+        # with the scalar plan (same partitioner, same merge order).
+        grouped = partials.combine_by_key(
+            create=lambda summary: summary,
+            merge_value=merge_summaries,
+            merge_combiners=merge_summaries,
+            label="aggregate_summaries",
+        )
+
+        inventory = Inventory(config.resolution, summary_config)
+        # collect() drives the whole lazy chain (kernel, shuffle,
+        # reduce), which allocates one summary per live group; pausing
+        # the cyclic collector for the stage avoids gen-2 re-scans of
+        # that growing, fully-reachable population (~4x on summary
+        # creation).  The scalar path stays unwrapped: it is the
+        # reference implementation, not the fast path.
+        with gc_paused():
+            for key_tuple, summary in grouped.collect():
+                inventory.put(GroupKey.from_tuple(key_tuple), summary)
         agg_span.set("groups", len(inventory))
     return inventory, funnel
 

@@ -51,10 +51,29 @@ def annotate_trips(
         for record in records
     ]
     trips: list[TripRecord] = []
-    trip_counter = 0
+    for trip_counter, (start, end, origin, destination) in enumerate(
+        trip_spans(port_labels)
+    ):
+        trips.extend(
+            _annotate_gap(records, start, end, origin, destination, trip_counter)
+        )
+    return trips
+
+
+def trip_spans(port_labels: list) -> list[tuple[int, int, str, str]]:
+    """The trip-boundary state machine, shared by the scalar and batch
+    annotators.
+
+    Given per-record port-stop labels (a port geometry or ``None``),
+    returns ``(start, end, origin_port_id, destination_port_id)`` index
+    spans — one per trip, in time order.  Gaps before the first known
+    stop and after the last one are excluded (origin or destination
+    unknown), exactly as the paper drops unannotatable records.
+    """
+    spans: list[tuple[int, int, str, str]] = []
     gap_start: int | None = None
     last_port: str | None = None
-    for index, (record, port) in enumerate(zip(records, port_labels)):
+    for index, port in enumerate(port_labels):
         if port is None:
             if gap_start is None:
                 gap_start = index
@@ -62,24 +81,14 @@ def annotate_trips(
         # We are inside a port; close any open gap.
         if gap_start is not None and last_port is not None:
             if port.port_id != last_port:
-                trips.extend(
-                    _annotate_gap(
-                        records,
-                        gap_start,
-                        index,
-                        last_port,
-                        port.port_id,
-                        trip_counter,
-                    )
-                )
-                trip_counter += 1
+                spans.append((gap_start, index, last_port, port.port_id))
             gap_start = None
         elif gap_start is not None:
             # Gap started before any known port: origin unknown; exclude.
             gap_start = None
         last_port = port.port_id
     # A trailing gap has no destination stop: excluded.
-    return trips
+    return spans
 
 
 def _annotate_gap(

@@ -28,6 +28,8 @@ from repro.server.client import InventoryClient, ServerError
 from repro.server.metrics import ServerMetrics
 from repro.server.protocol import (
     MAX_FRAME_BYTES,
+    MAX_MULTI_ITEMS,
+    FanOutTooLargeError,
     FrameTooLargeError,
     ProtocolError,
     TruncatedFrameError,
@@ -42,6 +44,8 @@ from repro.server.service import InventoryService
 
 __all__ = [
     "MAX_FRAME_BYTES",
+    "MAX_MULTI_ITEMS",
+    "FanOutTooLargeError",
     "FrameTooLargeError",
     "InventoryClient",
     "InventoryServer",

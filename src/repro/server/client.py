@@ -27,11 +27,19 @@ from repro.server import protocol
 
 
 class ServerError(Exception):
-    """An error response from the server, tagged with its code."""
+    """An error response from the server, tagged with its code.
 
-    def __init__(self, code: str, message: str) -> None:
+    ``details`` carries the error's structured payload when the server
+    sent one — e.g. a rejected multi frame's ``{"index": n}`` naming the
+    offending sub-request.
+    """
+
+    def __init__(
+        self, code: str, message: str, details: dict | None = None
+    ) -> None:
         super().__init__(f"[{code}] {message}")
         self.code = code
+        self.details = details
 
 
 class InventoryClient:
@@ -77,9 +85,11 @@ class InventoryClient:
             )
         if not response.get("ok"):
             error = response.get("error") or {}
+            details = error.get("details")
             raise ServerError(
                 error.get("code", protocol.ERR_INTERNAL),
                 error.get("message", "unspecified server error"),
+                details if isinstance(details, dict) else None,
             )
         result = response.get("result")
         if not isinstance(result, dict):
@@ -132,6 +142,45 @@ class InventoryClient:
         )
         raw = result.get("summary")
         return None if raw is None else protocol.summary_from_wire(raw)
+
+    def multi_get(self, keys: list[dict]) -> list[CellSummary | None]:
+        """Fetch summaries for many positions in ONE round trip.
+
+        Prefer this over a loop of :meth:`summary_at` calls whenever the
+        positions are known up front: all lookups travel in a single
+        frame, so framing and network round-trip cost is paid once
+        instead of ``len(keys)`` times (the dominant cost for warm point
+        lookups — see ``benchmarks/bench_serving_throughput.py``).
+
+        Each key is a dict of the :meth:`summary_at` parameters:
+        ``{"lat": …, "lon": …}`` plus optional ``vessel_type`` /
+        ``origin`` / ``destination``.  Summaries return in key order,
+        ``None`` where the cell is empty.
+
+        A fan-out too large for one response frame fails with a typed
+        ``frame_too_large`` :class:`ServerError` whose
+        ``details["index"]`` names the first offending sub-request —
+        split the batch there and retry; the connection stays usable.
+        """
+        result = self.request("multi_get", keys=list(keys))
+        return [
+            None if raw is None else protocol.summary_from_wire(raw)
+            for raw in result.get("summaries", [])
+        ]
+
+    def multi_query(self, requests: list[dict]) -> list[dict]:
+        """Send many (non-multi) requests in ONE round trip.
+
+        Each item is a full request body, e.g. ``{"type": "eta",
+        "lat": …, "lon": …}``.  Responses return in request order as
+        per-item envelopes: ``{"ok": True, "result": …}`` on success,
+        ``{"ok": False, "error": {"code", "message"}}`` per failed item
+        — one bad sub-request does not fail the batch.  Like
+        :meth:`multi_get`, an oversized fan-out fails typed with the
+        offending index in ``details`` on a live connection.
+        """
+        result = self.request("multi_query", requests=list(requests))
+        return list(result.get("responses", []))
 
     def top_destinations_at(
         self, lat: float, lon: float, vessel_type: str | None = None, n: int = 5

@@ -50,6 +50,26 @@ SLOW_TOTAL = registry.register_counter(
     "successful requests slower than the configured slow-request "
     "threshold (each is also logged by `repro.server.slowlog`)",
 )
+#: The fan-out carried by multi frames: a `multi_get` of 50 keys adds 50
+#: here and 1 to `server.requests.multi_get`.  The ratio of this counter
+#: to the multi_* request counters is the average batch size clients
+#: actually send.
+REQUESTS_BATCHED = registry.register_counter(
+    "server.requests.batched",
+    "sub-requests answered inside multi_get/multi_query frames (counts "
+    "the fan-out; the frames themselves count under "
+    "`server.requests.multi_get` / `server.requests.multi_query`)",
+)
+#: Multi frames rejected because their fan-out blew the item cap or the
+#: response byte budget.  Each rejection is a typed `frame_too_large`
+#: error naming the offending sub-request index — the connection stays
+#: open; clients should split the batch and retry.
+MULTI_REJECTED = registry.register_counter(
+    "server.multi.rejected",
+    "multi_get/multi_query frames rejected for fan-out size (answered "
+    "with a typed frame_too_large error naming the offending "
+    "sub-request index, on a live connection)",
+)
 
 # The request-type and error-code spaces are closed sets, so the dynamic
 # per-type/per-code counters are registered exhaustively here.
@@ -101,6 +121,14 @@ class ServerMetrics:
         with self._lock:
             self._queue_q.update(seconds * 1e3)
             self._queue.update(seconds * 1e3)
+
+    def record_batched(self, fanout: int) -> None:
+        """Count the sub-requests answered by one successful multi frame."""
+        self.counters.increment(REQUESTS_BATCHED, fanout)
+
+    def record_multi_rejected(self) -> None:
+        """Count one multi frame rejected for fan-out size."""
+        self.counters.increment(MULTI_REJECTED)
 
     def record_error(self, request_type: str, code: str) -> None:
         """Count one failed request by its error code."""

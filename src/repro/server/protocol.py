@@ -50,7 +50,17 @@ REQUEST_TYPES = (
     "eta",
     "destination",
     "trace",
+    "multi_get",
+    "multi_query",
 )
+
+#: The multi-request types: one frame carrying many sub-requests, answered
+#: in order.  They amortise framing and round-trip cost; they do not nest.
+MULTI_TYPES = ("multi_get", "multi_query")
+
+#: Ceiling on sub-requests per multi frame (CPU fan-out guard; the byte
+#: budget below bounds the *response*, this bounds the *work*).
+MAX_MULTI_ITEMS = 1024
 
 # Error codes carried in failure responses.
 ERR_BAD_FRAME = "bad_frame"
@@ -67,11 +77,20 @@ ERR_CORRUPTION = "data_corruption"
 
 
 class ProtocolError(Exception):
-    """A violation of the wire protocol, tagged with its error code."""
+    """A violation of the wire protocol, tagged with its error code.
 
-    def __init__(self, code: str, message: str) -> None:
+    ``details``, when present, is a small JSON-safe dict carried in the
+    error envelope so clients can react structurally (e.g. the offending
+    sub-request index of a rejected multi frame) instead of parsing
+    messages.
+    """
+
+    def __init__(
+        self, code: str, message: str, details: dict | None = None
+    ) -> None:
         super().__init__(message)
         self.code = code
+        self.details = details
 
 
 class FrameTooLargeError(ProtocolError):
@@ -91,6 +110,21 @@ class TruncatedFrameError(ProtocolError):
         super().__init__(
             ERR_TRUNCATED, f"expected {wanted} more bytes, got {got}"
         )
+
+
+class FanOutTooLargeError(ProtocolError):
+    """A multi-request whose fan-out blows a size budget.
+
+    Raised by the *service* while a multi frame is being answered, so the
+    server converts it into a typed ``frame_too_large`` error response on
+    a live connection — the client learns **which** sub-request to split
+    the batch at (``details["index"]``, also named in the message)
+    instead of losing the socket.
+    """
+
+    def __init__(self, index: int, message: str) -> None:
+        super().__init__(ERR_FRAME_TOO_LARGE, message, details={"index": index})
+        self.index = index
 
 
 class BadRequestError(ProtocolError):
@@ -203,9 +237,17 @@ def ok_response(request_id: object, result: dict) -> dict:
     return {"id": request_id, "ok": True, "result": result}
 
 
-def error_response(request_id: object, code: str, message: str) -> dict:
-    """A failure envelope."""
-    return {"id": request_id, "ok": False, "error": {"code": code, "message": message}}
+def error_response(
+    request_id: object,
+    code: str,
+    message: str,
+    details: dict | None = None,
+) -> dict:
+    """A failure envelope (``details`` rides along when structured)."""
+    error: dict = {"code": code, "message": message}
+    if details is not None:
+        error["details"] = details
+    return {"id": request_id, "ok": False, "error": error}
 
 
 # -- summary transport -----------------------------------------------------------

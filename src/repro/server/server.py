@@ -249,7 +249,14 @@ class InventoryServer:
             except protocol.ProtocolError as exc:
                 sp.set("code", exc.code)
                 self.metrics.record_error(label, exc.code)
-                return protocol.error_response(request_id, exc.code, str(exc))
+                if (
+                    label in protocol.MULTI_TYPES
+                    and exc.code == protocol.ERR_FRAME_TOO_LARGE
+                ):
+                    self.metrics.record_multi_rejected()
+                return protocol.error_response(
+                    request_id, exc.code, str(exc), details=exc.details
+                )
             except CorruptionError as exc:
                 # The stored table failed a checksum under this query.  The
                 # client gets a typed error on a live connection — never a
@@ -271,6 +278,12 @@ class InventoryServer:
                 )
             elapsed = time.perf_counter() - started
             self.metrics.record_request(label, elapsed)
+            if label in protocol.MULTI_TYPES:
+                items = request.get(
+                    "keys" if label == "multi_get" else "requests"
+                )
+                if isinstance(items, list):
+                    self.metrics.record_batched(len(items))
             slow_after = self.config.slow_request_s
             if slow_after is not None and elapsed >= slow_after:
                 self.metrics.record_slow(label)

@@ -17,6 +17,8 @@ locks.
 
 from __future__ import annotations
 
+import json
+
 from repro.apps.destination import DestinationPredictor
 from repro.apps.eta import EtaEstimator
 from repro.inventory.backend import QueryableInventory
@@ -24,7 +26,11 @@ from repro.inventory.sstable import SSTableError
 from repro.obs import trace as obs
 from repro.obs.sinks import RingBufferSink
 from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    MAX_MULTI_ITEMS,
     BadRequestError,
+    FanOutTooLargeError,
+    ProtocolError,
     UnknownRequestError,
     summary_to_wire,
 )
@@ -38,10 +44,17 @@ class InventoryService:
         inventory: QueryableInventory,
         min_eta_samples: int = 3,
         top_n: int = 5,
+        max_multi_items: int = MAX_MULTI_ITEMS,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
     ) -> None:
         self.inventory = inventory
         self.eta = EtaEstimator(inventory, min_samples=min_eta_samples)
         self.predictor = DestinationPredictor(inventory, top_n=top_n)
+        self.max_multi_items = max_multi_items
+        # Multi responses must fit one frame.  The budget leaves slack for
+        # the response envelope so a fan-out the service accepts is a
+        # fan-out the framing layer can actually send.
+        self._multi_budget = max_frame_bytes - 1024
         self._handlers = {
             "ping": self._ping,
             "stats": self._stats,
@@ -51,6 +64,8 @@ class InventoryService:
             "eta": self._eta,
             "destination": self._destination,
             "trace": self._trace,
+            "multi_get": self._multi_get,
+            "multi_query": self._multi_query,
         }
 
     def handle(self, request: dict) -> dict:
@@ -182,6 +197,107 @@ class InventoryService:
             "observations": state.observations,
             "matched_observations": state.matched_observations,
         }
+
+    # -- multi requests ------------------------------------------------------------
+
+    def _fanout_items(self, request: dict, name: str) -> list:
+        """Validate a multi frame's sub-request list (shape + item cap)."""
+        items = request.get(name)
+        if not isinstance(items, list) or not items:
+            raise BadRequestError(
+                f"{request.get('type')} requires a non-empty {name} list"
+            )
+        cap = self.max_multi_items
+        if len(items) > cap:
+            raise FanOutTooLargeError(
+                cap,
+                f"{name} fan-out of {len(items)} exceeds the {cap}-item "
+                f"limit; sub-request {cap} is the first over — split the "
+                f"batch and retry",
+            )
+        return items
+
+    def _check_multi_budget(self, size: int, index: int) -> None:
+        """Fail fast, naming ``index``, once the accumulated response
+        bytes can no longer fit one frame."""
+        if size > self._multi_budget:
+            raise FanOutTooLargeError(
+                index,
+                f"cumulative response of {size:,} bytes exceeds the "
+                f"{self._multi_budget:,}-byte frame budget at sub-request "
+                f"{index} — split the batch and retry",
+            )
+
+    def _multi_get(self, request: dict) -> dict:
+        # N summary_at point lookups in one frame; summaries come back in
+        # key order (None where the cell is empty).  The running byte
+        # count is exact for the payload (base64 needs no JSON escaping):
+        # each summary costs len(wire) + quotes + comma, a miss costs
+        # `null` + comma.
+        keys = self._fanout_items(request, "keys")
+        summaries: list[str | None] = []
+        size = 0
+        for index, key in enumerate(keys):
+            if not isinstance(key, dict):
+                raise BadRequestError(
+                    f"keys[{index}] must be an object, got {type(key).__name__}"
+                )
+            try:
+                summary = self.inventory.summary_at(
+                    *_position(key),
+                    vessel_type=_string(key, "vessel_type"),
+                    origin=_string(key, "origin"),
+                    destination=_string(key, "destination"),
+                )
+            except SSTableError:
+                raise  # storage fault, not a bad request: keep it typed
+            except BadRequestError as exc:
+                raise BadRequestError(f"keys[{index}]: {exc}")
+            except ValueError as exc:
+                raise BadRequestError(f"keys[{index}]: {exc}")
+            wire = None if summary is None else summary_to_wire(summary)
+            size += 5 if wire is None else len(wire) + 3
+            self._check_multi_budget(size, index)
+            summaries.append(wire)
+        return {"summaries": summaries}
+
+    def _multi_query(self, request: dict) -> dict:
+        # A pipelined batch of arbitrary (non-multi) requests.  Responses
+        # come back in request order as per-item envelopes: one bad
+        # sub-request yields one error entry, not a failed batch — only a
+        # fan-out that cannot fit the response frame fails whole, typed,
+        # with the offending index.
+        subs = self._fanout_items(request, "requests")
+        responses: list[dict] = []
+        size = 0
+        for index, sub in enumerate(subs):
+            if not isinstance(sub, dict):
+                raise BadRequestError(
+                    f"requests[{index}] must be an object, got "
+                    f"{type(sub).__name__}"
+                )
+            sub_type = sub.get("type")
+            if isinstance(sub_type, str) and sub_type in ("multi_get", "multi_query"):
+                raise BadRequestError(
+                    f"requests[{index}]: {sub_type} does not nest inside "
+                    f"multi_query"
+                )
+            try:
+                entry: dict = {"ok": True, "result": self.handle(sub)}
+            except SSTableError:
+                raise  # storage fault, not a bad request: keep it typed
+            except ProtocolError as exc:
+                entry = {
+                    "ok": False,
+                    "error": {
+                        "code": exc.code,
+                        "message": f"requests[{index}]: {exc}",
+                    },
+                }
+            size += len(json.dumps(entry, separators=(",", ":"))) + 1
+            self._check_multi_budget(size, index)
+            responses.append(entry)
+        return {"responses": responses}
 
 
 # -- parameter validation --------------------------------------------------------

@@ -27,6 +27,23 @@ class CircularMoments:
         self.sum_sin += math.sin(rad)
         self.count += 1
 
+    def update_components(self, cos_values, sin_values) -> None:
+        """Fold precomputed unit-vector components into the sketch.
+
+        Batch callers precompute ``cos(radians(angle))``/``sin(...)``
+        once per row and reuse them across every sketch keyed to that
+        row; adding the identical operands in row order makes this
+        bit-identical to per-angle :meth:`update` calls.
+        """
+        sum_cos = self.sum_cos
+        sum_sin = self.sum_sin
+        for c, s in zip(cos_values, sin_values):
+            sum_cos += c
+            sum_sin += s
+        self.sum_cos = sum_cos
+        self.sum_sin = sum_sin
+        self.count += len(cos_values)
+
     def merge(self, other: "CircularMoments") -> None:
         """Fold another sketch into this one."""
         self.sum_cos += other.sum_cos

@@ -29,6 +29,22 @@ class DirectionHistogram:
         self.counts[index] += weight
         self.total += weight
 
+    def add_bin_counts(self, bin_counts) -> None:
+        """Fold ``(bin_index, count)`` pairs in directly.
+
+        Counts are integers, so accumulation order cannot change the
+        result; batch callers bucket a run of angles once and add the
+        totals here instead of re-binning per sketch.
+        """
+        counts = self.counts
+        added = 0
+        for index, count in bin_counts:
+            if not 0 <= index < self.num_bins:
+                raise ValueError(f"bin index out of range: {index}")
+            counts[index] += count
+            added += count
+        self.total += added
+
     def merge(self, other: "DirectionHistogram") -> None:
         """Bin-wise addition; widths must match."""
         if other.bin_width_deg != self.bin_width_deg:

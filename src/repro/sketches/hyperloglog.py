@@ -27,7 +27,7 @@ import math
 from hashlib import blake2b
 
 
-def _hash64(value: object) -> int:
+def hash64(value: object) -> int:
     """Stable 64-bit hash of a value's canonical byte representation."""
     if isinstance(value, bytes):
         payload = b"b" + value
@@ -42,7 +42,7 @@ def _hash64(value: object) -> int:
     elif isinstance(value, tuple):
         digest = blake2b(digest_size=8)
         for item in value:
-            digest.update(_hash64(item).to_bytes(8, "big"))
+            digest.update(hash64(item).to_bytes(8, "big"))
         return int.from_bytes(digest.digest(), "big")
     else:
         raise TypeError(f"unhashable value type for HLL: {type(value).__name__}")
@@ -73,12 +73,31 @@ class HyperLogLog:
 
     def update(self, value: object) -> None:
         """Observe a value (ints, strs, bytes, floats, bools, tuples)."""
-        hashed = _hash64(value)
-        index = hashed >> (64 - self.precision)
-        remaining = hashed & ((1 << (64 - self.precision)) - 1)
+        self.update_hashed(hash64(value))
+
+    def update_hashed(self, hashed: int) -> None:
+        """Observe a value by its precomputed :func:`hash64` hash.
+
+        Register-identical to :meth:`update` of the original value.
+        Batch callers hoist the BLAKE2b hash out of loops that feed the
+        same value to several sketches (e.g. one MMSI into every
+        grouping set's ships HLL).
+        """
+        tail_bits = 64 - self.precision
+        index = hashed >> tail_bits
+        remaining = hashed & ((1 << tail_bits) - 1)
         # Rank: position of the leftmost 1-bit in the remaining bits, 1-based.
-        rank = (64 - self.precision) - remaining.bit_length() + 1
-        self._set_register(index, rank)
+        rank = tail_bits - remaining.bit_length() + 1
+        # The sparse branch of _set_register, inlined: this runs once per
+        # grouping set per run in the aggregate kernel.
+        sparse = self._sparse
+        if sparse is not None:
+            if rank > sparse.get(index, 0):
+                sparse[index] = rank
+                if len(sparse) > self._sparse_limit():
+                    self._densify()
+        elif rank > self._dense[index]:
+            self._dense[index] = rank
 
     def merge(self, other: "HyperLogLog") -> None:
         """Register-wise maximum; both sketches must share a precision."""

@@ -33,6 +33,34 @@ class MomentsSketch:
         if value > self.max_value:
             self.max_value = value
 
+    def update_many(self, values) -> None:
+        """Fold a sequence of observations into the sketch.
+
+        Bit-identical to calling :meth:`update` once per value in order —
+        the loop body performs the same Welford step on locals, written
+        back once, so batch callers (:mod:`repro.pipeline.vectorized`)
+        can use it without perturbing equivalence tests.
+        """
+        count = self.count
+        mean = self.mean
+        m2 = self.m2
+        min_value = self.min_value
+        max_value = self.max_value
+        for value in values:
+            count += 1
+            delta = value - mean
+            mean += delta / count
+            m2 += delta * (value - mean)
+            if value < min_value:
+                min_value = value
+            if value > max_value:
+                max_value = value
+        self.count = count
+        self.mean = mean
+        self.m2 = m2
+        self.min_value = min_value
+        self.max_value = max_value
+
     def merge(self, other: "MomentsSketch") -> None:
         """Fold another sketch into this one (Chan's parallel formula)."""
         if other.count == 0:

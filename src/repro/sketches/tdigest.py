@@ -51,15 +51,54 @@ class TDigest:
         if len(self._buffer) >= self._buffer_size:
             self._compress()
 
+    def update_many(self, values) -> None:
+        """Fold a sequence of unit-weight observations into the digest.
+
+        Bit-identical to calling :meth:`update` per value in order: each
+        value is appended as ``(value, 1.0)`` and the buffer-full
+        compression check runs after every append, so centroid state
+        evolves exactly as under the scalar path.  ``count`` is advanced
+        once by ``len(values)`` — exact for integer counts below 2**53,
+        and ``_compress`` never reads ``count``.
+        """
+        buffer = self._buffer
+        buffer_size = self._buffer_size
+        min_value = self.min_value
+        max_value = self.max_value
+        for value in values:
+            if math.isnan(value):
+                raise ValueError("cannot add NaN to a t-digest")
+            buffer.append((value, 1.0))
+            if value < min_value:
+                min_value = value
+            if value > max_value:
+                max_value = value
+            if len(buffer) >= buffer_size:
+                self.min_value = min_value
+                self.max_value = max_value
+                self._compress()
+        self.count += float(len(values))
+        self.min_value = min_value
+        self.max_value = max_value
+
     def merge(self, other: "TDigest") -> None:
-        """Fold another digest into this one."""
-        other._compress()
-        for mean, weight in zip(other._means, other._weights):
-            self._buffer.append((mean, weight))
+        """Fold another digest into this one.
+
+        ``other``'s centroids and still-buffered points are appended to
+        this digest's buffer; the sorted compression sweep is deferred
+        until the buffer fills (the same policy updates use) or until a
+        query/serialisation forces it.  Reduce-side merge chains fold
+        thousands of mostly-small digests, so paying one sweep per merge
+        would dominate the reduce.
+        """
+        buffer = self._buffer
+        buffer.extend(other._buffer)
+        buffer.extend(zip(other._means, other._weights))
         self.count += other.count
         self.min_value = min(self.min_value, other.min_value)
         self.max_value = max(self.max_value, other.max_value)
-        self._compress()
+        if len(buffer) >= self._buffer_size:
+            self._compress()
 
     def quantile(self, q: float) -> float:
         """Approximate value at quantile ``q`` in [0, 1].

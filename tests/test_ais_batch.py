@@ -1,0 +1,243 @@
+"""Tests for the batch NMEA/CSV decoders (repro.ais.batch).
+
+The contract is strict equivalence: :func:`decode_lines` must produce
+message-for-message what :func:`decode_sentences` produces over the same
+lines — including which malformed lines are skipped — and
+:func:`read_csv_batch` must produce row-for-row what :func:`read_csv`
+produces.  The batch decoders are amortisations, not reinterpretations.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ais import decode_sentences, encode_message
+from repro.ais.batch import (
+    IntBitReader,
+    decode_lines,
+    decode_payload_packed,
+    read_csv_batch,
+    unarmor_to_int,
+)
+from repro.ais.codec import decode_payload
+from repro.ais.csvio import read_csv, write_csv
+from repro.ais.messages import (
+    ClassBPositionReport,
+    PositionReport,
+    StaticVoyageData,
+)
+from repro.ais.nmea import parse_sentence
+from repro.ais.sixbit import SIXBIT_CHARSET, BitReader, unarmor
+
+ARMORED = st.text(
+    alphabet=[chr(48 + c) if c <= 39 else chr(56 + c) for c in range(64)],
+    max_size=40,
+)
+
+MMSI = st.integers(min_value=100_000_000, max_value=999_999_999)
+LAT = st.floats(min_value=-89.9, max_value=89.9)
+LON = st.floats(min_value=-179.9, max_value=179.9)
+
+
+class TestUnarmor:
+    @settings(max_examples=80)
+    @given(payload=ARMORED, data=st.data())
+    def test_matches_scalar_unarmor(self, payload, data):
+        fill = data.draw(st.integers(0, min(5, 6 * len(payload))))
+        bits = unarmor(payload, fill)
+        value, bit_length = unarmor_to_int(payload, fill)
+        assert bit_length == len(bits)
+        assert [int(b) for b in bits] == [
+            (value >> (bit_length - 1 - i)) & 1 for i in range(bit_length)
+        ]
+
+    def test_invalid_character_rejected(self):
+        with pytest.raises(ValueError):
+            unarmor_to_int("ab\x7f")
+        with pytest.raises(ValueError):
+            unarmor_to_int("abé")  # non-ASCII
+
+    def test_bad_fill_bits_rejected(self):
+        with pytest.raises(ValueError):
+            unarmor_to_int("A", fill_bits=6)
+        with pytest.raises(ValueError):
+            unarmor_to_int("", fill_bits=2)
+
+
+class TestIntBitReader:
+    @settings(max_examples=60)
+    @given(payload=ARMORED.filter(lambda s: len(s) >= 8))
+    def test_reads_match_bitreader(self, payload):
+        bits = unarmor(payload)
+        value, bit_length = unarmor_to_int(payload)
+        scalar = BitReader(bits)
+        packed = IntBitReader(value, bit_length)
+        assert packed.read_uint(6) == scalar.read_uint(6)
+        assert packed.read_int(8) == scalar.read_int(8)
+        assert packed.read_bool() == scalar.read_bool()
+        assert packed.read_string(12) == scalar.read_string(12)
+        assert packed.remaining == scalar.remaining
+
+    def test_truncation_raises(self):
+        reader = IntBitReader(0b101, 3)
+        with pytest.raises(ValueError, match="truncated"):
+            reader.read_uint(4)
+
+    def test_string_width_must_be_multiple_of_six(self):
+        reader = IntBitReader(0, 64)
+        with pytest.raises(ValueError):
+            reader.read_string(7)
+
+    def test_charset_round_trip(self):
+        # Pack 'A' (index 1 in the 6-bit charset) and read it back.
+        index = SIXBIT_CHARSET.index("A")
+        reader = IntBitReader(index, 6)
+        assert reader.read_string(6) == "A"
+
+
+class TestDecodeEquivalence:
+    @settings(max_examples=60)
+    @given(mmsi=MMSI, lat=LAT, lon=LON,
+           sog=st.floats(min_value=0.0, max_value=102.2),
+           cog=st.floats(min_value=0.0, max_value=359.9),
+           msg_type=st.sampled_from([1, 2, 3]))
+    def test_packed_payload_decode_matches_scalar(
+        self, mmsi, lat, lon, sog, cog, msg_type
+    ):
+        message = PositionReport(
+            mmsi=mmsi, epoch_ts=5.0, lat=lat, lon=lon, sog=sog, cog=cog,
+            msg_type=msg_type,
+        )
+        sentence = parse_sentence(encode_message(message)[0])
+        scalar = decode_payload(sentence.payload, sentence.fill_bits, 5.0)
+        packed = decode_payload_packed(sentence.payload, sentence.fill_bits, 5.0)
+        assert packed == scalar
+
+    def test_batch_matches_scalar_over_mixed_stream(self):
+        lines: list[str] = []
+        for i in range(10):
+            lines.extend(
+                encode_message(
+                    PositionReport(
+                        mmsi=200_000_000 + i, epoch_ts=1.0, lat=5.0 + i,
+                        lon=100.0 + i, sog=8.0, cog=45.0, heading=45,
+                    )
+                )
+            )
+        # A multi-fragment type 5 rides along.
+        lines.extend(
+            encode_message(
+                StaticVoyageData(
+                    mmsi=235009812, imo=9321483, callsign="GBXX5",
+                    shipname="EVER GIVEN", ship_type=71, dim_bow=200,
+                    dim_stern=200, dim_port=29, dim_starboard=30,
+                    draught=14.5, destination="ROTTERDAM", eta_month=3,
+                    eta_day=23, eta_hour=5, eta_minute=30,
+                )
+            )
+        )
+        lines.extend(
+            encode_message(
+                ClassBPositionReport(
+                    mmsi=338123456, epoch_ts=1.0, lat=21.3, lon=-157.8,
+                    sog=6.2, cog=245.0, heading=244,
+                )
+            )
+        )
+        # Garbage the scalar path also skips.
+        lines.extend([
+            "",
+            "not nmea at all",
+            "!AIVDM,1,1,,A,zzzz,0*00",          # bad checksum
+            "!AIVDM,1,1,,A*00",                  # too few fields
+            "!BADTK,1,1,,A,15M67F,0*3F",         # wrong talker
+            "$GPGGA,123519,4807.038,N*47",       # not a VDM line
+        ])
+        scalar = list(decode_sentences(lines, epoch_ts=1.0))
+        batched = decode_lines(lines, epoch_ts=1.0)
+        assert batched == scalar
+        assert len(batched) == 12
+
+    def test_interleaved_fragments_assemble_identically(self):
+        voyage_lines = encode_message(
+            StaticVoyageData(
+                mmsi=235009812, imo=9321483, callsign="GBXX5",
+                shipname="MSC OSCAR", ship_type=71, dim_bow=197,
+                dim_stern=198, dim_port=29, dim_starboard=30,
+                draught=16.0, destination="SINGAPORE", eta_month=6,
+                eta_day=1, eta_hour=12, eta_minute=0,
+            )
+        )
+        assert len(voyage_lines) > 1  # really multi-fragment
+        position_line = encode_message(
+            PositionReport(
+                mmsi=200_000_001, epoch_ts=0.0, lat=1.0, lon=103.0,
+                sog=10.0, cog=180.0,
+            )
+        )[0]
+        lines = [voyage_lines[0], position_line, *voyage_lines[1:]]
+        assert decode_lines(lines) == list(decode_sentences(lines))
+
+    def test_unsupported_message_type_skipped(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            decode_payload_packed("D", 0)  # type 20
+
+
+class TestCsvBatch:
+    def test_round_trip_matches_scalar_reader(self, tmp_path):
+        reports = [
+            PositionReport(
+                mmsi=200_000_000 + i, epoch_ts=1_650_000_000.0 + 60 * i,
+                lat=5.0 + i * 0.1, lon=100.0 + i * 0.1, sog=8.5, cog=45.0,
+                heading=45, status=0,
+            )
+            for i in range(25)
+        ]
+        path = tmp_path / "reports.csv"
+        write_csv(path, reports)
+        assert read_csv_batch(path) == list(read_csv(path))
+
+    def test_timestamp_shapes_match_scalar_precedence(self, tmp_path):
+        path = tmp_path / "shapes.csv"
+        rows = [
+            "MMSI,BaseDateTime,LAT,LON,SOG,COG,Heading,Status",
+            "200000001,1650000000.5,5.0,100.0,8.0,45.0,45,0",   # epoch float
+            "200000002,2022-04-15T06:40:00,5.1,100.1,8.0,45.0,45,0",  # ISO
+            "200000003,2022-04-15 06:40:00,5.2,100.2,8.0,45.0,45,0",  # spaced: skipped
+            "200000004,20230101,5.3,100.3,8.0,45.0,45,0",  # digits = epoch
+            "200000005,not-a-time,5.4,100.4,8.0,45.0,45,0",  # skipped
+            "200000006,,5.5,100.5,8.0,45.0,45,0",            # skipped
+        ]
+        path.write_text("\n".join(rows) + "\n")
+        batched = read_csv_batch(path)
+        scalar = list(read_csv(path))
+        assert batched == scalar
+        assert [r.mmsi for r in batched] == [
+            200000001, 200000002, 200000004,
+        ]
+        assert batched[2].epoch_ts == 20230101.0  # float() wins over ISO
+
+    def test_short_and_bad_rows_skipped_like_scalar(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        rows = [
+            "MMSI,BaseDateTime,LAT,LON,SOG,COG,Heading,Status",
+            "200000001,1650000000,5.0,100.0,8.0,45.0,45,0",
+            "200000002,1650000000,5.0",                     # short row
+            "bogus,1650000000,5.0,100.0,8.0,45.0,45,0",     # bad mmsi
+            "200000003,1650000000,5.0,100.0,8.0,45.0,xx,0",  # bad heading
+        ]
+        path.write_text("\n".join(rows) + "\n")
+        batched = read_csv_batch(path)
+        assert batched == list(read_csv(path))
+        assert [r.mmsi for r in batched] == [200000001]
+
+    def test_missing_required_column_yields_nothing(self, tmp_path):
+        path = tmp_path / "headerless.csv"
+        path.write_text("MMSI,LAT,LON\n200000001,5.0,100.0\n")
+        assert read_csv_batch(path) == list(read_csv(path)) == []
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        assert read_csv_batch(path) == []

@@ -540,3 +540,155 @@ class TestCorruptionResponses:
         assert counters[CORRUPTION_TOTAL] == 1
         assert counters[f"server.errors.{protocol.ERR_CORRUPTION}"] == 1
         assert handle.server.metrics.corruption_errors == 1
+
+
+# -- multi-request frames --------------------------------------------------------
+
+
+class TestMultiRequests:
+    """multi_get / multi_query: one frame, N sub-requests, ordered answers."""
+
+    def test_multi_get_matches_n_singles(self, served_backend, client,
+                                         cell_probes):
+        _, backend = served_backend
+        keys = [{"lat": lat, "lon": lon} for lat, lon in cell_probes]
+        batched = client.multi_get(keys)
+        assert len(batched) == len(keys)
+        for (lat, lon), remote in zip(cell_probes, batched):
+            local = backend.summary_at(lat, lon)
+            if local is None:
+                assert remote is None
+            else:
+                assert remote.to_dict() == local.to_dict()
+
+    def test_multi_get_respects_per_key_filters(self, served_backend, client,
+                                                small_inventory):
+        _, backend = served_backend
+        key = next(
+            (k for k, _ in small_inventory.items()
+             if k.grouping_set is GroupingSet.CELL_TYPE),
+            None,
+        )
+        if key is None:
+            pytest.skip("small world produced no per-type groups")
+        lat, lon = cell_to_latlng(key.cell)
+        plain, typed = client.multi_get([
+            {"lat": lat, "lon": lon},
+            {"lat": lat, "lon": lon, "vessel_type": key.vessel_type},
+        ])
+        local = backend.summary_at(lat, lon, vessel_type=key.vessel_type)
+        assert typed is not None and local is not None
+        assert typed.to_dict() == local.to_dict()
+        assert plain is not None  # the unfiltered cell group exists too
+
+    def test_multi_query_mixed_types_in_order(self, served_backend, client,
+                                              cell_probes):
+        _, backend = served_backend
+        lat, lon = cell_probes[0]
+        out = client.multi_query([
+            {"type": "ping"},
+            {"type": "summary_at", "lat": lat, "lon": lon},
+            {"type": "top_destinations_at", "lat": lat, "lon": lon},
+            {"type": "stats"},
+        ])
+        assert [entry["ok"] for entry in out] == [True] * 4
+        assert out[0]["result"] == {"pong": True}
+        raw = out[1]["result"]["summary"]
+        local = backend.summary_at(lat, lon)
+        assert protocol.summary_from_wire(raw).to_dict() == local.to_dict()
+        assert out[3]["result"]["inventory"]["resolution"] == backend.resolution
+
+    def test_multi_query_isolates_per_item_errors(self, client, cell_probes):
+        lat, lon = cell_probes[0]
+        out = client.multi_query([
+            {"type": "summary_at", "lat": lat, "lon": lon},
+            {"type": "summary_at", "lat": "bogus", "lon": lon},
+            {"type": "no_such_type"},
+            {"type": "ping"},
+        ])
+        assert [entry["ok"] for entry in out] == [True, False, False, True]
+        assert out[1]["error"]["code"] == protocol.ERR_BAD_REQUEST
+        assert "requests[1]" in out[1]["error"]["message"]
+        assert out[2]["error"]["code"] == protocol.ERR_UNKNOWN_TYPE
+
+    def test_item_cap_violation_is_typed_with_index(self, client):
+        with pytest.raises(ServerError) as exc_info:
+            client.multi_query(
+                [{"type": "ping"}] * (protocol.MAX_MULTI_ITEMS + 1)
+            )
+        err = exc_info.value
+        assert err.code == protocol.ERR_FRAME_TOO_LARGE
+        assert err.details == {"index": protocol.MAX_MULTI_ITEMS}
+        assert str(protocol.MAX_MULTI_ITEMS) in str(err)
+        # The violation was answered, not dropped: same connection works.
+        assert client.ping() is True
+
+    def test_byte_budget_violation_names_offending_index(self, small_inventory):
+        # A service with a tiny frame budget: the second summary cannot
+        # fit, and the error names sub-request 1 on a live connection.
+        probe_key = next(
+            key for key, _ in small_inventory.items()
+            if key.grouping_set is GroupingSet.CELL
+        )
+        lat, lon = cell_to_latlng(probe_key.cell)
+        wire = protocol.summary_to_wire(
+            small_inventory.get(probe_key)
+        )
+        service = InventoryService(
+            small_inventory, max_frame_bytes=1024 + len(wire) + 10
+        )
+        with ServerThread(service) as handle:
+            with InventoryClient(*handle.address) as client:
+                key = {"lat": lat, "lon": lon}
+                [only] = client.multi_get([key])
+                assert only is not None
+                with pytest.raises(ServerError) as exc_info:
+                    client.multi_get([key, key])
+                err = exc_info.value
+                assert err.code == protocol.ERR_FRAME_TOO_LARGE
+                assert err.details == {"index": 1}
+                assert client.ping() is True  # connection survived
+
+    def test_nesting_rejected(self, client):
+        with pytest.raises(ServerError) as exc_info:
+            client.multi_query(
+                [{"type": "multi_get", "keys": [{"lat": 0.0, "lon": 0.0}]}]
+            )
+        assert exc_info.value.code == protocol.ERR_BAD_REQUEST
+
+    def test_empty_and_malformed_lists_rejected(self, client):
+        for params in ({"keys": []}, {"keys": "nope"}, {}):
+            with pytest.raises(ServerError) as exc_info:
+                client.request("multi_get", **params)
+            assert exc_info.value.code == protocol.ERR_BAD_REQUEST
+        with pytest.raises(ServerError) as exc_info:
+            client.request("multi_get", keys=[42])
+        assert exc_info.value.code == protocol.ERR_BAD_REQUEST
+        assert "keys[0]" in str(exc_info.value)
+
+    def test_bad_key_error_names_index(self, client):
+        with pytest.raises(ServerError) as exc_info:
+            client.multi_get(
+                [{"lat": 0.0, "lon": 0.0}, {"lat": 0.0}]  # lon missing
+            )
+        err = exc_info.value
+        assert err.code == protocol.ERR_BAD_REQUEST
+        assert "keys[1]" in str(err)
+
+    def test_multi_counters(self, small_inventory):
+        from repro.server.metrics import MULTI_REJECTED, REQUESTS_BATCHED
+
+        service = InventoryService(small_inventory)
+        with ServerThread(service) as handle:
+            with InventoryClient(*handle.address) as client:
+                client.multi_get([{"lat": 0.0, "lon": 0.0}] * 3)
+                client.multi_query([{"type": "ping"}] * 4)
+                with pytest.raises(ServerError):
+                    client.multi_query(
+                        [{"type": "ping"}] * (protocol.MAX_MULTI_ITEMS + 1)
+                    )
+                counters = client.stats()["server"]["counters"]
+        assert counters[REQUESTS_BATCHED] == 7
+        assert counters[MULTI_REJECTED] == 1
+        assert counters["server.requests.multi_get"] == 1
+        assert counters["server.requests.multi_query"] == 1
