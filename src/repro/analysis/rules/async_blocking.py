@@ -19,6 +19,14 @@ Flagged inside ``async def`` bodies in ``server/`` modules:
 Nested ``def``\\ s inside an ``async def`` are skipped: they execute
 wherever they are *called* (typically handed to the executor), not on
 the loop.
+
+The scope is every module under ``server/`` — including the sharding
+tier (``server/sharding.py``, ``server/router.py``).  The router runs
+its blocking :class:`InventoryClient` fan-out on the fronting server's
+*worker pool* (plain ``def`` methods the service calls via
+``run_in_executor``), which is exactly why its modules contain no
+``async def`` at all; should one grow an ``async def`` that speaks the
+sync client or the filesystem directly, this rule flags it.
 """
 
 from __future__ import annotations

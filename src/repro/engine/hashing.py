@@ -50,7 +50,14 @@ def _digest(value: object) -> bytes:
     if isinstance(value, bool):
         payload = b"o" + bytes([value])
     elif isinstance(value, int):
-        payload = b"i" + value.to_bytes(16, "big", signed=True)
+        if -(1 << 127) <= value < (1 << 127):
+            payload = b"i" + value.to_bytes(16, "big", signed=True)
+        else:
+            # Arbitrary-precision fallback; the distinct tag keeps the
+            # encoding injective against the fixed-width branch while
+            # leaving every previously-hashable int's value unchanged.
+            length = (value.bit_length() // 8) + 1
+            payload = b"I" + value.to_bytes(length, "big", signed=True)
     elif isinstance(value, str):
         payload = b"s" + value.encode("utf-8")
     elif isinstance(value, bytes):

@@ -18,10 +18,16 @@ This package is that serving tier for any
   (:mod:`repro.obs.exposition`);
 - :mod:`repro.server.client` — the synchronous client whose query
   methods mirror the in-process backend's (plus ``trace`` for the live
-  span ring buffer).
+  span ring buffer);
+- :mod:`repro.server.sharding` — the consistent-hash ring, the
+  per-shard table splitter and the placement manifest;
+- :mod:`repro.server.router` — :class:`ShardedInventory`, a queryable
+  backend whose storage is N shard servers (failover, health probes,
+  snapshot-consistent rebalancing).
 
 ``python -m repro serve --inventory inv.sst`` stands the whole stack up
-from a persisted table.
+from a persisted table; ``python -m repro route --placement …`` fronts a
+sharded deployment with the same protocol.
 """
 
 from repro.server.client import InventoryClient, ServerError
@@ -32,8 +38,10 @@ from repro.server.protocol import (
     FanOutTooLargeError,
     FrameTooLargeError,
     ProtocolError,
+    ShardUnavailableError,
     TruncatedFrameError,
 )
+from repro.server.router import ShardedInventory
 from repro.server.server import (
     InventoryServer,
     ServerConfig,
@@ -41,20 +49,38 @@ from repro.server.server import (
     serve,
 )
 from repro.server.service import InventoryService
+from repro.server.sharding import (
+    HashRing,
+    Placement,
+    ShardSpec,
+    load_placement,
+    placement_path,
+    save_placement,
+    split_inventory,
+)
 
 __all__ = [
     "MAX_FRAME_BYTES",
     "MAX_MULTI_ITEMS",
     "FanOutTooLargeError",
     "FrameTooLargeError",
+    "HashRing",
     "InventoryClient",
     "InventoryServer",
     "InventoryService",
+    "Placement",
     "ProtocolError",
     "ServerConfig",
     "ServerError",
     "ServerMetrics",
     "ServerThread",
+    "ShardSpec",
+    "ShardUnavailableError",
+    "ShardedInventory",
     "TruncatedFrameError",
+    "load_placement",
+    "placement_path",
+    "save_placement",
     "serve",
+    "split_inventory",
 ]

@@ -93,6 +93,10 @@ for _code, _meaning in (
         protocol.ERR_CORRUPTION,
         "queries answered with a typed data-corruption error",
     ),
+    (
+        protocol.ERR_SHARD_UNAVAILABLE,
+        "routed requests whose owning shard had no live endpoint",
+    ),
 ):
     registry.register_counter(f"server.errors.{_code}", f"errors by code: {_meaning}")
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import contextvars
+import errno
 import logging
 import threading
 import time
@@ -75,6 +76,12 @@ class ServerConfig:
     #: Successful requests slower than this are logged (one WARNING line
     #: on ``repro.server.slowlog``) and counted; ``None`` disables.
     slow_request_s: float | None = None
+    #: Extra bind attempts when the requested (non-zero) port is still in
+    #: TIME_WAIT or briefly held — parallel CI runners starting many
+    #: servers hit this window; with ``port=0`` the kernel picks and no
+    #: retry is needed.  0 disables (first EADDRINUSE raises).
+    bind_retries: int = 5
+    bind_retry_delay_s: float = 0.2
 
     def __post_init__(self) -> None:
         if self.max_concurrency < 1:
@@ -83,6 +90,8 @@ class ServerConfig:
             raise ValueError("timeouts must be positive")
         if self.slow_request_s is not None and self.slow_request_s < 0:
             raise ValueError("slow_request_s must be >= 0 (or None)")
+        if self.bind_retries < 0 or self.bind_retry_delay_s < 0:
+            raise ValueError("bind retry settings must be >= 0")
 
 
 class _Connection:
@@ -118,9 +127,20 @@ class InventoryServer:
             max_workers=self.config.max_concurrency,
             thread_name_prefix="repro-serve",
         )
-        self._server = await asyncio.start_server(
-            self._serve_connection, self.config.host, self.config.port
-        )
+        # A fixed port can sit in TIME_WAIT between back-to-back test
+        # servers (or be transiently held by a sibling CI runner); retry
+        # a few times before giving up.  Port 0 never collides.
+        attempts = 1 + (self.config.bind_retries if self.config.port else 0)
+        for attempt in range(attempts):
+            try:
+                self._server = await asyncio.start_server(
+                    self._serve_connection, self.config.host, self.config.port
+                )
+                break
+            except OSError as exc:
+                if exc.errno != errno.EADDRINUSE or attempt == attempts - 1:
+                    raise
+                await asyncio.sleep(self.config.bind_retry_delay_s)
 
     @property
     def address(self) -> tuple[str, int]:

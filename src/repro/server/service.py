@@ -94,6 +94,12 @@ class InventoryService:
         cache_stats = getattr(inventory, "cache_stats", None)
         if callable(cache_stats):
             stats["cache"] = cache_stats()
+        # A sharded backend reports per-shard health (endpoint states,
+        # failover counts) under the same optional-hook pattern as the
+        # block cache above.
+        shard_stats = getattr(inventory, "shard_stats", None)
+        if callable(shard_stats):
+            stats["shards"] = shard_stats()
         return {"inventory": stats}
 
     def _trace(self, request: dict) -> dict:
@@ -235,13 +241,13 @@ class InventoryService:
         # each summary costs len(wire) + quotes + comma, a miss costs
         # `null` + comma.
         keys = self._fanout_items(request, "keys")
+        batch = self._multi_get_batched(keys)
+        if batch is not None:
+            return batch
         summaries: list[str | None] = []
         size = 0
         for index, key in enumerate(keys):
-            if not isinstance(key, dict):
-                raise BadRequestError(
-                    f"keys[{index}] must be an object, got {type(key).__name__}"
-                )
+            self._validate_multi_key(key, index)
             try:
                 summary = self.inventory.summary_at(
                     *_position(key),
@@ -255,6 +261,58 @@ class InventoryService:
                 raise BadRequestError(f"keys[{index}]: {exc}")
             except ValueError as exc:
                 raise BadRequestError(f"keys[{index}]: {exc}")
+            wire = None if summary is None else summary_to_wire(summary)
+            size += 5 if wire is None else len(wire) + 3
+            self._check_multi_budget(size, index)
+            summaries.append(wire)
+        return {"summaries": summaries}
+
+    def _validate_multi_key(self, key: object, index: int) -> None:
+        """The per-key validation of the loop above, factored out so the
+        batched path can run it *eagerly* with identical error text.
+
+        The backend query itself raises only storage faults, so whether
+        validation is interleaved (loop) or up-front (batch), the first
+        invalid key produces the same ``keys[i]: ...`` error.
+        """
+        if not isinstance(key, dict):
+            raise BadRequestError(
+                f"keys[{index}] must be an object, got {type(key).__name__}"
+            )
+        try:
+            _position(key)
+            vessel_type = _string(key, "vessel_type")
+            origin = _string(key, "origin")
+            destination = _string(key, "destination")
+            # The backend mixin's pairing rules, applied pre-dispatch
+            # (same strings as InventoryQueryMixin.summary_at).
+            if (origin is None) != (destination is None):
+                raise BadRequestError(
+                    "origin and destination must be provided together"
+                )
+            if origin is not None and vessel_type is None:
+                raise BadRequestError("route breakdowns require a vessel type")
+        except BadRequestError as exc:
+            raise BadRequestError(f"keys[{index}]: {exc}")
+
+    def _multi_get_batched(self, keys: list) -> dict | None:
+        """Delegate a whole ``multi_get`` batch to the backend, when it
+        can do better than N sequential point lookups.
+
+        A sharded backend groups keys by owning shard and issues one
+        sub-``multi_get`` per shard instead of N round trips; answers
+        (and the byte budget, and all error envelopes) are identical to
+        the sequential path.  Returns None when the backend has no
+        ``multi_summary_at`` — the plain loop then runs.
+        """
+        multi = getattr(self.inventory, "multi_summary_at", None)
+        if not callable(multi):
+            return None
+        for index, key in enumerate(keys):
+            self._validate_multi_key(key, index)
+        summaries: list[str | None] = []
+        size = 0
+        for index, summary in enumerate(multi(keys)):
             wire = None if summary is None else summary_to_wire(summary)
             size += 5 if wire is None else len(wire) + 3
             self._check_multi_budget(size, index)

@@ -1,0 +1,339 @@
+"""Key-space sharding: the consistent-hash ring and the placement manifest.
+
+One asyncio process over one SSTable set is a ceiling, not an
+architecture.  This module splits the inventory key-space across N
+*shards* so that N plain ``repro serve`` processes — none of which knows
+it is a shard — can each own a slice of the key-space, and a router
+(:mod:`repro.server.router`) can recombine their answers.
+
+Three design decisions carry everything else:
+
+- **Cells are the unit of placement.**  The ring hashes the *cell
+  prefix* of the existing order-preserving SSTable key encoding
+  (:func:`repro.inventory.sstable._key_bytes`), so every grouping-set
+  key of one cell — plain, per-type, per-route — lands on the same
+  shard.  Point lookups and the position queries built on them are
+  always shard-local; only ``route_cells`` (whose cells span the map by
+  construction) needs a scatter.
+- **Consistent hashing with virtual nodes.**  Each shard owns ``vnodes``
+  points on a 64-bit ring (BLAKE2b, stable across processes and
+  platforms); a cell belongs to the first shard point at or after its
+  hash.  Adding or removing one shard therefore moves only the cells in
+  the ranges it gains or loses — roughly ``1/N`` of the key-space — not
+  a full reshuffle.
+- **The placement manifest is the unit of publication.**  Which shard
+  serves which table (and under which ring parameters) is a small JSON
+  document written through the :mod:`repro.inventory.fsio` atomic seam:
+  temp → fsync → rename → dir-fsync.  A reader sees the old complete
+  manifest or the new complete manifest, never a half-applied one — the
+  property the router's snapshot-consistent topology swap builds on.
+
+:func:`split_inventory` fans a combined table out into per-shard tables
+(one sorted pass; per-shard key order is inherited from the global
+order), and :func:`rebalance` recomputes the ring for a new shard set
+and re-splits, bumping the manifest version.  The combined table stays
+the readable single-node reference: a build with ``shards=1`` touches
+none of this.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+import struct
+from contextlib import ExitStack
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.inventory import fsio
+from repro.inventory.sstable import SSTableReader, SSTableWriter, _key_bytes
+from repro.inventory.keys import GroupKey
+
+#: Manifest format tag (bumped only on incompatible schema changes).
+PLACEMENT_FORMAT = "repro-placement-v1"
+
+#: Default virtual nodes per shard — enough that a 4-shard ring keeps
+#: per-shard load within a few percent of even for realistic cell counts.
+DEFAULT_VNODES = 64
+
+_POINT = struct.Struct(">Q")
+
+
+def _stable_hash(data: bytes) -> int:
+    """A 64-bit position on the ring, stable across runs and platforms."""
+    return _POINT.unpack(hashlib.blake2b(data, digest_size=8).digest())[0]
+
+
+def cell_token(cell: int) -> bytes:
+    """The bytes a cell is hashed by: the cell's own order-preserving
+    SSTable key prefix, so placement and storage agree on identity."""
+    return _key_bytes(GroupKey(cell=cell))
+
+
+class HashRing:
+    """A consistent-hash ring mapping cells to shard indices.
+
+    Deterministic in its inputs: two rings built from the same shard
+    names and ``vnodes`` agree on every assignment, which is what lets
+    the build side (splitting tables) and the serve side (routing
+    queries) be separate processes with no coordination beyond the
+    placement manifest.
+    """
+
+    def __init__(self, shard_names: list[str] | tuple[str, ...], vnodes: int = DEFAULT_VNODES) -> None:
+        if not shard_names:
+            raise ValueError("a ring needs at least one shard")
+        if len(set(shard_names)) != len(shard_names):
+            raise ValueError(f"duplicate shard names: {list(shard_names)}")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be positive, got {vnodes}")
+        self.shard_names = tuple(shard_names)
+        self.vnodes = vnodes
+        points: list[tuple[int, int]] = []
+        for index, name in enumerate(self.shard_names):
+            for vnode in range(vnodes):
+                token = f"{name}#{vnode}".encode("utf-8")
+                points.append((_stable_hash(token), index))
+        # Ties between two shards' vnodes (astronomically unlikely with
+        # 64-bit points) resolve by shard index, deterministically.
+        points.sort()
+        self._points = points
+        self._hashes = [point for point, _ in points]
+
+    def __len__(self) -> int:
+        return len(self.shard_names)
+
+    def primary(self, cell: int) -> int:
+        """The shard index owning a cell (first point clockwise)."""
+        position = _stable_hash(cell_token(cell))
+        index = bisect.bisect_left(self._hashes, position)
+        if index == len(self._points):
+            index = 0  # wrap: the ring is circular
+        return self._points[index][1]
+
+    def owners(self, cell: int, count: int = 2) -> tuple[int, ...]:
+        """The first ``count`` *distinct* shards clockwise from a cell.
+
+        ``owners(cell)[0] == primary(cell)``; successors are where
+        replicated placements would put further copies of the range.
+        """
+        if count < 1:
+            raise ValueError(f"count must be positive, got {count}")
+        count = min(count, len(self.shard_names))
+        position = _stable_hash(cell_token(cell))
+        start = bisect.bisect_left(self._hashes, position)
+        seen: list[int] = []
+        for step in range(len(self._points)):
+            shard = self._points[(start + step) % len(self._points)][1]
+            if shard not in seen:
+                seen.append(shard)
+                if len(seen) == count:
+                    break
+        return tuple(seen)
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's slice of the placement: its name and its table."""
+
+    name: str
+    table: str
+    entries: int
+
+
+@dataclass(frozen=True)
+class Placement:
+    """The placement manifest: which shard serves which table, and the
+    ring parameters that make cell ownership reproducible anywhere.
+
+    Immutable — a rebalance produces a *new* placement with ``version``
+    bumped; the router swaps whole placements atomically, never edits
+    one in place.
+    """
+
+    version: int
+    resolution: int
+    vnodes: int
+    shards: tuple[ShardSpec, ...]
+    source: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.version < 1:
+            raise ValueError(f"placement version must be >= 1, got {self.version}")
+        if not self.shards:
+            raise ValueError("a placement needs at least one shard")
+
+    def ring(self) -> HashRing:
+        """The (deterministic) ring for this placement."""
+        return HashRing([spec.name for spec in self.shards], self.vnodes)
+
+    def shard_names(self) -> tuple[str, ...]:
+        """Shard names in ring order."""
+        return tuple(spec.name for spec in self.shards)
+
+    def total_entries(self) -> int:
+        """Entries across every shard table (== the source table's)."""
+        return sum(spec.entries for spec in self.shards)
+
+    def to_json(self) -> dict:
+        """The manifest as a JSON-ready dict."""
+        return {
+            "format": PLACEMENT_FORMAT,
+            "version": self.version,
+            "resolution": self.resolution,
+            "vnodes": self.vnodes,
+            "source": self.source,
+            "shards": [
+                {"name": spec.name, "table": spec.table, "entries": spec.entries}
+                for spec in self.shards
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "Placement":
+        """Inverse of :meth:`to_json` (validates the format tag)."""
+        if payload.get("format") != PLACEMENT_FORMAT:
+            raise ValueError(
+                f"not a placement manifest (format {payload.get('format')!r}, "
+                f"expected {PLACEMENT_FORMAT!r})"
+            )
+        return cls(
+            version=int(payload["version"]),
+            resolution=int(payload["resolution"]),
+            vnodes=int(payload["vnodes"]),
+            source=payload.get("source"),
+            shards=tuple(
+                ShardSpec(
+                    name=str(entry["name"]),
+                    table=str(entry["table"]),
+                    entries=int(entry["entries"]),
+                )
+                for entry in payload["shards"]
+            ),
+        )
+
+
+def placement_path(output: str | Path) -> Path:
+    """Where a build publishes the placement manifest for ``output``."""
+    output = Path(output)
+    return output.with_name(output.name + ".placement.json")
+
+
+def save_placement(path: str | Path, placement: Placement) -> None:
+    """Publish a manifest through the fsio atomic seam (readers only
+    ever observe a complete manifest)."""
+    payload = json.dumps(placement.to_json(), indent=2, sort_keys=True) + "\n"
+    fsio.atomic_write_bytes(path, payload.encode("utf-8"))
+
+
+def load_placement(path: str | Path) -> Placement:
+    """Read a manifest written by :func:`save_placement`."""
+    with open(path, "rb") as handle:
+        return Placement.from_json(json.loads(handle.read().decode("utf-8")))
+
+
+def shard_table_path(output: str | Path, name: str, version: int) -> Path:
+    """The table path for one shard of one placement version.
+
+    Version 1 (the build's own split) keeps the short ``<out>.<shard>``
+    name; rebalanced splits are tagged ``<out>.v<version>.<shard>`` so a
+    new generation of tables never overwrites one still being served.
+    """
+    output = Path(output)
+    tag = f".v{version}" if version > 1 else ""
+    return output.with_name(f"{output.name}{tag}.{name}")
+
+
+def default_shard_names(shards: int) -> list[str]:
+    """The conventional shard naming: ``shard-0`` … ``shard-N-1``."""
+    if shards < 1:
+        raise ValueError(f"need at least one shard, got {shards}")
+    return [f"shard-{index}" for index in range(shards)]
+
+
+def split_inventory(
+    source: str | Path,
+    resolution: int,
+    shards: int | list[str] = 4,
+    vnodes: int = DEFAULT_VNODES,
+    version: int = 1,
+) -> Placement:
+    """Fan a combined table out into per-shard tables + a manifest.
+
+    One sorted scan of ``source``; each entry is appended to the table
+    of the shard owning its *cell*, so per-shard tables are sorted for
+    free and every grouping-set key of a cell is colocated.  Tables are
+    written through :class:`SSTableWriter` (staged, checksummed, atomic)
+    and the manifest is published last — a crash mid-split leaves the
+    previous placement generation fully intact.
+
+    Returns the new :class:`Placement`; the manifest itself is written
+    to :func:`placement_path` of ``source``  only by callers that want
+    it published (see :func:`publish_split`).
+    """
+    source = Path(source)
+    names = (
+        default_shard_names(shards) if isinstance(shards, int) else list(shards)
+    )
+    ring = HashRing(names, vnodes)
+    paths = [shard_table_path(source, name, version) for name in names]
+    counts = [0] * len(names)
+    with ExitStack() as stack:
+        reader = stack.enter_context(SSTableReader(source))
+        writers = [stack.enter_context(SSTableWriter(path)) for path in paths]
+        for key, summary in reader.scan():
+            shard = ring.primary(key.cell)
+            writers[shard].add(key, summary)
+            counts[shard] += 1
+    return Placement(
+        version=version,
+        resolution=resolution,
+        vnodes=vnodes,
+        source=source.name,
+        shards=tuple(
+            ShardSpec(name=name, table=path.name, entries=count)
+            for name, path, count in zip(names, paths, counts)
+        ),
+    )
+
+
+def publish_split(
+    source: str | Path,
+    resolution: int,
+    shards: int | list[str] = 4,
+    vnodes: int = DEFAULT_VNODES,
+) -> Placement:
+    """Split ``source`` and atomically publish the placement manifest
+    next to it (the build-side entry point behind
+    ``build_inventory(..., shards=N)`` and ``repro build --shards``)."""
+    placement = split_inventory(source, resolution, shards=shards, vnodes=vnodes)
+    save_placement(placement_path(source), placement)
+    return placement
+
+
+def rebalance(
+    current: Placement,
+    source: str | Path,
+    shards: int | list[str],
+) -> Placement:
+    """Recompute the ring for a new shard set and re-split the source.
+
+    The shard-join/leave procedure: tables for the *new* generation are
+    written under version-tagged names (never over tables still being
+    served), and the returned placement carries ``version + 1``.  The
+    caller publishes it with :func:`save_placement` once the new shard
+    servers are up; routers that reload the manifest swap atomically.
+    """
+    names = (
+        default_shard_names(shards) if isinstance(shards, int) else list(shards)
+    )
+    if list(names) == list(current.shard_names()):
+        raise ValueError("rebalance requires a changed shard set")
+    return split_inventory(
+        source,
+        current.resolution,
+        shards=names,
+        vnodes=current.vnodes,
+        version=current.version + 1,
+    )

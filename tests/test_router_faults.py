@@ -1,0 +1,422 @@
+"""Router fault matrix: failover, unavailability, recovery, rebalance.
+
+The distributed failure modes the scatter-gather tier must convert into
+either a correct answer (failover to the replica) or a *typed* error on
+a live connection (``shard_unavailable``) — never a hang past the
+deadline, never a dropped socket, never a half-applied placement:
+
+- primary dies mid-traffic → replica answers, ``router.failover`` counts;
+- primary **and** replica die → ``shard_unavailable`` (with the shard's
+  name in details) comes back fast on a connection that stays usable;
+- one shard of a scatter dies → the scatter fails typed, other shards
+  keep answering point lookups;
+- a dead endpoint trips to DOWN after the failure threshold and recovers
+  only through a health probe (``router.shard_down`` / ``router.shard_up``);
+- a rebalance under live queries is snapshot-consistent: every response
+  during the swap equals the single-node answer.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.hexgrid import cell_to_latlng
+from repro.inventory import SSTableInventory, write_inventory
+from repro.inventory.keys import GroupingSet
+from repro.server import (
+    InventoryClient,
+    InventoryService,
+    ServerConfig,
+    ServerError,
+    ServerThread,
+    ShardedInventory,
+)
+from repro.server.protocol import ERR_SHARD_UNAVAILABLE
+from repro.server.sharding import rebalance, split_inventory
+
+N_SHARDS = 2
+
+#: Deadlines tuned for fault tests: shard calls fail fast, the fronting
+#: request deadline is generous enough to cover a full failover sweep.
+ROUTER_KW = dict(timeout=2.0, connect_timeout=0.5, failure_threshold=2)
+FRONT_CONFIG = ServerConfig(request_timeout_s=5.0)
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _serve(stack, table, resolution=6, port=0):
+    backend = stack.enter_context(SSTableInventory(table, resolution=resolution))
+    return stack.enter_context(
+        ServerThread(InventoryService(backend), ServerConfig(port=port))
+    )
+
+
+@pytest.fixture(scope="module")
+def split(tmp_path_factory, small_inventory):
+    """The combined table + a 2-shard split on disk (shared, read-only)."""
+    tmp = tmp_path_factory.mktemp("faults")
+    source = tmp / "inv.sst"
+    write_inventory(small_inventory, source)
+    placement = split_inventory(source, resolution=6, shards=N_SHARDS)
+    return tmp, source, placement
+
+
+@pytest.fixture()
+def probes(small_inventory):
+    """(lat, lon) probes over plain cells, spread across both shards."""
+    out = []
+    for key, _ in small_inventory.items():
+        if key.grouping_set is GroupingSet.CELL:
+            out.append(cell_to_latlng(key.cell))
+        if len(out) >= 24:
+            break
+    return out
+
+
+def _shard_of(sharded, lat, lon):
+    from repro.hexgrid import latlng_to_cell
+
+    topology = sharded.topology
+    return topology.owner(latlng_to_cell(lat, lon, topology.resolution))
+
+
+class TestFailover:
+    def test_replica_answers_when_primary_dies(self, split, probes):
+        tmp, source, placement = split
+        with contextlib.ExitStack() as stack:
+            addresses = {}
+            primaries = {}
+            for spec in placement.shards:
+                primary = _serve(stack, tmp / spec.table)
+                replica = _serve(stack, tmp / spec.table)
+                primaries[spec.name] = primary
+                addresses[spec.name] = [primary.address, replica.address]
+            sharded = stack.enter_context(
+                ShardedInventory(placement, addresses, **ROUTER_KW)
+            )
+            front = stack.enter_context(
+                ServerThread(InventoryService(sharded), FRONT_CONFIG)
+            )
+            with InventoryClient(*front.address) as client:
+                baseline = [
+                    client.request("summary_at", lat=lat, lon=lon)
+                    for lat, lon in probes
+                ]
+                # Kill the primary of the shard owning probe 0; every
+                # probe owned by that shard must now fail over.
+                victim = _shard_of(sharded, *probes[0])
+                primaries[victim.name].stop()
+                after = [
+                    client.request("summary_at", lat=lat, lon=lon)
+                    for lat, lon in probes
+                ]
+                assert after == baseline  # identical answers via replica
+                counters = sharded.counters.as_dict()
+                assert counters.get("router.failover", 0) > 0
+                # The dead endpoint tripped its wire and is skipped now.
+                stats = client.stats()["inventory"]["shards"]
+                states = {
+                    shard["name"]: [e["state"] for e in shard["endpoints"]]
+                    for shard in stats["shards"]
+                }
+                assert states[victim.name][0] == "down"
+                assert states[victim.name][1] == "up"
+
+    def test_multi_get_fails_over_too(self, split, probes):
+        tmp, source, placement = split
+        with contextlib.ExitStack() as stack:
+            addresses = {}
+            primaries = {}
+            for spec in placement.shards:
+                primary = _serve(stack, tmp / spec.table)
+                replica = _serve(stack, tmp / spec.table)
+                primaries[spec.name] = primary
+                addresses[spec.name] = [primary.address, replica.address]
+            sharded = stack.enter_context(
+                ShardedInventory(placement, addresses, **ROUTER_KW)
+            )
+            front = stack.enter_context(
+                ServerThread(InventoryService(sharded), FRONT_CONFIG)
+            )
+            keys = [{"lat": lat, "lon": lon} for lat, lon in probes]
+            with InventoryClient(*front.address) as client:
+                baseline = client.request("multi_get", keys=keys)
+                for handle in primaries.values():
+                    handle.stop()  # both primaries die; replicas remain
+                assert client.request("multi_get", keys=keys) == baseline
+                assert sharded.counters.as_dict().get("router.failover", 0) > 0
+
+
+class TestShardUnavailable:
+    def test_typed_error_on_live_connection_within_deadline(
+        self, split, probes
+    ):
+        tmp, source, placement = split
+        with contextlib.ExitStack() as stack:
+            addresses = {}
+            handles = {}
+            for spec in placement.shards:
+                primary = _serve(stack, tmp / spec.table)
+                replica = _serve(stack, tmp / spec.table)
+                handles[spec.name] = (primary, replica)
+                addresses[spec.name] = [primary.address, replica.address]
+            sharded = stack.enter_context(
+                ShardedInventory(placement, addresses, **ROUTER_KW)
+            )
+            front = stack.enter_context(
+                ServerThread(InventoryService(sharded), FRONT_CONFIG)
+            )
+            with InventoryClient(*front.address) as client:
+                # Warm: find a probe owned by the victim shard and one
+                # owned by the other shard.
+                victim = _shard_of(sharded, *probes[0])
+                victim_probe = probes[0]
+                other_probe = next(
+                    p
+                    for p in probes
+                    if _shard_of(sharded, *p).name != victim.name
+                )
+                for handle in handles[victim.name]:
+                    handle.stop()  # primary AND replica down
+
+                started = time.perf_counter()
+                with pytest.raises(ServerError) as excinfo:
+                    client.request(
+                        "summary_at",
+                        lat=victim_probe[0],
+                        lon=victim_probe[1],
+                    )
+                elapsed = time.perf_counter() - started
+                assert excinfo.value.code == ERR_SHARD_UNAVAILABLE
+                assert excinfo.value.details == {"shard": victim.name}
+                # Never a hang past the deadline: the typed answer must
+                # arrive within the fronting server's request timeout.
+                assert elapsed < FRONT_CONFIG.request_timeout_s
+
+                # The connection survives, and unaffected shards answer.
+                assert client.ping()
+                answer = client.request(
+                    "summary_at", lat=other_probe[0], lon=other_probe[1]
+                )
+                assert answer["summary"] is not None
+                assert (
+                    sharded.counters.as_dict().get("router.unavailable", 0)
+                    > 0
+                )
+
+    def test_scatter_fails_typed_when_one_shard_is_dark(self, split):
+        tmp, source, placement = split
+        route_args = None
+        with SSTableInventory(source) as combined:
+            for key, _ in combined.items():
+                if key.grouping_set is GroupingSet.CELL_OD_TYPE:
+                    route_args = dict(
+                        origin=key.origin,
+                        destination=key.destination,
+                        vessel_type=key.vessel_type,
+                    )
+                    break
+        assert route_args is not None
+        with contextlib.ExitStack() as stack:
+            addresses = {}
+            handles = {}
+            for spec in placement.shards:
+                handle = _serve(stack, tmp / spec.table)
+                handles[spec.name] = handle
+                addresses[spec.name] = [handle.address]  # no replica
+            sharded = stack.enter_context(
+                ShardedInventory(placement, addresses, **ROUTER_KW)
+            )
+            front = stack.enter_context(
+                ServerThread(InventoryService(sharded), FRONT_CONFIG)
+            )
+            with InventoryClient(*front.address) as client:
+                assert client.request("route_cells", **route_args)["cells"]
+                dark = placement.shards[0].name
+                handles[dark].stop()  # one shard of the scatter dies
+                with pytest.raises(ServerError) as excinfo:
+                    client.request("route_cells", **route_args)
+                assert excinfo.value.code == ERR_SHARD_UNAVAILABLE
+                assert excinfo.value.details == {"shard": dark}
+                assert client.ping()  # connection still live
+
+
+class TestRecovery:
+    def test_probe_recovers_a_restarted_endpoint(self, split, probes):
+        tmp, source, placement = split
+        with contextlib.ExitStack() as stack:
+            fixed_port = _free_port()
+            spec0 = placement.shards[0]
+            primary = _serve(stack, tmp / spec0.table, port=fixed_port)
+            replica0 = _serve(stack, tmp / spec0.table)
+            other = _serve(stack, tmp / placement.shards[1].table)
+            addresses = {
+                spec0.name: [primary.address, replica0.address],
+                placement.shards[1].name: [other.address],
+            }
+            sharded = stack.enter_context(
+                ShardedInventory(placement, addresses, **ROUTER_KW)
+            )
+            from repro.server.protocol import summary_to_wire
+
+            probe = next(
+                p for p in probes if _shard_of(sharded, *p).name == spec0.name
+            )
+            baseline = summary_to_wire(sharded.summary_at(*probe))
+            assert baseline is not None
+
+            primary.stop()
+            # Drive traffic until the trip wire marks the primary down.
+            for _ in range(ROUTER_KW["failure_threshold"]):
+                assert summary_to_wire(sharded.summary_at(*probe)) == baseline
+            shard0 = sharded.topology.shards[0]
+            assert shard0.endpoints[0].down
+
+            # Restart on the same port (bind retry absorbs TIME_WAIT),
+            # then one health sweep brings the endpoint back.
+            restarted = stack.enter_context(
+                ServerThread(
+                    InventoryService(
+                        stack.enter_context(
+                            SSTableInventory(tmp / spec0.table, resolution=6)
+                        )
+                    ),
+                    ServerConfig(port=fixed_port),
+                )
+            )
+            assert restarted.address == primary.address
+            sharded.probe_once()
+            assert not shard0.endpoints[0].down
+            counters = sharded.counters.as_dict()
+            assert counters.get("router.shard_up", 0) >= 1
+            assert counters.get("router.shard_down", 0) >= 1
+            assert counters.get("router.health_probes", 0) >= 1
+            # Primary serves again: no further failovers accrue.
+            failovers = counters.get("router.failover", 0)
+            assert summary_to_wire(sharded.summary_at(*probe)) == baseline
+            assert (
+                sharded.counters.as_dict().get("router.failover", 0)
+                == failovers
+            )
+
+    def test_background_prober_thread_lifecycle(self, split):
+        tmp, source, placement = split
+        with contextlib.ExitStack() as stack:
+            addresses = {
+                spec.name: [_serve(stack, tmp / spec.table).address]
+                for spec in placement.shards
+            }
+            sharded = ShardedInventory(
+                placement, addresses, probe_interval_s=0.05, **ROUTER_KW
+            )
+            try:
+                deadline = time.monotonic() + 5.0
+                while (
+                    sharded.counters.as_dict().get("router.health_probes", 0)
+                    < 2
+                ):
+                    assert time.monotonic() < deadline, "prober never ran"
+                    time.sleep(0.02)
+                with pytest.raises(RuntimeError, match="already running"):
+                    sharded.start_probing(1.0)
+            finally:
+                sharded.close()
+            thread = sharded._prober
+            assert thread is None  # close() joined and cleared it
+
+
+class TestRebalance:
+    def test_rebalance_under_live_queries_is_snapshot_consistent(
+        self, split, probes, small_inventory
+    ):
+        """Queries racing a topology swap must every one of them return
+        the single-node answer — no request may observe half of the old
+        placement and half of the new."""
+        tmp, source, placement = split
+        grown = rebalance(placement, source, shards=3)
+        expected = {
+            (lat, lon): small_inventory.summary_at(lat, lon)
+            for lat, lon in probes
+        }
+        with contextlib.ExitStack() as stack:
+            old_addresses = {
+                spec.name: [_serve(stack, tmp / spec.table).address]
+                for spec in placement.shards
+            }
+            new_addresses = {
+                spec.name: [_serve(stack, tmp / spec.table).address]
+                for spec in grown.shards
+            }
+            sharded = stack.enter_context(
+                ShardedInventory(placement, old_addresses, **ROUTER_KW)
+            )
+            front = stack.enter_context(
+                ServerThread(
+                    InventoryService(sharded),
+                    ServerConfig(request_timeout_s=10.0, max_concurrency=8),
+                )
+            )
+            failures: list[object] = []
+            stop = threading.Event()
+
+            def worker():
+                from repro.server.protocol import summary_to_wire
+
+                with InventoryClient(*front.address) as client:
+                    while not stop.is_set():
+                        for (lat, lon), summary in expected.items():
+                            got = client.request(
+                                "summary_at", lat=lat, lon=lon
+                            )["summary"]
+                            want = (
+                                None
+                                if summary is None
+                                else summary_to_wire(summary)
+                            )
+                            if got != want:
+                                failures.append(((lat, lon), got))
+                                return
+
+            threads = [threading.Thread(target=worker) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            # Swap placements repeatedly under load: 2 -> 3 -> 2 -> 3.
+            for _ in range(3):
+                time.sleep(0.15)
+                sharded.apply_placement(grown, new_addresses)
+                assert sharded.topology.version == grown.version
+                time.sleep(0.15)
+                sharded.apply_placement(placement, old_addresses)
+                assert sharded.topology.version == placement.version
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not failures, f"divergent answers during swap: {failures[:3]}"
+            counters = sharded.counters.as_dict()
+            assert counters.get("router.reloads", 0) == 6
+            assert counters.get("router.shard_down", 0) == 0
+
+    def test_apply_placement_requires_addresses_for_every_shard(self, split):
+        tmp, source, placement = split
+        grown = rebalance(placement, source, shards=3)
+        with contextlib.ExitStack() as stack:
+            addresses = {
+                spec.name: [_serve(stack, tmp / spec.table).address]
+                for spec in placement.shards
+            }
+            sharded = stack.enter_context(
+                ShardedInventory(placement, addresses, **ROUTER_KW)
+            )
+            with pytest.raises(ValueError, match="no addresses"):
+                sharded.apply_placement(grown, addresses)
+            # The failed apply left the current topology untouched.
+            assert sharded.topology.version == placement.version

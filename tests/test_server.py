@@ -692,3 +692,61 @@ class TestMultiRequests:
         assert counters[MULTI_REJECTED] == 1
         assert counters["server.requests.multi_get"] == 1
         assert counters["server.requests.multi_query"] == 1
+
+
+class TestBindRetry:
+    """EADDRINUSE resilience: parallel CI runners (and back-to-back test
+    servers) transiently hold fixed ports; a bounded bind retry absorbs
+    the window instead of failing the whole run."""
+
+    def _occupy(self) -> socket.socket:
+        blocker = socket.socket()
+        blocker.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        return blocker
+
+    def test_retries_until_port_frees(self, small_inventory):
+        blocker = self._occupy()
+        port = blocker.getsockname()[1]
+        # Free the port shortly after the first bind attempt fails.
+        releaser = threading.Timer(0.3, blocker.close)
+        releaser.start()
+        try:
+            config = ServerConfig(
+                port=port, bind_retries=10, bind_retry_delay_s=0.1
+            )
+            with ServerThread(InventoryService(small_inventory), config) as handle:
+                assert handle.address == ("127.0.0.1", port)
+                with InventoryClient(*handle.address) as client:
+                    assert client.ping()
+        finally:
+            releaser.cancel()
+            blocker.close()
+
+    def test_no_retries_raises_immediately(self, small_inventory):
+        blocker = self._occupy()
+        port = blocker.getsockname()[1]
+        try:
+            config = ServerConfig(port=port, bind_retries=0)
+            handle = ServerThread(InventoryService(small_inventory), config)
+            started = time.perf_counter()
+            with pytest.raises(OSError):
+                handle.start()
+            assert time.perf_counter() - started < 2.0  # no retry loop
+        finally:
+            blocker.close()
+
+    def test_ephemeral_port_never_retries(self, small_inventory):
+        # Port 0 cannot collide; the retry knob must not add latency.
+        config = ServerConfig(bind_retries=10, bind_retry_delay_s=5.0)
+        started = time.perf_counter()
+        with ServerThread(InventoryService(small_inventory), config) as handle:
+            assert handle.address is not None
+        assert time.perf_counter() - started < 5.0
+
+    def test_bind_retry_validation(self):
+        with pytest.raises(ValueError, match="bind retry"):
+            ServerConfig(bind_retries=-1)
+        with pytest.raises(ValueError, match="bind retry"):
+            ServerConfig(bind_retry_delay_s=-0.1)

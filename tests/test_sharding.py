@@ -1,0 +1,277 @@
+"""The sharding layer: ring determinism, placement manifest, table split.
+
+No sockets here — this suite pins the *build-side* contracts the router
+relies on: two processes that share only a placement manifest must agree
+on every cell's owner (ring determinism), a split must conserve and
+colocate entries (every grouping-set key of a cell on one shard), and
+the manifest must publish atomically (a crashed publish leaves the old
+manifest intact).  The serving-side equivalence and fault behaviour live
+in ``test_sharding_equivalence.py`` and ``test_router_faults.py``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro import PipelineConfig, build_inventory
+from repro.inventory import fsio
+from repro.inventory.sstable import SSTableReader, _key_bytes, write_inventory
+from repro.server.sharding import (
+    DEFAULT_VNODES,
+    HashRing,
+    Placement,
+    ShardSpec,
+    default_shard_names,
+    load_placement,
+    placement_path,
+    publish_split,
+    rebalance,
+    save_placement,
+    shard_table_path,
+    split_inventory,
+)
+
+
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        a = HashRing(default_shard_names(4))
+        b = HashRing(default_shard_names(4))
+        cells = range(10_000, 11_000)
+        assert [a.primary(c) for c in cells] == [b.primary(c) for c in cells]
+
+    def test_assignment_is_balanced(self):
+        ring = HashRing(default_shard_names(4))
+        counts = Counter(ring.primary(c) for c in range(100_000, 104_000))
+        assert set(counts) == {0, 1, 2, 3}
+        # Virtual nodes keep the spread modest: no shard beyond 2x the
+        # ideal quarter share over 4k cells.
+        assert max(counts.values()) < 2 * (4_000 // 4)
+
+    def test_join_moves_a_minority_of_cells(self):
+        before = HashRing(default_shard_names(4))
+        after = HashRing(default_shard_names(5))
+        cells = range(100_000, 102_000)
+        moved = sum(1 for c in cells if before.primary(c) != after.primary(c))
+        # Consistent hashing: a 4 -> 5 join should move about 1/5 of the
+        # key-space, and certainly nowhere near a full reshuffle.
+        assert 0 < moved < len(range(100_000, 102_000)) // 2
+
+    def test_owners_start_at_primary_and_are_distinct(self):
+        ring = HashRing(default_shard_names(4))
+        for cell in range(5_000, 5_100):
+            owners = ring.owners(cell, 3)
+            assert owners[0] == ring.primary(cell)
+            assert len(owners) == len(set(owners)) == 3
+
+    def test_owners_caps_at_shard_count(self):
+        ring = HashRing(default_shard_names(2))
+        assert len(ring.owners(123, 5)) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            HashRing([])
+        with pytest.raises(ValueError, match="duplicate"):
+            HashRing(["a", "a"])
+        with pytest.raises(ValueError, match="vnodes"):
+            HashRing(["a"], vnodes=0)
+        with pytest.raises(ValueError, match="count"):
+            HashRing(["a", "b"]).owners(1, 0)
+
+
+class TestPlacement:
+    def _placement(self) -> Placement:
+        return Placement(
+            version=2,
+            resolution=6,
+            vnodes=DEFAULT_VNODES,
+            source="inv.sst",
+            shards=(
+                ShardSpec(name="shard-0", table="inv.sst.v2.shard-0", entries=10),
+                ShardSpec(name="shard-1", table="inv.sst.v2.shard-1", entries=7),
+            ),
+        )
+
+    def test_json_round_trip(self):
+        placement = self._placement()
+        assert Placement.from_json(placement.to_json()) == placement
+
+    def test_save_load_round_trip(self, tmp_path):
+        placement = self._placement()
+        path = tmp_path / "inv.sst.placement.json"
+        save_placement(path, placement)
+        assert load_placement(path) == placement
+
+    def test_rejects_foreign_json(self):
+        with pytest.raises(ValueError, match="not a placement manifest"):
+            Placement.from_json({"format": "something-else"})
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="version"):
+            Placement(version=0, resolution=6, vnodes=1, shards=(
+                ShardSpec(name="a", table="t", entries=0),
+            ))
+        with pytest.raises(ValueError, match="at least one shard"):
+            Placement(version=1, resolution=6, vnodes=1, shards=())
+
+    def test_derived_accessors(self):
+        placement = self._placement()
+        assert placement.shard_names() == ("shard-0", "shard-1")
+        assert placement.total_entries() == 17
+        ring = placement.ring()
+        assert ring.shard_names == ("shard-0", "shard-1")
+
+    def test_publish_is_atomic_under_rename_crash(self, tmp_path):
+        """A crash at the rename leaves the previous manifest intact —
+        the fsio contract the router's reloads depend on."""
+        path = tmp_path / "inv.sst.placement.json"
+        placement = self._placement()
+        save_placement(path, placement)
+
+        def crash_rename(src, dst):
+            raise OSError("simulated crash before rename")
+
+        fsio.hooks.replace = crash_rename
+        try:
+            with pytest.raises(OSError, match="simulated crash"):
+                save_placement(
+                    path,
+                    Placement(
+                        version=3,
+                        resolution=6,
+                        vnodes=DEFAULT_VNODES,
+                        shards=(ShardSpec(name="x", table="t", entries=1),),
+                    ),
+                )
+        finally:
+            fsio.hooks.reset()
+        assert load_placement(path) == placement  # old manifest survives
+
+    def test_shard_table_naming(self, tmp_path):
+        out = tmp_path / "inv.sst"
+        assert shard_table_path(out, "shard-0", 1).name == "inv.sst.shard-0"
+        # Rebalanced generations are version-tagged so they never
+        # overwrite tables still being served.
+        assert shard_table_path(out, "shard-0", 2).name == "inv.sst.v2.shard-0"
+        assert placement_path(out).name == "inv.sst.placement.json"
+
+
+class TestSplitInventory:
+    @pytest.fixture(scope="class")
+    def source(self, tmp_path_factory, small_inventory):
+        path = tmp_path_factory.mktemp("split") / "inv.sst"
+        write_inventory(small_inventory, path)
+        return path
+
+    def test_split_conserves_and_colocates(self, source, small_inventory):
+        placement = split_inventory(source, resolution=6, shards=3)
+        ring = placement.ring()
+        total = 0
+        seen_cells: dict[int, int] = {}
+        for index, spec in enumerate(placement.shards):
+            with SSTableReader(source.with_name(spec.table)) as reader:
+                keys = [key for key, _ in reader.scan()]
+            assert len(keys) == spec.entries
+            encoded = [_key_bytes(key) for key in keys]
+            assert encoded == sorted(encoded)  # per-shard order inherited
+            for key in keys:
+                # The assignment the manifest's ring predicts…
+                assert ring.primary(key.cell) == index
+                # …and colocation: a cell never spans shards.
+                assert seen_cells.setdefault(key.cell, index) == index
+            total += len(keys)
+        assert total == len(small_inventory)
+        assert placement.total_entries() == len(small_inventory)
+
+    def test_empty_shards_are_valid(self, tmp_path, small_inventory):
+        """More shards than occupied ring ranges ⇒ some shards own no
+        keys; their tables must still be written and servable."""
+        key, summary = next(iter(small_inventory.items()))
+        from repro.inventory.store import Inventory
+
+        one = Inventory(resolution=6)
+        one.put(key, summary)
+        path = tmp_path / "one.sst"
+        write_inventory(one, path)
+        placement = split_inventory(path, resolution=6, shards=4)
+        entry_counts = sorted(spec.entries for spec in placement.shards)
+        assert entry_counts.count(0) == 3  # one owner, three empty
+        for spec in placement.shards:
+            with SSTableReader(path.with_name(spec.table)) as reader:
+                assert reader.entry_count == spec.entries
+
+    def test_publish_split_writes_manifest(self, source):
+        placement = publish_split(source, resolution=6, shards=2)
+        assert load_placement(placement_path(source)) == placement
+        assert placement.version == 1
+        assert placement.source == source.name
+
+    def test_rebalance_bumps_version_and_conserves(self, source):
+        current = split_inventory(source, resolution=6, shards=2)
+        grown = rebalance(current, source, shards=3)
+        assert grown.version == current.version + 1
+        assert grown.total_entries() == current.total_entries()
+        # New generation lives under version-tagged names.
+        assert all(".v2." in spec.table for spec in grown.shards)
+        with pytest.raises(ValueError, match="changed shard set"):
+            rebalance(current, source, shards=2)
+
+
+class TestShardedBuild:
+    def test_build_inventory_shards(self, tmp_path, small_world):
+        out = tmp_path / "inv.sst"
+        result = build_inventory(
+            small_world.positions,
+            small_world.fleet,
+            small_world.ports,
+            PipelineConfig(resolution=6),
+            output=out,
+            shards=3,
+        )
+        placement = result.placement
+        assert placement is not None
+        assert placement.resolution == 6
+        assert placement.total_entries() == result.entries
+        assert load_placement(placement_path(out)) == placement
+        tables = result.shard_tables()
+        assert len(tables) == 3
+        assert all(table.exists() for table in tables)
+
+    def test_single_shard_build_stays_plain(self, tmp_path, small_world):
+        out = tmp_path / "inv.sst"
+        result = build_inventory(
+            small_world.positions,
+            small_world.fleet,
+            small_world.ports,
+            PipelineConfig(resolution=6),
+            output=out,
+        )
+        assert result.placement is None
+        assert result.shard_tables() == []
+        assert not placement_path(out).exists()
+
+    def test_sharded_build_requires_output(self, small_world):
+        with pytest.raises(ValueError, match="output"):
+            build_inventory(
+                small_world.positions,
+                small_world.fleet,
+                small_world.ports,
+                PipelineConfig(resolution=6),
+                shards=2,
+            )
+        with pytest.raises(ValueError, match="at least one shard"):
+            build_inventory(
+                small_world.positions,
+                small_world.fleet,
+                small_world.ports,
+                PipelineConfig(resolution=6),
+                shards=0,
+            )
+
+
+class TestDefaultNames:
+    def test_names(self):
+        assert default_shard_names(2) == ["shard-0", "shard-1"]
+        with pytest.raises(ValueError):
+            default_shard_names(0)

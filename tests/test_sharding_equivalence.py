@@ -1,0 +1,240 @@
+"""Routed answers are byte-identical to single-node answers.
+
+The acceptance bar for the sharded tier: a client must not be able to
+tell the router from a single server.  This suite stands up both against
+the *same* built inventory — one reference server over the combined
+table, three shard servers over the split tables fronted by the router —
+and compares raw response payloads for every request type.  Summaries
+travel the wire as base64 of the codec's bytes, so comparing responses
+compares codec bytes exactly; ``route_cells`` additionally pins the
+merged cell ordering against the single-node serialization order.
+
+Error envelopes are compared too: validation errors must carry identical
+codes, messages and details whether the backend is local or sharded.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import pytest
+
+from repro.hexgrid import cell_to_latlng
+from repro.inventory import SSTableInventory, write_inventory
+from repro.inventory.keys import GroupKey, GroupingSet
+from repro.inventory.sstable import write_inventory as _write
+from repro.server import (
+    InventoryClient,
+    InventoryService,
+    ServerConfig,
+    ServerError,
+    ServerThread,
+    ShardedInventory,
+)
+from repro.server.protocol import summary_to_wire
+from repro.server.sharding import publish_split
+
+N_SHARDS = 3
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory, small_inventory):
+    """One combined table + its 3-shard split, all served: yields
+    (single client, routed client, sharded backend, inventory)."""
+    tmp = tmp_path_factory.mktemp("equivalence")
+    source = tmp / "inv.sst"
+    write_inventory(small_inventory, source)
+    placement = publish_split(source, resolution=6, shards=N_SHARDS)
+    with contextlib.ExitStack() as stack:
+        addresses = {}
+        for spec in placement.shards:
+            backend = stack.enter_context(
+                SSTableInventory(tmp / spec.table, resolution=6)
+            )
+            handle = stack.enter_context(
+                ServerThread(InventoryService(backend), ServerConfig())
+            )
+            addresses[spec.name] = [handle.address]
+        reference_backend = stack.enter_context(SSTableInventory(source))
+        reference = stack.enter_context(
+            ServerThread(InventoryService(reference_backend), ServerConfig())
+        )
+        sharded = stack.enter_context(ShardedInventory(placement, addresses))
+        router = stack.enter_context(
+            ServerThread(InventoryService(sharded), ServerConfig())
+        )
+        single = stack.enter_context(InventoryClient(*reference.address))
+        routed = stack.enter_context(InventoryClient(*router.address))
+        yield single, routed, sharded, small_inventory
+
+
+def _sample_keys(inventory, grouping_set, limit):
+    keys = [
+        key for key, _ in inventory.items() if key.grouping_set is grouping_set
+    ]
+    step = max(1, len(keys) // limit)
+    return keys[::step][:limit]
+
+
+class TestPointLookups:
+    def test_summary_at_identical_across_grouping_sets(self, cluster):
+        single, routed, _, inventory = cluster
+        checked = 0
+        for grouping_set in GroupingSet:
+            for key in _sample_keys(inventory, grouping_set, 25):
+                lat, lon = cell_to_latlng(key.cell)
+                params = {"lat": lat, "lon": lon}
+                if key.vessel_type is not None:
+                    params["vessel_type"] = key.vessel_type
+                if key.origin is not None:
+                    params["origin"] = key.origin
+                    params["destination"] = key.destination
+                a = single.request("summary_at", **params)
+                b = routed.request("summary_at", **params)
+                assert a == b, f"summary_at diverged for {key}"
+                assert a["summary"] is not None  # probe hit a real group
+                checked += 1
+        assert checked >= 30
+
+    def test_get_codec_bytes_identical(self, cluster):
+        """The backend-level contract: ShardedInventory.get returns the
+        same codec bytes as the local backend for every stored key."""
+        _, _, sharded, inventory = cluster
+        checked = 0
+        for grouping_set in GroupingSet:
+            for key in _sample_keys(inventory, grouping_set, 15):
+                local = inventory.get(key)
+                remote = sharded.get(key)
+                assert local is not None and remote is not None
+                assert summary_to_wire(remote) == summary_to_wire(local)
+                checked += 1
+        assert checked >= 20
+
+    def test_miss_is_identical(self, cluster):
+        single, routed, _, _ = cluster
+        a = single.request("summary_at", lat=0.0, lon=0.0)
+        b = routed.request("summary_at", lat=0.0, lon=0.0)
+        assert a == b == {"summary": None}
+
+    def test_top_destinations_identical(self, cluster):
+        single, routed, _, inventory = cluster
+        for key in _sample_keys(inventory, GroupingSet.CELL, 20):
+            lat, lon = cell_to_latlng(key.cell)
+            assert single.request(
+                "top_destinations_at", lat=lat, lon=lon
+            ) == routed.request("top_destinations_at", lat=lat, lon=lon)
+
+    def test_eta_identical(self, cluster):
+        single, routed, _, inventory = cluster
+        # Probe cells that actually carry arrival-time data, so at least
+        # some comparisons exercise a non-None estimate.
+        keys = [
+            key
+            for key, summary in inventory.items()
+            if key.grouping_set is GroupingSet.CELL and summary.ata.count >= 3
+        ]
+        assert keys, "the small world must contain ATA-bearing cells"
+        answered = 0
+        for key in keys[:20]:
+            lat, lon = cell_to_latlng(key.cell)
+            a = single.request("eta", lat=lat, lon=lon)
+            b = routed.request("eta", lat=lat, lon=lon)
+            assert a == b
+            answered += a["eta"] is not None
+        assert answered > 0
+
+
+class TestScatterGather:
+    def test_route_cells_identical(self, cluster):
+        """The scatter-gather path: disjoint per-shard partials union to
+        the single-node answer, in the single-node cell order."""
+        single, routed, _, inventory = cluster
+        routes = sorted(
+            {
+                (key.origin, key.destination, key.vessel_type)
+                for key, _ in inventory.items()
+                if key.grouping_set is GroupingSet.CELL_OD_TYPE
+            }
+        )
+        assert routes, "the small world must contain routes"
+        for origin, destination, vessel_type in routes[:15]:
+            a = single.request(
+                "route_cells",
+                origin=origin,
+                destination=destination,
+                vessel_type=vessel_type,
+            )
+            b = routed.request(
+                "route_cells",
+                origin=origin,
+                destination=destination,
+                vessel_type=vessel_type,
+            )
+            assert a == b
+            # Byte-identity includes ordering: JSON objects are written
+            # in insertion order, so pin it explicitly.
+            assert list(a["cells"]) == list(b["cells"])
+            assert a["cells"], "route probes must hit stored routes"
+
+    def test_multi_get_identical(self, cluster):
+        single, routed, _, inventory = cluster
+        keys = []
+        for key in _sample_keys(inventory, GroupingSet.CELL, 40):
+            lat, lon = cell_to_latlng(key.cell)
+            keys.append({"lat": lat, "lon": lon})
+        keys.append({"lat": 0.0, "lon": 0.0})  # one miss rides along
+        a = single.request("multi_get", keys=keys)
+        b = routed.request("multi_get", keys=keys)
+        assert a == b
+        assert a["summaries"][-1] is None
+        assert any(wire is not None for wire in a["summaries"])
+
+    def test_multi_query_identical(self, cluster):
+        single, routed, _, inventory = cluster
+        key = _sample_keys(inventory, GroupingSet.CELL, 1)[0]
+        lat, lon = cell_to_latlng(key.cell)
+        requests = [
+            {"type": "summary_at", "lat": lat, "lon": lon},
+            {"type": "ping"},
+            {"type": "summary_at", "lat": lat},  # per-item error entry
+            {"type": "top_destinations_at", "lat": lat, "lon": lon},
+        ]
+        a = single.request("multi_query", requests=requests)
+        b = routed.request("multi_query", requests=requests)
+        assert a == b
+        assert not a["responses"][2]["ok"]
+
+
+class TestErrorEnvelopes:
+    def _envelope(self, client, request_type, **params):
+        try:
+            client.request(request_type, **params)
+        except ServerError as exc:
+            return (exc.code, str(exc), exc.details)
+        pytest.fail(f"{request_type} with {params} should have errored")
+
+    @pytest.mark.parametrize(
+        ("request_type", "params"),
+        [
+            ("summary_at", {"lat": 1.0, "lon": 2.0, "origin": "SIN"}),
+            (
+                "summary_at",
+                {"lat": 1.0, "lon": 2.0, "origin": "SIN", "destination": "RTM"},
+            ),
+            ("summary_at", {"lat": "x", "lon": 2.0}),
+            ("route_cells", {"origin": "SIN", "destination": "RTM"}),
+            ("multi_get", {"keys": []}),
+            ("multi_get", {"keys": [{"lat": 1.0}]}),
+            ("multi_get", {"keys": [{"lat": 1.0, "lon": 2.0}, {"lat": 3.0}]}),
+            (
+                "multi_get",
+                {"keys": [{"lat": 1.0, "lon": 2.0, "origin": "SIN"}]},
+            ),
+            ("nonsense", {}),
+        ],
+    )
+    def test_error_envelopes_identical(self, cluster, request_type, params):
+        single, routed, _, _ = cluster
+        assert self._envelope(
+            single, request_type, **params
+        ) == self._envelope(routed, request_type, **params)
