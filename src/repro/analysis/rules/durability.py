@@ -5,7 +5,11 @@ and centralised it in :mod:`repro.inventory.fsio`; the fault-injection
 harness interposes on that one seam.  A raw ``open(path, "w")`` or
 ``os.replace`` in the storage or pipeline layers therefore re-opens the
 exact torn-write/partial-rename windows the seam closed — *and* hides
-the write from the fault matrix, so no test would ever catch it.
+the write from the fault matrix, so no test would ever catch it.  PR 8's
+write-ahead log raised the stakes: every live-ingest append travels
+through ``fsio.open_file(path, "ab")`` / ``fsio.fsync_file`` in
+:mod:`repro.inventory.wal`, so a raw append there would silently forfeit
+both the durability ack and the crash-matrix coverage at once.
 
 Scope: ``inventory/`` and ``pipeline/`` modules, minus ``fsio.py``
 itself (the seam is where the raw calls are supposed to live).  Flagged:

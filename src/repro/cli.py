@@ -7,6 +7,8 @@
     python -m repro compact  --inputs day1.sst day2.sst --out week.sst
     python -m repro query    --inventory inv.sst --lat 1.2 --lon 103.8
     python -m repro serve    --inventory inv.sst --port 7077
+    python -m repro serve    --live live_dir/ --resolution 6 --port 7077
+    python -m repro ingest   --feed archive.csv --port 7077
     python -m repro route    --placement inv.sst.placement.json \
                              --shard shard-0=127.0.0.1:7081 ...
     python -m repro render   --inventory inv.sst --feature speed --out map.ppm
@@ -26,9 +28,15 @@ table over TCP through the concurrent query server
 deadlines, graceful drain on Ctrl-C.  ``build --shards N`` additionally
 splits the table into per-shard SSTables plus a placement manifest, and
 ``route`` fronts the shard servers with the scatter-gather router
-(failover, health probes) behind the identical protocol.  ``fsck``
-verifies every checksum in a table and can salvage the readable blocks
-of a damaged one.
+(failover, health probes) behind the identical protocol.  ``serve
+--live`` opens a :class:`~repro.inventory.live.LiveInventory` directory
+instead of a read-only table: the server then also accepts ``ingest``
+requests (WAL + memtable write path, crash-recovery on open), and
+``repro ingest`` feeds it from a CSV or NMEA file — optionally tailing
+the file as a receiver would.  ``fsck`` verifies every checksum in a
+table and can salvage the readable blocks of a damaged one; ``fsck
+--wal`` triages a live directory's WAL segments (recoverable torn tail
+vs hard corruption).
 
 Tracing (``repro.obs``): ``build --trace spans.jsonl`` records a span
 per pipeline stage (the paper's Fig. 3 funnel) and ``repro trace``
@@ -144,7 +152,24 @@ def _build_parser() -> argparse.ArgumentParser:
     serve = commands.add_parser(
         "serve", help="serve an inventory over TCP (length-prefixed JSON)"
     )
-    serve.add_argument("--inventory", type=Path, required=True)
+    serve.add_argument("--inventory", type=Path, default=None,
+                       help="read-only SSTable to serve")
+    serve.add_argument("--live", type=Path, default=None, metavar="DIR",
+                       help="serve a live (WAL + memtable) inventory "
+                            "directory instead: accepts 'ingest' "
+                            "requests, recovers on open")
+    serve.add_argument("--sync-every", type=int, default=1,
+                       help="--live: fsync the WAL every N appends "
+                            "(1 = every record is durable before ack)")
+    serve.add_argument("--sync-interval", type=float, default=None,
+                       help="--live: also fsync when this many seconds "
+                            "passed since the last one")
+    serve.add_argument("--flush-records", type=int, default=50_000,
+                       help="--live: memtable records that trigger an "
+                            "inline flush to a new table (0 = manual)")
+    serve.add_argument("--compact-tables", type=int, default=8,
+                       help="--live: table-set size that triggers "
+                            "compaction (0 = never)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=7077,
                        help="TCP port (0 = pick a free one and report it)")
@@ -212,6 +237,34 @@ def _build_parser() -> argparse.ArgumentParser:
                             "on this port (0 = pick a free one)")
     route.set_defaults(handler=_cmd_route)
 
+    ingest = commands.add_parser(
+        "ingest",
+        help="feed a CSV/NMEA archive to a live server ('serve --live')",
+    )
+    ingest.add_argument("--feed", type=Path, required=True,
+                        help="CSV archive (NOAA columns) or, with "
+                             "--nmea, a file of NMEA sentences")
+    ingest.add_argument("--nmea", action="store_true",
+                        help="decode the feed as NMEA sentences instead "
+                             "of CSV rows")
+    ingest.add_argument("--fleet", type=Path, default=None,
+                        help="fleet sidecar CSV mapping MMSI to market "
+                             "segment (vessel_type is 'unknown' without)")
+    ingest.add_argument("--host", default="127.0.0.1")
+    ingest.add_argument("--port", type=int, default=7077)
+    ingest.add_argument("--batch", type=int, default=256,
+                        help="records per ingest frame")
+    ingest.add_argument("--limit", type=int, default=None,
+                        help="stop after this many records")
+    ingest.add_argument("--follow", action="store_true",
+                        help="keep tailing the feed for appended records "
+                             "(Ctrl-C to stop)")
+    ingest.add_argument("--poll", type=float, default=2.0,
+                        help="--follow: seconds between polls of the feed")
+    ingest.add_argument("--timeout", type=float, default=10.0,
+                        help="per-request client timeout in seconds")
+    ingest.set_defaults(handler=_cmd_ingest)
+
     trace = commands.add_parser(
         "trace", help="render a recorded JSONL trace as a per-span profile"
     )
@@ -242,8 +295,12 @@ def _build_parser() -> argparse.ArgumentParser:
     fsck = commands.add_parser(
         "fsck", help="verify a table's checksums; optionally salvage it"
     )
-    fsck.add_argument("--inventory", type=Path, required=True,
+    fsck.add_argument("--inventory", type=Path, default=None,
                       help="SSTable to verify")
+    fsck.add_argument("--wal", type=Path, default=None, metavar="DIR",
+                      help="also verify a live directory: every WAL "
+                           "segment (recoverable torn tail vs hard "
+                           "corruption) and every manifest table")
     fsck.add_argument("--salvage", type=Path, default=None,
                       help="write the readable entries of a damaged table "
                            "to this path (must differ from --inventory)")
@@ -410,6 +467,29 @@ def _serve_sinks(args) -> list:
     return sinks
 
 
+def _serve_backend(args):
+    """Open the backend 'serve' fronts: a read-only table, or — under
+    ``--live`` — a crash-recovering WAL + memtable inventory that also
+    accepts ``ingest`` requests."""
+    if (args.inventory is None) == (args.live is None):
+        raise ValueError("serve needs exactly one of --inventory or --live")
+    if args.live is not None:
+        from repro.inventory.live import LiveInventory
+
+        return LiveInventory(
+            args.live,
+            resolution=args.resolution,
+            sync_every=args.sync_every,
+            sync_interval_s=args.sync_interval,
+            flush_records=args.flush_records,
+            compact_tables=args.compact_tables,
+            cache_blocks=args.cache_blocks,
+        )
+    return SSTableInventory(
+        args.inventory, resolution=args.resolution, cache_blocks=args.cache_blocks
+    )
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -420,11 +500,16 @@ def _cmd_serve(args) -> int:
     sinks = _serve_sinks(args)
     if sinks:
         obs.configure(*sinks)
-    with SSTableInventory(
-        args.inventory, resolution=args.resolution, cache_blocks=args.cache_blocks
-    ) as inventory:
-        print(f"inventory {args.inventory}: {len(inventory):,} groups "
-              f"at resolution {inventory.resolution}")
+    with _serve_backend(args) as inventory:
+        if args.live is not None:
+            stats = inventory.ingest_stats()
+            print(f"live inventory {args.live}: {stats['tables']} tables, "
+                  f"{stats['memtable_records']:,} replayed records at "
+                  f"resolution {inventory.resolution} "
+                  f"(sync_every={args.sync_every})")
+        else:
+            print(f"inventory {args.inventory}: {len(inventory):,} groups "
+                  f"at resolution {inventory.resolution}")
         try:
             asyncio.run(
                 serve(
@@ -442,6 +527,117 @@ def _cmd_serve(args) -> int:
                     close = getattr(sink, "close", None)
                     if callable(close):
                         close()
+    return 0
+
+
+def _feed_records(args, segments: dict[int, str]):
+    """Yield wire-format ingest records from the feed file.
+
+    CSV archives stream through :func:`repro.ais.csvio.read_csv` (NOAA
+    columns, bad rows skipped); with ``--nmea`` the file is decoded
+    sentence-by-sentence and non-position messages are dropped.  Either
+    way a report becomes the wire dict ``InventoryClient.ingest``
+    sends — reports with the position-not-available sentinels (lat 91 /
+    lon 181) are dropped, heading 511 (the AIS not-available sentinel)
+    travels as absent, and the fleet sidecar supplies ``vessel_type``.
+    """
+    from repro.ais.csvio import read_csv
+    from repro.ais.messages import (
+        HEADING_NOT_AVAILABLE,
+        LAT_NOT_AVAILABLE,
+        LON_NOT_AVAILABLE,
+        PositionReport,
+    )
+
+    if args.nmea:
+        from repro.ais.codec import decode_sentences
+
+        def reports():
+            with open(args.feed) as handle:
+                yield from (
+                    message
+                    for message in decode_sentences(handle)
+                    if isinstance(message, PositionReport)
+                )
+    else:
+        def reports():
+            yield from read_csv(args.feed)
+
+    for report in reports():
+        if report.lat >= LAT_NOT_AVAILABLE or report.lon >= LON_NOT_AVAILABLE:
+            continue  # the vessel reported "position not available"
+        record: dict = {
+            "mmsi": report.mmsi,
+            "ts": report.epoch_ts,
+            "lat": report.lat,
+            "lon": report.lon,
+            "sog": report.sog,
+            "cog": report.cog,
+        }
+        if report.heading != HEADING_NOT_AVAILABLE:
+            record["heading"] = report.heading
+        segment = segments.get(report.mmsi)
+        if segment is not None:
+            record["vessel_type"] = segment
+        yield record
+
+
+def _cmd_ingest(args) -> int:
+    import time
+
+    from repro.server.client import InventoryClient, ServerError
+
+    if args.batch < 1:
+        raise ValueError("--batch must be at least 1")
+    segments: dict[int, str] = {}
+    if args.fleet is not None:
+        segments = {
+            vessel.mmsi: vessel.segment.value
+            for vessel in _read_fleet(args.fleet)
+        }
+    sent = 0
+    durable = True
+    try:
+        with InventoryClient(args.host, args.port, timeout=args.timeout) as client:
+            while True:
+                batch: list[dict] = []
+                already = sent
+                skipped = 0
+                for record in _feed_records(args, segments):
+                    # --follow re-reads the feed each poll; records the
+                    # server already acked are skipped by count, so only
+                    # the appended tail travels again.
+                    if skipped < already:
+                        skipped += 1
+                        continue
+                    batch.append(record)
+                    if args.limit is not None and sent + len(batch) >= args.limit:
+                        break
+                    if len(batch) >= args.batch:
+                        ack = client.ingest(batch)
+                        sent += int(ack.get("accepted", 0))
+                        durable = bool(ack.get("durable", False))
+                        batch = []
+                if args.limit is not None:
+                    batch = batch[: max(0, args.limit - sent)]
+                if batch:
+                    ack = client.ingest(batch)
+                    sent += int(ack.get("accepted", 0))
+                    durable = bool(ack.get("durable", False))
+                if args.limit is not None and sent >= args.limit:
+                    break
+                if not args.follow:
+                    break
+                time.sleep(args.poll)
+    except KeyboardInterrupt:
+        pass
+    except (ServerError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(f"ingested {sent:,} records from {args.feed} before the "
+              f"error", file=sys.stderr)
+        return 1
+    durability = "durable" if durable else "accepted (fsync pending)"
+    print(f"ingested {sent:,} records from {args.feed} ({durability})")
     return 0
 
 
@@ -571,19 +767,60 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_fsck(args) -> int:
-    check = verify_table(args.inventory)
+    if args.inventory is None and args.wal is None:
+        raise ValueError("fsck needs --inventory and/or --wal")
+    exit_code = 0
+    if args.inventory is not None:
+        check = verify_table(args.inventory)
+        for line in check.lines():
+            print(line)
+        if not check.ok:
+            exit_code = 1
+            if args.salvage is not None:
+                report = salvage_table(args.inventory, args.salvage)
+                print(
+                    f"salvaged {report.entries_recovered:,} entries to "
+                    f"{report.output} ({report.entries_lost:,} lost, "
+                    f"{len(report.blocks_skipped)} blocks skipped)"
+                )
+    if args.wal is not None:
+        exit_code = max(exit_code, _fsck_wal(args.wal))
+    return exit_code
+
+
+def _fsck_wal(directory: Path) -> int:
+    """Triage a live directory: WAL segments, then manifest tables.
+
+    A recoverable torn tail (the crash left a partial final entry —
+    the next open truncates it and replays the rest) exits 0 with a
+    warning; hard corruption (CRC failures with entries after them, or
+    damage in a non-final segment) exits 1.
+    """
+    from repro.inventory.live import manifest_tables
+    from repro.inventory.wal import verify_wal
+
+    check = verify_wal(directory)
     for line in check.lines():
         print(line)
-    if check.ok:
-        return 0
-    if args.salvage is not None:
-        report = salvage_table(args.inventory, args.salvage)
-        print(
-            f"salvaged {report.entries_recovered:,} entries to "
-            f"{report.output} ({report.entries_lost:,} lost, "
-            f"{len(report.blocks_skipped)} blocks skipped)"
-        )
-    return 1
+    if check.hard_corruption:
+        print(f"{directory}: HARD WAL corruption — acked records may be "
+              f"lost; restore the directory from a replica or backup")
+        return 1
+    if check.torn_tail:
+        print(f"{directory}: recoverable torn tail — the next open "
+              f"truncates the partial entry and replays the rest")
+    bad_tables = 0
+    for table in manifest_tables(directory):
+        table_check = verify_table(table)
+        status = "ok" if table_check.ok else "CORRUPT"
+        print(f"table {table.name}: {status}")
+        if not table_check.ok:
+            bad_tables += 1
+    if bad_tables:
+        print(f"{directory}: {bad_tables} manifest table(s) corrupt — "
+              f"salvage with 'repro fsck --inventory <table> --salvage'")
+        return 1
+    return 0
 
 
 def _cmd_lint(args) -> int:

@@ -19,6 +19,11 @@ statistical sketches).  This package provides:
 - :mod:`repro.inventory.sstable` — the on-disk format: sorted key blocks
   with a sparse index, giving point lookups without scanning, which is
   what the paper's "99.7 % fewer hits" claim is about.
+- :mod:`repro.inventory.wal`, :mod:`repro.inventory.memtable`,
+  :mod:`repro.inventory.live` — the live write path: a checksummed
+  write-ahead log, the in-memory memtable it protects, and the
+  :class:`LiveInventory` LSM backend that serves snapshot-isolated
+  queries while absorbing a feed.
 """
 
 from repro.inventory.keys import GroupKey, GroupingSet, keys_for_record
@@ -44,6 +49,9 @@ from repro.inventory.sstable import (
 from repro.inventory.adaptive import AdaptiveInventory, build_adaptive
 from repro.inventory.compaction import merge_tables
 from repro.inventory.export import inventory_to_geojson, write_geojson
+from repro.inventory.memtable import IngestRecord, Memtable
+from repro.inventory.wal import ReplayResult, WalCheck, WalWriter, replay, verify_wal
+from repro.inventory.live import IngestAck, LiveInventory
 
 __all__ = [
     "GroupKey",
@@ -70,4 +78,13 @@ __all__ = [
     "merge_tables",
     "inventory_to_geojson",
     "write_geojson",
+    "IngestRecord",
+    "Memtable",
+    "ReplayResult",
+    "WalCheck",
+    "WalWriter",
+    "replay",
+    "verify_wal",
+    "IngestAck",
+    "LiveInventory",
 ]

@@ -1,0 +1,738 @@
+"""The live inventory: WAL + memtable LSM write path over SSTables.
+
+This is the serve-while-ingesting backend the ROADMAP's north star
+needs: a :class:`LiveInventory` absorbs a continuous AIS feed while
+answering the same :class:`~repro.inventory.backend.QueryableInventory`
+queries as the batch backends, with three contracts the test suite
+enforces under deterministic fault injection:
+
+**Durability.**  Every record is appended to the write-ahead log
+(:mod:`repro.inventory.wal`) *before* it is applied to the memtable;
+a record is acked only once its WAL entry is covered by an fsync.
+Reopening after a crash replays the WAL into a fresh memtable — every
+acked record is served again, and no record is ever *partially*
+visible (a WAL entry is atomic by CRC; its fan-out to grouping sets
+happens entirely at apply time).
+
+**Atomic flush.**  A flush seals the WAL at a segment boundary, writes
+the frozen memtable to a new SSTable through the existing atomic
+``fsio`` publish, and then — the commit point — atomically rewrites the
+``MANIFEST.json`` that names the live table set and the WAL floor.
+Only after the manifest lands are the sealed segments retired.  A crash
+anywhere in that sequence recovers exactly: before the manifest, the
+orphan table is deleted on open and the WAL replays everything; after
+the manifest, the flushed segments are ignored (and deleted) on open.
+Nothing is ever double-counted and nothing is lost.
+
+**Snapshot isolation.**  Readers resolve queries against an immutable
+``(table set, frozen memtables)`` view plus the active memtable; the
+view is swapped by a single reference assignment, so a query stream
+running across a flush only ever sees *either* the frozen memtable
+*or* the table that replaced it — and because flushing is a byte-exact
+codec roundtrip and summaries merge by the sketch monoid laws, the
+answers are byte-identical either way.
+
+Write concurrency is two-tier: ``_write_lock`` serialises ingest,
+flush and compaction end to end (WAL appends and fsyncs included);
+``_mem_lock`` is the short mutex readers share with memtable
+application and view swaps, so reads never block on disk I/O.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+from types import TracebackType
+from typing import Any
+
+from repro.engine.metrics import CounterSet
+from repro.inventory import fsio, sstable, wal
+from repro.inventory.backend import InventoryQueryMixin, SSTableInventory
+from repro.inventory.codec import decode, encode
+from repro.inventory.compaction import merge_tables
+from repro.inventory.keys import GroupKey
+from repro.inventory.memtable import IngestRecord, Memtable
+from repro.inventory.sstable import CorruptionError
+from repro.inventory.summary import CellSummary, SummaryConfig
+from repro.obs import registry
+from repro.obs import trace as obs
+
+SPAN_FLUSH = registry.register_span(
+    "ingest.flush",
+    "freezing the memtable, writing it to an SSTable and publishing the manifest",
+)
+SPAN_COMPACT = registry.register_span(
+    "ingest.compact",
+    "merging the live table set into one generation via merge_tables",
+)
+
+COUNTER_INGEST_RECORDS = registry.register_counter(
+    "ingest.records",
+    "records accepted by the live write path (WAL-appended and applied)",
+)
+COUNTER_FLUSHES = registry.register_counter(
+    "ingest.flushes",
+    "memtable flushes durably published to the live table set",
+)
+COUNTER_COMPACTIONS = registry.register_counter(
+    "ingest.compactions",
+    "compactions of the live table set into a single generation",
+)
+
+#: The manifest file naming the live table set and the WAL floor.  Its
+#: atomic rewrite is the flush/compaction commit point.
+MANIFEST_NAME = "MANIFEST.json"
+_MANIFEST_VERSION = 1
+_TABLE_FMT = "tab-{n:08d}.sst"
+_TABLE_GLOB = "tab-*.sst"
+
+#: Default memtable size (records) that triggers an inline flush.
+DEFAULT_FLUSH_RECORDS = 50_000
+#: Default table-set size that triggers an inline compaction (0 = never).
+DEFAULT_COMPACT_TABLES = 8
+
+
+@dataclass(frozen=True)
+class IngestAck:
+    """What one :meth:`LiveInventory.ingest` call guarantees.
+
+    ``durable`` is true when every accepted record's WAL entry was
+    covered by an fsync before returning (always the case with
+    ``sync_every=1``); with a batched fsync policy it reports whether
+    this batch happened to end on a sync point.
+    """
+
+    accepted: int
+    durable: bool
+    flushed: bool
+
+    def to_wire(self) -> dict[str, Any]:
+        """JSON-safe form for the ``ingest`` response."""
+        return {
+            "accepted": self.accepted,
+            "durable": self.durable,
+            "flushed": self.flushed,
+        }
+
+
+@dataclass(frozen=True)
+class _View:
+    """The immutable read snapshot: swapped by one reference assignment."""
+
+    tables: tuple[SSTableInventory, ...]
+    frozen: tuple[Memtable, ...]
+
+
+def _copy_summary(summary: CellSummary) -> CellSummary:
+    """A deep, byte-exact copy via the storage codec — the same roundtrip
+    a flush performs, which is what makes pre- and post-flush answers
+    byte-identical."""
+    return CellSummary.from_dict(decode(encode(summary.to_dict())))  # type: ignore[arg-type]
+
+
+class LiveInventory(InventoryQueryMixin):
+    """A queryable inventory that accepts live records (see module doc).
+
+    Open on a directory; recovery happens in the constructor (orphan
+    cleanup, retired-segment cleanup, WAL replay under the
+    ``wal.replay`` span).  ``resolution`` is required the first time a
+    directory is opened and remembered in the manifest afterwards.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        resolution: int | None = None,
+        config: SummaryConfig | None = None,
+        sync_every: int = 1,
+        sync_interval_s: float | None = None,
+        segment_bytes: int = wal.DEFAULT_SEGMENT_BYTES,
+        flush_records: int = DEFAULT_FLUSH_RECORDS,
+        compact_tables: int = DEFAULT_COMPACT_TABLES,
+        cache_blocks: int = 64,
+        counters: CounterSet | None = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.flush_records = flush_records
+        self.compact_tables = compact_tables
+        self.cache_blocks = cache_blocks
+        self.counters = counters if counters is not None else CounterSet()
+        self._write_lock = threading.RLock()
+        self._mem_lock = threading.Lock()
+        self._closed = False
+        #: Backend → reference count: one ref for membership in the
+        #: published view, one per in-flight pinned read.  A backend is
+        #: closed only when its count drops to zero, so compaction can
+        #: retire a generation without yanking it from under a reader
+        #: that pinned the previous view (snapshot isolation covers the
+        #: file handles, not just the object graph).
+        self._refs: dict[SSTableInventory, int] = {}
+
+        manifest = self._load_manifest()
+        if manifest is None:
+            if resolution is None:
+                raise ValueError(
+                    f"{self.directory}: no manifest — opening a new live "
+                    "inventory requires an explicit resolution"
+                )
+            self.resolution = resolution
+            self.config = config if config is not None else SummaryConfig()
+            self._tables: list[str] = []
+            self._wal_floor = 0
+            self._next_table = 1
+            self._write_manifest()
+        else:
+            self.resolution = int(manifest["resolution"])
+            self.config = _config_from_manifest(manifest["summary"])
+            self._tables = [str(name) for name in manifest["tables"]]
+            self._wal_floor = int(manifest["wal_floor"])
+            self._next_table = int(manifest["next_table"])
+            if resolution is not None and resolution != self.resolution:
+                raise ValueError(
+                    f"{self.directory}: manifest resolution {self.resolution} "
+                    f"!= requested {resolution}"
+                )
+        self._sweep_orphans()
+        # Anything after the first table opens can still refuse the
+        # directory (a corrupt later table, hard WAL damage during
+        # replay): close what was opened before re-raising, or the
+        # half-constructed instance leaks its file handles.
+        backends: list[SSTableInventory] = []
+        try:
+            for name in self._tables:
+                backends.append(
+                    SSTableInventory(
+                        self.directory / name,
+                        resolution=self.resolution,
+                        cache_blocks=self.cache_blocks,
+                        counters=self.counters,
+                    )
+                )
+            self._active = Memtable(self.resolution, self.config)
+            self._view = _View(tables=tuple(backends), frozen=())
+            for backend in backends:
+                self._refs[backend] = 1
+            with obs.span(wal.SPAN_REPLAY) as sp:
+                recovery = wal.replay(
+                    self.directory, min_seq=self._wal_floor, counters=self.counters
+                )
+                for payload in recovery.entries:
+                    try:
+                        record = IngestRecord.from_payload(payload)
+                    except ValueError as exc:
+                        raise CorruptionError(
+                            f"WAL entry does not decode to an ingest record: {exc}",
+                            path=self.directory,
+                        ) from exc
+                    self._active.apply(record)
+                sp.set("entries", len(recovery.entries))
+                sp.set("truncated_tails", recovery.truncated_tails)
+            self._wal = wal.WalWriter(
+                self.directory,
+                start_seq=max(recovery.last_seq, self._wal_floor) + 1,
+                sync_every=sync_every,
+                sync_interval_s=sync_interval_s,
+                segment_bytes=segment_bytes,
+                counters=self.counters,
+            )
+        except BaseException:
+            for backend in backends:
+                backend.close()
+            raise
+
+    # -- manifest ------------------------------------------------------------------
+
+    def _load_manifest(self) -> dict[str, Any] | None:
+        path = self.directory / MANIFEST_NAME
+        if not path.exists():
+            return None
+        handle = fsio.open_file(path, "rb")
+        try:
+            raw = handle.read()
+        finally:
+            handle.close()
+        try:
+            manifest = json.loads(raw)
+        except ValueError as exc:
+            raise CorruptionError(f"unreadable manifest: {exc}", path=path) from exc
+        if not isinstance(manifest, dict) or manifest.get("version") != _MANIFEST_VERSION:
+            raise CorruptionError("unsupported manifest version", path=path)
+        return manifest
+
+    def _write_manifest(
+        self,
+        tables: list[str] | None = None,
+        wal_floor: int | None = None,
+        next_table: int | None = None,
+    ) -> None:
+        """Atomically rewrite the manifest with the given (or current)
+        values.  Callers commit prospective values here *first* and only
+        then update in-memory state, so a failed commit leaves both the
+        disk and the object exactly as they were."""
+        manifest = {
+            "version": _MANIFEST_VERSION,
+            "resolution": self.resolution,
+            "summary": _config_to_manifest(self.config),
+            "tables": list(self._tables if tables is None else tables),
+            "wal_floor": self._wal_floor if wal_floor is None else wal_floor,
+            "next_table": self._next_table if next_table is None else next_table,
+        }
+        fsio.atomic_write_bytes(
+            self.directory / MANIFEST_NAME,
+            json.dumps(manifest, sort_keys=True).encode("utf-8"),
+        )
+
+    def _sweep_orphans(self) -> None:
+        """Delete tables a crashed flush staged or published without
+        committing (their records are still in the WAL), stale staging
+        files, and WAL segments at or below the manifest floor."""
+        live = set(self._tables)
+        for path in sorted(self.directory.glob(_TABLE_GLOB)):
+            if path.name not in live:
+                fsio.unlink(path)
+                fsio.unlink(sstable.route_index_path(path))
+        for path in sorted(self.directory.glob(f"*{fsio.TMP_SUFFIX}")):
+            fsio.unlink(path)
+        for seq, path in wal.list_segments(self.directory):
+            if seq <= self._wal_floor:
+                fsio.unlink(path)
+
+    # -- ingestion -----------------------------------------------------------------
+
+    def ingest(self, records: Iterable[IngestRecord]) -> IngestAck:
+        """Append ``records`` to the WAL, apply them to the memtable and
+        (policy permitting) flush.  Returns the ack only after every
+        record is applied; ``durable`` reports the fsync watermark."""
+        batch = list(records)
+        with self._write_lock:
+            self._check_open()
+            for record in batch:
+                self._wal.append(record.to_payload())
+            durable = self._wal.durable_entries >= self._wal.appended_entries
+            with self._mem_lock:
+                for record in batch:
+                    self._active.apply(record)
+            if batch:
+                self.counters.increment(COUNTER_INGEST_RECORDS, len(batch))
+            flushed = False
+            if self.flush_records and self._active.records_applied >= self.flush_records:
+                self.flush()
+                flushed = True
+        return IngestAck(accepted=len(batch), durable=durable, flushed=flushed)
+
+    def ingest_records(self, records: list[object]) -> dict[str, Any]:
+        """The server-facing hook: parse wire records, ingest, ack.
+
+        ``ValueError`` (bad record shape) names the offending index so
+        the service layer can surface a precise ``bad_request``.
+        """
+        parsed = []
+        for index, raw in enumerate(records):
+            try:
+                parsed.append(IngestRecord.from_wire(raw))
+            except ValueError as exc:
+                raise ValueError(f"records[{index}]: {exc}") from exc
+        return self.ingest(parsed).to_wire()
+
+    def sync(self) -> None:
+        """Force every accepted record durable (an explicit fsync)."""
+        with self._write_lock:
+            self._check_open()
+            self._wal.sync()
+
+    # -- flush / compaction --------------------------------------------------------
+
+    def flush(self) -> Path | None:
+        """Freeze the memtable, persist it, commit the manifest, retire
+        the sealed WAL segments.  Returns the new table's path (``None``
+        when there was nothing to flush)."""
+        with self._write_lock:
+            self._check_open()
+            view = self._view
+            if self._active.records_applied == 0 and not view.frozen:
+                return None
+            with obs.span(SPAN_FLUSH) as sp:
+                # 1. Seal the WAL: everything accepted so far lives in a
+                #    segment <= boundary; new appends go to a fresh one.
+                boundary = self._wal.rotate()
+                # 2. Freeze the active memtable into the read view (a
+                #    reader either sees it here or, after the final
+                #    swap, in the table that replaces it).
+                with self._mem_lock:
+                    if self._active.records_applied:
+                        # Same table set: membership references carry
+                        # over, so no retain/release on this swap.
+                        self._view = _View(
+                            tables=self._view.tables,
+                            frozen=self._view.frozen + (self._active,),
+                        )
+                        self._active = Memtable(self.resolution, self.config)
+                    frozen = self._view.frozen
+                # 3. Write the frozen memtables to one new table
+                #    (atomic: staged at .tmp, renamed on close).
+                name = _TABLE_FMT.format(n=self._next_table)
+                path = self.directory / name
+                records = _write_frozen(path, frozen)
+                # 4. The commit point: the manifest now names the table
+                #    and raises the WAL floor past the sealed segments.
+                #    In-memory state follows only once the commit landed,
+                #    so a failed commit can be retried without
+                #    double-publishing the table.
+                tables = self._tables + [name]
+                self._write_manifest(
+                    tables=tables, wal_floor=boundary, next_table=self._next_table + 1
+                )
+                self._tables = tables
+                self._next_table += 1
+                self._wal_floor = boundary
+                # 5. Only now is it safe to retire the sealed segments.
+                self._wal.retire_through(boundary)
+                # 6. Swap the read view: the frozen memtables leave in
+                #    the same assignment their table arrives.
+                backend = SSTableInventory(
+                    path,
+                    resolution=self.resolution,
+                    cache_blocks=self.cache_blocks,
+                    counters=self.counters,
+                )
+                self._install_view(
+                    _View(tables=self._view.tables + (backend,), frozen=())
+                )
+                self.counters.increment(COUNTER_FLUSHES)
+                sp.set("records", records)
+                sp.set("table", name)
+            if self.compact_tables and len(self._tables) >= self.compact_tables:
+                self.compact()
+            return path
+
+    def compact(self) -> Path | None:
+        """Merge the whole live table set into one generation."""
+        with self._write_lock:
+            self._check_open()
+            if len(self._tables) < 2:
+                return None
+            with obs.span(SPAN_COMPACT) as sp:
+                inputs = [self.directory / name for name in self._tables]
+                name = _TABLE_FMT.format(n=self._next_table)
+                output = self.directory / name
+                merge_tables(inputs, output)
+                old_names = self._tables
+                self._write_manifest(tables=[name], next_table=self._next_table + 1)
+                self._tables = [name]
+                self._next_table += 1
+                backend = SSTableInventory(
+                    output,
+                    resolution=self.resolution,
+                    cache_blocks=self.cache_blocks,
+                    counters=self.counters,
+                )
+                self._install_view(
+                    _View(tables=(backend,), frozen=self._view.frozen)
+                )
+                # Unlinking is safe even with readers pinned to the old
+                # generation: their open handles keep the bytes alive
+                # until the pin count drains and ``_release`` closes.
+                for stale_name in old_names:
+                    fsio.unlink(self.directory / stale_name)
+                    fsio.unlink(sstable.route_index_path(self.directory / stale_name))
+                self.counters.increment(COUNTER_COMPACTIONS)
+                sp.set("inputs", len(inputs))
+            return output
+
+    # -- view lifecycle ------------------------------------------------------------
+
+    def _retain_locked(self, view: _View) -> None:
+        """Take one reference on each of ``view``'s backends
+        (``_mem_lock`` held by the caller)."""
+        for backend in view.tables:
+            # repro: allow[REP002] every caller holds _mem_lock (the _locked suffix contract)
+            self._refs[backend] = self._refs.get(backend, 0) + 1
+
+    def _release(self, view: _View) -> None:
+        """Drop one reference per backend; close those that hit zero.
+
+        Closing happens outside the lock — it touches file handles, and
+        no other thread can reach a zero-count backend anyway.
+        """
+        stale: list[SSTableInventory] = []
+        with self._mem_lock:
+            for backend in view.tables:
+                count = self._refs[backend] - 1
+                if count:
+                    self._refs[backend] = count
+                else:
+                    del self._refs[backend]
+                    stale.append(backend)
+        for backend in stale:
+            backend.close()
+
+    def _install_view(self, view: _View) -> None:
+        """Publish a new read view whose table set changed.
+
+        The published view holds one membership reference per backend;
+        retiring generations close only once every pinned read drains.
+        """
+        with self._mem_lock:
+            old = self._view
+            self._retain_locked(view)
+            self._view = view
+        self._release(old)
+
+    # -- queries (snapshot-isolated) -----------------------------------------------
+    #
+    # Every reader captures, under ONE ``_mem_lock`` acquisition, the
+    # published view *and* an encoded snapshot of what it needs from the
+    # active memtable, pinning the view's backends.  A flush freezing the
+    # memtable swaps both together under the same lock, so a reader can
+    # never see a record twice or not at all mid-flush; the pin keeps a
+    # compacted-away generation's file handles open until the read ends.
+
+    def get(self, key: GroupKey) -> CellSummary | None:
+        """Point lookup merged across tables, frozen memtables and the
+        active memtable — oldest source first, matching compaction's
+        merge order so answers never depend on flush timing."""
+        with self._mem_lock:
+            view = self._view
+            self._retain_locked(view)
+            summary = self._active.get(key)
+            live_payload = None if summary is None else encode(summary.to_dict())
+        try:
+            acc: CellSummary | None = None
+            for table in view.tables:
+                summary = table.get(key)
+                if summary is not None:
+                    acc = summary if acc is None else acc.merge(summary)
+            for memtable in view.frozen:
+                summary = memtable.get(key)
+                if summary is not None:
+                    copy = _copy_summary(summary)
+                    acc = copy if acc is None else acc.merge(copy)
+            if live_payload is not None:
+                live = CellSummary.from_dict(decode(live_payload))  # type: ignore[arg-type]
+                acc = live if acc is None else acc.merge(live)
+            return acc
+        finally:
+            self._release(view)
+
+    def cells(self) -> set[int]:
+        """Every cell with traffic in any source."""
+        with self._mem_lock:
+            view = self._view
+            self._retain_locked(view)
+            out = set(self._active.cells())
+        try:
+            for table in view.tables:
+                out |= table.cells()
+            for memtable in view.frozen:
+                out |= memtable.cells()
+            return out
+        finally:
+            self._release(view)
+
+    def items(self) -> Iterator[tuple[GroupKey, CellSummary]]:
+        """All groups merged across sources, in table key order.
+
+        Materialises the merged map (live reads are point lookups; this
+        exists for export and equivalence tests).
+        """
+        merged: dict[GroupKey, CellSummary] = {}
+
+        def fold(key: GroupKey, summary: CellSummary) -> None:
+            existing = merged.get(key)
+            if existing is None:
+                merged[key] = summary
+            else:
+                existing.merge(summary)
+
+        with self._mem_lock:
+            view = self._view
+            self._retain_locked(view)
+            active = [
+                (key, encode(summary.to_dict()))
+                for key, summary in self._active.items()
+            ]
+        try:
+            for table in view.tables:
+                for key, summary in table.items():
+                    fold(key, summary)
+            for memtable in view.frozen:
+                for key, summary in memtable.items():
+                    fold(key, _copy_summary(summary))
+        finally:
+            self._release(view)
+        for key, payload in active:
+            fold(key, CellSummary.from_dict(decode(payload)))  # type: ignore[arg-type]
+        for key in sorted(merged, key=sstable._key_bytes):
+            yield key, merged[key]
+
+    def route_cells(
+        self, origin: str, destination: str, vessel_type: str
+    ) -> dict[int, CellSummary]:
+        """Route lookup merged across sources (oldest first)."""
+        merged: dict[int, CellSummary] = {}
+
+        def fold(cell: int, summary: CellSummary) -> None:
+            existing = merged.get(cell)
+            if existing is None:
+                merged[cell] = summary
+            else:
+                existing.merge(summary)
+
+        with self._mem_lock:
+            view = self._view
+            self._retain_locked(view)
+            active = [
+                (cell, encode(summary.to_dict()))
+                for cell, summary in self._active.route_groups(
+                    origin, destination, vessel_type
+                ).items()
+            ]
+        try:
+            for table in view.tables:
+                for cell, summary in table.route_cells(
+                    origin, destination, vessel_type
+                ).items():
+                    fold(cell, summary)
+            for memtable in view.frozen:
+                for cell, summary in memtable.route_groups(
+                    origin, destination, vessel_type
+                ).items():
+                    fold(cell, _copy_summary(summary))
+        finally:
+            self._release(view)
+        for cell, payload in active:
+            fold(cell, CellSummary.from_dict(decode(payload)))  # type: ignore[arg-type]
+        return merged
+
+    # -- introspection -------------------------------------------------------------
+
+    def ingest_stats(self) -> dict[str, Any]:
+        """Live write-path state for the server ``stats`` request."""
+        view = self._view
+        with self._mem_lock:
+            memtable_records = self._active.records_applied
+            memtable_groups = len(self._active)
+        return {
+            "tables": len(view.tables),
+            "frozen_memtables": len(view.frozen),
+            "memtable_records": memtable_records,
+            "memtable_groups": memtable_groups,
+            "wal_segment": self._wal.current_seq,
+            "wal_floor": self._wal_floor,
+            "records_ingested": self.counters.value(COUNTER_INGEST_RECORDS),
+            "flushes": self.counters.value(COUNTER_FLUSHES),
+            "compactions": self.counters.value(COUNTER_COMPACTIONS),
+            "replayed": self.counters.value(wal.COUNTER_REPLAYED),
+            "truncated_tails": self.counters.value(wal.COUNTER_TRUNCATED_TAIL),
+        }
+
+    @property
+    def table_paths(self) -> tuple[Path, ...]:
+        """The committed table files, oldest first."""
+        return tuple(self.directory / name for name in self._tables)
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError("live inventory is closed")
+
+    def close(self) -> None:
+        """Fsync the WAL tail and release every handle (no flush: the
+        WAL already holds everything the memtable does)."""
+        with self._write_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._wal.close()
+            # Drop the published view's membership references; a reader
+            # still pinned finishes cleanly and the last unpin closes.
+            self._release(self._view)
+
+    def __enter__(self) -> "LiveInventory":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+
+def manifest_tables(directory: str | Path) -> list[Path]:
+    """The table paths a live directory's manifest currently commits.
+
+    Reads ``MANIFEST.json`` without opening the inventory (so no
+    recovery side effects) — ``repro fsck --wal`` uses this to verify
+    each committed table's checksums offline.  An absent manifest means
+    an unstarted directory (no tables); an unreadable or wrong-version
+    one raises :class:`~repro.inventory.sstable.CorruptionError`.
+    """
+    directory = Path(directory)
+    path = directory / MANIFEST_NAME
+    if not path.exists():
+        return []
+    handle = fsio.open_file(path, "rb")
+    try:
+        raw = handle.read()
+    finally:
+        handle.close()
+    try:
+        manifest = json.loads(raw)
+    except ValueError as exc:
+        raise CorruptionError(f"unreadable manifest: {exc}", path=path) from exc
+    if not isinstance(manifest, dict) or manifest.get("version") != _MANIFEST_VERSION:
+        raise CorruptionError("unsupported manifest version", path=path)
+    return [directory / str(name) for name in manifest.get("tables", [])]
+
+
+def _config_to_manifest(config: SummaryConfig) -> dict[str, Any]:
+    return {
+        "hll": config.hll_precision,
+        "td": config.tdigest_compression,
+        "topn": config.topn_capacity,
+        "bin": config.direction_bin_deg,
+        "extra_names": list(config.extra_names),
+    }
+
+
+def _config_from_manifest(data: dict[str, Any]) -> SummaryConfig:
+    return SummaryConfig(
+        hll_precision=int(data["hll"]),
+        tdigest_compression=float(data["td"]),
+        topn_capacity=int(data["topn"]),
+        direction_bin_deg=float(data["bin"]),
+        extra_names=tuple(data.get("extra_names", ())),
+    )
+
+
+def _write_frozen(path: Path, frozen: tuple[Memtable, ...]) -> int:
+    """Write frozen memtables (oldest first) to one table, atomically.
+
+    Equal keys across memtables merge oldest-into-accumulator — the same
+    order reads and :func:`merge_tables` use.  The memtables themselves
+    are never mutated (readers still hold them until the view swap):
+    merging goes through codec copies, the same byte-exact roundtrip the
+    table write itself performs.
+    """
+    merged: dict[GroupKey, CellSummary] = {}
+    records = 0
+    for memtable in frozen:
+        records += memtable.records_applied
+        for key, summary in memtable.items():
+            existing = merged.get(key)
+            if existing is None:
+                merged[key] = _copy_summary(summary)
+            else:
+                existing.merge(summary)
+    with sstable.SSTableWriter(path) as writer:
+        for key in sorted(merged, key=sstable._key_bytes):
+            writer.add(key, merged[key])
+    return records

@@ -1,0 +1,505 @@
+"""Checksummed write-ahead log for live ingestion.
+
+The WAL is the durability half of the live write path
+(:mod:`repro.inventory.live`): every ingested record is appended here
+*before* it touches the in-memory memtable, so a crash at any point
+loses nothing that was acknowledged.  The format is deliberately dumb —
+sequential segment files of length-prefixed, CRC-protected entries —
+because dumb formats recover predictably:
+
+- **Segments** are named ``wal-<seq>.log`` (zero-padded, so lexical
+  order is replay order) and start with an 8-byte magic plus one
+  checksum-algorithm byte (the same registry as the table format, so a
+  segment written where native CRC32C exists replays anywhere).
+- **Entries** are ``[u32 length][u32 crc][payload]``; the CRC covers
+  the length prefix *and* the payload, so a corrupted length field
+  cannot silently re-frame the stream.
+- **Appends** go through :mod:`repro.inventory.fsio` — the single
+  durable-write seam — via one ``write`` call per entry, so the
+  deterministic fault harness (:mod:`repro.testing.faults`) can tear,
+  short-write or crash any individual append, and the REP001 durability
+  rule holds with no pragma: :func:`WalWriter.append` is the module's
+  one append path and it never opens a file raw.
+- **Fsync policy** is explicit: ``sync_every`` (fsync after every N-th
+  append; 1 = group-commit-of-one, the durable default) and
+  ``sync_interval_s`` (an upper bound on how stale the disk may be).
+  Records are *acked* only once covered by an fsync.
+
+Replay distinguishes the two failure classes the recovery contract
+cares about:
+
+- a **torn tail** — the final entry of the *last* segment is incomplete
+  or fails its CRC with nothing after it — is what a crash mid-append
+  legitimately leaves behind; replay recovers to the last good entry
+  and (by default) truncates the garbage so the segment is clean for
+  the next reader (``wal.truncated_tail`` counts these);
+- anything else — a bad entry *inside* a segment, a bad entry in a
+  non-final segment, a mangled header — cannot be produced by a crash
+  of this writer and raises a typed
+  :class:`~repro.inventory.sstable.CorruptionError`, never a silently
+  short replay.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO
+
+from repro.engine.metrics import CounterSet
+from repro.inventory import checksum as _checksum
+from repro.inventory import fsio
+from repro.inventory.sstable import CorruptionError
+from repro.obs import registry
+
+SPAN_REPLAY = registry.register_span(
+    "wal.replay",
+    "replaying WAL segments into a fresh memtable on live-inventory open",
+)
+
+COUNTER_REPLAYED = registry.register_counter(
+    "wal.replayed",
+    "WAL entries successfully replayed on recovery",
+)
+COUNTER_TRUNCATED_TAIL = registry.register_counter(
+    "wal.truncated_tail",
+    "torn WAL segment tails recovered-to-last-good on replay",
+)
+COUNTER_APPENDS = registry.register_counter(
+    "wal.appends",
+    "entries appended to the write-ahead log",
+)
+COUNTER_FSYNCS = registry.register_counter(
+    "wal.fsyncs",
+    "fsync calls issued by the WAL writer (policy-driven and explicit)",
+)
+COUNTER_SEGMENTS_RETIRED = registry.register_counter(
+    "wal.segments_retired",
+    "WAL segments deleted after their contents were durably flushed",
+)
+
+#: Segment header: magic then one checksum-algorithm byte.
+_MAGIC = b"POLWAL1\n"
+_HEADER_LEN = len(_MAGIC) + 1
+#: Per-entry frame header: big-endian u32 payload length, u32 CRC.
+_ENTRY_HEADER = struct.Struct(">II")
+#: Segment files: ``wal-<seq>.log``, zero-padded so lexical == numeric order.
+_SEGMENT_GLOB = "wal-*.log"
+_SEGMENT_FMT = "wal-{seq:010d}.log"
+#: Rotation threshold for new segments (appends never split an entry).
+DEFAULT_SEGMENT_BYTES = 8 * 1024 * 1024
+
+
+def segment_path(directory: str | Path, seq: int) -> Path:
+    """The path of segment ``seq`` under ``directory``."""
+    return Path(directory) / _SEGMENT_FMT.format(seq=seq)
+
+
+def list_segments(directory: str | Path) -> list[tuple[int, Path]]:
+    """All WAL segments under ``directory`` as (seq, path), replay order.
+
+    A segment whose name does not parse back to its sequence number is
+    reported as hard corruption — segment names are part of the format.
+    """
+    out: list[tuple[int, Path]] = []
+    for path in sorted(Path(directory).glob(_SEGMENT_GLOB)):
+        stem = path.name[len("wal-") : -len(".log")]
+        if not stem.isdigit():
+            raise CorruptionError("unparseable WAL segment name", path=path)
+        out.append((int(stem), path))
+    return out
+
+
+@dataclass(frozen=True)
+class SegmentReport:
+    """One segment's verification outcome (``repro fsck --wal``).
+
+    ``status`` is ``ok``, ``torn-tail`` (recoverable: replay truncates
+    to the last good entry) or ``corrupt`` (hard: replay raises).
+    """
+
+    seq: int
+    path: Path
+    status: str
+    entries: int
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class WalCheck:
+    """Aggregate WAL verification result (``verify_wal``)."""
+
+    directory: Path
+    segments: tuple[SegmentReport, ...]
+
+    @property
+    def entries(self) -> int:
+        """Total replayable entries across all segments."""
+        return sum(report.entries for report in self.segments)
+
+    @property
+    def hard_corruption(self) -> bool:
+        """True when replay would raise instead of recovering."""
+        return any(report.status == "corrupt" for report in self.segments)
+
+    @property
+    def torn_tail(self) -> bool:
+        """True when the final segment ends in a recoverable torn entry."""
+        return any(report.status == "torn-tail" for report in self.segments)
+
+    @property
+    def ok(self) -> bool:
+        """True when every segment verified clean end to end."""
+        return not self.hard_corruption and not self.torn_tail
+
+    def lines(self) -> list[str]:
+        """Human-readable report lines (the fsck output)."""
+        out = [f"wal: {self.directory} ({len(self.segments)} segment(s))"]
+        for report in self.segments:
+            line = f"  {report.path.name}: {report.status}, {report.entries} entr(ies)"
+            if report.detail:
+                line += f" — {report.detail}"
+            out.append(line)
+        if self.hard_corruption:
+            out.append("  verdict: HARD CORRUPTION — replay will raise; restore from backup")
+        elif self.torn_tail:
+            out.append("  verdict: torn tail — recoverable, replay truncates to last good entry")
+        else:
+            out.append("  verdict: clean")
+        return out
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """What :func:`replay` recovered.
+
+    ``last_seq`` is the highest segment sequence seen (0 when the log is
+    empty) — the writer continues at ``last_seq + 1``.
+    """
+
+    entries: tuple[bytes, ...]
+    last_seq: int
+    truncated_tails: int
+
+
+class _SegmentScan:
+    """Parse one segment's raw bytes into entries.
+
+    ``good_offset`` tracks the end of the last fully-verified entry so a
+    torn tail can be truncated back to it.
+    """
+
+    def __init__(self, path: Path, data: bytes) -> None:
+        self.path = path
+        self.data = data
+        self.entries: list[bytes] = []
+        self.good_offset = 0
+        self.torn_detail = ""
+
+    def scan(self) -> str:
+        """Parse; returns ``ok``, ``torn-tail`` or raises nothing.
+
+        Hard corruption is returned as ``corrupt`` with the detail in
+        ``torn_detail`` — the caller decides whether to raise (replay)
+        or report (verify).
+        """
+        data = self.data
+        size = len(data)
+        if size == 0:
+            return "ok"  # freshly-truncated or never-written segment
+        if size < _HEADER_LEN:
+            self.torn_detail = "truncated segment header"
+            return "torn-tail" if data == _MAGIC[:size] else "corrupt"
+        if data[: len(_MAGIC)] != _MAGIC:
+            self.torn_detail = "bad segment magic"
+            return "corrupt"
+        try:
+            crc = _checksum.checksum_fn(data[len(_MAGIC)])
+        except ValueError:
+            self.torn_detail = f"unknown checksum algorithm id {data[len(_MAGIC)]}"
+            return "corrupt"
+        offset = _HEADER_LEN
+        self.good_offset = offset
+        while offset < size:
+            remaining = size - offset
+            if remaining < _ENTRY_HEADER.size:
+                self.torn_detail = f"torn entry header at offset {offset}"
+                return "torn-tail"
+            length, expected = _ENTRY_HEADER.unpack_from(data, offset)
+            end = offset + _ENTRY_HEADER.size + length
+            if end > size:
+                self.torn_detail = (
+                    f"entry at offset {offset} declares {length} bytes, "
+                    f"{remaining - _ENTRY_HEADER.size} remain"
+                )
+                return "torn-tail"
+            payload = data[offset + _ENTRY_HEADER.size : end]
+            if crc(data[offset : offset + 4] + payload) != expected:
+                self.torn_detail = f"CRC mismatch at offset {offset}"
+                # A crash can only tear the *final* bytes of the file: a
+                # bad CRC with more entries behind it is bit rot.
+                return "torn-tail" if end == size else "corrupt"
+            self.entries.append(payload)
+            offset = end
+            self.good_offset = offset
+        return "ok"
+
+
+def _scan_segment(path: Path) -> _SegmentScan:
+    handle = fsio.open_file(path, "rb")
+    try:
+        data = handle.read()
+    finally:
+        handle.close()
+    return _SegmentScan(path, data)
+
+
+def _truncate_segment(scan: _SegmentScan) -> None:
+    """Cut a torn tail back to the last verified entry, durably."""
+    handle = fsio.open_file(scan.path, "r+b")
+    try:
+        handle.truncate(scan.good_offset)
+        fsio.fsync_file(handle)
+    finally:
+        handle.close()
+
+
+def replay(
+    directory: str | Path,
+    *,
+    min_seq: int = 0,
+    repair: bool = True,
+    counters: CounterSet | None = None,
+) -> ReplayResult:
+    """Recover every durable entry from segments with seq > ``min_seq``.
+
+    A torn tail on the *last* segment is recovered-to-last-good (and
+    truncated when ``repair`` is true, so the segment stays appendable
+    and later replays do not mistake the old tear for interior rot).
+    Any other damage raises :class:`CorruptionError` — recovery is never
+    silently short.
+    """
+    segments = [(seq, path) for seq, path in list_segments(directory) if seq > min_seq]
+    entries: list[bytes] = []
+    truncated = 0
+    last_seq = max((seq for seq, _ in segments), default=0)
+    for seq, path in segments:
+        scan = _scan_segment(path)
+        status = scan.scan()
+        if status == "corrupt" or (status == "torn-tail" and seq != last_seq):
+            raise CorruptionError(
+                scan.torn_detail or "unreadable WAL segment", path=path
+            )
+        if status == "torn-tail":
+            truncated += 1
+            if counters is not None:
+                counters.increment(COUNTER_TRUNCATED_TAIL)
+            if repair:
+                _truncate_segment(scan)
+        entries.extend(scan.entries)
+    if counters is not None and entries:
+        counters.increment(COUNTER_REPLAYED, len(entries))
+    return ReplayResult(
+        entries=tuple(entries), last_seq=last_seq, truncated_tails=truncated
+    )
+
+
+def verify_wal(directory: str | Path) -> WalCheck:
+    """Check every segment without modifying anything (``fsck --wal``).
+
+    Unlike :func:`replay` this never raises on damage: each segment gets
+    a :class:`SegmentReport` and the caller triages.  A torn tail on a
+    non-final segment is reported as ``corrupt`` (replay would refuse
+    it), matching the recovery semantics exactly.
+    """
+    directory = Path(directory)
+    segments = list_segments(directory)
+    last_seq = max((seq for seq, _ in segments), default=0)
+    reports = []
+    for seq, path in segments:
+        try:
+            scan = _scan_segment(path)
+            status = scan.scan()
+        except OSError as exc:
+            reports.append(
+                SegmentReport(seq, path, "corrupt", 0, f"unreadable: {exc}")
+            )
+            continue
+        if status == "torn-tail" and seq != last_seq:
+            status = "corrupt"
+            scan.torn_detail += " (non-final segment: not a crash artifact)"
+        reports.append(
+            SegmentReport(seq, path, status, len(scan.entries), scan.torn_detail)
+        )
+    return WalCheck(directory=directory, segments=tuple(reports))
+
+
+class WalWriter:
+    """Appends entries to segment files under an explicit fsync policy.
+
+    One instance owns the log's tail: ``append`` frames and writes the
+    entry (a single seam ``write``), then applies the fsync policy.
+    ``durable_entries`` tells the caller how many appended entries are
+    covered by an fsync — the ack watermark.  Not thread-safe; the
+    owning :class:`~repro.inventory.live.LiveInventory` serialises
+    writers under its own lock.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        start_seq: int = 1,
+        sync_every: int = 1,
+        sync_interval_s: float | None = None,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        counters: CounterSet | None = None,
+    ) -> None:
+        if sync_every < 1:
+            raise ValueError(f"sync_every must be >= 1, got {sync_every}")
+        if sync_interval_s is not None and sync_interval_s <= 0:
+            raise ValueError("sync_interval_s must be positive")
+        if segment_bytes < _HEADER_LEN + _ENTRY_HEADER.size:
+            raise ValueError(f"segment_bytes too small: {segment_bytes}")
+        self._directory = Path(directory)
+        self.sync_every = sync_every
+        self.sync_interval_s = sync_interval_s
+        self.segment_bytes = segment_bytes
+        self._counters = counters
+        self._algo = _checksum.DEFAULT_ALGO
+        self._crc = _checksum.checksum_fn(self._algo)
+        self._appended = 0
+        self._durable = 0
+        self._last_sync = time.monotonic()
+        self._handle: IO[bytes] | None = None
+        self._seq = start_seq - 1
+        self._segment_size = 0
+        self._closed = False
+        self._open_segment(start_seq)
+
+    # -- state ---------------------------------------------------------------------
+
+    @property
+    def current_seq(self) -> int:
+        """Sequence number of the segment currently being appended to."""
+        return self._seq
+
+    @property
+    def appended_entries(self) -> int:
+        """Entries appended this session (durable or not)."""
+        return self._appended
+
+    @property
+    def durable_entries(self) -> int:
+        """Entries covered by an fsync — the ack watermark."""
+        return self._durable
+
+    # -- the single append path (REP001: every byte goes through fsio) --------------
+
+    def append(self, payload: bytes) -> int:
+        """Append one entry; returns this session's entry ordinal.
+
+        The entry reaches the OS in one seam ``write``; durability
+        follows the fsync policy (call :meth:`sync` to force it).
+        """
+        if self._closed:
+            raise ValueError("WAL writer is closed")
+        if self._segment_size >= self.segment_bytes:
+            self.rotate()
+        handle = self._handle
+        assert handle is not None
+        frame = struct.pack(">I", len(payload))
+        entry = frame + struct.pack(">I", self._crc(frame + payload)) + payload
+        handle.write(entry)
+        self._segment_size += len(entry)
+        self._appended += 1
+        if self._counters is not None:
+            self._counters.increment(COUNTER_APPENDS)
+        if self._should_sync():
+            self.sync()
+        return self._appended
+
+    def _should_sync(self) -> bool:
+        if self._appended - self._durable >= self.sync_every:
+            return True
+        if self.sync_interval_s is not None:
+            return time.monotonic() - self._last_sync >= self.sync_interval_s
+        return False
+
+    def sync(self) -> int:
+        """Force every appended entry durable; returns the watermark."""
+        if self._closed:
+            raise ValueError("WAL writer is closed")
+        if self._durable != self._appended:
+            handle = self._handle
+            assert handle is not None
+            fsio.fsync_file(handle)
+            self._durable = self._appended
+            if self._counters is not None:
+                self._counters.increment(COUNTER_FSYNCS)
+        self._last_sync = time.monotonic()
+        return self._durable
+
+    # -- segments ------------------------------------------------------------------
+
+    def rotate(self) -> int:
+        """Seal the current segment (fsynced) and open the next one.
+
+        Returns the sealed segment's sequence number — the flush
+        boundary: every entry appended so far lives in a segment with
+        seq <= the returned value.
+        """
+        sealed = self._seq
+        self.sync()
+        handle = self._handle
+        assert handle is not None
+        handle.close()
+        self._open_segment(sealed + 1)
+        return sealed
+
+    def _open_segment(self, seq: int) -> None:
+        path = segment_path(self._directory, seq)
+        handle = fsio.open_file(path, "ab")
+        try:
+            if handle.tell() == 0:
+                handle.write(_MAGIC + bytes([self._algo]))
+                fsio.fsync_file(handle)
+                if self._counters is not None:
+                    self._counters.increment(COUNTER_FSYNCS)
+                fsio.fsync_dir(self._directory)
+        except BaseException:
+            handle.close()
+            raise
+        self._handle = handle
+        self._seq = seq
+        self._segment_size = handle.tell()
+        self._last_sync = time.monotonic()
+
+    def retire_through(self, seq: int) -> int:
+        """Delete segments with sequence <= ``seq`` (never the active one).
+
+        Called only after the contents of those segments are durably
+        published as tables; returns how many segments were removed.
+        """
+        retired = 0
+        for existing_seq, path in list_segments(self._directory):
+            if existing_seq <= seq and existing_seq != self._seq:
+                fsio.unlink(path)
+                retired += 1
+        if retired and self._counters is not None:
+            self._counters.increment(COUNTER_SEGMENTS_RETIRED, retired)
+        return retired
+
+    def close(self) -> None:
+        """Fsync and release the active segment handle."""
+        if self._closed:
+            return
+        try:
+            self.sync()
+        finally:
+            self._closed = True
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None

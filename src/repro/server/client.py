@@ -176,6 +176,26 @@ class InventoryClient:
             for raw in result.get("summaries", [])
         ]
 
+    def ingest(self, records: list[dict]) -> dict:
+        """Send a batch of live records to a ``--live`` server.
+
+        Each record is the wire form of an
+        :class:`~repro.inventory.memtable.IngestRecord` — required
+        ``mmsi``/``ts``/``lat``/``lon``/``sog``/``cog`` plus optional
+        ``vessel_type``, ``heading``, trip fields and ``extras`` (see
+        ``IngestRecord.to_wire``).  Returns the ack:
+        ``{"accepted": n, "durable": bool, "flushed": bool}`` — a record
+        is durable once its WAL entry is fsynced, so ``durable`` is
+        always true under the default ``sync_every=1`` policy.
+
+        A read-only backend answers a typed ``bad_request``
+        :class:`ServerError`; so does a malformed record, with the
+        message naming ``records[i]`` and the bad field.  The fan-out
+        cap of the multi requests applies (split large batches).
+        """
+        result = self.request("ingest", records=list(records))
+        return dict(result.get("ingest", {}))
+
     def multi_query(self, requests: list[dict]) -> list[dict]:
         """Send many (non-multi) requests in ONE round trip.
 

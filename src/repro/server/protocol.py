@@ -52,6 +52,7 @@ REQUEST_TYPES = (
     "trace",
     "multi_get",
     "multi_query",
+    "ingest",
 )
 
 #: The multi-request types: one frame carrying many sub-requests, answered

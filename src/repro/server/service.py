@@ -66,6 +66,7 @@ class InventoryService:
             "trace": self._trace,
             "multi_get": self._multi_get,
             "multi_query": self._multi_query,
+            "ingest": self._ingest,
         }
 
     def handle(self, request: dict) -> dict:
@@ -100,7 +101,37 @@ class InventoryService:
         shard_stats = getattr(inventory, "shard_stats", None)
         if callable(shard_stats):
             stats["shards"] = shard_stats()
+        # A live (WAL + memtable) backend reports its write-path state —
+        # memtable fill, table count, WAL watermarks — the same way.
+        ingest_stats = getattr(inventory, "ingest_stats", None)
+        if callable(ingest_stats):
+            stats["ingest"] = ingest_stats()
         return {"inventory": stats}
+
+    def _ingest(self, request: dict) -> dict:
+        """Accept a batch of live records (write path).
+
+        Only backends exposing ``ingest_records`` (the
+        :class:`~repro.inventory.live.LiveInventory` hook) accept
+        writes; every other backend is read-only and answers a typed
+        ``bad_request``.  The fan-out cap and response-budget rules of
+        the multi requests apply: one frame, bounded work.
+        """
+        sink = getattr(self.inventory, "ingest_records", None)
+        if not callable(sink):
+            raise BadRequestError(
+                "backend is read-only: ingest requires a live inventory "
+                "(repro serve --live)"
+            )
+        records = self._fanout_items(request, "records")
+        try:
+            ack = sink(records)
+        except SSTableError:
+            raise  # storage damage is data_corruption, never bad_request
+        except ValueError as exc:
+            # The hook names the offending record index (records[i]: ...).
+            raise BadRequestError(str(exc)) from None
+        return {"ingest": ack}
 
     def _trace(self, request: dict) -> dict:
         # The live tail of the tracer's ring buffer (``repro serve

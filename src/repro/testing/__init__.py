@@ -2,9 +2,9 @@
 
 :mod:`repro.testing.faults` is the deterministic fault-injection
 harness: it interposes on the storage layer's filesystem seam
-(:mod:`repro.inventory.fsio`) to inject torn writes, ``ENOSPC``, read
-``EIO``, single-bit flips and crash-before-rename at exact, replayable
-operation indices.  It lives in the package (not under ``tests/``) so
+(:mod:`repro.inventory.fsio`) to inject torn writes, short appends,
+``ENOSPC``, read ``EIO``, single-bit flips, silently-dropped fsyncs and
+crash-before-rename/-unlink at exact, replayable operation indices.  It lives in the package (not under ``tests/``) so
 benchmarks, examples and downstream users can drive the same campaigns
 the fault-matrix suite runs in CI.
 """

@@ -16,10 +16,24 @@ fault fires:
 - ``torn``   (write)  — a prefix of the buffer reaches the file, then
   the process "dies" (:class:`SimulatedCrash`); the cut point derives
   from the plan's seed;
+- ``short``  (write)  — a prefix of the buffer reaches the file but the
+  call *reports full success* and the process lives on (the
+  short-append a flaky disk or interposing layer produces): whatever
+  checks durability later must catch the hole.  Combined with a later
+  ``crash`` it is the WAL matrix's short-append-then-die scenario;
 - ``enospc`` (write)  — ``OSError(ENOSPC)``, the classic full disk;
-- ``crash``  (write/rename/fsync) — :class:`SimulatedCrash` *before*
-  the operation takes effect (crash-before-rename is the canonical
-  atomicity probe);
+- ``crash``  (write/rename/fsync/unlink) — :class:`SimulatedCrash`
+  *before* the operation takes effect.  Crash-before-rename is the
+  canonical atomicity probe; crash-before-unlink is the WAL's
+  crash-between-flush-publish-and-segment-retire window — the flushed
+  table is durably committed but its WAL segments were never deleted,
+  and reopening must not replay (double-count) them;
+- ``dropped``(fsync)  — the fsync silently does nothing (a lying disk
+  or an eat-my-data layer).  The process lives on believing the data
+  durable; a later ``crash`` models fsync-dropped-then-crash.  Because
+  the harness cannot un-write the OS page cache, campaigns use this to
+  assert recovery stays *consistent* when durability is betrayed (no
+  corruption, no partial records), not to assert the lost-ack itself;
 - ``eio``    (read)   — ``OSError(EIO)``, dying media;
 - ``bitflip``(read)   — one bit of the returned data flips silently
   (position derives from the seed): the misread checksums must catch.
@@ -53,14 +67,15 @@ from dataclasses import dataclass, field
 from repro.inventory import fsio
 
 #: Operation kinds the harness counts.
-OPS = ("write", "read", "rename", "fsync")
+OPS = ("write", "read", "rename", "fsync", "unlink")
 
 #: Which fault kinds are meaningful for which operation.
 VALID_KINDS = {
-    "write": frozenset({"torn", "enospc", "crash"}),
+    "write": frozenset({"torn", "short", "enospc", "crash"}),
     "read": frozenset({"eio", "bitflip"}),
     "rename": frozenset({"crash"}),
-    "fsync": frozenset({"crash"}),
+    "fsync": frozenset({"crash", "dropped"}),
+    "unlink": frozenset({"crash"}),
 }
 
 
@@ -168,13 +183,19 @@ class FaultInjector:
         if self.crashed:
             return
         fault = self._next("fsync")
-        if fault is not None and fault.kind == "crash":
-            self._crash(fault)
+        if fault is not None:
+            if fault.kind == "crash":
+                self._crash(fault)
+            if fault.kind == "dropped":
+                return  # the disk lied: nothing reached stable storage
         os.fsync(fd)
 
     def _unlink(self, path):
         if self.crashed:
             return  # a dead process cleans nothing up
+        fault = self._next("unlink")
+        if fault is not None and fault.kind == "crash":
+            self._crash(fault)  # strictly *before* the entry disappears
         os.unlink(path)
 
 
@@ -195,6 +216,14 @@ class _FaultFile:
             return self._inner.write(data)
         if fault.kind == "enospc":
             raise OSError(errno.ENOSPC, "no space left on device (injected)")
+        if fault.kind == "short":
+            # A prefix lands, but the caller is told everything did; the
+            # process lives on.  Durability checks must catch the hole.
+            if data:
+                cut = injector.plan.rng_for(fault).randrange(len(data))
+                self._inner.write(data[:cut])
+                self._inner.flush()
+            return len(data)
         if fault.kind == "torn":
             if data:
                 cut = injector.plan.rng_for(fault).randrange(len(data))

@@ -128,6 +128,43 @@ def test_rep001_negatives(tmp_path):
     assert analyze(root, [DurableWriteRule]) == []
 
 
+RAW_WAL_APPEND = """\
+    def append_entry(path, frame):
+        with open(path, "ab") as handle:  # raw-append
+            handle.write(frame)
+"""
+
+SEAMED_WAL_APPEND = """\
+    from repro.inventory import fsio
+
+
+    def append_entry(path, frame):
+        handle = fsio.open_file(path, "ab")
+        try:
+            handle.write(frame)
+            fsio.fsync_file(handle)
+        finally:
+            handle.close()
+"""
+
+
+def test_rep001_wal_appends_go_through_the_seam(tmp_path):
+    """The WAL's append path (PR 8) is exactly the torn-write window the
+    seam closes: a raw ``open(path, "ab")`` in storage code is flagged,
+    the ``fsio.open_file`` form the real ``wal.py`` uses is clean —
+    and invisible appends would also dodge the fault matrix, which
+    interposes on the seam."""
+    root = make_tree(tmp_path, {"inventory/rawwal.py": RAW_WAL_APPEND})
+    findings = analyze(root, [DurableWriteRule])
+    assert hits(findings, "REP001") == [
+        ("inventory/rawwal.py", line_of(RAW_WAL_APPEND, "raw-append"))
+    ]
+    seamed = make_tree(
+        tmp_path / "ok", {"inventory/seamwal.py": SEAMED_WAL_APPEND}
+    )
+    assert analyze(seamed, [DurableWriteRule]) == []
+
+
 # ---------------------------------------------------------------- REP002
 
 

@@ -306,3 +306,127 @@ def test_serve_sinks_and_config_plumbing(tmp_path):
     args.slow_request_ms = None
     assert _serve_sinks(args) == []
     assert _serve_config(args).slow_request_s is None
+
+
+def test_serve_requires_exactly_one_backend(tmp_path, capsys):
+    assert main(["serve"]) == 2
+    assert "exactly one of --inventory or --live" in capsys.readouterr().err
+    code = main([
+        "serve", "--inventory", str(tmp_path / "t.sst"),
+        "--live", str(tmp_path / "live"),
+    ])
+    assert code == 2
+    assert "exactly one" in capsys.readouterr().err
+
+
+def test_serve_backend_live_plumbing(tmp_path):
+    """--live flags reach the LiveInventory constructor."""
+    import argparse
+
+    from repro.cli import _serve_backend
+    from repro.inventory.live import LiveInventory
+
+    args = argparse.Namespace(
+        inventory=None, live=tmp_path / "live", resolution=5,
+        sync_every=4, sync_interval=0.5, flush_records=123,
+        compact_tables=3, cache_blocks=64,
+    )
+    with _serve_backend(args) as backend:
+        assert isinstance(backend, LiveInventory)
+        assert backend.resolution == 5
+        assert backend.flush_records == 123
+        assert backend.compact_tables == 3
+
+
+def test_fsck_requires_a_target(capsys):
+    assert main(["fsck"]) == 2
+    assert "needs --inventory and/or --wal" in capsys.readouterr().err
+
+
+@pytest.fixture()
+def live_dir(tmp_path):
+    """A live directory with a flushed table and a fresh WAL tail."""
+    from repro.inventory.live import LiveInventory
+    from repro.inventory.memtable import IngestRecord
+
+    directory = tmp_path / "live"
+    with LiveInventory(directory, resolution=6) as inventory:
+        inventory.ingest([
+            IngestRecord(
+                mmsi=563_000_000 + i, ts=1_700_000_000.0 + i,
+                lat=1.3, lon=103.8, sog=9.0, cog=45.0,
+            )
+            for i in range(6)
+        ])
+        inventory.flush()
+        inventory.ingest([
+            IngestRecord(
+                mmsi=563_000_100 + i, ts=1_700_000_100.0 + i,
+                lat=1.3, lon=103.8, sog=9.0, cog=45.0,
+            )
+            for i in range(2)
+        ])
+    return directory
+
+
+def test_fsck_wal_clean(live_dir, capsys):
+    assert main(["fsck", "--wal", str(live_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+    assert "table tab-00000001.sst: ok" in out
+
+
+def test_fsck_wal_torn_tail_exits_zero(live_dir, capsys):
+    from repro.inventory.wal import list_segments
+
+    _, tail = list_segments(live_dir)[-1]
+    with open(tail, "ab") as handle:
+        handle.write(b"\x00\x00")
+    assert main(["fsck", "--wal", str(live_dir)]) == 0
+    assert "recoverable torn tail" in capsys.readouterr().out
+
+
+def test_fsck_wal_hard_corruption_exits_one(live_dir, capsys):
+    from repro.inventory.wal import list_segments
+
+    _, tail = list_segments(live_dir)[-1]
+    data = bytearray(tail.read_bytes())
+    # Flip a payload bit of the FIRST of the tail's two entries: a CRC
+    # failure with a valid entry after it is interior damage, not a tear.
+    data[9 + 8] ^= 0x40
+    tail.write_bytes(bytes(data))
+    assert main(["fsck", "--wal", str(live_dir)]) == 1
+    assert "HARD WAL corruption" in capsys.readouterr().out
+
+
+def test_fsck_wal_corrupt_manifest_table_exits_one(live_dir, capsys):
+    table = live_dir / "tab-00000001.sst"
+    data = bytearray(table.read_bytes())
+    data[len(data) // 2] ^= 0x40
+    table.write_bytes(bytes(data))
+    assert main(["fsck", "--wal", str(live_dir)]) == 1
+    out = capsys.readouterr().out
+    assert "table tab-00000001.sst: CORRUPT" in out
+    assert "salvage" in out
+
+
+def test_feed_records_from_csv_archive(archive):
+    """The ingest feed reader: NOAA CSV rows become wire records, the
+    fleet sidecar supplies vessel_type, heading 511 travels as absent."""
+    import argparse
+
+    from repro.ais.messages import HEADING_NOT_AVAILABLE
+    from repro.cli import _feed_records, _read_fleet
+    from repro.inventory.memtable import IngestRecord
+
+    sidecar = archive.with_suffix(".fleet.csv")
+    segments = {
+        vessel.mmsi: vessel.segment.value for vessel in _read_fleet(sidecar)
+    }
+    args = argparse.Namespace(feed=archive, nmea=False)
+    records = list(_feed_records(args, segments))
+    assert records
+    for record in records:
+        assert record.get("heading") != HEADING_NOT_AVAILABLE
+        assert record["vessel_type"] == segments[record["mmsi"]]
+        IngestRecord.from_wire(record)  # every record is ingestable

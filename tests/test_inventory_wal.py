@@ -1,0 +1,297 @@
+"""The write-ahead log's format and recovery contract.
+
+Append/replay roundtrips, the fsync-policy ack watermark, segment
+rotation and retirement, and the two damage classes: a torn tail on the
+final segment recovers-to-last-good (and is truncated so later replays
+stay clean), while interior damage — bit rot, a bad entry with entries
+behind it, damage in a non-final segment — raises a typed
+:class:`CorruptionError`, never a silently short replay.
+"""
+
+import struct
+
+import pytest
+
+from repro.engine.metrics import CounterSet
+from repro.inventory import CorruptionError
+from repro.inventory.wal import (
+    COUNTER_REPLAYED,
+    COUNTER_TRUNCATED_TAIL,
+    WalWriter,
+    list_segments,
+    replay,
+    segment_path,
+    verify_wal,
+)
+
+PAYLOADS = [f"entry-{i}".encode() * (i % 5 + 1) for i in range(20)]
+
+
+def _fill(directory, payloads=PAYLOADS, **kwargs):
+    writer = WalWriter(directory, **kwargs)
+    for payload in payloads:
+        writer.append(payload)
+    writer.close()
+    return writer
+
+
+class TestRoundtrip:
+    def test_append_then_replay_is_identity(self, tmp_path):
+        _fill(tmp_path)
+        result = replay(tmp_path)
+        assert list(result.entries) == PAYLOADS
+        assert result.truncated_tails == 0
+
+    def test_replay_of_empty_directory(self, tmp_path):
+        result = replay(tmp_path)
+        assert result.entries == ()
+        assert result.last_seq == 0
+
+    def test_replay_counts_entries(self, tmp_path):
+        _fill(tmp_path)
+        counters = CounterSet()
+        replay(tmp_path, counters=counters)
+        assert counters.value(COUNTER_REPLAYED) == len(PAYLOADS)
+
+    def test_binary_payloads_roundtrip(self, tmp_path):
+        payloads = [b"", b"\x00" * 100, bytes(range(256))]
+        _fill(tmp_path, payloads=payloads)
+        assert list(replay(tmp_path).entries) == payloads
+
+
+class TestFsyncPolicy:
+    def test_sync_every_one_acks_immediately(self, tmp_path):
+        writer = WalWriter(tmp_path, sync_every=1)
+        writer.append(b"a")
+        assert writer.durable_entries == writer.appended_entries == 1
+        writer.close()
+
+    def test_batched_policy_lags_until_threshold(self, tmp_path):
+        writer = WalWriter(tmp_path, sync_every=3)
+        writer.append(b"a")
+        writer.append(b"b")
+        assert writer.durable_entries == 0
+        writer.append(b"c")
+        assert writer.durable_entries == 3
+        writer.close()
+
+    def test_explicit_sync_forces_the_watermark(self, tmp_path):
+        writer = WalWriter(tmp_path, sync_every=1000)
+        writer.append(b"a")
+        assert writer.durable_entries == 0
+        assert writer.sync() == 1
+        assert writer.durable_entries == 1
+        writer.close()
+
+    def test_close_syncs_the_tail(self, tmp_path):
+        writer = WalWriter(tmp_path, sync_every=1000)
+        writer.append(b"a")
+        writer.close()
+        assert writer.durable_entries == 1
+        assert list(replay(tmp_path).entries) == [b"a"]
+
+    def test_closed_writer_rejects_appends(self, tmp_path):
+        writer = WalWriter(tmp_path)
+        writer.close()
+        with pytest.raises(ValueError):
+            writer.append(b"a")
+
+
+class TestSegments:
+    def test_size_rotation(self, tmp_path):
+        writer = WalWriter(tmp_path, segment_bytes=64)
+        for i in range(10):
+            writer.append(b"x" * 32)
+        writer.close()
+        segments = list_segments(tmp_path)
+        assert len(segments) > 1
+        assert [seq for seq, _ in segments] == list(
+            range(1, len(segments) + 1)
+        )
+        assert len(replay(tmp_path).entries) == 10
+
+    def test_rotate_returns_the_sealed_boundary(self, tmp_path):
+        writer = WalWriter(tmp_path)
+        writer.append(b"a")
+        sealed = writer.rotate()
+        assert sealed == 1
+        assert writer.current_seq == 2
+        writer.append(b"b")
+        writer.close()
+        assert list(replay(tmp_path).entries) == [b"a", b"b"]
+
+    def test_retire_through_deletes_sealed_only(self, tmp_path):
+        writer = WalWriter(tmp_path)
+        writer.append(b"a")
+        boundary = writer.rotate()
+        writer.append(b"b")
+        writer.retire_through(boundary)
+        remaining = [seq for seq, _ in list_segments(tmp_path)]
+        assert remaining == [2]
+        # The active segment is never retired, even if asked.
+        writer.retire_through(writer.current_seq)
+        assert [seq for seq, _ in list_segments(tmp_path)] == [2]
+        writer.close()
+        assert list(replay(tmp_path).entries) == [b"b"]
+
+    def test_replay_honours_min_seq(self, tmp_path):
+        writer = WalWriter(tmp_path)
+        writer.append(b"a")
+        writer.rotate()
+        writer.append(b"b")
+        writer.close()
+        result = replay(tmp_path, min_seq=1)
+        assert list(result.entries) == [b"b"]
+        assert result.last_seq == 2
+
+    def test_writer_resumes_after_last_seq(self, tmp_path):
+        _fill(tmp_path)
+        result = replay(tmp_path)
+        writer = WalWriter(tmp_path, start_seq=result.last_seq + 1)
+        writer.append(b"new")
+        writer.close()
+        assert list(replay(tmp_path).entries) == PAYLOADS + [b"new"]
+
+    def test_unparseable_segment_name_is_corruption(self, tmp_path):
+        _fill(tmp_path)
+        (tmp_path / "wal-notanumber.log").write_bytes(b"junk")
+        with pytest.raises(CorruptionError):
+            list_segments(tmp_path)
+
+
+class TestTornTail:
+    def _tear(self, tmp_path, garbage):
+        _fill(tmp_path)
+        path = segment_path(tmp_path, 1)
+        with open(path, "ab") as handle:
+            handle.write(garbage)
+        return path
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            b"\x00\x00",  # short frame header
+            struct.pack(">I", 1 << 16) + b"partial",  # frame past EOF
+            struct.pack(">II", 4, 0xDEADBEEF) + b"body",  # CRC fail at EOF
+        ],
+        ids=["short-header", "frame-past-eof", "crc-fail-at-eof"],
+    )
+    def test_torn_tail_recovers_to_last_good(self, tmp_path, garbage):
+        path = self._tear(tmp_path, garbage)
+        size_before = path.stat().st_size
+        counters = CounterSet()
+        result = replay(tmp_path, counters=counters)
+        assert list(result.entries) == PAYLOADS
+        assert result.truncated_tails == 1
+        assert counters.value(COUNTER_TRUNCATED_TAIL) == 1
+        # Repair truncated the garbage durably: a second replay is clean.
+        assert path.stat().st_size < size_before
+        clean = replay(tmp_path)
+        assert list(clean.entries) == PAYLOADS
+        assert clean.truncated_tails == 0
+
+    def test_repair_false_leaves_the_tear_in_place(self, tmp_path):
+        path = self._tear(tmp_path, b"\x00\x00")
+        size = path.stat().st_size
+        result = replay(tmp_path, repair=False)
+        assert list(result.entries) == PAYLOADS
+        assert path.stat().st_size == size
+
+    def test_torn_tail_in_non_final_segment_raises(self, tmp_path):
+        writer = WalWriter(tmp_path)
+        writer.append(b"a")
+        writer.rotate()
+        writer.append(b"b")
+        writer.close()
+        with open(segment_path(tmp_path, 1), "ab") as handle:
+            handle.write(b"\x00\x00")
+        with pytest.raises(CorruptionError):
+            replay(tmp_path)
+
+    def test_truncated_header_of_empty_segment(self, tmp_path):
+        # A crash during segment creation can leave a partial magic.
+        segment_path(tmp_path, 1).write_bytes(b"POLW")
+        result = replay(tmp_path)
+        assert result.entries == ()
+        assert result.truncated_tails == 1
+
+
+class TestHardCorruption:
+    def test_interior_bitflip_raises(self, tmp_path):
+        _fill(tmp_path)
+        path = segment_path(tmp_path, 1)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0x40
+        path.write_bytes(bytes(data))
+        with pytest.raises(CorruptionError):
+            replay(tmp_path)
+
+    def test_bad_magic_raises(self, tmp_path):
+        _fill(tmp_path)
+        path = segment_path(tmp_path, 1)
+        data = bytearray(path.read_bytes())
+        data[0] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(CorruptionError):
+            replay(tmp_path)
+
+    def test_length_field_corruption_cannot_reframe(self, tmp_path):
+        # Flip a bit in the first entry's length prefix: the CRC covers
+        # the prefix, so the stream cannot be silently re-framed.
+        _fill(tmp_path)
+        path = segment_path(tmp_path, 1)
+        data = bytearray(path.read_bytes())
+        data[9 + 3] ^= 0x01  # low byte of the first entry's length
+        path.write_bytes(bytes(data))
+        with pytest.raises(CorruptionError):
+            replay(tmp_path)
+
+
+class TestVerifyWal:
+    def test_clean_log_reports_ok(self, tmp_path):
+        _fill(tmp_path)
+        check = verify_wal(tmp_path)
+        assert check.ok
+        assert not check.hard_corruption and not check.torn_tail
+        assert check.entries == len(PAYLOADS)
+        assert any("clean" in line for line in check.lines())
+
+    def test_torn_tail_reported_not_raised(self, tmp_path):
+        _fill(tmp_path)
+        with open(segment_path(tmp_path, 1), "ab") as handle:
+            handle.write(b"\x00\x00")
+        check = verify_wal(tmp_path)
+        assert check.torn_tail and not check.hard_corruption
+        assert check.entries == len(PAYLOADS)
+
+    def test_interior_damage_reported_as_hard(self, tmp_path):
+        _fill(tmp_path)
+        path = segment_path(tmp_path, 1)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0x40
+        path.write_bytes(bytes(data))
+        check = verify_wal(tmp_path)
+        assert check.hard_corruption
+        assert not check.ok
+
+    def test_torn_non_final_segment_reported_as_hard(self, tmp_path):
+        writer = WalWriter(tmp_path)
+        writer.append(b"a")
+        writer.rotate()
+        writer.append(b"b")
+        writer.close()
+        with open(segment_path(tmp_path, 1), "ab") as handle:
+            handle.write(b"\x00\x00")
+        check = verify_wal(tmp_path)
+        assert check.hard_corruption
+        statuses = {r.seq: r.status for r in check.segments}
+        assert statuses == {1: "corrupt", 2: "ok"}
+
+    def test_verify_never_modifies(self, tmp_path):
+        _fill(tmp_path)
+        path = segment_path(tmp_path, 1)
+        with open(path, "ab") as handle:
+            handle.write(b"\x00\x00")
+        before = path.read_bytes()
+        verify_wal(tmp_path)
+        assert path.read_bytes() == before

@@ -1,0 +1,171 @@
+"""The server's write path: ``ingest`` requests against a ``--live``
+backend.
+
+The contract mirrors the read side's: remote equals local (an ingested
+batch is served by ``summary_at`` exactly as an in-process
+:meth:`LiveInventory.ingest` would), errors are typed (read-only
+backends and malformed records answer ``bad_request`` naming the
+problem, oversized batches answer the fan-out cap), and the connection
+survives its own rejected requests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hexgrid import latlng_to_cell
+from repro.inventory import GroupKey, Inventory
+from repro.inventory.live import LiveInventory
+from repro.inventory.summary import CellSummary
+from repro.server import (
+    InventoryClient,
+    InventoryService,
+    ServerError,
+    ServerThread,
+)
+from repro.server import protocol
+
+RESOLUTION = 6
+LAT, LON = 1.25, 103.8  # every test record lands in this one cell
+
+
+def _wire(i: int) -> dict:
+    record = {
+        "mmsi": 563_000_000 + (i % 4),
+        "ts": 1_700_000_000.0 + i * 30.0,
+        "lat": LAT,
+        "lon": LON,
+        "sog": 9.0 + (i % 5),
+        "cog": float((i * 37) % 360),
+        "vessel_type": "cargo" if i % 2 else "tanker",
+    }
+    if i % 3 != 2:
+        record.update(origin="SGSIN", destination="NLRTM", trip_id=f"t{i % 3}")
+    return record
+
+
+@pytest.fixture()
+def live_server(tmp_path):
+    with LiveInventory(tmp_path / "live", resolution=RESOLUTION) as backend:
+        service = InventoryService(backend, max_multi_items=16)
+        with ServerThread(service) as handle:
+            yield handle.address, backend
+
+
+@pytest.fixture()
+def client(live_server):
+    address, _ = live_server
+    with InventoryClient(*address) as connection:
+        yield connection
+
+
+class TestIngestOverTheWire:
+    def test_ack_shape(self, client):
+        ack = client.ingest([_wire(i) for i in range(3)])
+        assert ack == {"accepted": 3, "durable": True, "flushed": False}
+
+    def test_empty_batch_is_rejected_typed(self, client):
+        # The fan-out rule of the multi requests applies: an empty list
+        # is a malformed request, not a silent no-op.
+        with pytest.raises(ServerError) as excinfo:
+            client.ingest([])
+        assert excinfo.value.code == protocol.ERR_BAD_REQUEST
+        assert client.ping() is True
+
+    def test_ingested_records_are_served(self, live_server, client):
+        _, backend = live_server
+        client.ingest([_wire(i) for i in range(8)])
+        remote = client.summary_at(LAT, LON)
+        local = backend.summary_at(LAT, LON)
+        assert remote is not None and local is not None
+        assert remote.to_dict() == local.to_dict()
+        assert remote.records == 8
+
+    def test_remote_equals_local_ingest(self, live_server, client, tmp_path):
+        """The same batch through TCP and through the in-process API
+        produces byte-identical cells."""
+        batch = [_wire(i) for i in range(12)]
+        client.ingest(batch)
+        _, backend = live_server
+        with LiveInventory(tmp_path / "ref", resolution=RESOLUTION) as reference:
+            reference.ingest_records(batch)
+            key = GroupKey(cell=latlng_to_cell(LAT, LON, RESOLUTION))
+            assert backend.get(key).to_dict() == reference.get(key).to_dict()
+
+    def test_bad_record_names_the_index(self, client):
+        records = [_wire(0), {"mmsi": 1, "ts": 0.0}]
+        with pytest.raises(ServerError) as excinfo:
+            client.ingest(records)
+        assert excinfo.value.code == protocol.ERR_BAD_REQUEST
+        assert "records[1]" in str(excinfo.value)
+        # A rejected batch is atomic: nothing from it was applied, and
+        # the connection is still usable.
+        assert client.ping() is True
+        assert client.summary_at(LAT, LON) is None
+
+    def test_fanout_cap_applies(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.ingest([_wire(i) for i in range(17)])
+        assert excinfo.value.code == protocol.ERR_FRAME_TOO_LARGE
+        assert client.ping() is True
+
+    def test_stats_reports_the_write_path(self, client):
+        client.ingest([_wire(i) for i in range(5)])
+        stats = client.stats()["inventory"]["ingest"]
+        assert stats["records_ingested"] == 5
+        assert stats["memtable_records"] == 5
+        assert stats["tables"] == 0 and stats["flushes"] == 0
+        assert stats["wal_segment"] >= 1
+
+    def test_batched_fsync_acks_not_durable(self, tmp_path):
+        with LiveInventory(
+            tmp_path / "lazy", resolution=RESOLUTION, sync_every=1000
+        ) as backend:
+            with ServerThread(InventoryService(backend)) as handle:
+                with InventoryClient(*handle.address) as connection:
+                    ack = connection.ingest([_wire(0)])
+                    assert ack["accepted"] == 1
+                    assert ack["durable"] is False
+
+
+class TestReadOnlyBackend:
+    def test_ingest_into_readonly_backend_is_bad_request(self):
+        inventory = Inventory(resolution=RESOLUTION)
+        summary = CellSummary()
+        summary.update(
+            mmsi=100_000_000, sog=8.0, cog=45.0, heading=45,
+            trip_id="t0", eto_s=60.0, ata_s=120.0,
+            origin="CNSHA", destination="NLRTM", next_cell=None,
+        )
+        inventory.put(
+            GroupKey(cell=latlng_to_cell(LAT, LON, RESOLUTION)), summary
+        )
+        with ServerThread(InventoryService(inventory)) as handle:
+            with InventoryClient(*handle.address) as connection:
+                with pytest.raises(ServerError) as excinfo:
+                    connection.ingest([_wire(0)])
+                assert excinfo.value.code == protocol.ERR_BAD_REQUEST
+                assert "read-only" in str(excinfo.value)
+                # Reads still work on the same connection.
+                assert connection.summary_at(LAT, LON) is not None
+
+
+class TestFlushVisibility:
+    def test_server_triggered_flush_changes_no_answer(self, tmp_path):
+        """Crossing the flush threshold mid-serving must not change any
+        served summary: the snapshot swap is invisible to clients."""
+        with LiveInventory(
+            tmp_path / "flushy", resolution=RESOLUTION, flush_records=10
+        ) as backend:
+            with ServerThread(InventoryService(backend)) as handle:
+                with InventoryClient(*handle.address) as connection:
+                    before_flush = connection.ingest([_wire(i) for i in range(9)])
+                    assert before_flush["flushed"] is False
+                    pre = connection.summary_at(LAT, LON).to_dict()
+                    tripped = connection.ingest([_wire(9)])
+                    assert tripped["flushed"] is True
+                    post = connection.summary_at(LAT, LON).to_dict()
+                    stats = connection.stats()["inventory"]["ingest"]
+        assert post["records"] == pre["records"] + 1
+        assert stats["flushes"] == 1 and stats["tables"] == 1
+        assert stats["memtable_records"] == 0
