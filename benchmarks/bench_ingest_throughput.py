@@ -18,6 +18,16 @@ The second half measures what a reader pays while the memtable flushes:
 point reads are sampled concurrently with a flush + compaction cycle,
 and — the snapshot-isolation contract — the answers must be identical
 before, during and after.
+
+The third half is the *stall profile*: the same stream is ingested with
+watermark flushes and tier compactions enabled, once with maintenance
+inline (the pre-background write path: every Nth ingest pays the table
+write) and once on the background scheduler.  Per-batch ingest latency
+is bucketed by whether maintenance was running at the time; the
+background mode's p99 while maintenance is busy must stay within 2x its
+idle p99 (plus a CI noise floor) — the point of moving the work off the
+hot path — its throughput must not regress against the inline run, and
+both modes must end byte-identical.
 """
 
 from __future__ import annotations
@@ -75,7 +85,7 @@ def _ingest_run(directory, records, **kwargs):
         directory,
         resolution=RESOLUTION,
         flush_records=0,
-        compact_tables=0,
+        tier_fanout=0,
         counters=counters,
         **kwargs,
     ) as inventory:
@@ -128,7 +138,7 @@ def _reads_during_flush(directory, records):
         directory,
         resolution=RESOLUTION,
         flush_records=0,
-        compact_tables=0,
+        tier_fanout=0,
     ) as inventory:
         half = len(records) // 2
         inventory.ingest(records[:half])
@@ -169,6 +179,78 @@ def _reads_during_flush(directory, records):
     }
 
 
+def _p99(sorted_samples: list[float]) -> float:
+    if not sorted_samples:
+        return 0.0
+    return sorted_samples[min(len(sorted_samples) - 1, int(len(sorted_samples) * 0.99))]
+
+
+def _stall_profile(directory, records):
+    """Per-batch ingest latency with maintenance busy vs idle, inline
+    vs background, on the identical stream with watermark flushes and
+    tier compactions enabled.  Returns one result dict per mode; both
+    runs' final merged states must be byte-identical (asserted here)."""
+    flush_records = max(256, len(records) // 8)
+    out = {}
+    final_items = {}
+    for mode, background in (("inline", False), ("background", True)):
+        counters = CounterSet()
+        latencies: list[float] = []
+        busy: list[bool] = []
+        with LiveInventory(
+            directory / mode,
+            resolution=RESOLUTION,
+            sync_every=256,
+            flush_records=flush_records,
+            tier_fanout=2,
+            tier_base_bytes=64 * 1024,
+            background_maintenance=background,
+            # The profile measures what an ingest batch pays while the
+            # worker runs, NOT the (deliberate, bounded) valve wait — so
+            # give the valve enough headroom that it never arms here.
+            max_frozen_memtables=64,
+            counters=counters,
+        ) as inventory:
+            scheduler = inventory._scheduler
+            started = time.perf_counter()
+            for at in range(0, len(records), BATCH):
+                batch_started = time.perf_counter()
+                ack = inventory.ingest(records[at : at + BATCH])
+                latencies.append(time.perf_counter() - batch_started)
+                # Inline: the sealing batch itself pays the flush (the
+                # old hot-path stall).  Background: a batch is "busy"
+                # when it ran while maintenance was queued or running.
+                busy.append(
+                    ack.flushed if not background else scheduler.queue_depth() > 0
+                )
+            wall = time.perf_counter() - started
+            inventory.wait_maintenance()
+            stats = inventory.ingest_stats()
+            final_items[mode] = {
+                key: summary.to_dict() for key, summary in inventory.items()
+            }
+        idle = sorted(l for l, b in zip(latencies, busy) if not b)
+        during = sorted(l for l, b in zip(latencies, busy) if b)
+        out[mode] = {
+            "records_per_s": len(records) / wall,
+            "wall_s": wall,
+            "idle_p99_us": _p99(idle) * 1e6,
+            "during_p99_us": _p99(during) * 1e6,
+            "busy_batches": len(during),
+            "idle_batches": len(idle),
+            "flushes": stats["flushes"],
+            "compactions": stats["compactions"],
+            "backpressure_waits": stats["backpressure_waits"],
+            "backpressure_timeouts": stats["backpressure_timeouts"],
+        }
+    # Byte-identical reads: backgrounding the maintenance changed when
+    # tables were written, never what any query answers.
+    assert final_items["inline"] == final_items["background"], (
+        "background maintenance changed the merged state"
+    )
+    return out
+
+
 def test_ingest_throughput(tmp_path_factory):
     base = tmp_path_factory.mktemp("ingest")
     records = _records(N_RECORDS)
@@ -189,6 +271,37 @@ def test_ingest_throughput(tmp_path_factory):
     assert durable["durable_ack_share"] == 1.0
 
     flush = _reads_during_flush(base / "reads", records)
+
+    stall = _stall_profile(base / "stall", records)
+    bg, inline = stall["background"], stall["inline"]
+    # The tentpole claim: with maintenance off the hot path, an ingest
+    # batch that lands while a flush/compaction runs pays at most 2x the
+    # idle p99 — it shares the interpreter with the worker but never
+    # pays the table write itself.  The floor is half the inline mode's
+    # busy p99 (the stall being eliminated): on a machine where a flush
+    # costs 500ms, "within 2x of a 1ms idle batch" would measure GIL
+    # scheduling noise, not the write path.  Per this module's
+    # convention, timing bounds are enforced only in the full run: QUICK
+    # mode has so few busy batches that its p99 is one sample of shared-
+    # runner disk jitter.  QUICK keeps the structural assertions below.
+    if not QUICK and bg["busy_batches"]:
+        floor = max(5_000.0, 0.5 * inline["during_p99_us"])
+        assert bg["during_p99_us"] <= 2 * bg["idle_p99_us"] + floor, (
+            f"background ingest stalled: p99 {bg['during_p99_us']:.0f}us "
+            f"during maintenance vs {bg['idle_p99_us']:.0f}us idle "
+            f"(inline flush stall: {inline['during_p99_us']:.0f}us)"
+        )
+        # And it must not cost throughput against the inline write path
+        # (0.7 factor: machines are noisy, the direction is what matters).
+        assert bg["records_per_s"] >= 0.7 * inline["records_per_s"], (
+            "background maintenance lost throughput vs the inline write path"
+        )
+    # The valve never armed (headroom was configured), so no batch's
+    # latency above is a deliberate backpressure wait.
+    assert bg["backpressure_waits"] == 0 and bg["backpressure_timeouts"] == 0
+    # Both modes really exercised the maintenance pipeline.
+    assert bg["flushes"] >= 1 and inline["flushes"] >= 1
+    assert bg["compactions"] >= 1 and inline["compactions"] >= 1
 
     lines = [
         "Live-ingest throughput: the WAL durability dial "
@@ -211,7 +324,20 @@ def test_ingest_throughput(tmp_path_factory):
         f"  during flush p50 {flush['during_p50_us']:>8.1f}us  "
         f"max {flush['during_max_us']:,.1f}us  "
         f"({flush['samples_during']} samples)",
+        "",
+        "Stall profile: per-batch ingest latency with watermark flushes "
+        "+ tier compactions (byte-identical final state asserted):",
+        f"{'Maintenance':<14} {'records/s':>12} {'idle p99':>11} "
+        f"{'busy p99':>11} {'busy/idle batches':>18} {'flushes':>8}",
     ]
+    for mode in ("inline", "background"):
+        result = stall[mode]
+        lines.append(
+            f"{mode:<14} {result['records_per_s']:>12,.0f} "
+            f"{result['idle_p99_us']:>9,.0f}us {result['during_p99_us']:>9,.0f}us "
+            f"{result['busy_batches']:>8}/{result['idle_batches']:<9} "
+            f"{result['flushes']:>8}"
+        )
     write_report(
         "ingest_throughput",
         lines,
@@ -220,5 +346,6 @@ def test_ingest_throughput(tmp_path_factory):
             "batch": BATCH,
             "policies": {label: result for label, result in runs},
             "reads_during_flush": flush,
+            "stall_profile": stall,
         },
     )

@@ -165,11 +165,23 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="--live: also fsync when this many seconds "
                             "passed since the last one")
     serve.add_argument("--flush-records", type=int, default=50_000,
-                       help="--live: memtable records that trigger an "
-                            "inline flush to a new table (0 = manual)")
-    serve.add_argument("--compact-tables", type=int, default=8,
-                       help="--live: table-set size that triggers "
-                            "compaction (0 = never)")
+                       help="--live: memtable records that seal it and "
+                            "schedule a background flush (0 = manual)")
+    serve.add_argument("--tier-fanout", type=int, default=4,
+                       help="--live: same-size-tier tables that trigger "
+                            "one tier compaction (0 = never compact)")
+    serve.add_argument("--maintenance", choices=("background", "inline"),
+                       default="background",
+                       help="--live: run flush/compaction jobs on the "
+                            "maintenance thread (default) or inline on "
+                            "the ingest path (deterministic, stalls)")
+    serve.add_argument("--max-frozen", type=int, default=None,
+                       help="--live: sealed-but-unflushed memtables "
+                            "that arm the ingest backpressure valve")
+    serve.add_argument("--backpressure-wait", type=float, default=None,
+                       help="--live: seconds an ingest may stall on the "
+                            "valve before failing typed "
+                            "(ingest_backpressure)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=7077,
                        help="TCP port (0 = pick a free one and report it)")
@@ -261,6 +273,10 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(Ctrl-C to stop)")
     ingest.add_argument("--poll", type=float, default=2.0,
                         help="--follow: seconds between polls of the feed")
+    ingest.add_argument("--backpressure-retries", type=int, default=5,
+                        help="retries (exponential backoff) when the "
+                             "server answers ingest_backpressure before "
+                             "giving up on a batch")
     ingest.add_argument("--timeout", type=float, default=10.0,
                         help="per-request client timeout in seconds")
     ingest.set_defaults(handler=_cmd_ingest)
@@ -476,14 +492,23 @@ def _serve_backend(args):
     if args.live is not None:
         from repro.inventory.live import LiveInventory
 
+        kwargs = {}
+        if getattr(args, "max_frozen", None) is not None:
+            kwargs["max_frozen_memtables"] = args.max_frozen
+        if getattr(args, "backpressure_wait", None) is not None:
+            kwargs["backpressure_wait_s"] = args.backpressure_wait
         return LiveInventory(
             args.live,
             resolution=args.resolution,
             sync_every=args.sync_every,
             sync_interval_s=args.sync_interval,
             flush_records=args.flush_records,
-            compact_tables=args.compact_tables,
+            tier_fanout=args.tier_fanout,
+            background_maintenance=(
+                getattr(args, "maintenance", "background") != "inline"
+            ),
             cache_blocks=args.cache_blocks,
+            **kwargs,
         )
     return SSTableInventory(
         args.inventory, resolution=args.resolution, cache_blocks=args.cache_blocks
@@ -506,7 +531,9 @@ def _cmd_serve(args) -> int:
             print(f"live inventory {args.live}: {stats['tables']} tables, "
                   f"{stats['memtable_records']:,} replayed records at "
                   f"resolution {inventory.resolution} "
-                  f"(sync_every={args.sync_every})")
+                  f"(sync_every={args.sync_every}, "
+                  f"maintenance={stats['maintenance']}, "
+                  f"tier_fanout={args.tier_fanout})")
         else:
             print(f"inventory {args.inventory}: {len(inventory):,} groups "
                   f"at resolution {inventory.resolution}")
@@ -586,6 +613,7 @@ def _cmd_ingest(args) -> int:
     import time
 
     from repro.server.client import InventoryClient, ServerError
+    from repro.server.protocol import ERR_INGEST_BACKPRESSURE
 
     if args.batch < 1:
         raise ValueError("--batch must be at least 1")
@@ -597,6 +625,27 @@ def _cmd_ingest(args) -> int:
         }
     sent = 0
     durable = True
+
+    def send(client, batch):
+        """One batch, retrying typed write stalls with backoff — the
+        server refused the batch outright (nothing was applied), so a
+        resend cannot double-ingest."""
+        delay = 0.25
+        for attempt in range(max(0, args.backpressure_retries) + 1):
+            try:
+                return client.ingest(batch)
+            except ServerError as exc:
+                if (
+                    exc.code != ERR_INGEST_BACKPRESSURE
+                    or attempt == args.backpressure_retries
+                ):
+                    raise
+                print(f"server backpressure (attempt {attempt + 1}): "
+                      f"retrying in {delay:.2f}s", file=sys.stderr)
+                time.sleep(delay)
+                delay = min(delay * 2, 5.0)
+        raise AssertionError("unreachable")
+
     try:
         with InventoryClient(args.host, args.port, timeout=args.timeout) as client:
             while True:
@@ -614,14 +663,14 @@ def _cmd_ingest(args) -> int:
                     if args.limit is not None and sent + len(batch) >= args.limit:
                         break
                     if len(batch) >= args.batch:
-                        ack = client.ingest(batch)
+                        ack = send(client, batch)
                         sent += int(ack.get("accepted", 0))
                         durable = bool(ack.get("durable", False))
                         batch = []
                 if args.limit is not None:
                     batch = batch[: max(0, args.limit - sent)]
                 if batch:
-                    ack = client.ingest(batch)
+                    ack = send(client, batch)
                     sent += int(ack.get("accepted", 0))
                     durable = bool(ack.get("durable", False))
                 if args.limit is not None and sent >= args.limit:
@@ -784,17 +833,29 @@ def _cmd_fsck(args) -> int:
                     f"{len(report.blocks_skipped)} blocks skipped)"
                 )
     if args.wal is not None:
-        exit_code = max(exit_code, _fsck_wal(args.wal))
+        wal_code = _fsck_wal(args.wal)
+        # Corruption (1) dominates orphans (3): numeric max would let a
+        # benign orphan report mask a corrupt table in --inventory.
+        if 1 in (exit_code, wal_code):
+            exit_code = 1
+        else:
+            exit_code = max(exit_code, wal_code)
     return exit_code
 
 
 def _fsck_wal(directory: Path) -> int:
-    """Triage a live directory: WAL segments, then manifest tables.
+    """Triage a live directory: WAL segments, manifest tables, orphans.
 
     A recoverable torn tail (the crash left a partial final entry —
     the next open truncates it and replays the rest) exits 0 with a
     warning; hard corruption (CRC failures with entries after them, or
-    damage in a non-final segment) exits 1.
+    damage in a non-final segment) exits 1.  Orphan staged tables —
+    ``tab-*.sst`` files the manifest does not reference, or ``*.tmp``
+    staging leftovers — exit 3: they are NOT corruption (a crash
+    between the table write and the manifest commit leaves them behind
+    by design, and the WAL still covers every record they hold), but
+    they consume disk until deleted, so fsck names them distinctly.
+    Corruption dominates orphans in the exit code.
     """
     from repro.inventory.live import manifest_tables
     from repro.inventory.wal import verify_wal
@@ -809,8 +870,9 @@ def _fsck_wal(directory: Path) -> int:
     if check.torn_tail:
         print(f"{directory}: recoverable torn tail — the next open "
               f"truncates the partial entry and replays the rest")
+    manifest = list(manifest_tables(directory))
     bad_tables = 0
-    for table in manifest_tables(directory):
+    for table in manifest:
         table_check = verify_table(table)
         status = "ok" if table_check.ok else "CORRUPT"
         print(f"table {table.name}: {status}")
@@ -820,6 +882,20 @@ def _fsck_wal(directory: Path) -> int:
         print(f"{directory}: {bad_tables} manifest table(s) corrupt — "
               f"salvage with 'repro fsck --inventory <table> --salvage'")
         return 1
+    referenced = {table.name for table in manifest}
+    orphans = sorted(
+        path.name
+        for path in directory.glob("tab-*.sst")
+        if path.name not in referenced
+    ) + sorted(path.name for path in directory.glob("*.tmp"))
+    for name in orphans:
+        print(f"orphan {name}: staged but never committed to the manifest")
+    if orphans:
+        print(f"{directory}: {len(orphans)} orphan staged file(s) — a "
+              f"crash before the manifest commit left them behind; the "
+              f"WAL still covers their records, so they are safe to "
+              f"delete to reclaim disk")
+        return 3
     return 0
 
 

@@ -47,8 +47,13 @@ from repro.inventory.sstable import (
     salvage_table,
 )
 from repro.inventory.adaptive import AdaptiveInventory, build_adaptive
-from repro.inventory.compaction import merge_tables
+from repro.inventory.compaction import CompactionPolicy, CompactionTask, merge_tables
 from repro.inventory.export import inventory_to_geojson, write_geojson
+from repro.inventory.maintenance import (
+    IngestBackpressure,
+    MaintenanceConfig,
+    MaintenanceScheduler,
+)
 from repro.inventory.memtable import IngestRecord, Memtable
 from repro.inventory.wal import ReplayResult, WalCheck, WalWriter, replay, verify_wal
 from repro.inventory.live import IngestAck, LiveInventory
@@ -76,6 +81,11 @@ __all__ = [
     "AdaptiveInventory",
     "build_adaptive",
     "merge_tables",
+    "CompactionPolicy",
+    "CompactionTask",
+    "IngestBackpressure",
+    "MaintenanceConfig",
+    "MaintenanceScheduler",
     "inventory_to_geojson",
     "write_geojson",
     "IngestRecord",

@@ -1,4 +1,4 @@
-"""SSTable compaction: k-way merging of persisted inventories.
+"""SSTable compaction: k-way merging and the size-tiered policy.
 
 An operational deployment builds one inventory table per ingestion window
 (day, week) and periodically compacts them — the LSM pattern.  Because
@@ -12,14 +12,127 @@ input table regardless of table sizes.  The output gets its route-index
 sidecar for free (the writer emits it), so a compacted table is
 immediately servable by
 :class:`~repro.inventory.backend.SSTableInventory`.
+
+:class:`CompactionPolicy` is the size-tiered selector the background
+maintenance scheduler consults: tables are bucketed into geometric size
+tiers, and one compaction merges one *contiguous, same-tier run* of at
+least ``fanout`` tables — never the whole table set.  Contiguity in
+table-age order is not an optimisation, it is a correctness requirement:
+reads and :func:`merge_tables` both fold oldest-source-first, so a merge
+may only collapse adjacent elements of that fold (associativity), with
+the output spliced back into the run's position.  Merging a
+non-contiguous selection would reorder the fold and (for any
+non-commutative summary component) change answers.
 """
 
 from __future__ import annotations
 
 import heapq
+from dataclasses import dataclass
 from pathlib import Path
+from typing import Any
 
 from repro.inventory.sstable import SSTableReader, SSTableWriter, _key_bytes
+from repro.obs import registry
+
+SPAN_TIER_COMPACT = registry.register_span(
+    "compaction.tier",
+    "merging one contiguous same-tier run of live tables into one output",
+)
+
+#: Same-tier tables that trigger a tier merge (0 disables compaction).
+DEFAULT_TIER_FANOUT = 4
+#: Ceiling of tier 0; tier t spans sizes up to base * fanout**t.
+DEFAULT_TIER_BASE_BYTES = 4 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class CompactionTask:
+    """One policy decision: merge tables ``[start, stop)`` (age order)."""
+
+    start: int
+    stop: int
+    tier: int
+    input_bytes: int
+
+
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """Size-tiered selection over the live table list (oldest first).
+
+    ``tier_of`` buckets a table by size into geometric tiers (tier 0
+    up to ``base_bytes``, each subsequent tier ``fanout`` times wider).
+    ``choose`` picks the cheapest eligible merge: the smallest-tier
+    contiguous run of at least ``fanout`` same-tier tables, oldest run
+    on ties.  ``fanout == 0`` disables compaction entirely.
+    """
+
+    fanout: int = DEFAULT_TIER_FANOUT
+    base_bytes: int = DEFAULT_TIER_BASE_BYTES
+
+    def __post_init__(self) -> None:
+        if self.fanout != 0 and self.fanout < 2:
+            raise ValueError("tier fanout must be 0 (disabled) or >= 2")
+        if self.base_bytes < 1:
+            raise ValueError("tier base_bytes must be positive")
+
+    def tier_of(self, size_bytes: int) -> int:
+        """The tier a table of ``size_bytes`` belongs to."""
+        growth = max(2, self.fanout)
+        tier = 0
+        ceiling = self.base_bytes
+        while size_bytes > ceiling:
+            tier += 1
+            ceiling *= growth
+        return tier
+
+    def _runs(self, sizes: list[int]) -> list[CompactionTask]:
+        """Contiguous same-tier runs of at least ``fanout`` tables."""
+        if not self.fanout:
+            return []
+        tiers = [self.tier_of(size) for size in sizes]
+        runs: list[CompactionTask] = []
+        start = 0
+        for stop in range(1, len(tiers) + 1):
+            if stop == len(tiers) or tiers[stop] != tiers[start]:
+                if stop - start >= self.fanout:
+                    runs.append(
+                        CompactionTask(
+                            start=start,
+                            stop=stop,
+                            tier=tiers[start],
+                            input_bytes=sum(sizes[start:stop]),
+                        )
+                    )
+                start = stop
+        return runs
+
+    def choose(self, sizes: list[int]) -> CompactionTask | None:
+        """The next merge to run, or ``None`` when no tier is over
+        fanout.  Smallest tier first (cheapest merge, and it is where
+        fresh flushes pile up); oldest run breaks ties."""
+        runs = self._runs(sizes)
+        if not runs:
+            return None
+        return min(runs, key=lambda task: (task.tier, task.start))
+
+    def debt_bytes(self, sizes: list[int]) -> int:
+        """Bytes the policy currently wants rewritten — the sum over
+        every eligible run.  This is the backpressure valve's second
+        input: unbounded debt means compaction is losing the race."""
+        return sum(task.input_bytes for task in self._runs(sizes))
+
+    def tier_shape(self, sizes: list[int]) -> list[dict[str, Any]]:
+        """Per-tier table counts and bytes for ``stats`` exposure."""
+        shape: dict[int, list[int]] = {}
+        for size in sizes:
+            bucket = shape.setdefault(self.tier_of(size), [0, 0])
+            bucket[0] += 1
+            bucket[1] += size
+        return [
+            {"tier": tier, "tables": count, "bytes": total}
+            for tier, (count, total) in sorted(shape.items())
+        ]
 
 
 def merge_tables(

@@ -14,15 +14,17 @@ acked record is served again, and no record is ever *partially*
 visible (a WAL entry is atomic by CRC; its fan-out to grouping sets
 happens entirely at apply time).
 
-**Atomic flush.**  A flush seals the WAL at a segment boundary, writes
-the frozen memtable to a new SSTable through the existing atomic
-``fsio`` publish, and then — the commit point — atomically rewrites the
-``MANIFEST.json`` that names the live table set and the WAL floor.
+**Atomic flush.**  Sealing rotates the WAL at a segment boundary and
+freezes the active memtable into the read view; the *flush job* then
+writes the frozen memtables to a new SSTable through the existing
+atomic ``fsio`` publish and — the commit point — atomically rewrites
+the ``MANIFEST.json`` that names the live table set and the WAL floor.
 Only after the manifest lands are the sealed segments retired.  A crash
-anywhere in that sequence recovers exactly: before the manifest, the
-orphan table is deleted on open and the WAL replays everything; after
-the manifest, the flushed segments are ignored (and deleted) on open.
-Nothing is ever double-counted and nothing is lost.
+anywhere in that sequence (now usually on the maintenance thread)
+recovers exactly: before the manifest, the orphan table is deleted on
+open and the WAL replays everything; after the manifest, the flushed
+segments are ignored (and deleted) on open.  Nothing is ever
+double-counted and nothing is lost.
 
 **Snapshot isolation.**  Readers resolve queries against an immutable
 ``(table set, frozen memtables)`` view plus the active memtable; the
@@ -32,16 +34,37 @@ running across a flush only ever sees *either* the frozen memtable
 codec roundtrip and summaries merge by the sketch monoid laws, the
 answers are byte-identical either way.
 
-Write concurrency is two-tier: ``_write_lock`` serialises ingest,
-flush and compaction end to end (WAL appends and fsyncs included);
-``_mem_lock`` is the short mutex readers share with memtable
-application and view swaps, so reads never block on disk I/O.
+Flush and compaction run **off the ingest path** on the maintenance
+scheduler (:mod:`repro.inventory.maintenance`): ``ingest()`` only
+appends to the WAL, applies to the memtable, and — at the
+``flush_records`` watermark — seals the active memtable and submits a
+flush job.  Compaction is size-tiered
+(:class:`~repro.inventory.compaction.CompactionPolicy`): one job merges
+one contiguous same-tier run, never the whole table set.  When
+maintenance falls behind (too many sealed memtables, or tier debt over
+the limit) the backpressure valve blocks ingest for a bounded wait and
+then fails typed with
+:class:`~repro.inventory.maintenance.IngestBackpressure`.
+
+Locking is three-tier with a fixed order ``_maint_lock`` →
+``_write_lock`` → ``_mem_lock`` (each may be taken alone; never in the
+reverse order):
+
+- ``_maint_lock`` serialises the *mutator* state jobs own after
+  construction (``_tables``, ``_next_table``, ``_wal_floor``) — jobs
+  themselves are already serialised by the scheduler, so this lock
+  mostly guards stats readers;
+- ``_write_lock`` serialises the WAL (appends, fsyncs, rotate, retire)
+  and the seal step;
+- ``_mem_lock`` is the short mutex readers share with memtable
+  application and view swaps, so reads never block on disk I/O.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 from pathlib import Path
@@ -52,8 +75,25 @@ from repro.engine.metrics import CounterSet
 from repro.inventory import fsio, sstable, wal
 from repro.inventory.backend import InventoryQueryMixin, SSTableInventory
 from repro.inventory.codec import decode, encode
-from repro.inventory.compaction import merge_tables
+from repro.inventory.compaction import (
+    DEFAULT_TIER_BASE_BYTES,
+    DEFAULT_TIER_FANOUT,
+    SPAN_TIER_COMPACT,
+    CompactionPolicy,
+    merge_tables,
+)
 from repro.inventory.keys import GroupKey
+from repro.inventory.maintenance import (
+    COUNTER_BACKPRESSURE_TIMEOUTS,
+    COUNTER_BACKPRESSURE_WAITS,
+    COUNTER_JOBS,
+    JOB_FLUSH,
+    JOB_MAJOR,
+    JOB_TIER,
+    IngestBackpressure,
+    MaintenanceConfig,
+    MaintenanceScheduler,
+)
 from repro.inventory.memtable import IngestRecord, Memtable
 from repro.inventory.sstable import CorruptionError
 from repro.inventory.summary import CellSummary, SummaryConfig
@@ -62,11 +102,11 @@ from repro.obs import trace as obs
 
 SPAN_FLUSH = registry.register_span(
     "ingest.flush",
-    "freezing the memtable, writing it to an SSTable and publishing the manifest",
+    "writing sealed memtables to an SSTable and publishing the manifest",
 )
 SPAN_COMPACT = registry.register_span(
     "ingest.compact",
-    "merging the live table set into one generation via merge_tables",
+    "major compaction: merging the whole live table set into one generation",
 )
 
 COUNTER_INGEST_RECORDS = registry.register_counter(
@@ -79,7 +119,7 @@ COUNTER_FLUSHES = registry.register_counter(
 )
 COUNTER_COMPACTIONS = registry.register_counter(
     "ingest.compactions",
-    "compactions of the live table set into a single generation",
+    "compactions of the live table set (tier merges and major compactions)",
 )
 
 #: The manifest file naming the live table set and the WAL floor.  Its
@@ -89,10 +129,8 @@ _MANIFEST_VERSION = 1
 _TABLE_FMT = "tab-{n:08d}.sst"
 _TABLE_GLOB = "tab-*.sst"
 
-#: Default memtable size (records) that triggers an inline flush.
+#: Default memtable size (records) that seals it and schedules a flush.
 DEFAULT_FLUSH_RECORDS = 50_000
-#: Default table-set size that triggers an inline compaction (0 = never).
-DEFAULT_COMPACT_TABLES = 8
 
 
 @dataclass(frozen=True)
@@ -103,6 +141,12 @@ class IngestAck:
     covered by an fsync before returning (always the case with
     ``sync_every=1``); with a batched fsync policy it reports whether
     this batch happened to end on a sync point.
+
+    ``flushed`` is true when this call *sealed* the active memtable and
+    scheduled its flush — the table write itself happens on the
+    maintenance thread (or before ``submit`` returns in inline mode),
+    so a true here no longer means the records are in an SSTable yet.
+    Durability never depends on it: the WAL already holds everything.
     """
 
     accepted: int
@@ -126,6 +170,16 @@ class _View:
     frozen: tuple[Memtable, ...]
 
 
+@dataclass(frozen=True)
+class _Sealed:
+    """A frozen memtable plus the WAL boundary that seals it: the flush
+    job may raise the WAL floor to ``boundary`` once ``memtable`` is in
+    a committed table."""
+
+    memtable: Memtable
+    boundary: int
+
+
 def _copy_summary(summary: CellSummary) -> CellSummary:
     """A deep, byte-exact copy via the storage codec — the same roundtrip
     a flush performs, which is what makes pre- and post-flush answers
@@ -140,6 +194,11 @@ class LiveInventory(InventoryQueryMixin):
     cleanup, retired-segment cleanup, WAL replay under the
     ``wal.replay`` span).  ``resolution`` is required the first time a
     directory is opened and remembered in the manifest afterwards.
+
+    ``background_maintenance=False`` runs every flush/compaction job
+    synchronously inside the call that submits it — the deterministic
+    mode the fault matrix sweeps; the default runs them on one daemon
+    worker so ingest never writes tables.
     """
 
     def __init__(
@@ -152,19 +211,40 @@ class LiveInventory(InventoryQueryMixin):
         sync_interval_s: float | None = None,
         segment_bytes: int = wal.DEFAULT_SEGMENT_BYTES,
         flush_records: int = DEFAULT_FLUSH_RECORDS,
-        compact_tables: int = DEFAULT_COMPACT_TABLES,
+        tier_fanout: int = DEFAULT_TIER_FANOUT,
+        tier_base_bytes: int = DEFAULT_TIER_BASE_BYTES,
+        background_maintenance: bool = True,
+        max_frozen_memtables: int | None = None,
+        max_debt_bytes: int | None = None,
+        backpressure_wait_s: float | None = None,
         cache_blocks: int = 64,
         counters: CounterSet | None = None,
     ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.flush_records = flush_records
-        self.compact_tables = compact_tables
         self.cache_blocks = cache_blocks
         self.counters = counters if counters is not None else CounterSet()
+        self.policy = CompactionPolicy(fanout=tier_fanout, base_bytes=tier_base_bytes)
+        maint_kwargs: dict[str, Any] = {"background": background_maintenance}
+        if max_frozen_memtables is not None:
+            maint_kwargs["max_frozen_memtables"] = max_frozen_memtables
+        if max_debt_bytes is not None:
+            maint_kwargs["max_debt_bytes"] = max_debt_bytes
+        if backpressure_wait_s is not None:
+            maint_kwargs["backpressure_wait_s"] = backpressure_wait_s
+        self.maintenance = MaintenanceConfig(**maint_kwargs)
+        self._maint_lock = threading.RLock()
         self._write_lock = threading.RLock()
         self._mem_lock = threading.Lock()
+        #: Ingest threads wait here when the valve is armed; every
+        #: completed maintenance job notifies it.
+        self._valve = threading.Condition()
+        self._closing = False
         self._closed = False
+        self._sealed: list[_Sealed] = []
+        self._last_flush_path: Path | None = None
+        self._last_compact_path: Path | None = None
         #: Backend → reference count: one ref for membership in the
         #: published view, one per in-flight pinned read.  A backend is
         #: closed only when its count drops to zero, so compaction can
@@ -244,6 +324,17 @@ class LiveInventory(InventoryQueryMixin):
             for backend in backends:
                 backend.close()
             raise
+        # Started last: nothing above submits, and a constructor that
+        # raised must not leave a worker thread behind.
+        self._scheduler = MaintenanceScheduler(
+            {
+                JOB_FLUSH: self._job_flush,
+                JOB_TIER: self._job_tier,
+                JOB_MAJOR: self._job_major,
+            },
+            background=background_maintenance,
+            counters=self.counters,
+        )
 
     # -- manifest ------------------------------------------------------------------
 
@@ -305,10 +396,21 @@ class LiveInventory(InventoryQueryMixin):
     # -- ingestion -----------------------------------------------------------------
 
     def ingest(self, records: Iterable[IngestRecord]) -> IngestAck:
-        """Append ``records`` to the WAL, apply them to the memtable and
-        (policy permitting) flush.  Returns the ack only after every
-        record is applied; ``durable`` reports the fsync watermark."""
+        """Append ``records`` to the WAL, apply them to the memtable
+        and, at the ``flush_records`` watermark, seal the memtable and
+        schedule its flush.  Returns the ack only after every record is
+        applied; ``durable`` reports the fsync watermark.
+
+        Never writes a table itself.  When maintenance is behind the
+        hard limits, blocks for at most ``backpressure_wait_s`` and then
+        raises :class:`~repro.inventory.maintenance.IngestBackpressure`
+        (the batch is not accepted).  A maintenance job that crashed
+        re-raises its error here — background failures are never silent.
+        """
         batch = list(records)
+        self._check_maintenance()
+        self._wait_for_capacity()
+        sealed = False
         with self._write_lock:
             self._check_open()
             for record in batch:
@@ -319,11 +421,14 @@ class LiveInventory(InventoryQueryMixin):
                     self._active.apply(record)
             if batch:
                 self.counters.increment(COUNTER_INGEST_RECORDS, len(batch))
-            flushed = False
             if self.flush_records and self._active.records_applied >= self.flush_records:
-                self.flush()
-                flushed = True
-        return IngestAck(accepted=len(batch), durable=durable, flushed=flushed)
+                self._seal_active_locked()
+                sealed = True
+        if sealed:
+            # Outside _write_lock: in inline mode the job runs here, and
+            # jobs take _maint_lock before _write_lock (the fixed order).
+            self._scheduler.submit(JOB_FLUSH)
+        return IngestAck(accepted=len(batch), durable=durable, flushed=sealed)
 
     def ingest_records(self, records: list[object]) -> dict[str, Any]:
         """The server-facing hook: parse wire records, ingest, ack.
@@ -341,48 +446,190 @@ class LiveInventory(InventoryQueryMixin):
 
     def sync(self) -> None:
         """Force every accepted record durable (an explicit fsync)."""
+        self._check_maintenance()
         with self._write_lock:
             self._check_open()
             self._wal.sync()
 
-    # -- flush / compaction --------------------------------------------------------
+    def _seal_active_locked(self) -> None:
+        """Rotate the WAL and freeze the active memtable into the read
+        view (``_write_lock`` held by the caller).  The rotate boundary
+        rides with the memtable so the flush job knows how far the WAL
+        floor may rise once the table commits."""
+        boundary = self._wal.rotate()
+        with self._mem_lock:
+            self._sealed.append(_Sealed(memtable=self._active, boundary=boundary))
+            self._view = _View(
+                tables=self._view.tables,
+                frozen=self._view.frozen + (self._active,),
+            )
+            self._active = Memtable(self.resolution, self.config)
+
+    # -- backpressure --------------------------------------------------------------
+
+    def _over_capacity(self) -> tuple[bool, int, int]:
+        """Whether the valve is armed, plus the inputs that armed it."""
+        with self._mem_lock:
+            frozen = len(self._sealed)
+        debt = self.policy.debt_bytes(self._table_sizes()) if self.policy.fanout else 0
+        over = (
+            frozen >= self.maintenance.max_frozen_memtables
+            or debt >= self.maintenance.max_debt_bytes
+        )
+        return over, frozen, debt
+
+    def _wait_for_capacity(self) -> None:
+        """Block (bounded) while maintenance is behind its hard limits.
+
+        Inline mode never waits: jobs complete inside the call that
+        submits them, so the limits cannot be exceeded between calls.
+        """
+        if not self.maintenance.background:
+            return
+        over, frozen, debt = self._over_capacity()
+        if not over:
+            return
+        self.counters.increment(COUNTER_BACKPRESSURE_WAITS)
+        deadline = time.monotonic() + self.maintenance.backpressure_wait_s
+        with self._valve:
+            while True:
+                self._check_maintenance()
+                over, frozen, debt = self._over_capacity()
+                if not over:
+                    return
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._valve.wait(remaining)
+        self.counters.increment(COUNTER_BACKPRESSURE_TIMEOUTS)
+        raise IngestBackpressure(
+            f"ingest stalled: {frozen} sealed memtables, {debt} compaction-debt "
+            f"bytes after {self.maintenance.backpressure_wait_s}s — maintenance "
+            "is not keeping up; back off and retry",
+            frozen_memtables=frozen,
+            debt_bytes=debt,
+            waited_s=self.maintenance.backpressure_wait_s,
+        )
+
+    def _notify_valve(self) -> None:
+        with self._valve:
+            self._valve.notify_all()
+
+    # -- flush / compaction (public, synchronous) ----------------------------------
 
     def flush(self) -> Path | None:
-        """Freeze the memtable, persist it, commit the manifest, retire
-        the sealed WAL segments.  Returns the new table's path (``None``
+        """Seal the active memtable and flush everything sealed, waiting
+        for the job to finish.  Returns the new table's path (``None``
         when there was nothing to flush)."""
+        self._check_maintenance()
         with self._write_lock:
             self._check_open()
-            view = self._view
-            if self._active.records_applied == 0 and not view.frozen:
-                return None
+            if self._active.records_applied:
+                self._seal_active_locked()
+        with self._mem_lock:
+            pending = bool(self._sealed)
+        if not pending:
+            return None
+        with self._maint_lock:
+            self._last_flush_path = None
+        self._scheduler.submit(JOB_FLUSH)
+        self._scheduler.wait_idle()
+        with self._maint_lock:
+            return self._last_flush_path
+
+    def compact(self) -> Path | None:
+        """Major compaction: merge the whole live table set into one
+        generation, waiting for the job to finish.  Routine maintenance
+        uses tier merges instead; this is the manual full merge."""
+        self._check_maintenance()
+        with self._write_lock:
+            self._check_open()
+        with self._maint_lock:
+            self._last_compact_path = None
+        self._scheduler.submit(JOB_MAJOR)
+        self._scheduler.wait_idle()
+        with self._maint_lock:
+            return self._last_compact_path
+
+    def wait_maintenance(self, timeout: float | None = None) -> None:
+        """Block until every queued maintenance job has run; re-raise
+        the error of a job that crashed.  The deterministic hook tests
+        and the serve CLI's drain path use."""
+        self._scheduler.wait_idle(timeout)
+
+    def _check_maintenance(self) -> None:
+        """Re-raise a background job's error (the original instance, so
+        a typed corruption or injected crash stays typed)."""
+        self._scheduler.check()
+
+    # -- maintenance jobs (scheduler-serialised: the only table writers) -----------
+
+    def _job_flush(self) -> None:
+        progressed = self._flush_sealed()
+        self._notify_valve()
+        if progressed:
+            self._maybe_submit_tier()
+
+    def _job_tier(self) -> None:
+        merged = self._compact_tier()
+        self._notify_valve()
+        if merged:
+            # A tier merge can fill the next tier: cascade until the
+            # policy is satisfied (each pass re-reads the live sizes).
+            self._maybe_submit_tier()
+
+    def _job_major(self) -> None:
+        self._compact_major()
+        self._notify_valve()
+
+    def _maybe_submit_tier(self) -> None:
+        if not self.policy.fanout:
+            return
+        if self.policy.choose(self._table_sizes()) is not None:
+            self._scheduler.submit(JOB_TIER)
+
+    def _table_sizes(self) -> list[int]:
+        """On-disk sizes of the committed tables, oldest first.  A table
+        unlinked by a racing compaction counts as zero — the next policy
+        evaluation sees the post-merge list."""
+        with self._maint_lock:
+            names = list(self._tables)
+        sizes: list[int] = []
+        for name in names:
+            try:
+                sizes.append((self.directory / name).stat().st_size)
+            except OSError:
+                sizes.append(0)
+        return sizes
+
+    def _retire_wal(self, boundary: int) -> None:
+        """Retire sealed WAL segments (brief ``_write_lock``: the writer
+        object is otherwise owned by the ingest path)."""
+        with self._write_lock:
+            if not self._closed:
+                self._wal.retire_through(boundary)
+
+    def _flush_sealed(self) -> bool:
+        """Write every currently-sealed memtable to one new table and
+        commit it — the flush job body.  Returns whether a table was
+        published."""
+        with self._maint_lock:
+            with self._mem_lock:
+                batch = tuple(self._sealed)
+            if not batch:
+                return False
             with obs.span(SPAN_FLUSH) as sp:
-                # 1. Seal the WAL: everything accepted so far lives in a
-                #    segment <= boundary; new appends go to a fresh one.
-                boundary = self._wal.rotate()
-                # 2. Freeze the active memtable into the read view (a
-                #    reader either sees it here or, after the final
-                #    swap, in the table that replaces it).
-                with self._mem_lock:
-                    if self._active.records_applied:
-                        # Same table set: membership references carry
-                        # over, so no retain/release on this swap.
-                        self._view = _View(
-                            tables=self._view.tables,
-                            frozen=self._view.frozen + (self._active,),
-                        )
-                        self._active = Memtable(self.resolution, self.config)
-                    frozen = self._view.frozen
-                # 3. Write the frozen memtables to one new table
+                frozen = tuple(item.memtable for item in batch)
+                boundary = batch[-1].boundary
+                # 1. Write the sealed memtables to one new table
                 #    (atomic: staged at .tmp, renamed on close).
                 name = _TABLE_FMT.format(n=self._next_table)
                 path = self.directory / name
                 records = _write_frozen(path, frozen)
-                # 4. The commit point: the manifest now names the table
+                # 2. The commit point: the manifest now names the table
                 #    and raises the WAL floor past the sealed segments.
                 #    In-memory state follows only once the commit landed,
-                #    so a failed commit can be retried without
-                #    double-publishing the table.
+                #    so a failed commit leaves disk and object untouched.
                 tables = self._tables + [name]
                 self._write_manifest(
                     tables=tables, wal_floor=boundary, next_table=self._next_table + 1
@@ -390,32 +637,91 @@ class LiveInventory(InventoryQueryMixin):
                 self._tables = tables
                 self._next_table += 1
                 self._wal_floor = boundary
-                # 5. Only now is it safe to retire the sealed segments.
-                self._wal.retire_through(boundary)
-                # 6. Swap the read view: the frozen memtables leave in
-                #    the same assignment their table arrives.
+                # 3. Only now is it safe to retire the sealed segments.
+                self._retire_wal(boundary)
+                # 4. Swap the read view: the flushed memtables leave in
+                #    the same assignment their table arrives.  Memtables
+                #    sealed *after* the batch snapshot stay frozen.
                 backend = SSTableInventory(
                     path,
                     resolution=self.resolution,
                     cache_blocks=self.cache_blocks,
                     counters=self.counters,
                 )
-                self._install_view(
-                    _View(tables=self._view.tables + (backend,), frozen=())
-                )
+                with self._mem_lock:
+                    old = self._view
+                    del self._sealed[: len(batch)]
+                    view = _View(
+                        tables=old.tables + (backend,),
+                        frozen=tuple(item.memtable for item in self._sealed),
+                    )
+                    self._retain_locked(view)
+                    self._view = view
+                self._release(old)
                 self.counters.increment(COUNTER_FLUSHES)
                 sp.set("records", records)
                 sp.set("table", name)
-            if self.compact_tables and len(self._tables) >= self.compact_tables:
-                self.compact()
-            return path
+                sp.set("memtables", len(batch))
+            self._last_flush_path = path
+        return True
 
-    def compact(self) -> Path | None:
-        """Merge the whole live table set into one generation."""
-        with self._write_lock:
-            self._check_open()
+    def _compact_tier(self) -> bool:
+        """Merge one contiguous same-tier run chosen by the policy — the
+        tier-compaction job body.  Returns whether a merge ran."""
+        with self._maint_lock:
+            names = list(self._tables)
+            sizes = self._table_sizes()
+            task = self.policy.choose(sizes)
+            if task is None:
+                return False
+            with obs.span(SPAN_TIER_COMPACT) as sp:
+                run = names[task.start : task.stop]
+                inputs = [self.directory / name for name in run]
+                out_name = _TABLE_FMT.format(n=self._next_table)
+                output = self.directory / out_name
+                merge_tables(inputs, output)
+                # Splice the output into the run's position: reads fold
+                # oldest-source-first, and collapsing *adjacent* sources
+                # is the only reorder associativity licences.
+                tables = names[: task.start] + [out_name] + names[task.stop :]
+                self._write_manifest(tables=tables, next_table=self._next_table + 1)
+                self._tables = tables
+                self._next_table += 1
+                backend = SSTableInventory(
+                    output,
+                    resolution=self.resolution,
+                    cache_blocks=self.cache_blocks,
+                    counters=self.counters,
+                )
+                with self._mem_lock:
+                    old = self._view
+                    view = _View(
+                        tables=old.tables[: task.start]
+                        + (backend,)
+                        + old.tables[task.stop :],
+                        frozen=old.frozen,
+                    )
+                    self._retain_locked(view)
+                    self._view = view
+                self._release(old)
+                # Unlinking is safe even with readers pinned to the old
+                # generation: their open handles keep the bytes alive
+                # until the pin count drains and ``_release`` closes.
+                for stale_name in run:
+                    fsio.unlink(self.directory / stale_name)
+                    fsio.unlink(sstable.route_index_path(self.directory / stale_name))
+                self.counters.increment(COUNTER_COMPACTIONS)
+                sp.set("tier", task.tier)
+                sp.set("inputs", len(inputs))
+                sp.set("bytes", task.input_bytes)
+        return True
+
+    def _compact_major(self) -> bool:
+        """Merge the whole table set into one generation — the manual
+        major-compaction job body."""
+        with self._maint_lock:
             if len(self._tables) < 2:
-                return None
+                return False
             with obs.span(SPAN_COMPACT) as sp:
                 inputs = [self.directory / name for name in self._tables]
                 name = _TABLE_FMT.format(n=self._next_table)
@@ -431,18 +737,19 @@ class LiveInventory(InventoryQueryMixin):
                     cache_blocks=self.cache_blocks,
                     counters=self.counters,
                 )
-                self._install_view(
-                    _View(tables=(backend,), frozen=self._view.frozen)
-                )
-                # Unlinking is safe even with readers pinned to the old
-                # generation: their open handles keep the bytes alive
-                # until the pin count drains and ``_release`` closes.
+                with self._mem_lock:
+                    old = self._view
+                    view = _View(tables=(backend,), frozen=old.frozen)
+                    self._retain_locked(view)
+                    self._view = view
+                self._release(old)
                 for stale_name in old_names:
                     fsio.unlink(self.directory / stale_name)
                     fsio.unlink(sstable.route_index_path(self.directory / stale_name))
                 self.counters.increment(COUNTER_COMPACTIONS)
                 sp.set("inputs", len(inputs))
-            return output
+            self._last_compact_path = output
+        return True
 
     # -- view lifecycle ------------------------------------------------------------
 
@@ -470,18 +777,6 @@ class LiveInventory(InventoryQueryMixin):
                     stale.append(backend)
         for backend in stale:
             backend.close()
-
-    def _install_view(self, view: _View) -> None:
-        """Publish a new read view whose table set changed.
-
-        The published view holds one membership reference per backend;
-        retiring generations close only once every pinned read drains.
-        """
-        with self._mem_lock:
-            old = self._view
-            self._retain_locked(view)
-            self._view = view
-        self._release(old)
 
     # -- queries (snapshot-isolated) -----------------------------------------------
     #
@@ -612,11 +907,18 @@ class LiveInventory(InventoryQueryMixin):
     # -- introspection -------------------------------------------------------------
 
     def ingest_stats(self) -> dict[str, Any]:
-        """Live write-path state for the server ``stats`` request."""
+        """Live write-path state for the server ``stats`` request.
+
+        ``maintenance_queue`` (jobs waiting or running) and
+        ``tier_shape`` / ``compaction_debt_bytes`` are the operator's
+        compaction-backlog gauges — see docs/OPERATIONS.md.
+        """
         view = self._view
         with self._mem_lock:
             memtable_records = self._active.records_applied
             memtable_groups = len(self._active)
+        sizes = self._table_sizes()
+        error = self._scheduler.error
         return {
             "tables": len(view.tables),
             "frozen_memtables": len(view.frozen),
@@ -629,12 +931,23 @@ class LiveInventory(InventoryQueryMixin):
             "compactions": self.counters.value(COUNTER_COMPACTIONS),
             "replayed": self.counters.value(wal.COUNTER_REPLAYED),
             "truncated_tails": self.counters.value(wal.COUNTER_TRUNCATED_TAIL),
+            "maintenance": "background" if self.maintenance.background else "inline",
+            "maintenance_queue": self._scheduler.queue_depth(),
+            "maintenance_jobs": self.counters.value(COUNTER_JOBS),
+            "maintenance_error": None if error is None else str(error),
+            "tier_shape": self.policy.tier_shape(sizes),
+            "compaction_debt_bytes": self.policy.debt_bytes(sizes),
+            "backpressure_waits": self.counters.value(COUNTER_BACKPRESSURE_WAITS),
+            "backpressure_timeouts": self.counters.value(
+                COUNTER_BACKPRESSURE_TIMEOUTS
+            ),
         }
 
     @property
     def table_paths(self) -> tuple[Path, ...]:
         """The committed table files, oldest first."""
-        return tuple(self.directory / name for name in self._tables)
+        with self._maint_lock:
+            return tuple(self.directory / name for name in self._tables)
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -643,11 +956,19 @@ class LiveInventory(InventoryQueryMixin):
             raise ValueError("live inventory is closed")
 
     def close(self) -> None:
-        """Fsync the WAL tail and release every handle (no flush: the
-        WAL already holds everything the memtable does)."""
+        """Quiesce maintenance, fsync the WAL tail and release every
+        handle.  Queued jobs are drained first (a job mid-flight owns
+        table files and the manifest); a job error stays recorded but is
+        not raised — the WAL already holds everything the memtables do,
+        so close never loses data either way."""
         with self._write_lock:
-            if self._closed:
+            if self._closing:
                 return
+            self._closing = True
+        # Outside _write_lock: a draining job takes _write_lock briefly
+        # to retire WAL segments, and must not deadlock against us.
+        self._scheduler.close(drain=True)
+        with self._write_lock:
             self._closed = True
             self._wal.close()
             # Drop the published view's membership references; a reader

@@ -97,6 +97,11 @@ for _code, _meaning in (
         protocol.ERR_SHARD_UNAVAILABLE,
         "routed requests whose owning shard had no live endpoint",
     ),
+    (
+        protocol.ERR_INGEST_BACKPRESSURE,
+        "ingest batches refused because maintenance fell behind "
+        "(typed write stall; the batch was never applied)",
+    ),
 ):
     registry.register_counter(f"server.errors.{_code}", f"errors by code: {_meaning}")
 

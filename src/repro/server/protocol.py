@@ -80,6 +80,12 @@ ERR_CORRUPTION = "data_corruption"
 #: this is a typed error on a live connection — the router answers
 #: within its deadline, never a hang and never a dropped socket.
 ERR_SHARD_UNAVAILABLE = "shard_unavailable"
+#: The live backend's maintenance worker fell behind and the ingest
+#: backpressure valve timed out: the batch was NOT applied (nothing was
+#: logged to the WAL), so the client may simply retry after a pause.
+#: A typed error on a live connection — never a hang, never a dropped
+#: socket, never a silently shed write.
+ERR_INGEST_BACKPRESSURE = "ingest_backpressure"
 
 
 class ProtocolError(Exception):
@@ -153,6 +159,37 @@ class ShardUnavailableError(ProtocolError):
     def __init__(self, shard: str, message: str) -> None:
         super().__init__(ERR_SHARD_UNAVAILABLE, message, details={"shard": shard})
         self.shard = shard
+
+
+class IngestBackpressureError(ProtocolError):
+    """The live backend refused a batch because maintenance fell behind.
+
+    Raised by the service's write path when the backend's backpressure
+    valve times out, so the server converts it into a typed
+    ``ingest_backpressure`` error response on a live connection.  The
+    batch was never applied (the valve sits before the WAL append), so
+    retrying after a pause is always safe; the backlog shape rides in
+    ``details`` so operators can tell a transient stall from a wedged
+    worker.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        frozen_memtables: int = 0,
+        debt_bytes: int = 0,
+        waited_s: float = 0.0,
+    ) -> None:
+        super().__init__(
+            ERR_INGEST_BACKPRESSURE,
+            message,
+            details={
+                "frozen_memtables": frozen_memtables,
+                "debt_bytes": debt_bytes,
+                "waited_s": waited_s,
+            },
+        )
 
 
 class UnknownRequestError(ProtocolError):

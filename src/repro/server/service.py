@@ -22,6 +22,7 @@ import json
 from repro.apps.destination import DestinationPredictor
 from repro.apps.eta import EtaEstimator
 from repro.inventory.backend import QueryableInventory
+from repro.inventory.maintenance import IngestBackpressure
 from repro.inventory.sstable import SSTableError
 from repro.obs import trace as obs
 from repro.obs.sinks import RingBufferSink
@@ -30,6 +31,7 @@ from repro.server.protocol import (
     MAX_MULTI_ITEMS,
     BadRequestError,
     FanOutTooLargeError,
+    IngestBackpressureError,
     ProtocolError,
     UnknownRequestError,
     summary_to_wire,
@@ -128,6 +130,15 @@ class InventoryService:
             ack = sink(records)
         except SSTableError:
             raise  # storage damage is data_corruption, never bad_request
+        except IngestBackpressure as exc:
+            # The valve sits before the WAL append, so the batch was
+            # never applied and a paced retry is always safe.
+            raise IngestBackpressureError(
+                str(exc),
+                frozen_memtables=exc.frozen_memtables,
+                debt_bytes=exc.debt_bytes,
+                waited_s=exc.waited_s,
+            ) from None
         except ValueError as exc:
             # The hook names the offending record index (records[i]: ...).
             raise BadRequestError(str(exc)) from None

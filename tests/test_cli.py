@@ -329,13 +329,17 @@ def test_serve_backend_live_plumbing(tmp_path):
     args = argparse.Namespace(
         inventory=None, live=tmp_path / "live", resolution=5,
         sync_every=4, sync_interval=0.5, flush_records=123,
-        compact_tables=3, cache_blocks=64,
+        tier_fanout=3, maintenance="inline", max_frozen=2,
+        backpressure_wait=0.5, cache_blocks=64,
     )
     with _serve_backend(args) as backend:
         assert isinstance(backend, LiveInventory)
         assert backend.resolution == 5
         assert backend.flush_records == 123
-        assert backend.compact_tables == 3
+        assert backend.policy.fanout == 3
+        assert backend.maintenance.background is False
+        assert backend.maintenance.max_frozen_memtables == 2
+        assert backend.maintenance.backpressure_wait_s == pytest.approx(0.5)
 
 
 def test_fsck_requires_a_target(capsys):
@@ -408,6 +412,37 @@ def test_fsck_wal_corrupt_manifest_table_exits_one(live_dir, capsys):
     out = capsys.readouterr().out
     assert "table tab-00000001.sst: CORRUPT" in out
     assert "salvage" in out
+
+
+def test_fsck_wal_orphan_staged_table_exits_three(live_dir, capsys):
+    """A table the manifest never committed is an orphan (exit 3), not
+    corruption (exit 1): the crash between table write and manifest
+    commit leaves it behind by design, and the WAL covers its records."""
+    orphan = live_dir / "tab-00000099.sst"
+    orphan.write_bytes((live_dir / "tab-00000001.sst").read_bytes())
+    (live_dir / "tab-00000042.sst.tmp").write_bytes(b"partial staging write")
+    assert main(["fsck", "--wal", str(live_dir)]) == 3
+    out = capsys.readouterr().out
+    assert "orphan tab-00000099.sst" in out
+    assert "orphan tab-00000042.sst.tmp" in out
+    assert "safe to delete" in out
+    # The committed table is still reported healthy alongside.
+    assert "table tab-00000001.sst: ok" in out
+
+
+def test_fsck_corruption_dominates_orphans(live_dir, inventory_table, capsys):
+    """--inventory corruption (1) must not be masked by a benign
+    --wal orphan report (3)."""
+    damaged = live_dir.parent / "damaged.sst"
+    data = bytearray(inventory_table.read_bytes())
+    data[len(data) // 2] ^= 0x40
+    damaged.write_bytes(bytes(data))
+    (live_dir / "tab-00000099.sst").write_bytes(b"orphan")
+    code = main([
+        "fsck", "--inventory", str(damaged), "--wal", str(live_dir),
+    ])
+    assert code == 1
+    assert "orphan tab-00000099.sst" in capsys.readouterr().out
 
 
 def test_feed_records_from_csv_archive(archive):

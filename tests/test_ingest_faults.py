@@ -58,12 +58,25 @@ def _batches(sizes):
     return out
 
 
-def _campaign(directory, batches, state, flush_after=None):
+def _campaign(directory, batches, state, flush_after=None, background=False):
     """Ingest ``batches`` (flushing after batch ``flush_after``),
     updating ``state`` as acks land so a crash mid-campaign leaves the
-    bookkeeping of everything that completed."""
+    bookkeeping of everything that completed.
+
+    ``background=True`` runs flush/compaction jobs on the maintenance
+    worker thread instead of inline; ``wait_maintenance`` after every
+    batch keeps the global filesystem-op order deterministic (the worker
+    only touches disk while the campaign thread is parked), so the same
+    fault plans sweep both modes.  A fault that fires inside a
+    background job resurfaces — the same exception instance — from the
+    ``flush()``/``wait_maintenance()``/``ingest()`` call that observes
+    it, which is exactly the never-silent contract under test.
+    """
     with LiveInventory(
-        directory, resolution=RESOLUTION, compact_tables=0
+        directory,
+        resolution=RESOLUTION,
+        tier_fanout=0,
+        background_maintenance=background,
     ) as inventory:
         for i, batch in enumerate(batches):
             state["attempted"] += len(batch)
@@ -72,6 +85,8 @@ def _campaign(directory, batches, state, flush_after=None):
                 state["acked"] += ack.accepted
             if i == flush_after:
                 inventory.flush()
+            if background:
+                inventory.wait_maintenance()
 
 
 def _served_records(inventory):
@@ -138,19 +153,24 @@ class TestIngestFaultMatrix:
     BATCH_SIZES = (4, 4, 4)
     FLUSH_AFTER = 1
 
-    def _run(self, directory, plan=None, state=None):
+    def _run(self, directory, plan=None, state=None, background=False):
         state = state if state is not None else {"attempted": 0, "acked": 0}
         _campaign(
             directory,
             _batches(self.BATCH_SIZES),
             state,
             flush_after=self.FLUSH_AFTER,
+            background=background,
         )
         return state
 
-    def test_matrix(self, tmp_path):
+    # The same sweep runs twice: jobs inline on the campaign thread, and
+    # on the maintenance worker — a crash inside a background flush must
+    # land in recovered-or-typed exactly like an inline one.
+    @pytest.mark.parametrize("background", [False, True], ids=["inline", "background"])
+    def test_matrix(self, tmp_path, background):
         probe = tmp_path / "probe"
-        counts = record_ops(lambda: self._run(probe))
+        counts = record_ops(lambda: self._run(probe, background=background))
         assert counts["write"] > 10 and counts["fsync"] > 10
         assert counts["rename"] >= 2 and counts["unlink"] >= 1
         cases = [
@@ -173,7 +193,7 @@ class TestIngestFaultMatrix:
             plan = FaultPlan.single(op, index, kind, seed=index)
             with FaultInjector(plan) as injector:
                 try:
-                    self._run(directory, state=state)
+                    self._run(directory, state=state, background=background)
                 except SSTableError:
                     # The write path read its own flush back and caught
                     # the damage in-process — only lying hardware can
@@ -189,8 +209,9 @@ class TestIngestFaultMatrix:
         assert outcomes["recovered"] > len(cases) // 2
         assert sum(outcomes.values()) == len(cases)
 
-    def test_completed_campaign_is_fully_served(self, tmp_path):
-        state = self._run(tmp_path / "clean")
+    @pytest.mark.parametrize("background", [False, True], ids=["inline", "background"])
+    def test_completed_campaign_is_fully_served(self, tmp_path, background):
+        state = self._run(tmp_path / "clean", background=background)
         assert state["acked"] == state["attempted"] == sum(self.BATCH_SIZES)
         with LiveInventory(tmp_path / "clean") as inventory:
             served = _served_records(inventory)
@@ -284,9 +305,10 @@ class TestCrashAnywhereProperty:
         seed=st.integers(min_value=0, max_value=999),
         sizes=st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=4),
         flush_after=st.integers(min_value=0, max_value=3),
+        background=st.booleans(),
     )
     def test_acked_prefix_survives_any_crash(
-        self, fault, index, seed, sizes, flush_after
+        self, fault, index, seed, sizes, flush_after, background
     ):
         op, kind = fault
         with tempfile.TemporaryDirectory() as tmp:
@@ -300,6 +322,7 @@ class TestCrashAnywhereProperty:
                         _batches(sizes),
                         state,
                         flush_after=min(flush_after, len(sizes) - 1),
+                        background=background,
                     )
                 except (SimulatedCrash, OSError):
                     pass

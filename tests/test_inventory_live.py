@@ -160,15 +160,19 @@ class TestFlush:
             tmp_path / "live", resolution=RESOLUTION, flush_records=25
         ) as inv:
             ack = inv.ingest(_records(30))
+            # ``flushed`` means sealed-and-scheduled: the table write
+            # itself runs on the maintenance thread.
             assert ack.flushed
+            assert inv.ingest_stats()["memtable_records"] == 0
+            inv.wait_maintenance()
             stats = inv.ingest_stats()
             assert stats["tables"] == 1
             assert stats["flushes"] == 1
-            assert stats["memtable_records"] == 0
+            assert stats["frozen_memtables"] == 0
 
     def test_multiple_flushes_accumulate_tables(self, tmp_path):
         with LiveInventory(
-            tmp_path / "live", resolution=RESOLUTION, compact_tables=0
+            tmp_path / "live", resolution=RESOLUTION, tier_fanout=0
         ) as inv:
             for start in (0, 20, 40):
                 inv.ingest(_records(20, start=start))
@@ -180,7 +184,7 @@ class TestFlush:
 class TestCompaction:
     def test_compaction_merges_to_one_table(self, tmp_path):
         with LiveInventory(
-            tmp_path / "live", resolution=RESOLUTION, compact_tables=0
+            tmp_path / "live", resolution=RESOLUTION, tier_fanout=0
         ) as inv:
             for start in (0, 15, 30):
                 inv.ingest(_records(15, start=start))
@@ -196,8 +200,10 @@ class TestCompaction:
             assert tables == ["tab-00000004.sst"]
 
     def test_auto_compaction_at_threshold(self, tmp_path):
+        # Two same-tier tables with fanout 2: the flush job's policy
+        # check submits a tier merge, and flush() waits for the cascade.
         with LiveInventory(
-            tmp_path / "live", resolution=RESOLUTION, compact_tables=2
+            tmp_path / "live", resolution=RESOLUTION, tier_fanout=2
         ) as inv:
             for start in (0, 10):
                 inv.ingest(_records(10, start=start))
@@ -207,7 +213,7 @@ class TestCompaction:
 
     def test_compacted_directory_reopens_equivalent(self, tmp_path):
         with LiveInventory(
-            tmp_path / "live", resolution=RESOLUTION, compact_tables=0
+            tmp_path / "live", resolution=RESOLUTION, tier_fanout=0
         ) as inv:
             for start in (0, 15):
                 inv.ingest(_records(15, start=start))
@@ -227,17 +233,18 @@ class TestReferenceEquivalence:
             tmp_path / "live",
             resolution=RESOLUTION,
             flush_records=40,
-            compact_tables=3,
+            tier_fanout=3,
         ) as inv:
             for i in range(0, len(records), 17):  # uneven batches
                 inv.ingest(records[i : i + 17])
+            inv.wait_maintenance()
             _assert_semantically_equal(inv, _reference(records))
 
     def test_point_and_route_queries_cross_sources(self, tmp_path):
         records = _records(60)
         reference = _reference(records)
         with LiveInventory(
-            tmp_path / "live", resolution=RESOLUTION, compact_tables=0
+            tmp_path / "live", resolution=RESOLUTION, tier_fanout=0
         ) as inv:
             inv.ingest(records[:30])
             inv.flush()
@@ -278,7 +285,7 @@ class TestConcurrentReads:
             tmp_path / "live",
             resolution=RESOLUTION,
             flush_records=30,
-            compact_tables=3,
+            tier_fanout=3,
         ) as inv:
 
             def read_loop():

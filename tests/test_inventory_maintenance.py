@@ -1,0 +1,385 @@
+"""Background maintenance: the scheduler, the size-tiered policy, and
+the backpressure valve.
+
+The contracts under test (see docs/STORAGE.md):
+
+- **Policy correctness** — :class:`CompactionPolicy` only ever selects a
+  *contiguous, same-tier run* in table-age order (the associativity
+  requirement: reads fold oldest-source-first, so only adjacent
+  collapses preserve answers), preferring the smallest tier.
+- **Fail-stop, never silent** — a crashed maintenance job resurfaces
+  its *original* exception instance on the next write-path call, in
+  both background and inline modes, and ``close()`` stays clean.
+- **Bounded stall** — when maintenance falls behind its hard limits,
+  ingest blocks for the configured wait and then fails with the typed
+  :class:`IngestBackpressure`, leaving the rejected batch un-logged.
+- **Snapshot isolation under load** — readers racing a background
+  flush/compaction stream see batch-atomic, monotonically growing
+  answers, and the final state is byte-identical to an inline run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.hexgrid import latlng_to_cell
+from repro.inventory import GroupKey
+from repro.inventory.compaction import CompactionPolicy, CompactionTask
+from repro.inventory.live import LiveInventory
+from repro.inventory.maintenance import (
+    JOB_FLUSH,
+    IngestBackpressure,
+    MaintenanceConfig,
+    MaintenanceScheduler,
+)
+from repro.inventory.memtable import IngestRecord
+
+RESOLUTION = 6
+LAT, LON = 1.25, 103.8  # every test record lands in this one cell
+KEY = GroupKey(cell=latlng_to_cell(LAT, LON, RESOLUTION))
+
+
+def _record(i: int) -> IngestRecord:
+    return IngestRecord(
+        mmsi=563_000_000 + (i % 7),
+        ts=1_700_000_000.0 + i * 10.0,
+        lat=LAT,
+        lon=LON,
+        sog=8.0 + (i % 5),
+        cog=float((i * 31) % 360),
+    )
+
+
+def _wait_until(predicate, timeout: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise TimeoutError("condition not reached in time")
+        time.sleep(0.005)
+
+
+class _Boom(Exception):
+    """A typed injected crash, so identity assertions are unambiguous."""
+
+
+# -- the size-tiered policy ---------------------------------------------------------
+
+
+class TestCompactionPolicy:
+    def test_tiers_are_geometric(self):
+        policy = CompactionPolicy(fanout=4, base_bytes=100)
+        assert policy.tier_of(0) == 0
+        assert policy.tier_of(100) == 0
+        assert policy.tier_of(101) == 1
+        assert policy.tier_of(400) == 1
+        assert policy.tier_of(401) == 2
+        assert policy.tier_of(100 * 4**3) == 3
+
+    def test_fanout_validation(self):
+        CompactionPolicy(fanout=0)  # disabled is legal
+        CompactionPolicy(fanout=2)
+        with pytest.raises(ValueError):
+            CompactionPolicy(fanout=1)
+        with pytest.raises(ValueError):
+            CompactionPolicy(base_bytes=0)
+
+    def test_disabled_policy_chooses_nothing(self):
+        policy = CompactionPolicy(fanout=0, base_bytes=100)
+        sizes = [10] * 50
+        assert policy.choose(sizes) is None
+        assert policy.debt_bytes(sizes) == 0
+
+    def test_chooses_contiguous_same_tier_run(self):
+        policy = CompactionPolicy(fanout=2, base_bytes=100)
+        # [tier1, tier0, tier0] — only the trailing tier-0 pair is a run.
+        task = policy.choose([300, 10, 20])
+        assert task == CompactionTask(start=1, stop=3, tier=0, input_bytes=30)
+
+    def test_interrupted_run_is_not_merged(self):
+        policy = CompactionPolicy(fanout=3, base_bytes=100)
+        # Three tier-0 tables exist but a tier-1 table splits them 2+1:
+        # merging across it would reorder the oldest-first fold.
+        assert policy.choose([10, 20, 300, 30]) is None
+
+    def test_smallest_tier_wins_oldest_breaks_ties(self):
+        policy = CompactionPolicy(fanout=2, base_bytes=100)
+        # An eligible tier-1 run ahead of an eligible tier-0 run: the
+        # cheap tier-0 merge is chosen even though it is younger.
+        task = policy.choose([150, 180, 10, 20])
+        assert (task.tier, task.start, task.stop) == (0, 2, 4)
+        # Two tier-0 runs (split by tier 1): the older one wins.
+        task = policy.choose([10, 20, 300, 30, 40])
+        assert (task.tier, task.start, task.stop) == (0, 0, 2)
+
+    def test_debt_sums_every_eligible_run(self):
+        policy = CompactionPolicy(fanout=2, base_bytes=100)
+        # tier0 run [10, 20] + tier1 run [150, 180]; the lone 10 after
+        # the tier-1 run is not an eligible run.
+        assert policy.debt_bytes([10, 20, 150, 180, 10]) == 360
+
+    def test_tier_shape_buckets_counts_and_bytes(self):
+        policy = CompactionPolicy(fanout=4, base_bytes=100)
+        shape = policy.tier_shape([10, 20, 300, 300])
+        assert shape == [
+            {"tier": 0, "tables": 2, "bytes": 30},
+            {"tier": 1, "tables": 2, "bytes": 600},
+        ]
+
+
+# -- the scheduler ------------------------------------------------------------------
+
+
+class TestMaintenanceScheduler:
+    def test_background_runs_submitted_jobs(self):
+        ran = []
+        scheduler = MaintenanceScheduler({"j": lambda: ran.append("j")})
+        try:
+            scheduler.submit("j")
+            scheduler.wait_idle(timeout=5.0)
+        finally:
+            scheduler.close()
+        assert ran == ["j"]
+
+    def test_unknown_kind_is_rejected(self):
+        scheduler = MaintenanceScheduler({"j": lambda: None}, background=False)
+        with pytest.raises(ValueError, match="unknown maintenance job"):
+            scheduler.submit("nope")
+        scheduler.close()
+
+    def test_pending_submissions_dedupe_but_running_requeues(self):
+        started = threading.Event()
+        release = threading.Event()
+        count = [0]
+
+        def job():
+            count[0] += 1
+            started.set()
+            release.wait(5.0)
+
+        scheduler = MaintenanceScheduler({"j": job})
+        try:
+            scheduler.submit("j")
+            assert started.wait(5.0)
+            # The kind is RUNNING, so one re-queue is accepted (that is
+            # how cascading tier merges chain) — but only one: further
+            # submits dedupe against the pending entry.
+            scheduler.submit("j")
+            scheduler.submit("j")
+            scheduler.submit("j")
+            assert scheduler.queue_depth() == 2  # 1 running + 1 pending
+            release.set()
+            scheduler.wait_idle(timeout=5.0)
+        finally:
+            scheduler.close()
+        assert count[0] == 2
+
+    def test_wait_idle_times_out(self):
+        release = threading.Event()
+        scheduler = MaintenanceScheduler({"j": lambda: release.wait(5.0)})
+        try:
+            scheduler.submit("j")
+            with pytest.raises(TimeoutError):
+                scheduler.wait_idle(timeout=0.05)
+        finally:
+            release.set()
+            scheduler.close()
+
+    def test_inline_error_propagates_and_fail_stops(self):
+        boom = _Boom("inline")
+
+        def job():
+            raise boom
+
+        scheduler = MaintenanceScheduler({"j": job}, background=False)
+        with pytest.raises(_Boom) as excinfo:
+            scheduler.submit("j")
+        assert excinfo.value is boom
+        assert scheduler.error is boom
+        # Fail-stopped: later submits are dropped, not executed.
+        scheduler.submit("j")
+        with pytest.raises(_Boom):
+            scheduler.wait_idle()
+        scheduler.close()  # shutdown is cleanup, never a report channel
+
+    def test_background_error_is_stored_and_reraised(self):
+        boom = _Boom("background")
+
+        def job():
+            raise boom
+
+        scheduler = MaintenanceScheduler({"j": job})
+        try:
+            scheduler.submit("j")
+            _wait_until(lambda: scheduler.error is not None)
+            assert scheduler.error is boom
+            with pytest.raises(_Boom) as excinfo:
+                scheduler.check()
+            assert excinfo.value is boom
+        finally:
+            scheduler.close()
+
+
+def test_maintenance_config_validation():
+    with pytest.raises(ValueError):
+        MaintenanceConfig(max_frozen_memtables=0)
+    with pytest.raises(ValueError):
+        MaintenanceConfig(max_debt_bytes=0)
+    with pytest.raises(ValueError):
+        MaintenanceConfig(backpressure_wait_s=-1.0)
+
+
+# -- the live write path under background maintenance -------------------------------
+
+
+class TestLiveBackgroundMaintenance:
+    def test_watermark_flush_happens_off_the_ingest_path(self, tmp_path):
+        with LiveInventory(
+            tmp_path / "live", resolution=RESOLUTION,
+            flush_records=10, tier_fanout=0,
+        ) as inventory:
+            ack = inventory.ingest([_record(i) for i in range(10)])
+            # The ingest call only sealed and scheduled; the table write
+            # happens on the maintenance thread.
+            assert ack.flushed is True
+            inventory.wait_maintenance(timeout=10.0)
+            stats = inventory.ingest_stats()
+            assert stats["maintenance"] == "background"
+            assert stats["tables"] == 1 and stats["flushes"] == 1
+            assert stats["memtable_records"] == 0
+            assert stats["frozen_memtables"] == 0
+            assert inventory.get(KEY).records == 10
+
+    def test_backpressure_is_typed_and_batch_is_not_logged(self, tmp_path):
+        with LiveInventory(
+            tmp_path / "live", resolution=RESOLUTION,
+            flush_records=1, tier_fanout=0,
+            max_frozen_memtables=1, backpressure_wait_s=0.05,
+        ) as inventory:
+            started = threading.Event()
+            release = threading.Event()
+
+            def stuck_flush():
+                started.set()
+                release.wait(10.0)
+
+            inventory._scheduler._jobs[JOB_FLUSH] = stuck_flush
+            inventory.ingest([_record(0)])  # seals; flush job wedges
+            assert started.wait(5.0)
+            with pytest.raises(IngestBackpressure) as excinfo:
+                inventory.ingest([_record(1)])
+            error = excinfo.value
+            assert error.frozen_memtables >= 1
+            assert error.waited_s == pytest.approx(0.05)
+            stats = inventory.ingest_stats()
+            assert stats["backpressure_waits"] >= 1
+            assert stats["backpressure_timeouts"] >= 1
+            # Un-wedge, restore the real job, and drain: the valve
+            # clears and ingest flows again.
+            release.set()
+            inventory._scheduler._jobs[JOB_FLUSH] = inventory._job_flush
+            inventory.wait_maintenance(timeout=10.0)
+            assert inventory.flush() is not None
+            inventory.ingest([_record(2)])
+            inventory.wait_maintenance(timeout=10.0)
+        # The refused batch was never WAL-appended: reopening serves
+        # exactly the two accepted records.
+        with LiveInventory(
+            tmp_path / "live", resolution=RESOLUTION, flush_records=0
+        ) as reopened:
+            assert reopened.get(KEY).records == 2
+
+    def test_background_job_crash_resurfaces_original_instance(self, tmp_path):
+        boom = _Boom("injected maintenance crash")
+        with LiveInventory(
+            tmp_path / "live", resolution=RESOLUTION,
+            flush_records=1, tier_fanout=0,
+        ) as inventory:
+            def crash():
+                raise boom
+
+            inventory._scheduler._jobs[JOB_FLUSH] = crash
+            inventory.ingest([_record(0)])  # schedules the crashing job
+            _wait_until(lambda: inventory._scheduler.error is not None)
+            with pytest.raises(_Boom) as excinfo:
+                inventory.ingest([_record(1)])
+            assert excinfo.value is boom  # typed errors stay typed
+            assert (
+                inventory.ingest_stats()["maintenance_error"]
+                == "injected maintenance crash"
+            )
+            # close() (via the context manager) must stay clean.
+        # Recovery is the same as for an inline crash: the WAL still
+        # holds everything the unflushed memtable did.
+        with LiveInventory(
+            tmp_path / "live", resolution=RESOLUTION, flush_records=0
+        ) as reopened:
+            assert reopened.get(KEY).records == 1
+
+    def test_concurrent_ingest_and_query_stress(self, tmp_path):
+        """Readers racing the writer and the maintenance thread see
+        batch-atomic, monotonically growing answers, and the final
+        state is byte-identical to an inline-mode run of the same
+        batches."""
+        total_batches, batch_size = 30, 20
+        kwargs = dict(
+            resolution=RESOLUTION, flush_records=40,
+            tier_fanout=2, tier_base_bytes=4096,
+        )
+        failures: list[BaseException] = []
+        done = threading.Event()
+        with LiveInventory(tmp_path / "live", **kwargs) as inventory:
+            def writer():
+                try:
+                    n = 0
+                    for _ in range(total_batches):
+                        inventory.ingest(
+                            [_record(n + i) for i in range(batch_size)]
+                        )
+                        n += batch_size
+                except BaseException as exc:  # surfaced by the assert below
+                    failures.append(exc)
+                finally:
+                    done.set()
+
+            def reader():
+                last = 0
+                try:
+                    while not done.is_set():
+                        summary = inventory.get(KEY)
+                        if summary is None:
+                            continue
+                        records = summary.records
+                        assert records >= last, "snapshot went backwards"
+                        assert records % batch_size == 0, "partial batch seen"
+                        last = records
+                except BaseException as exc:
+                    failures.append(exc)
+
+            threads = [threading.Thread(target=writer)]
+            threads += [threading.Thread(target=reader) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(60.0)
+            assert not failures, failures
+            inventory.wait_maintenance(timeout=30.0)
+            assert inventory.get(KEY).records == total_batches * batch_size
+            stats = inventory.ingest_stats()
+            assert stats["flushes"] >= 1
+            live_items = {
+                key: summary.to_dict() for key, summary in inventory.items()
+            }
+        with LiveInventory(
+            tmp_path / "ref", background_maintenance=False, **kwargs
+        ) as reference:
+            n = 0
+            for _ in range(total_batches):
+                reference.ingest([_record(n + i) for i in range(batch_size)])
+                n += batch_size
+            reference_items = {
+                key: summary.to_dict() for key, summary in reference.items()
+            }
+        assert live_items == reference_items

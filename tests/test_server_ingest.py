@@ -165,6 +165,9 @@ class TestFlushVisibility:
                     tripped = connection.ingest([_wire(9)])
                     assert tripped["flushed"] is True
                     post = connection.summary_at(LAT, LON).to_dict()
+                    # The table write happens on the maintenance thread;
+                    # drain it so the stats assertions are stable.
+                    backend.wait_maintenance()
                     stats = connection.stats()["inventory"]["ingest"]
         assert post["records"] == pre["records"] + 1
         assert stats["flushes"] == 1 and stats["tables"] == 1

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Check every relative link (and ``#anchor``) in the repo's markdown.
+
+Stdlib-only, so CI needs nothing installed.  For each ``*.md`` file
+outside dot-directories the checker extracts inline links
+(``[text](target)`` and images), skips absolute URLs and mailto:, and
+verifies:
+
+- a relative path target names an existing file or directory, resolved
+  against the linking file's own directory;
+- an anchor target (``#section`` or ``file.md#section``) names a real
+  heading in the target file, using GitHub's slug rules (lowercase,
+  punctuation stripped, spaces to hyphens, ``-N`` suffixes for
+  duplicates).
+
+Exit status: 0 when every link resolves, 1 with one line per dead link
+otherwise — the ``docs-links`` CI job gates on it.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Inline links and images: [text](target) / ![alt](target "title").
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def markdown_files() -> list[Path]:
+    return sorted(
+        path
+        for path in REPO.rglob("*.md")
+        if not any(part.startswith(".") for part in path.relative_to(REPO).parts)
+    )
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line (approximation: enough
+    for ASCII docs — lowercase, drop punctuation, hyphenate spaces)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code keeps its text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links keep the text
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    """Every heading anchor the file exposes, with ``-N`` dedup."""
+    seen: dict[str, int] = {}
+    anchors: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+def iter_links(path: Path):
+    """(line_number, target) for each inline link outside code fences."""
+    in_fence = False
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield number, match.group(1)
+
+
+def check_file(path: Path, anchor_cache: dict[Path, set[str]]) -> list[str]:
+    problems = []
+    for number, target in iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.is_relative_to(REPO):
+                # Repo-relative GitHub URLs (the CI badge's ../../
+                # actions/... pattern) resolve on github.com, not on
+                # disk — out of scope here.
+                continue
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(REPO)}:{number}: dead link -> {target}"
+                )
+                continue
+        else:
+            resolved = path.resolve()
+        if fragment:
+            if resolved.is_dir() or resolved.suffix.lower() != ".md":
+                continue  # anchors into non-markdown are out of scope
+            if resolved not in anchor_cache:
+                anchor_cache[resolved] = anchors_of(resolved)
+            if fragment.lower() not in anchor_cache[resolved]:
+                problems.append(
+                    f"{path.relative_to(REPO)}:{number}: dead anchor -> {target}"
+                )
+    return problems
+
+
+def main() -> int:
+    anchor_cache: dict[Path, set[str]] = {}
+    problems: list[str] = []
+    files = markdown_files()
+    for path in files:
+        problems.extend(check_file(path, anchor_cache))
+    for line in problems:
+        print(line)
+    if problems:
+        print(f"{len(problems)} dead link(s) across {len(files)} markdown files")
+        return 1
+    print(f"all links resolve across {len(files)} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
