@@ -1,0 +1,243 @@
+"""A conservative project-wide call graph for the interprocedural rules.
+
+REP007 needs to know that ``_flush_sealed`` — holding ``_maint_lock`` —
+calls ``_retire_wal``, which takes ``_write_lock``: a lock-order edge
+that no per-method scan can see.  This module resolves the call edges
+that can be resolved *soundly without executing anything*:
+
+- ``self.method(...)`` → the method of the lexically enclosing class
+  (single-class resolution; inheritance is not chased — the tree's
+  concurrency-bearing classes are flat);
+- ``name(...)`` → a top-level function or class of the same module, or
+  whatever the module's :class:`~repro.analysis.project.ImportMap` says
+  ``name`` was imported as;
+- ``mod.func(...)`` / dotted chains → resolved through the import map to
+  another project module's top-level function or class;
+- ``ClassName(...)`` → that class's ``__init__``.
+
+Everything else — method calls on locals (``reader.close()``), callbacks,
+``getattr`` — is *dynamic* and deliberately unresolved: the graph
+under-approximates calls, so rules built on it under-report rather than
+hallucinate.  Reachability is a memoized depth-first closure over the
+edge map; visited-set cut-off makes recursive and mutually-recursive
+call chains terminate with the (correct, conservative) cyclic answer.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.cfg import FunctionNode
+from repro.analysis.project import Module, Project
+from repro.analysis.rules.base import walk_excluding_nested_defs
+
+
+@dataclass(frozen=True, slots=True)
+class FuncRef:
+    """A function or method, addressed project-wide."""
+
+    #: Root-relative POSIX path of the defining module.
+    rel: str
+    #: ``function`` for top-level defs, ``Class.method`` for methods.
+    qualname: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.rel}:{self.qualname}"
+
+
+class CallGraph:
+    """Definitions, resolved call edges, and memoized reachability."""
+
+    def __init__(
+        self,
+        project: Project,
+        package: str,
+        functions: dict[FuncRef, FunctionNode],
+        edges: dict[FuncRef, frozenset[FuncRef]],
+    ) -> None:
+        self._project = project
+        self._package = package
+        self.functions = functions
+        self.edges = edges
+        self._reach: dict[FuncRef, frozenset[FuncRef]] = {}
+
+    # -- construction --------------------------------------------------------------
+
+    @classmethod
+    def of(cls, project: Project) -> "CallGraph":
+        """The project's call graph, built once and cached on the project."""
+        cached = getattr(project, "_callgraph", None)
+        if isinstance(cached, CallGraph):
+            return cached
+        graph = cls._build(project)
+        project._callgraph = graph  # type: ignore[attr-defined]
+        return graph
+
+    @classmethod
+    def _build(cls, project: Project) -> "CallGraph":
+        functions: dict[FuncRef, FunctionNode] = {}
+        scopes: list[tuple[Module, str | None, FuncRef, FunctionNode]] = []
+        for module in project.modules:
+            for name, cls_name, node in _definitions(module):
+                ref = FuncRef(rel=module.rel, qualname=name)
+                functions[ref] = node
+                scopes.append((module, cls_name, ref, node))
+        package = _package_name(project)
+        edges: dict[FuncRef, frozenset[FuncRef]] = {}
+        for module, cls_name, ref, node in scopes:
+            edges[ref] = frozenset(
+                _resolve_calls(project, package, module, cls_name, node, functions)
+            )
+        return cls(project, package, functions, edges)
+
+    # -- queries -------------------------------------------------------------------
+
+    def direct(self, ref: FuncRef) -> frozenset[FuncRef]:
+        """The resolved direct callees of one function."""
+        return self.edges.get(ref, frozenset())
+
+    def resolve_call(
+        self, module: Module, cls_name: str | None, func: ast.expr
+    ) -> FuncRef | None:
+        """Resolve one call expression's target at a specific site.
+
+        Same resolution as graph construction — rules that need the
+        *location* of a call (REP007's held-lock call sites) use this
+        instead of the per-function edge sets.
+        """
+        return _resolve_one(
+            self._project, self._package, module, cls_name, func, self.functions
+        )
+
+    def reachable(self, ref: FuncRef) -> frozenset[FuncRef]:
+        """Every function transitively callable from ``ref``.
+
+        Excludes ``ref`` itself unless a cycle leads back to it.
+        Memoization plus the visited set bounds the walk even on
+        mutually-recursive graphs.
+        """
+        cached = self._reach.get(ref)
+        if cached is not None:
+            return cached
+        seen: set[FuncRef] = set()
+        stack = list(self.direct(ref))
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.direct(current))
+        result = frozenset(seen)
+        self._reach[ref] = result
+        return result
+
+
+def _package_name(project: Project) -> str:
+    """The import-name of the analysis root (``src/repro`` → ``repro``)."""
+    return project.root.name
+
+
+def _definitions(
+    module: Module,
+) -> list[tuple[str, str | None, FunctionNode]]:
+    """``(qualname, class name | None, node)`` for the module's defs.
+
+    Top-level functions and the direct methods of top-level classes;
+    nested defs are opaque to the graph (they resolve as dynamic).
+    """
+    found: list[tuple[str, str | None, FunctionNode]] = []
+    for stmt in module.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            found.append((stmt.name, None, stmt))
+        elif isinstance(stmt, ast.ClassDef):
+            for item in stmt.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    found.append((f"{stmt.name}.{item.name}", stmt.name, item))
+    return found
+
+
+def _resolve_calls(
+    project: Project,
+    package: str,
+    module: Module,
+    cls_name: str | None,
+    node: FunctionNode,
+    functions: dict[FuncRef, FunctionNode],
+) -> set[FuncRef]:
+    callees: set[FuncRef] = set()
+    for child in walk_excluding_nested_defs(node.body):
+        for expr in ast.iter_child_nodes(child):
+            if not isinstance(expr, ast.expr):
+                continue
+            for call in ast.walk(expr):
+                if isinstance(call, ast.Call):
+                    target = _resolve_one(
+                        project, package, module, cls_name, call.func, functions
+                    )
+                    if target is not None:
+                        callees.add(target)
+    return callees
+
+
+def _resolve_one(
+    project: Project,
+    package: str,
+    module: Module,
+    cls_name: str | None,
+    func: ast.expr,
+    functions: dict[FuncRef, FunctionNode],
+) -> FuncRef | None:
+    # self.method(...) — the enclosing class's own method.
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "self"
+        and cls_name is not None
+    ):
+        ref = FuncRef(rel=module.rel, qualname=f"{cls_name}.{func.attr}")
+        return ref if ref in functions else None
+
+    # Bare name: same-module function/class first, then imports.
+    if isinstance(func, ast.Name):
+        local = FuncRef(rel=module.rel, qualname=func.id)
+        if local in functions:
+            return local
+        init = FuncRef(rel=module.rel, qualname=f"{func.id}.__init__")
+        if init in functions:
+            return init
+
+    resolved = module.import_map().resolve(func)
+    if resolved is None:
+        return None
+    return _resolve_dotted(project, package, resolved, functions)
+
+
+def _resolve_dotted(
+    project: Project,
+    package: str,
+    dotted: str,
+    functions: dict[FuncRef, FunctionNode],
+) -> FuncRef | None:
+    """``repro.inventory.fsio.open_file`` → the project def it names."""
+    prefix = package + "."
+    if not dotted.startswith(prefix):
+        return None
+    parts = dotted[len(prefix):].split(".")
+    # Longest module-path prefix wins: supports both ``pkg.mod.func`` and
+    # ``pkg.mod.Class`` (→ __init__); deeper chains are dynamic.
+    for cut in range(len(parts) - 1, 0, -1):
+        rel = "/".join(parts[:cut]) + ".py"
+        if project.module(rel) is None:
+            rel = "/".join(parts[:cut]) + "/__init__.py"
+            if project.module(rel) is None:
+                continue
+        symbol = ".".join(parts[cut:])
+        ref = FuncRef(rel=rel, qualname=symbol)
+        if ref in functions:
+            return ref
+        init = FuncRef(rel=rel, qualname=f"{symbol}.__init__")
+        if init in functions:
+            return init
+        return None
+    return None

@@ -43,6 +43,22 @@ _PRAGMA = re.compile(
 )
 _RULE_ID = re.compile(r"^REP\d{3}$")
 
+#: A ``lock-order`` declaration comment (``_maint_lock -> _write_lock ->
+#: _mem_lock`` style): the machine-readable form of a class's documented
+#: lock hierarchy, checked interprocedurally by REP007 (docs/STORAGE.md).
+_LOCK_ORDER = re.compile(r"#\s*repro:\s*lock-order\b(?P<names>.*)$")
+_IDENTIFIER = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+@dataclass(frozen=True, slots=True)
+class LockOrder:
+    """One parsed ``# repro: lock-order a -> b -> c`` declaration."""
+
+    #: Line the declaration comment sits on.
+    line: int
+    #: Lock attribute names, outermost first.
+    names: tuple[str, ...]
+
 
 @dataclass(frozen=True, slots=True)
 class Pragma:
@@ -69,9 +85,13 @@ class Module:
         self.tree = tree
         self.lines = source.splitlines()
         self.pragmas: list[Pragma] = []
+        #: Parsed ``lock-order`` declarations found in this file.
+        self.lock_orders: list[LockOrder] = []
         #: REP000 findings from malformed pragmas in this file.
         self.pragma_errors: list[Finding] = []
         self._symtable: symtable.SymbolTable | None = None
+        self._walk: tuple[ast.AST, ...] | None = None
+        self._imports: "ImportMap | None" = None
         self._scan_pragmas()
 
     def table(self) -> symtable.SymbolTable:
@@ -79,6 +99,23 @@ class Module:
         if self._symtable is None:
             self._symtable = symtable.symtable(self.source, self.rel, "exec")
         return self._symtable
+
+    def walk(self) -> tuple[ast.AST, ...]:
+        """Every AST node, pre-walked once and shared across all rules.
+
+        ``ast.walk`` over a large module dominates per-rule cost; rules
+        iterate this cached tuple instead so the tree is traversed once
+        per *file*, not once per file *per rule*.
+        """
+        if self._walk is None:
+            self._walk = tuple(ast.walk(self.tree))
+        return self._walk
+
+    def import_map(self) -> "ImportMap":
+        """The module's :class:`ImportMap`, built on first use and shared."""
+        if self._imports is None:
+            self._imports = ImportMap.of(self)
+        return self._imports
 
     def suppressed(self, rule: str, line: int) -> bool:
         """Whether a well-formed pragma silences ``rule`` at ``line``."""
@@ -97,6 +134,10 @@ class Module:
             return  # the ast parse already succeeded; be permissive here
         for token in tokens:
             if token.type != tokenize.COMMENT:
+                continue
+            order = _LOCK_ORDER.search(token.string)
+            if order is not None:
+                self._scan_lock_order(order, token.start[0])
                 continue
             match = _PRAGMA.search(token.string)
             if match is None:
@@ -130,6 +171,31 @@ class Module:
                     reason=reason,
                 )
             )
+
+    def _scan_lock_order(self, match: re.Match[str], line: int) -> None:
+        names = tuple(
+            part.strip() for part in match.group("names").split("->") if part.strip()
+        )
+        bogus = sorted(n for n in names if not _IDENTIFIER.match(n))
+        problem = None
+        if len(names) < 2:
+            problem = (
+                "lock-order declaration needs at least two lock names: "
+                "# repro: lock-order outer -> inner"
+            )
+        elif bogus:
+            problem = (
+                "lock-order declaration names are not attribute identifiers: "
+                + ", ".join(bogus)
+            )
+        elif len(set(names)) != len(names):
+            problem = "lock-order declaration repeats a lock name"
+        if problem is not None:
+            self.pragma_errors.append(
+                Finding(path=self.rel, line=line, rule=META_RULE, message=problem)
+            )
+            return
+        self.lock_orders.append(LockOrder(line=line, names=names))
 
 
 class Project:

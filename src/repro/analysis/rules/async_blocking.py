@@ -59,8 +59,8 @@ class AsyncBlockingRule(Rule):
         """Yield this rule's findings for one module."""
         if not module.rel.startswith(self.SCOPE):
             return
-        imports = ImportMap.of(module)
-        for node in ast.walk(module.tree):
+        imports = module.import_map()
+        for node in module.walk():
             if isinstance(node, ast.AsyncFunctionDef):
                 yield from self._check_coroutine(module, imports, node)
 

@@ -97,6 +97,28 @@ def walk_excluding_nested_defs(body: list[ast.stmt]) -> Iterator[ast.AST]:
         stack.extend(ast.iter_child_nodes(node))
 
 
+def lock_item_attr(item: ast.withitem) -> str | None:
+    """The ``self`` lock attribute one ``with``-item acquires, else ``None``.
+
+    Matches ``with self.<attr containing "lock">:`` — optionally called,
+    e.g. ``self._lock.acquire_read()`` styles are out of scope.  Shared by
+    REP002 (lock discipline) and REP007 (lock order) so both rules agree
+    on what counts as a lock, *per item*: ``with self._a_lock,
+    self._b_lock:`` names two distinct locks, in acquisition order.
+    """
+    expr = item.context_expr
+    if isinstance(expr, ast.Call):
+        expr = expr.func
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and "lock" in expr.attr.lower()
+    ):
+        return expr.attr
+    return None
+
+
 def string_literal(node: ast.expr) -> str | None:
     """The value of a plain string-literal expression, else ``None``."""
     if isinstance(node, ast.Constant) and isinstance(node.value, str):

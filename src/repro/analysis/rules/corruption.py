@@ -56,7 +56,7 @@ class SwallowedCorruptionRule(Rule):
 
     def check(self, module: Module, project: Project) -> Iterator[Finding]:
         """Yield this rule's findings for one module."""
-        for node in ast.walk(module.tree):
+        for node in module.walk():
             if not isinstance(node, ast.ExceptHandler):
                 continue
             caught = _caught_types(node)

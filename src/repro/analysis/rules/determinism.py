@@ -87,7 +87,7 @@ class DeterminismRule(Rule):
         """Yield this rule's findings for one module."""
         if not module.rel.startswith(self.SCOPE):
             return
-        imports = ImportMap.of(module)
+        imports = module.import_map()
         scopes = _ScopeIndex(module)
         yield from self._visit(module, imports, scopes, module.tree.body, [])
 

@@ -74,8 +74,8 @@ class DurableWriteRule(Rule):
         """Yield this rule's findings for one module."""
         if not module.rel.startswith(self.SCOPE) or module.rel in self.EXEMPT:
             return
-        imports = ImportMap.of(module)
-        for node in ast.walk(module.tree):
+        imports = module.import_map()
+        for node in module.walk():
             if not isinstance(node, ast.Call):
                 continue
             dotted = imports.resolve(node.func)

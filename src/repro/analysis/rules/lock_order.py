@@ -1,0 +1,368 @@
+"""REP007 — lock acquisitions must respect the declared order, everywhere.
+
+PR 9's live-ingest backend holds three locks with a documented
+hierarchy — ``_maint_lock`` → ``_write_lock`` → ``_mem_lock`` — and the
+scheduler deadlock risk it analysed in prose is exactly the bug class
+this rule machine-checks: thread A holding lock X while (possibly three
+calls deep) acquiring lock Y, while thread B does the reverse.
+
+The rule builds an interprocedural *lock-acquisition graph*:
+
+- a lock is a ``self`` attribute whose name contains ``lock``, acquired
+  with ``with self._x_lock:`` (the shared REP002 notion, per item —
+  ``with self._a_lock, self._b_lock:`` acquires two locks in order);
+- an edge A → B means "B was acquired while A was held": directly via
+  nesting or multi-item ``with``, or interprocedurally — a call made
+  under A whose callee (transitively, through the
+  :mod:`~repro.analysis.callgraph`) acquires B;
+- lock identity is ``(module, class, attribute)``, so two classes'
+  ``_lock`` attributes never alias.
+
+Findings:
+
+- any **cycle** in the graph (a potential deadlock), reported once per
+  cycle at its first edge;
+- any edge that **contradicts a declared order** — the
+  ``# repro: lock-order outer -> inner`` comment documented in
+  docs/STORAGE.md, applied to every class in the declaring module;
+- a declaration naming a lock the module never acquires (the
+  declaration rotted).
+
+Re-acquiring the *same* lock under itself is not an edge: the tree's
+outer locks are ``RLock`` by design.  ``threading.Condition`` members
+(``_valve``, ``_cond``) do not match the naming convention and are out
+of scope — their wait/notify protocol is REP006's territory, not an
+ordering problem this graph can see.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.analysis.callgraph import CallGraph, FuncRef
+from repro.analysis.findings import Finding
+from repro.analysis.project import Module, Project
+from repro.analysis.rules.base import Rule, lock_item_attr
+
+
+@dataclass(frozen=True, slots=True)
+class LockId:
+    """One lock attribute, addressed project-wide."""
+
+    rel: str
+    cls: str
+    attr: str
+
+    def label(self) -> str:
+        """The human name of this lock, ``Class.attr``."""
+        return f"{self.cls}.{self.attr}"
+
+
+@dataclass(frozen=True, slots=True)
+class LockEdge:
+    """``dst`` was acquired while ``src`` was held."""
+
+    src: LockId
+    dst: LockId
+    #: Module and line of the acquisition that closed the edge.
+    rel: str
+    line: int
+    #: Human-readable provenance (direct nesting vs. via a call chain).
+    via: str
+
+
+@dataclass(slots=True)
+class LockGraph:
+    """The project's lock-acquisition relation (exposed for tests)."""
+
+    edges: list[LockEdge] = field(default_factory=list)
+    #: Locks acquired anywhere, keyed by module for declaration checks.
+    acquired: dict[str, set[LockId]] = field(default_factory=dict)
+
+    def edge_pairs(self) -> set[tuple[str, str]]:
+        """``(src.label, dst.label)`` pairs — the test-friendly view."""
+        return {(edge.src.label(), edge.dst.label()) for edge in self.edges}
+
+
+class LockOrderRule(Rule):
+    """Interprocedural lock-order and deadlock-cycle checking."""
+
+    id = "REP007"
+    title = "lock acquisition must be acyclic and respect declared lock-order"
+
+    def finalize(self, project: Project) -> Iterator[Finding]:
+        """Judge the assembled lock graph once per project."""
+        graph = self.collect(project)
+        yield from self._check_declarations(project, graph)
+        yield from self._check_cycles(graph)
+
+    # -- graph construction --------------------------------------------------------
+
+    def collect(self, project: Project) -> LockGraph:
+        """Build the acquisition graph (also used directly by tests)."""
+        callgraph = CallGraph.of(project)
+        graph = LockGraph()
+        # Pass 1: every method's *direct* acquisitions, for transitive sets.
+        direct: dict[FuncRef, set[LockId]] = {}
+        methods: list[tuple[Module, str, FuncRef, ast.stmt]] = []
+        for module in project.modules:
+            for stmt in module.tree.body:
+                if not isinstance(stmt, ast.ClassDef):
+                    continue
+                for item in stmt.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        ref = FuncRef(
+                            rel=module.rel, qualname=f"{stmt.name}.{item.name}"
+                        )
+                        acquired = _direct_acquisitions(module, stmt.name, item)
+                        direct[ref] = acquired
+                        graph.acquired.setdefault(module.rel, set()).update(acquired)
+                        methods.append((module, stmt.name, ref, item))
+        # Pass 2: transitive acquisition set of every function.
+        transitive: dict[FuncRef, set[LockId]] = {}
+        for ref in callgraph.functions:
+            locks = set(direct.get(ref, ()))
+            for callee in callgraph.reachable(ref):
+                locks |= direct.get(callee, set())
+            transitive[ref] = locks
+        # Pass 3: walk each method with the held-lock stack, emitting edges.
+        for module, cls_name, ref, item in methods:
+            _Scanner(
+                module, cls_name, callgraph, transitive, graph
+            ).scan(item.body, [])
+        return graph
+
+    # -- judgements ----------------------------------------------------------------
+
+    def _check_declarations(
+        self, project: Project, graph: LockGraph
+    ) -> Iterator[Finding]:
+        for module in project.modules:
+            if not module.lock_orders:
+                continue
+            known = {lock.attr for lock in graph.acquired.get(module.rel, ())}
+            for decl in module.lock_orders:
+                missing = sorted(set(decl.names) - known)
+                if missing:
+                    yield self.finding(
+                        module,
+                        decl.line,
+                        "lock-order declaration names locks this module never "
+                        f"acquires: {', '.join(missing)} — the declaration or "
+                        "the code has rotted; update whichever is wrong",
+                    )
+                rank = {name: pos for pos, name in enumerate(decl.names)}
+                for edge in graph.edges:
+                    if edge.src.rel != module.rel or edge.dst.rel != module.rel:
+                        continue
+                    src_rank = rank.get(edge.src.attr)
+                    dst_rank = rank.get(edge.dst.attr)
+                    if src_rank is None or dst_rank is None:
+                        continue
+                    if src_rank > dst_rank:
+                        order = " -> ".join(decl.names)
+                        yield Finding(
+                            path=edge.rel,
+                            line=edge.line,
+                            rule=self.id,
+                            message=(
+                                f"{edge.dst.label()} acquired while holding "
+                                f"{edge.src.label()} ({edge.via}) contradicts "
+                                f"the declared lock-order {order} — a deadlock "
+                                "with any thread locking in the declared "
+                                "direction; restructure to acquire "
+                                f"{edge.dst.attr} first or release "
+                                f"{edge.src.attr} before this call"
+                            ),
+                        )
+
+    def _check_cycles(self, graph: LockGraph) -> Iterator[Finding]:
+        adjacency: dict[LockId, set[LockId]] = {}
+        for edge in graph.edges:
+            adjacency.setdefault(edge.src, set()).add(edge.dst)
+        for cycle in _cycles(adjacency):
+            members = set(cycle)
+            anchor = min(
+                (e for e in graph.edges if e.src in members and e.dst in members),
+                key=lambda e: (e.rel, e.line),
+            )
+            chain = " <-> ".join(lock.label() for lock in cycle)
+            yield Finding(
+                path=anchor.rel,
+                line=anchor.line,
+                rule=self.id,
+                message=(
+                    f"lock acquisition cycle among {chain} — two threads "
+                    "entering the cycle at different points deadlock; pick "
+                    "one order and declare it (# repro: lock-order …)"
+                ),
+            )
+
+
+def _direct_acquisitions(
+    module: Module, cls_name: str, method: ast.FunctionDef | ast.AsyncFunctionDef
+) -> set[LockId]:
+    found: set[LockId] = set()
+    stack: list[ast.AST] = list(method.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                attr = lock_item_attr(item)
+                if attr is not None:
+                    found.add(LockId(rel=module.rel, cls=cls_name, attr=attr))
+        stack.extend(ast.iter_child_nodes(node))
+    return found
+
+
+class _Scanner:
+    """Walks one method, tracking the held-lock stack and emitting edges."""
+
+    def __init__(
+        self,
+        module: Module,
+        cls_name: str,
+        callgraph: CallGraph,
+        transitive: dict[FuncRef, set[LockId]],
+        graph: LockGraph,
+    ) -> None:
+        self.module = module
+        self.cls_name = cls_name
+        self.callgraph = callgraph
+        self.transitive = transitive
+        self.graph = graph
+
+    def scan(self, body: list[ast.stmt], held: list[LockId]) -> None:
+        """Walk a statement list with ``held`` as the acquisition stack."""
+        for stmt in body:
+            self._stmt(stmt, held)
+
+    def _edge(self, src: LockId, dst: LockId, line: int, via: str) -> None:
+        if src == dst:
+            return  # re-entrant acquisition of the same (R)Lock
+        self.graph.edges.append(
+            LockEdge(src=src, dst=dst, rel=self.module.rel, line=line, via=via)
+        )
+
+    def _stmt(self, stmt: ast.stmt, held: list[LockId]) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scope: does not run under our locks
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            pushed = 0
+            for item in stmt.items:
+                self._calls_in(item.context_expr, held)
+                attr = lock_item_attr(item)
+                if attr is None:
+                    continue
+                lock = LockId(rel=self.module.rel, cls=self.cls_name, attr=attr)
+                for outer in held:
+                    self._edge(outer, lock, stmt.lineno, "acquired directly")
+                held.append(lock)
+                pushed += 1
+            self.scan(stmt.body, held)
+            if pushed:
+                del held[len(held) - pushed:]
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                self._stmt(child, held)
+            elif isinstance(child, ast.expr):
+                self._calls_in(child, held)
+            elif isinstance(child, (ast.excepthandler, ast.match_case)):
+                for grandchild in ast.iter_child_nodes(child):
+                    if isinstance(grandchild, ast.stmt):
+                        self._stmt(grandchild, held)
+                    elif isinstance(grandchild, ast.expr):
+                        self._calls_in(grandchild, held)
+
+    def _calls_in(self, expr: ast.expr, held: list[LockId]) -> None:
+        if not held:
+            return
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Lambda):
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            ref = self.callgraph.resolve_call(self.module, self.cls_name, node.func)
+            if ref is None:
+                continue
+            for lock in sorted(
+                self.transitive.get(ref, ()), key=lambda l: (l.rel, l.cls, l.attr)
+            ):
+                for outer in held:
+                    self._edge(
+                        outer,
+                        lock,
+                        node.lineno,
+                        f"via call to {ref.qualname}()",
+                    )
+
+
+def _cycles(adjacency: dict[LockId, set[LockId]]) -> list[tuple[LockId, ...]]:
+    """Elementary cycles, one representative per strongly-connected set."""
+    # Tarjan SCCs (iterative); any SCC with ≥2 nodes contains a cycle —
+    # report the SCC's nodes in a deterministic rotation.
+    index: dict[LockId, int] = {}
+    low: dict[LockId, int] = {}
+    on_stack: set[LockId] = set()
+    stack: list[LockId] = []
+    counter = [0]
+    sccs: list[list[LockId]] = []
+
+    def strongconnect(root: LockId) -> None:
+        """Iterative Tarjan visit rooted at ``root``."""
+        work = [(root, iter(sorted(adjacency.get(root, ()), key=_lock_key)))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append(
+                        (succ, iter(sorted(adjacency.get(succ, ()), key=_lock_key)))
+                    )
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc: list[LockId] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                if len(scc) > 1:
+                    sccs.append(scc)
+
+    for node in sorted(adjacency, key=_lock_key):
+        if node not in index:
+            strongconnect(node)
+
+    cycles: list[tuple[LockId, ...]] = []
+    for scc in sccs:
+        ordered = sorted(scc, key=_lock_key)
+        cycles.append(tuple(ordered))
+    return cycles
+
+
+def _lock_key(lock: LockId) -> tuple[str, str, str]:
+    return (lock.rel, lock.cls, lock.attr)

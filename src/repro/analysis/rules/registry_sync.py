@@ -82,7 +82,7 @@ def collect_declarations(project: Project) -> list[Declaration]:
     """Every registry registration in the project, statically discovered."""
     declarations: list[Declaration] = []
     for module in project.modules:
-        for node in ast.walk(module.tree):
+        for node in module.walk():
             # Catch both bare registrations and ``X = register_…(...)``.
             value: ast.expr | None = None
             symbol: str | None = None
@@ -125,7 +125,7 @@ def declared_names(project: Project) -> tuple[set[str], set[str]]:
 def _collect_usages(project: Project) -> list[Usage]:
     usages: list[Usage] = []
     for module in project.modules:
-        for node in ast.walk(module.tree):
+        for node in module.walk():
             call = node
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 # ``@traced("name")`` — the decorator is the call site.
@@ -174,7 +174,7 @@ def _symbol_reads(project: Project) -> dict[str, int]:
     """How often each identifier is *read* anywhere in the project."""
     reads: dict[str, int] = {}
     for module in project.modules:
-        for node in ast.walk(module.tree):
+        for node in module.walk():
             name: str | None = None
             if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
                 name = node.id

@@ -1,0 +1,191 @@
+"""REP009 — the wire-error code registry, raise sites and docs stay in sync.
+
+The protocol's failure envelope carries a *closed* set of error codes
+(``ERR_* = "literal"`` constants in ``server/protocol.py``).  Three
+parties depend on that set staying closed and synchronised: server raise
+sites (typed ``ProtocolError`` subclasses and ``error_response``
+envelopes), client dispatch (retry/backoff decisions keyed on the
+code), and the operator triage table in ``docs/OPERATIONS.md`` — every
+code must have a "what to do at 3am" row.  Like REP003 (the metric
+registry), the sync is checked in **both** directions:
+
+- a declared ``ERR_*`` constant nobody reads is a dead code path (or a
+  raise site that regressed to a literal);
+- a raw string literal where a code belongs (``ProtocolError("bad_frme",
+  …)``) bypasses the registry — typos ship, clients can't dispatch;
+- a declared code with no ``` `code` (code) ``` triage row in
+  docs/OPERATIONS.md leaves operators blind;
+- a triage row for a code that no longer exists documents a ghost.
+
+The docs direction is checked only when ``docs/OPERATIONS.md`` exists
+relative to the analysis root's repository (two levels up, same anchor
+as the baseline file) — fixture trees without docs check the code-side
+invariants alone.  Modules with no ``ERR_*`` declarations contribute
+nothing, so the rule is silent on projects without a wire protocol.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Module, Project
+from repro.analysis.rules.base import Rule, string_literal, terminal_name
+
+#: Call targets whose string-literal code argument is registry-checked:
+#: the raw envelope builder (code is argument #2) and the error base
+#: class (code is argument #1).
+_CODE_CALLS = {"error_response": 1, "ProtocolError": 0}
+
+#: One triage row in docs/OPERATIONS.md: ``| `bad_frame` (code) | … |``.
+_DOC_ROW = re.compile(r"`(?P<code>[a-z_]+)`\s*\(code\)")
+
+
+@dataclass(frozen=True, slots=True)
+class _Declaration:
+    rel: str
+    name: str
+    code: str
+    line: int
+
+
+class WireErrorSyncRule(Rule):
+    """Error-code registry ⇄ raise sites ⇄ client dispatch ⇄ docs."""
+
+    id = "REP009"
+    title = "wire error codes, raise sites and OPERATIONS triage stay in sync"
+
+    def __init__(self) -> None:
+        self._declarations: list[_Declaration] = []
+        #: Constant names read somewhere other than their declaration.
+        self._reads: set[str] = set()
+        #: ``(module rel, line, literal)`` at registry-checked call sites.
+        self._literals: list[tuple[str, int, str]] = []
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        """Collect declarations, reads and call-site literals per module."""
+        declared_lines: dict[str, int] = {}
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                code = string_literal(stmt.value)
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id.startswith("ERR_")
+                    and code is not None
+                ):
+                    self._declarations.append(
+                        _Declaration(
+                            rel=module.rel,
+                            name=target.id,
+                            code=code,
+                            line=stmt.lineno,
+                        )
+                    )
+                    declared_lines[target.id] = stmt.lineno
+        for node in module.walk():
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if node.id.startswith("ERR_"):
+                    if node.lineno != declared_lines.get(node.id):
+                        self._reads.add(node.id)
+            elif isinstance(node, ast.Attribute) and node.attr.startswith("ERR_"):
+                self._reads.add(node.attr)
+            elif isinstance(node, ast.Call):
+                position = _CODE_CALLS.get(terminal_name(node.func) or "")
+                if position is not None and len(node.args) > position:
+                    literal = string_literal(node.args[position])
+                    if literal is not None:
+                        self._literals.append(
+                            (module.rel, node.args[position].lineno, literal)
+                        )
+        return iter(())
+
+    def finalize(self, project: Project) -> Iterator[Finding]:
+        """Judge the collected registry once every module is in."""
+        if not self._declarations:
+            return
+        codes = {decl.code for decl in self._declarations}
+        by_code = {decl.code: decl for decl in self._declarations}
+
+        def _finding(rel: str, line: int, message: str) -> Finding:
+            return Finding(path=rel, line=line, rule=self.id, message=message)
+
+        # Registry → code: every constant is read somewhere (a raise site,
+        # the client's dispatch, a sibling module).
+        for decl in sorted(self._declarations, key=lambda d: (d.rel, d.line)):
+            if decl.name not in self._reads:
+                yield _finding(
+                    decl.rel,
+                    decl.line,
+                    f"{decl.name} is declared but never raised or dispatched "
+                    "on — a dead error code (or a raise site regressed to a "
+                    "raw literal); delete it or use the constant",
+                )
+
+        # Code → registry: literals at protocol call sites must be declared
+        # codes — and should be spelled as the constant regardless.
+        for rel, line, literal in sorted(self._literals):
+            if literal not in codes:
+                yield _finding(
+                    rel,
+                    line,
+                    f"error code literal {literal!r} is not a declared ERR_* "
+                    "constant — a typo here ships to clients that cannot "
+                    "dispatch on it; add it to the registry or fix the spelling",
+                )
+            else:
+                constant = next(
+                    d.name for d in self._declarations if d.code == literal
+                )
+                yield _finding(
+                    rel,
+                    line,
+                    f"raw error code literal {literal!r} bypasses the "
+                    f"registry — use {constant} so renames and audits see "
+                    "this site",
+                )
+
+        # Docs directions, when the triage table exists.
+        docs = _operations_doc(project)
+        if docs is None:
+            return
+        doc_path, documented = docs
+        for code in sorted(codes - set(documented)):
+            decl = by_code[code]
+            yield _finding(
+                decl.rel,
+                decl.line,
+                f"error code {code!r} has no triage row in {doc_path} — "
+                "operators hitting it at 3am have no playbook; add a "
+                f"`{code}` (code) row",
+            )
+        anchor = min(self._declarations, key=lambda d: (d.rel, d.line))
+        for code in sorted(set(documented) - codes):
+            yield _finding(
+                anchor.rel,
+                1,
+                f"{doc_path} documents error code {code!r} (line "
+                f"{documented[code]}) but no ERR_* constant declares it — "
+                "the triage table describes a ghost; remove the row or "
+                "restore the code",
+            )
+
+
+def _operations_doc(project: Project) -> tuple[str, dict[str, int]] | None:
+    """``(display path, code → line)`` from the triage table, if present."""
+    parents = list(project.root.parents)
+    if len(parents) < 2:
+        return None
+    path = parents[1] / "docs" / "OPERATIONS.md"
+    if not path.is_file():
+        return None
+    documented: dict[str, int] = {}
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for match in _DOC_ROW.finditer(line):
+            documented.setdefault(match.group("code"), lineno)
+    return "docs/OPERATIONS.md", documented

@@ -23,7 +23,9 @@ from pathlib import Path
 from typing import TextIO
 
 from repro.analysis import baseline as baseline_mod
+from repro.analysis import changed as changed_mod
 from repro.analysis import report as report_mod
+from repro.analysis import sarif as sarif_mod
 from repro.analysis.findings import META_RULE, Finding
 from repro.analysis.project import Project
 from repro.analysis.rules.async_blocking import AsyncBlockingRule
@@ -31,8 +33,11 @@ from repro.analysis.rules.base import Rule
 from repro.analysis.rules.corruption import SwallowedCorruptionRule
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.durability import DurableWriteRule
+from repro.analysis.rules.leaks import ResourceLeakRule
+from repro.analysis.rules.lock_order import LockOrderRule
 from repro.analysis.rules.locks import LockDisciplineRule
 from repro.analysis.rules.registry_sync import RegistrySyncRule
+from repro.analysis.rules.wire_errors import WireErrorSyncRule
 
 #: The invariant suite, in rule-id order.  Extending the checker is
 #: appending here (see docs/ANALYSIS.md, "Writing a new rule").
@@ -43,6 +48,9 @@ DEFAULT_RULES: tuple[type[Rule], ...] = (
     DeterminismRule,
     SwallowedCorruptionRule,
     AsyncBlockingRule,
+    LockOrderRule,
+    ResourceLeakRule,
+    WireErrorSyncRule,
 )
 
 #: Name of the committed ratchet file, looked up at the repository root
@@ -112,12 +120,23 @@ def lint(
     update_baseline: bool = False,
     rules_spec: str | None = None,
     out: TextIO | None = None,
+    changed_only: bool = False,
+    changed_base: str | None = None,
 ) -> int:
-    """Run the suite with ratchet enforcement; returns the exit code."""
+    """Run the suite with ratchet enforcement; returns the exit code.
+
+    ``changed_only`` analyzes the full tree (cross-module rules need it)
+    but reports only findings anchored in files git says changed — see
+    :mod:`repro.analysis.changed`.
+    """
     out = out if out is not None else sys.stdout
     root = Path(root) if root is not None else default_root()
     rules = _select_rules(rules_spec)
     findings = analyze(root, rules)
+    selected: set[str] | None = None
+    if changed_only:
+        selected = changed_mod.changed_files(root, changed_base)
+        findings = changed_mod.filter_findings(findings, selected)
     baseline_file = (
         Path(baseline_path) if baseline_path is not None else default_baseline(root)
     )
@@ -130,9 +149,18 @@ def lint(
         )
         return 0
     recorded = baseline_mod.load(baseline_file)
+    if selected is not None:
+        # Unchanged files are out of this run's view: their baseline
+        # entries must not read as stale.
+        recorded = {
+            rule: {p: n for p, n in files.items() if p in selected}
+            for rule, files in recorded.items()
+        }
     ratchet = baseline_mod.apply(findings, recorded)
     if fmt == "json":
         print(report_mod.render_json(str(root), ratchet), file=out)
+    elif fmt == "sarif":
+        print(sarif_mod.render_sarif(ratchet, rule_titles(rules)), file=out)
     else:
         for line in report_mod.render_text(ratchet, rule_titles(rules)):
             print(line, file=out)
@@ -155,8 +183,19 @@ def build_arg_parser(parser: argparse.ArgumentParser | None = None) -> argparse.
         help=f"ratchet file (default: {BASELINE_FILENAME} at the repo root)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (json is the CI artifact shape)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (json is the CI artifact shape; sarif is the "
+        "2.1.0 log CI uploads for inline annotations)",
+    )
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="report only findings in files git says changed (the full "
+        "tree is still analyzed — cross-module rules need it)",
+    )
+    parser.add_argument(
+        "--changed-base", default=None, metavar="REV",
+        help="git rev to diff against for --changed (default: HEAD; "
+        "CI passes the PR base)",
     )
     parser.add_argument(
         "--update-baseline", action="store_true",
@@ -165,7 +204,7 @@ def build_arg_parser(parser: argparse.ArgumentParser | None = None) -> argparse.
     )
     parser.add_argument(
         "--rules", default=None,
-        help="comma-separated rule ids to run (default: all six)",
+        help="comma-separated rule ids to run (default: the full suite)",
     )
     return parser
 
@@ -178,6 +217,8 @@ def run_from_args(args: argparse.Namespace) -> int:
         fmt=args.format,
         update_baseline=args.update_baseline,
         rules_spec=args.rules,
+        changed_only=args.changed,
+        changed_base=args.changed_base,
     )
 
 

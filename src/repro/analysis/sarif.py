@@ -1,0 +1,80 @@
+"""SARIF 2.1.0 rendering of lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is what code-hosting
+CI surfaces as inline annotations: one ``run`` with a ``tool.driver``
+describing the rule catalogue and one ``result`` per finding.  The shape
+here is the minimal conforming subset — schema/version header, rules
+with ids and short descriptions, results with ``ruleId``, ``level``,
+``message`` and a physical location (root-relative URI + start line) —
+plus ``baselineState`` so a viewer can distinguish a *new* violation
+from one the ratchet still tolerates.
+
+Output is deterministic: results arrive already sorted from the runner
+and nothing here depends on time, host or absolute paths.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.baseline import Ratchet
+from repro.analysis.findings import Finding
+
+
+def render_sarif(ratchet: Ratchet, rule_titles: dict[str, str]) -> str:
+    """The findings as one SARIF 2.1.0 log (a JSON string)."""
+    results = [
+        _result(finding, baseline_state="new")
+        for finding in sorted(ratchet.new)
+    ] + [
+        _result(finding, baseline_state="unchanged")
+        for finding in sorted(ratchet.baselined)
+    ]
+    rules = [
+        {
+            "id": rule_id,
+            "name": rule_id,
+            "shortDescription": {"text": title},
+        }
+        for rule_id, title in sorted(rule_titles.items())
+    ]
+    log = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "informationUri": "docs/ANALYSIS.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)
+
+
+def _result(finding: Finding, baseline_state: str) -> dict:
+    return {
+        "ruleId": finding.rule,
+        "level": "error" if baseline_state == "new" else "note",
+        "message": {"text": finding.message},
+        "baselineState": baseline_state,
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(finding.line, 1)},
+                }
+            }
+        ],
+    }

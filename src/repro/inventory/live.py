@@ -234,6 +234,9 @@ class LiveInventory(InventoryQueryMixin):
         if backpressure_wait_s is not None:
             maint_kwargs["backpressure_wait_s"] = backpressure_wait_s
         self.maintenance = MaintenanceConfig(**maint_kwargs)
+        # The three-lock hierarchy (outermost first); REP007 checks every
+        # acquisition — including through call chains — against it.
+        # repro: lock-order _maint_lock -> _write_lock -> _mem_lock
         self._maint_lock = threading.RLock()
         self._write_lock = threading.RLock()
         self._mem_lock = threading.Lock()

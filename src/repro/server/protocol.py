@@ -245,6 +245,7 @@ def read_frame_blocking(
     if length > max_bytes:
         raise FrameTooLargeError(length, max_bytes)
     payload = _read_exact(read, length, allow_eof=False)
+    assert payload is not None  # allow_eof=False raises instead
     return decode_payload(payload)
 
 
@@ -264,7 +265,9 @@ def _read_exact(
     return b"".join(chunks)
 
 
-async def read_frame(reader, max_bytes: int = MAX_FRAME_BYTES) -> dict | None:
+async def read_frame(
+    reader: asyncio.StreamReader, max_bytes: int = MAX_FRAME_BYTES
+) -> dict | None:
     """Read one frame from an :class:`asyncio.StreamReader`.
 
     Same contract as :func:`read_frame_blocking`.  The length is checked

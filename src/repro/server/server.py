@@ -34,6 +34,7 @@ import errno
 import logging
 import threading
 import time
+from types import TracebackType
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -42,6 +43,7 @@ from repro.obs import registry
 from repro.obs import trace as obs
 from repro.obs.exposition import MetricsExporter, server_exposition
 from repro.server import protocol
+from repro.server.service import InventoryService
 from repro.server.metrics import ServerMetrics
 
 #: One request end-to-end on the server; queue wait + handler + encoding.
@@ -108,7 +110,9 @@ class _Connection:
 class InventoryServer:
     """Serves an :class:`~repro.server.service.InventoryService` over TCP."""
 
-    def __init__(self, service, config: ServerConfig | None = None) -> None:
+    def __init__(
+        self, service: InventoryService, config: ServerConfig | None = None
+    ) -> None:
         self.service = service
         self.config = config or ServerConfig()
         self.metrics = ServerMetrics()
@@ -204,7 +208,10 @@ class InventoryServer:
                 await writer.wait_closed()
 
     async def _connection_loop(
-        self, conn: _Connection, reader: asyncio.StreamReader, writer
+        self,
+        conn: _Connection,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
     ) -> None:
         while not self._draining:
             try:
@@ -313,7 +320,9 @@ class InventoryServer:
                 )
             return protocol.ok_response(request_id, result)
 
-    async def _process(self, request: dict, sp=obs.NOOP_SPAN) -> dict:
+    async def _process(
+        self, request: dict, sp: obs.SpanLike = obs.NOOP_SPAN
+    ) -> dict:
         # The semaphore wait happens inside the request deadline: a
         # request that cannot be *started* in time fails fast instead of
         # queueing forever — that is the backpressure contract.
@@ -360,7 +369,7 @@ class InventoryServer:
 
 
 async def serve(
-    service,
+    service: InventoryService,
     config: ServerConfig | None = None,
     metrics_port: int | None = None,
 ) -> None:
@@ -404,7 +413,9 @@ class ServerThread:
     performs the same graceful drain as a signal-stopped CLI server.
     """
 
-    def __init__(self, service, config: ServerConfig | None = None) -> None:
+    def __init__(
+        self, service: InventoryService, config: ServerConfig | None = None
+    ) -> None:
         self.service = service
         self.config = config or ServerConfig()
         self.server: InventoryServer | None = None
@@ -457,5 +468,10 @@ class ServerThread:
     def __enter__(self) -> "ServerThread":
         return self.start()
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.stop()

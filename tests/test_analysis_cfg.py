@@ -1,0 +1,407 @@
+"""Corner cases of the CFG builder and the project call graph.
+
+The interprocedural rules (REP007/REP008) are only as sound as these
+two layers, so the hard shapes are pinned directly: ``try/finally``
+with ``return`` in both arms, exception-suppressing ``with``,
+comprehension bodies, ``async def``, decorated methods, and recursive
+call chains (which must terminate with the conservative cyclic answer).
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.callgraph import CallGraph, FuncRef
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.project import ImportMap, Project
+
+
+def make_tree(root, files: dict[str, str]):
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return root
+
+
+def cfg_of(source: str, index: int = 0, imports: ImportMap | None = None) -> CFG:
+    tree = ast.parse(textwrap.dedent(source))
+    funcs = [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    return build_cfg(funcs[index], imports)
+
+
+def node_at(cfg: CFG, line: int):
+    for node in cfg.statement_nodes():
+        if node.line == line:
+            return node
+    raise AssertionError(f"no CFG node at line {line}")
+
+
+def reaches(cfg: CFG, start: int, goal: int) -> bool:
+    """Whether ``goal`` is reachable from ``start`` along any edge kind."""
+    seen, stack = {start}, [start]
+    while stack:
+        node = cfg.nodes[stack.pop()]
+        for succ in node.succ | node.exc:
+            if succ == goal:
+                return True
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return False
+
+
+# ---------------------------------------------------------------- CFG shapes
+
+
+def test_return_routes_through_finally():
+    cfg = cfg_of(
+        """
+        def f(x):
+            try:
+                return 1
+            finally:
+                cleanup()
+        """
+    )
+    ret = node_at(cfg, 4)
+    cleanup = node_at(cfg, 6)
+    # The return's successor is the finally region, never the exit directly.
+    assert cfg.exit not in ret.succ
+    assert reaches(cfg, ret.index, cleanup.index)
+    assert reaches(cfg, cleanup.index, cfg.exit)
+
+
+def test_try_finally_with_return_in_both_arms():
+    cfg = cfg_of(
+        """
+        def f(x):
+            try:
+                return work()
+            finally:
+                return fallback()
+        """
+    )
+    body_return = node_at(cfg, 4)
+    finally_return = node_at(cfg, 6)
+    # Both the normal and the exceptional leg of the body run the finally.
+    assert reaches(cfg, body_return.index, finally_return.index)
+    assert reaches(cfg, finally_return.index, cfg.exit)
+    # Every path out of the function passes the finally's return.
+    assert cfg.exit not in body_return.succ
+
+
+def test_raise_has_only_exceptional_successors():
+    cfg = cfg_of(
+        """
+        def f():
+            raise ValueError("no")
+        """
+    )
+    raise_node = node_at(cfg, 3)
+    assert raise_node.succ == set()
+    assert cfg.exit in raise_node.exc
+
+
+def test_except_handler_catches_and_continues():
+    cfg = cfg_of(
+        """
+        def f():
+            try:
+                risky()
+            except ValueError:
+                handle()
+            after()
+        """
+    )
+    risky = node_at(cfg, 4)
+    handler_body = node_at(cfg, 6)
+    after = node_at(cfg, 7)
+    assert reaches(cfg, risky.index, handler_body.index)
+    assert reaches(cfg, handler_body.index, after.index)
+    # A non-matching exception still propagates to the exit.
+    assert reaches(cfg, risky.index, cfg.exit)
+
+
+def test_with_contextlib_suppress_routes_body_exception_past_the_with():
+    source = """
+        import contextlib
+
+
+        def f():
+            with contextlib.suppress(OSError):
+                raise OSError
+            after()
+        """
+    tree = ast.parse(textwrap.dedent(source))
+
+    class _Fake:
+        pass
+
+    module = _Fake()
+    module.tree = tree
+    imports = ImportMap.of(module)
+    func = next(
+        n for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)
+    )
+    cfg = build_cfg(func, imports)
+    raise_node = node_at(cfg, 7)
+    after = node_at(cfg, 8)
+    assert reaches(cfg, raise_node.index, after.index)
+
+
+def test_plain_with_does_not_suppress():
+    cfg = cfg_of(
+        """
+        def f(lock):
+            with lock:
+                raise OSError
+            after()
+        """
+    )
+    raise_node = node_at(cfg, 4)
+    after = node_at(cfg, 5)
+    assert not reaches(cfg, raise_node.index, after.index)
+
+
+def test_loop_break_and_continue_edges():
+    cfg = cfg_of(
+        """
+        def f(items):
+            for item in items:
+                if item:
+                    break
+                continue
+            after()
+        """
+    )
+    head = node_at(cfg, 3)
+    brk = node_at(cfg, 5)
+    cont = node_at(cfg, 6)
+    after = node_at(cfg, 7)
+    assert reaches(cfg, brk.index, after.index)
+    assert reaches(cfg, cont.index, head.index)
+
+
+def test_async_def_builds_with_async_constructs():
+    cfg = cfg_of(
+        """
+        async def f(source):
+            async with source.lock():
+                async for item in source:
+                    await handle(item)
+            return None
+        """
+    )
+    assert node_at(cfg, 3).label == "AsyncWith"
+    assert reaches(cfg, cfg.entry, cfg.exit)
+
+
+def test_code_after_raise_is_unreachable():
+    cfg = cfg_of(
+        """
+        def f():
+            raise RuntimeError
+            dead()
+        """
+    )
+    dead = node_at(cfg, 4)
+    assert dead.index not in cfg.reachable()
+
+
+def test_catch_all_handler_removes_the_propagation_path():
+    cfg = cfg_of(
+        """
+        def f():
+            try:
+                risky()
+            except Exception:
+                return None
+            after()
+        """
+    )
+    risky = node_at(cfg, 4)
+    after = node_at(cfg, 7)
+    assert reaches(cfg, risky.index, after.index) or reaches(
+        cfg, risky.index, cfg.exit
+    )
+    # The only way from risky() to the exit is the handler's return or
+    # normal completion — never an uncaught propagation edge from the
+    # dispatch (except Exception is treated as catch-all).
+    dispatch_nodes = [
+        n for n in cfg.nodes if n.label == "join" and risky.exc == {n.index}
+    ]
+    assert dispatch_nodes, "risky() should raise into a dispatch join"
+    handler_heads = [
+        cfg.nodes[i] for i in dispatch_nodes[0].succ
+    ]
+    assert all(head.label == "except" for head in handler_heads)
+
+
+# ---------------------------------------------------------------- call graph
+
+
+def project_of(tmp_path, files):
+    return Project.load(make_tree(tmp_path, files))
+
+
+def test_self_method_and_module_function_resolution(tmp_path):
+    project = project_of(
+        tmp_path,
+        {
+            "pkg/mod.py": """\
+                def helper():
+                    return 1
+
+
+                class Thing:
+                    def outer(self):
+                        self.inner()
+                        return helper()
+
+                    def inner(self):
+                        return 2
+            """,
+        },
+    )
+    graph = CallGraph.of(project)
+    outer = FuncRef(rel="pkg/mod.py", qualname="Thing.outer")
+    assert FuncRef(rel="pkg/mod.py", qualname="Thing.inner") in graph.direct(outer)
+    assert FuncRef(rel="pkg/mod.py", qualname="helper") in graph.direct(outer)
+
+
+def test_cross_module_resolution_through_imports(tmp_path):
+    # The package name the import map resolves against is the analysis
+    # root's directory name.
+    root = make_tree(
+        tmp_path / "pkg",
+        {
+            "util.py": """\
+                def shared():
+                    return 1
+
+
+                class Widget:
+                    def __init__(self):
+                        self.x = 1
+            """,
+            "app.py": """\
+                from pkg.util import shared
+                from pkg import util
+
+
+                def run():
+                    shared()
+                    util.shared()
+                    w = util.Widget()
+                    return w
+            """,
+        },
+    )
+    project = Project.load(root)
+    graph = CallGraph.of(project)
+    run = FuncRef(rel="app.py", qualname="run")
+    assert FuncRef(rel="util.py", qualname="shared") in graph.direct(run)
+    assert FuncRef(rel="util.py", qualname="Widget.__init__") in graph.direct(run)
+
+
+def test_recursion_terminates_with_cyclic_reachability(tmp_path):
+    project = project_of(
+        tmp_path,
+        {
+            "pkg/rec.py": """\
+                def ping():
+                    return pong()
+
+
+                def pong():
+                    return ping()
+
+
+                def solo():
+                    return solo()
+            """,
+        },
+    )
+    graph = CallGraph.of(project)
+    ping = FuncRef(rel="pkg/rec.py", qualname="ping")
+    pong = FuncRef(rel="pkg/rec.py", qualname="pong")
+    solo = FuncRef(rel="pkg/rec.py", qualname="solo")
+    assert graph.reachable(ping) == frozenset({ping, pong})
+    assert graph.reachable(solo) == frozenset({solo})
+
+
+def test_decorated_methods_stay_in_the_graph(tmp_path):
+    project = project_of(
+        tmp_path,
+        {
+            "pkg/deco.py": """\
+                import functools
+
+
+                class Api:
+                    @functools.lru_cache
+                    def cached(self):
+                        return self.raw()
+
+                    def raw(self):
+                        return 1
+
+                    def use(self):
+                        return self.cached()
+            """,
+        },
+    )
+    graph = CallGraph.of(project)
+    use = FuncRef(rel="pkg/deco.py", qualname="Api.use")
+    cached = FuncRef(rel="pkg/deco.py", qualname="Api.cached")
+    raw = FuncRef(rel="pkg/deco.py", qualname="Api.raw")
+    assert cached in graph.direct(use)
+    assert raw in graph.reachable(use)
+
+
+def test_calls_inside_comprehensions_resolve(tmp_path):
+    project = project_of(
+        tmp_path,
+        {
+            "pkg/comp.py": """\
+                def score(item):
+                    return item
+
+
+                def rank(items):
+                    return [score(i) for i in items if score(i) > 0]
+            """,
+        },
+    )
+    graph = CallGraph.of(project)
+    rank = FuncRef(rel="pkg/comp.py", qualname="rank")
+    assert FuncRef(rel="pkg/comp.py", qualname="score") in graph.direct(rank)
+
+
+def test_dynamic_calls_stay_unresolved(tmp_path):
+    project = project_of(
+        tmp_path,
+        {
+            "pkg/dyn.py": """\
+                class Box:
+                    def run(self, callback, other):
+                        callback()
+                        other.method()
+                        getattr(self, "x")()
+            """,
+        },
+    )
+    graph = CallGraph.of(project)
+    run = FuncRef(rel="pkg/dyn.py", qualname="Box.run")
+    assert graph.direct(run) == frozenset()
+
+
+def test_callgraph_is_cached_per_project(tmp_path):
+    project = project_of(tmp_path, {"pkg/a.py": "def f():\n    return 1\n"})
+    assert CallGraph.of(project) is CallGraph.of(project)

@@ -251,6 +251,91 @@ def test_rep002_negatives(tmp_path):
     assert analyze(root, [LockDisciplineRule]) == []
 
 
+MULTI_ITEM_GUARD = """\
+    import threading
+
+
+    class Pair:
+        def __init__(self):
+            self._a_lock = threading.Lock()
+            self._b_lock = threading.Lock()
+            self._items = {}
+
+        def put(self, key, value):
+            with self._a_lock, self._b_lock:
+                self._items[key] = value
+
+        def evict(self, key):
+            self._items.pop(key, None)  # unlocked-pop
+"""
+
+NESTED_GUARD = """\
+    import threading
+
+
+    class Pair:
+        def __init__(self):
+            self._a_lock = threading.Lock()
+            self._b_lock = threading.Lock()
+            self._items = {}
+
+        def put(self, key, value):
+            with self._a_lock:
+                with self._b_lock:
+                    self._items[key] = value
+
+        def also_put(self, key, value):
+            with self._b_lock:
+                self._items[key] = value
+"""
+
+SPLIT_GUARD = """\
+    import threading
+
+
+    class Split:
+        def __init__(self):
+            self._a_lock = threading.Lock()
+            self._b_lock = threading.Lock()
+            self._items = {}
+
+        def put(self, key, value):
+            with self._a_lock:
+                self._items[key] = value
+
+        def evict(self, key):
+            with self._b_lock:
+                self._items.pop(key, None)
+"""
+
+
+def test_rep002_multi_item_with_counts_as_locked_and_names_the_locks(tmp_path):
+    root = make_tree(tmp_path, {"pair.py": MULTI_ITEM_GUARD})
+    findings = analyze(root, [LockDisciplineRule])
+    assert hits(findings, "REP002") == [
+        ("pair.py", line_of(MULTI_ITEM_GUARD, "unlocked-pop"))
+    ]
+    (finding,) = findings
+    # The fix names the actual guards, not just "a lock".
+    assert "self._a_lock" in finding.message
+    assert "self._b_lock" in finding.message
+
+
+def test_rep002_nested_with_blocks_stack_and_overlap_is_not_split(tmp_path):
+    # also_put holds _b_lock, put holds {_a_lock, _b_lock}: the sets
+    # overlap, so there is a common lock and no finding of any kind.
+    root = make_tree(tmp_path, {"pair.py": NESTED_GUARD})
+    assert analyze(root, [LockDisciplineRule]) == []
+
+
+def test_rep002_disjoint_lock_sets_are_a_split_guard_finding(tmp_path):
+    root = make_tree(tmp_path, {"split.py": SPLIT_GUARD})
+    findings = [f for f in analyze(root, [LockDisciplineRule]) if f.rule == "REP002"]
+    assert len(findings) == 1
+    assert "disjoint" in findings[0].message
+    assert "_a_lock" in findings[0].message and "_b_lock" in findings[0].message
+
+
 # ---------------------------------------------------------------- REP003
 
 
